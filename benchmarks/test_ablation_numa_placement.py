@@ -1,0 +1,107 @@
+"""Ablation — NUMA data placement and the §IX MPI-decomposition hypothesis.
+
+The paper attributes the Fig 3 efficiency cliff to data being "stored and
+randomly accessed across sockets" and proposes that "an MPI decomposition
+over NUMA domains could improve performance" (§VI-B, §IX).  This ablation
+tests that hypothesis in the model, holding everything else fixed:
+
+* ``first_touch`` — the measured setup: fields on socket 0;
+* ``interleaved`` — the paper's mentioned alternative: pages striped;
+* ``decomposed`` — one rank per NUMA domain, all accesses local, particles
+  migrating between ranks at subdomain crossings.
+"""
+
+import pytest
+
+from repro.bench import format_table, paper_workload, print_header
+from repro.machine import BROADWELL, POWER8
+from repro.parallel.affinity import Affinity
+from repro.perfmodel import CPUOptions, DataPlacement, predict_cpu
+from repro.perfmodel.efficiency import efficiency_series
+
+SPECS = {"broadwell": (BROADWELL, 88), "power8": (POWER8, 160)}
+
+
+def _times():
+    out = {}
+    w = paper_workload("csp")
+    for machine, (spec, nt) in SPECS.items():
+        for pol in DataPlacement:
+            out[(machine, pol.value)] = predict_cpu(
+                w, spec, CPUOptions(nthreads=nt, placement_policy=pol)
+            ).seconds
+    return out
+
+
+@pytest.fixture(scope="module")
+def times():
+    return _times()
+
+
+def test_ablation_table(benchmark, times):
+    benchmark.pedantic(
+        lambda: predict_cpu(
+            paper_workload("csp"),
+            BROADWELL,
+            CPUOptions(nthreads=88, placement_policy=DataPlacement.DECOMPOSED),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print_header("Ablation — NUMA placement, csp at full thread count (s)")
+    rows = [
+        [m] + [times[(m, p.value)] for p in DataPlacement] for m in SPECS
+    ]
+    print(format_table(["machine"] + [p.value for p in DataPlacement], rows))
+
+
+def test_decomposition_improves_performance(times):
+    """The §IX hypothesis holds in the model on both NUMA machines."""
+    for m in SPECS:
+        ft = times[(m, "first_touch")]
+        dec = times[(m, "decomposed")]
+        assert dec < ft, m
+        # a real improvement, but bounded — migration is not free
+        assert 1.05 < ft / dec < 2.0, m
+
+
+def test_interleaving_in_between(times):
+    """Striped pages split the difference: every thread pays a partial
+    remote penalty instead of half the threads paying all of it."""
+    for m in SPECS:
+        assert times[(m, "decomposed")] <= times[(m, "interleaved")] <= times[
+            (m, "first_touch")
+        ] * 1.001, m
+
+
+def test_decomposition_removes_numa_cliff():
+    """Under first-touch the efficiency steps down when the second socket
+    is consumed; decomposed placement flattens the step."""
+    w = paper_workload("csp")
+
+    def eff(policy):
+        times = {
+            n: predict_cpu(
+                w,
+                BROADWELL,
+                CPUOptions(
+                    nthreads=n,
+                    affinity=Affinity.COMPACT_CORES,
+                    placement_policy=policy,
+                ),
+            ).seconds
+            for n in (1, 22, 26)
+        }
+        return efficiency_series(times)
+
+    ft = eff(DataPlacement.FIRST_TOUCH)
+    dec = eff(DataPlacement.DECOMPOSED)
+    ft_step = ft[22] - ft[26]
+    dec_step = dec[22] - dec[26]
+    assert ft_step > 0.05  # the paper's cliff
+    assert dec_step < ft_step * 0.5  # decomposition flattens it
+
+
+if __name__ == "__main__":
+    for k, v in sorted(_times().items()):
+        print(k, round(v, 1))

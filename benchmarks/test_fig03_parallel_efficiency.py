@@ -1,0 +1,139 @@
+"""Fig 3 — parallel efficiency vs thread count (csp) on Broadwell and POWER8.
+
+Reproduces the figure's four curves per device: neutral Over Particles,
+neutral Over Events, flow and hot.  Threads place one-per-core across
+socket 0, then socket 1 (``granularity=core`` compact), which is what
+produces the paper's signatures:
+
+* neutral's efficiency is higher than flow's within one socket;
+* neutral drops sharply when threads cross onto the second socket
+  (first-touch data stays on socket 0);
+* POWER8 shows steps at the 6th thread (crossing the 5-core cluster) and
+  the 11th (crossing the socket);
+* flow is near-perfect on POWER8 and saturates early on Broadwell.
+"""
+
+import pytest
+
+from repro.bench import format_series, paper_workload, print_header
+from repro.comparisons.characterisation import (
+    FLOW_CHARACTERISATION,
+    HOT_CHARACTERISATION,
+    predict_stencil_runtime,
+)
+from repro.core.config import Layout, Scheme
+from repro.machine import BROADWELL, POWER8
+from repro.parallel.affinity import Affinity
+from repro.perfmodel import CPUOptions, predict_cpu
+from repro.perfmodel.efficiency import efficiency_series
+
+THREADS = {
+    "broadwell": [1, 2, 4, 8, 12, 16, 20, 22, 26, 30, 36, 44],
+    "power8": [1, 2, 3, 4, 5, 6, 7, 8, 10, 11, 12, 14, 16, 18, 20],
+}
+SPECS = {"broadwell": BROADWELL, "power8": POWER8}
+
+
+def _neutral_series(machine: str, scheme: Scheme) -> dict[int, float]:
+    spec = SPECS[machine]
+    w = paper_workload("csp")
+    layout = Layout.SOA if scheme is Scheme.OVER_EVENTS else Layout.AOS
+    times = {}
+    for n in THREADS[machine]:
+        p = predict_cpu(
+            w,
+            spec,
+            CPUOptions(
+                nthreads=n,
+                scheme=scheme,
+                layout=layout,
+                affinity=Affinity.COMPACT_CORES,
+            ),
+        )
+        times[n] = p.seconds
+    return efficiency_series(times)
+
+
+def _stencil_series(machine: str, char) -> dict[int, float]:
+    spec = SPECS[machine]
+    times = {
+        n: predict_stencil_runtime(
+            char, spec, 4000 * 4000, 50, n, Affinity.COMPACT_CORES
+        )
+        for n in THREADS[machine]
+    }
+    return efficiency_series(times)
+
+
+@pytest.fixture(scope="module")
+def curves():
+    out = {}
+    for machine in SPECS:
+        out[machine] = {
+            "neutral-op": _neutral_series(machine, Scheme.OVER_PARTICLES),
+            "neutral-oe": _neutral_series(machine, Scheme.OVER_EVENTS),
+            "flow": _stencil_series(machine, FLOW_CHARACTERISATION),
+            "hot": _stencil_series(machine, HOT_CHARACTERISATION),
+        }
+    return out
+
+
+def test_fig03_curves(benchmark, curves):
+    benchmark.pedantic(
+        lambda: _neutral_series("broadwell", Scheme.OVER_PARTICLES),
+        rounds=1,
+        iterations=1,
+    )
+    print_header("Fig 3 — parallel efficiency of csp vs thread count")
+    for machine, series in curves.items():
+        print(f"\n[{machine}]")
+        for name, eff in series.items():
+            xs = list(eff.keys())
+            print(format_series(name, xs, [eff[x] for x in xs]))
+
+
+def test_fig03_neutral_beats_flow_on_one_socket(curves):
+    """Within socket 0, neutral holds efficiency better than flow."""
+    bdw = curves["broadwell"]
+    for n in (8, 16, 22):
+        assert bdw["neutral-op"][n] > bdw["flow"][n]
+
+
+def test_fig03_numa_cliff_on_broadwell(curves):
+    """Crossing onto the second socket costs neutral a sharp step."""
+    eff = curves["broadwell"]["neutral-op"]
+    # efficiency just after the crossing is clearly below just before
+    assert eff[26] < eff[22] - 0.05
+
+
+def test_fig03_power8_step_functions(curves):
+    """§VI-B: steps at the 6th thread (cluster) and 11th (socket)."""
+    eff = curves["power8"]["neutral-op"]
+    assert eff[6] < eff[5] - 0.02  # cluster crossing
+    assert eff[11] < eff[10] - 0.02  # socket crossing
+    # between the steps the curve is comparatively flat
+    assert abs(eff[7] - eff[6]) < 0.05
+    assert abs(eff[12] - eff[11]) < 0.05
+
+
+def test_fig03_flow_near_perfect_on_power8(curves):
+    eff = curves["power8"]["flow"]
+    assert eff[5] > 0.9
+    assert eff[10] > 0.9
+
+
+def test_fig03_flow_saturates_on_broadwell(curves):
+    eff = curves["broadwell"]["flow"]
+    assert eff[22] < 0.55
+    assert eff[2] > 0.9
+
+
+if __name__ == "__main__":
+    for machine in SPECS:
+        print(f"\n[{machine}]")
+        for scheme in (Scheme.OVER_PARTICLES, Scheme.OVER_EVENTS):
+            eff = _neutral_series(machine, scheme)
+            print(format_series(f"neutral-{scheme.value}", list(eff), list(eff.values())))
+        for name, char in (("flow", FLOW_CHARACTERISATION), ("hot", HOT_CHARACTERISATION)):
+            eff = _stencil_series(machine, char)
+            print(format_series(name, list(eff), list(eff.values())))

@@ -1,0 +1,74 @@
+"""Fig 5 — SoA vs AoS particle layout (Over Particles scheme).
+
+The paper compares the two layouts on a single Broadwell socket and on the
+KNL (256 threads): "the SoA implementations perform worse than AoS for all
+test cases" on the CPU, because each AoS history loads its particle once
+into registers while SoA wastes a cache line per field per particle.
+"""
+
+import pytest
+
+from repro.bench import format_table, paper_workload, print_header
+from repro.core.config import Layout
+from repro.machine import BROADWELL, KNL
+from repro.parallel.affinity import Affinity
+from repro.perfmodel import CPUOptions, predict_cpu
+
+PROBLEMS = ("stream", "scatter", "csp")
+
+# Single Broadwell socket (22 cores, 44 threads compact) and KNL 7210 at
+# 256 scattered threads, as in the figure caption.
+CONFIGS = {
+    "broadwell-1S": (BROADWELL, dict(nthreads=44, affinity=Affinity.COMPACT)),
+    "knl": (KNL, dict(nthreads=256, affinity=Affinity.SCATTER, use_fast_memory=True)),
+}
+
+
+def _times(layout: Layout) -> dict[tuple[str, str], float]:
+    out = {}
+    for label, (spec, base) in CONFIGS.items():
+        for problem in PROBLEMS:
+            p = predict_cpu(
+                paper_workload(problem),
+                spec,
+                CPUOptions(layout=layout, **base),
+            )
+            out[(label, problem)] = p.seconds
+    return out
+
+
+@pytest.fixture(scope="module")
+def layout_times():
+    return {Layout.AOS: _times(Layout.AOS), Layout.SOA: _times(Layout.SOA)}
+
+
+def test_fig05_table(benchmark, layout_times):
+    benchmark.pedantic(lambda: _times(Layout.AOS), rounds=1, iterations=1)
+    print_header("Fig 5 — SoA vs AoS runtimes, Over Particles (seconds)")
+    rows = []
+    for key in layout_times[Layout.AOS]:
+        aos = layout_times[Layout.AOS][key]
+        soa = layout_times[Layout.SOA][key]
+        rows.append([key[0], key[1], aos, soa, soa / aos])
+    print(format_table(["machine", "problem", "AoS", "SoA", "SoA/AoS"], rows))
+
+
+def test_fig05_aos_wins_everywhere(layout_times):
+    """Paper: 'SoA implementations perform worse than AoS for all cases'."""
+    for key, aos in layout_times[Layout.AOS].items():
+        soa = layout_times[Layout.SOA][key]
+        assert soa > aos, key
+
+
+def test_fig05_penalty_is_moderate(layout_times):
+    """The figure shows tens of percent, not integer factors."""
+    for key, aos in layout_times[Layout.AOS].items():
+        soa = layout_times[Layout.SOA][key]
+        assert soa / aos < 2.0, key
+
+
+if __name__ == "__main__":
+    a = _times(Layout.AOS)
+    s = _times(Layout.SOA)
+    for key in a:
+        print(key, round(a[key], 2), round(s[key], 2), round(s[key] / a[key], 3))

@@ -1,0 +1,102 @@
+"""Fig 8 — per-method vectorisation speedup of the Over Events scheme.
+
+The paper vectorised each OE kernel (after hoisting the atomics into a
+separate tally loop) and measured the speedup over unvectorised code:
+on the Xeon CPU only the facet kernel gained, while the KNL "benefited
+significantly for all events" — the split is hardware gather support.
+
+The bench evaluates the model's per-kernel vector speedups and the whole-
+app effect of the ``vectorized`` switch, plus a *real-code* demonstration:
+the numpy (vector) Over Events driver against a pure-Python event loop on
+this host.
+"""
+
+import pytest
+
+from repro.bench import format_table, paper_workload, print_header
+from repro.core import Scheme, Simulation, csp_problem
+from repro.core.config import Layout
+from repro.machine import BROADWELL, KNL
+from repro.parallel.affinity import Affinity
+from repro.perfmodel import CPUOptions, predict_cpu
+from repro.perfmodel.cpu_model import oe_vector_speedups
+
+KERNELS = ("distance", "collision", "facet", "census")
+
+
+@pytest.fixture(scope="module")
+def speedups():
+    return {"broadwell": oe_vector_speedups(BROADWELL), "knl": oe_vector_speedups(KNL)}
+
+
+def test_fig08_table(benchmark, speedups):
+    benchmark.pedantic(lambda: oe_vector_speedups(KNL), rounds=1, iterations=1)
+    print_header("Fig 8 — OE per-kernel vectorisation speedup (vs scalar)")
+    rows = [
+        [machine] + [s[k] for k in KERNELS]
+        for machine, s in speedups.items()
+    ]
+    print(format_table(["machine"] + list(KERNELS), rows))
+
+
+def test_fig08_cpu_only_facet_and_arithmetic_gain(speedups):
+    """Broadwell: gather-laden collision kernel gains nothing."""
+    s = speedups["broadwell"]
+    assert s["collision"] == 1.0
+    assert s["facet"] > 1.0
+    assert s["distance"] > 1.0
+
+
+def test_fig08_knl_gains_everywhere(speedups):
+    """KNL: AVX-512 with hardware gathers lifts every kernel."""
+    s = speedups["knl"]
+    for k in KERNELS:
+        assert s[k] > 1.5, k
+
+
+def test_fig08_knl_beats_cpu_per_kernel(speedups):
+    for k in KERNELS:
+        assert speedups["knl"][k] >= speedups["broadwell"][k], k
+
+
+def test_fig08_whole_app_effect():
+    """Vectorisation moves the OE app noticeably on KNL, barely on BDW."""
+    w = paper_workload("scatter")  # compute-heavy: vector-sensitive
+    def t(spec, fast, vec, aff):
+        return predict_cpu(
+            w,
+            spec,
+            CPUOptions(
+                nthreads=256 if spec is KNL else 88,
+                scheme=Scheme.OVER_EVENTS,
+                layout=Layout.SOA,
+                vectorized=vec,
+                use_fast_memory=fast,
+                affinity=aff,
+            ),
+        ).seconds
+
+    knl_gain = t(KNL, True, False, Affinity.SCATTER) / t(KNL, True, True, Affinity.SCATTER)
+    bdw_gain = t(BROADWELL, False, False, Affinity.COMPACT) / t(
+        BROADWELL, False, True, Affinity.COMPACT
+    )
+    assert knl_gain > bdw_gain
+    assert knl_gain > 1.3
+
+
+def test_fig08_real_vector_code_beats_scalar_loop(benchmark):
+    """Ground truth on this host: the numpy OE kernels (the 'vectorised'
+    implementation) complete the same physics far faster than the scalar
+    history loop — the Over Events scheme really does expose data
+    parallelism."""
+    cfg = csp_problem(nx=64, nparticles=120)
+    sim = Simulation(cfg)
+    oe = benchmark(lambda: sim.run(Scheme.OVER_EVENTS))
+    op = sim.run(Scheme.OVER_PARTICLES)
+    assert oe.wallclock_s < op.wallclock_s
+    assert oe.counters.total_events == op.counters.total_events
+
+
+if __name__ == "__main__":
+    print("broadwell:", oe_vector_speedups(BROADWELL))
+    print("knl:", oe_vector_speedups(KNL))

@@ -1,0 +1,68 @@
+"""Fig 9 — dual-socket Broadwell: Over Particles vs Over Events, 3 problems.
+
+"The results ... unequivocally demonstrate that the performance of the
+Over Particles approach is optimal in all cases on the CPU" — with the
+largest gap on csp (4.56×, quoted in §VII-C's comparison).
+"""
+
+import pytest
+
+from repro.bench import format_table, print_header, standard_cpu_time
+from repro.core import Scheme
+
+PROBLEMS = ("stream", "scatter", "csp")
+
+
+def _runtimes():
+    out = {}
+    for problem in PROBLEMS:
+        out[problem] = {
+            "op": standard_cpu_time(problem, "broadwell", Scheme.OVER_PARTICLES),
+            "oe": standard_cpu_time(problem, "broadwell", Scheme.OVER_EVENTS),
+        }
+    return out
+
+
+@pytest.fixture(scope="module")
+def runtimes():
+    return _runtimes()
+
+
+def test_fig09_table(benchmark, runtimes):
+    benchmark.pedantic(
+        lambda: standard_cpu_time("csp", "broadwell"), rounds=1, iterations=1
+    )
+    print_header("Fig 9 — Broadwell 2S (88 threads) runtimes, seconds")
+    rows = [
+        [p, r["op"].seconds, r["oe"].seconds, r["oe"].seconds / r["op"].seconds]
+        for p, r in runtimes.items()
+    ]
+    print(format_table(["problem", "OverParticles", "OverEvents", "OE/OP"], rows))
+
+
+def test_fig09_over_particles_wins_all_cases(runtimes):
+    for p, r in runtimes.items():
+        assert r["oe"].seconds > r["op"].seconds, p
+
+
+def test_fig09_csp_gap_matches_paper(runtimes):
+    """Paper: 4.56× on csp."""
+    ratio = runtimes["csp"]["oe"].seconds / runtimes["csp"]["op"].seconds
+    assert 2.5 < ratio < 7.0
+
+
+def test_fig09_schemes_exceed_2x_overall(runtimes):
+    """Conclusion §XI: 'more than 2x faster ... for our test cases'."""
+    for p, r in runtimes.items():
+        assert r["oe"].seconds / r["op"].seconds > 2.0, p
+
+
+def test_fig09_op_is_latency_bound(runtimes):
+    """§VI/§XI: the algorithm is memory-latency bound on the CPU."""
+    assert runtimes["csp"]["op"].bound in ("latency", "bandwidth")
+    assert runtimes["csp"]["op"].utilization < 0.3  # cores mostly stalled
+
+
+if __name__ == "__main__":
+    for p, r in _runtimes().items():
+        print(p, round(r["op"].seconds, 1), round(r["oe"].seconds, 1))

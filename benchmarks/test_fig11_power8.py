@@ -1,0 +1,77 @@
+"""Fig 11 — POWER8, 160 threads (SMT8): Over Particles vs Over Events.
+
+"As with the Intel Xeon, and Intel Xeon Phi, the results of the Over
+Particles approach are significantly faster than for the Over Events
+approach.  The difference is slightly less on the POWER8 than the Intel
+Xeon Broadwell, which observe a 3.75x and 4.56x respective improvement ...
+As the performance of the POWER8 is worse than the Intel Xeon for both
+schemes, there may be an underlying conflict with the architecture."
+"""
+
+import pytest
+
+from repro.bench import format_table, print_header, standard_cpu_time
+from repro.core import Scheme
+
+PROBLEMS = ("stream", "scatter", "csp")
+
+
+def _runtimes():
+    out = {}
+    for machine in ("power8", "broadwell"):
+        for problem in PROBLEMS:
+            for scheme, tag in (
+                (Scheme.OVER_PARTICLES, "op"),
+                (Scheme.OVER_EVENTS, "oe"),
+            ):
+                out[(machine, problem, tag)] = standard_cpu_time(
+                    problem, machine, scheme
+                ).seconds
+    return out
+
+
+@pytest.fixture(scope="module")
+def times():
+    return _runtimes()
+
+
+def test_fig11_table(benchmark, times):
+    benchmark.pedantic(
+        lambda: standard_cpu_time("csp", "power8"), rounds=1, iterations=1
+    )
+    print_header("Fig 11 — POWER8 (160 threads) runtimes, seconds")
+    rows = [
+        [p, times[("power8", p, "op")], times[("power8", p, "oe")],
+         times[("power8", p, "oe")] / times[("power8", p, "op")]]
+        for p in PROBLEMS
+    ]
+    print(format_table(["problem", "OverParticles", "OverEvents", "OE/OP"], rows))
+
+
+def test_fig11_op_wins_on_power8(times):
+    for p in PROBLEMS:
+        assert times[("power8", p, "oe")] > times[("power8", p, "op")], p
+
+
+def test_fig11_csp_gap_near_375(times):
+    """Paper: 3.75× on csp."""
+    ratio = times[("power8", "csp", "oe")] / times[("power8", "csp", "op")]
+    assert 2.0 < ratio < 6.0
+
+
+def test_fig11_gap_smaller_than_broadwell(times):
+    """Paper: POWER8's OE/OP gap (3.75×) < Broadwell's (4.56×)."""
+    p8 = times[("power8", "csp", "oe")] / times[("power8", "csp", "op")]
+    bdw = times[("broadwell", "csp", "oe")] / times[("broadwell", "csp", "op")]
+    assert p8 < bdw
+
+
+def test_fig11_power8_slower_than_broadwell_both_schemes(times):
+    """Paper: POWER8 worse than the Xeon for both schemes (csp)."""
+    assert times[("power8", "csp", "op")] > times[("broadwell", "csp", "op")]
+    assert times[("power8", "csp", "oe")] > times[("broadwell", "csp", "oe")] * 0.5
+
+
+if __name__ == "__main__":
+    for k, v in sorted(_runtimes().items()):
+        print(k, round(v, 1))

@@ -1,0 +1,91 @@
+"""Fig 13 — NVIDIA P100: schemes, generational gain, register/occupancy study.
+
+§VII-E's findings:
+
+* Over Particles 3.64× faster than Over Events on csp;
+* Over Particles improved 4.5× over the K20X generation;
+* sm_60 compiles the megakernel to 79 registers (occupancy 0.38); capping
+  to 64 lifts occupancy to 0.49 **but makes wall-clock 1.07× worse** —
+  Pascal doesn't need the occupancy and pays for the spills;
+* ~125 GB/s achieved (25%); 87% of kernel time waiting on memory.
+"""
+
+import pytest
+
+from repro.bench import format_table, print_header, standard_gpu_time
+from repro.core import Scheme
+
+PROBLEMS = ("stream", "scatter", "csp")
+
+
+def _predictions():
+    out = {}
+    for problem in PROBLEMS:
+        out[(problem, "op")] = standard_gpu_time(problem, "p100", Scheme.OVER_PARTICLES)
+        out[(problem, "oe")] = standard_gpu_time(problem, "p100", Scheme.OVER_EVENTS)
+    out[("csp", "op-reg64")] = standard_gpu_time(
+        "csp", "p100", Scheme.OVER_PARTICLES, max_registers=64
+    )
+    out[("csp", "op-k20x")] = standard_gpu_time("csp", "k20x", Scheme.OVER_PARTICLES)
+    return out
+
+
+@pytest.fixture(scope="module")
+def preds():
+    return _predictions()
+
+
+def test_fig13_table(benchmark, preds):
+    benchmark.pedantic(
+        lambda: standard_gpu_time("csp", "p100"), rounds=1, iterations=1
+    )
+    print_header("Fig 13 — P100 runtimes, occupancy and bandwidth")
+    rows = [
+        [p, s, pred.seconds, pred.occupancy, pred.achieved_bandwidth_gbs]
+        for (p, s), pred in sorted(preds.items())
+    ]
+    print(format_table(["problem", "scheme", "seconds", "occupancy", "GB/s"], rows))
+
+
+def test_fig13_op_beats_oe(preds):
+    """Paper: 3.64× on csp."""
+    ratio = preds[("csp", "oe")].seconds / preds[("csp", "op")].seconds
+    assert 2.0 < ratio < 5.5
+
+
+def test_fig13_generational_gain_over_k20x(preds):
+    """Paper: 'the P100 has increased performance by 4.5x'."""
+    ratio = preds[("csp", "op-k20x")].seconds / preds[("csp", "op")].seconds
+    assert 3.0 < ratio < 6.0
+
+
+def test_fig13_natural_registers_and_occupancy(preds):
+    """79 registers → occupancy ≈ 0.38-0.39."""
+    p = preds[("csp", "op")]
+    assert p.registers_per_thread == 79
+    assert 0.35 < p.occupancy < 0.42
+
+
+def test_fig13_register_cap_hurts_pascal(preds):
+    """Occupancy 0.38 → 0.49 yet wall-clock ~1.07× worse."""
+    base = preds[("csp", "op")]
+    capped = preds[("csp", "op-reg64")]
+    assert capped.occupancy == pytest.approx(0.50, abs=0.02)
+    assert 1.0 <= capped.seconds / base.seconds < 1.25
+
+
+def test_fig13_achieved_bandwidth_near_125(preds):
+    """Paper: 125 GB/s ≈ 25% of achievable."""
+    bw = preds[("csp", "op")].achieved_bandwidth_gbs
+    assert 95 < bw < 160
+
+
+def test_fig13_memory_bound(preds):
+    """The profiler blamed memory dependencies for 87% of kernel time."""
+    assert preds[("csp", "op")].bound in ("latency", "bandwidth")
+
+
+if __name__ == "__main__":
+    for k, pred in sorted(_predictions().items()):
+        print(k, round(pred.seconds, 1), round(pred.occupancy, 2),
+              round(pred.achieved_bandwidth_gbs, 1))

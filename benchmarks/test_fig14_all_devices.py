@@ -1,0 +1,99 @@
+"""Fig 14 — all five devices, Over Particles scheme, all three problems.
+
+The paper's final cross-architecture comparison:
+
+* the P100 is the fastest device everywhere — 3.2× over the dual-socket
+  Broadwell on csp;
+* the Broadwell is the fastest CPU (1.34× over POWER8 on csp);
+* the KNL disappoints, beaten by the other architectures in almost all
+  cases;
+* the K20X is the *slowest* device for csp, by a small margin.
+"""
+
+import pytest
+
+from repro.bench import (
+    format_table,
+    print_header,
+    standard_cpu_time,
+    standard_gpu_time,
+)
+PROBLEMS = ("stream", "scatter", "csp")
+CPUS_ = ("broadwell", "knl", "power8")
+GPUS_ = ("k20x", "p100")
+
+
+def _runtimes():
+    out = {}
+    for problem in PROBLEMS:
+        for m in CPUS_:
+            out[(problem, m)] = standard_cpu_time(problem, m).seconds
+        for m in GPUS_:
+            out[(problem, m)] = standard_gpu_time(problem, m).seconds
+    return out
+
+
+@pytest.fixture(scope="module")
+def times():
+    return _runtimes()
+
+
+def test_fig14_table(benchmark, times):
+    benchmark.pedantic(
+        lambda: standard_gpu_time("csp", "p100"), rounds=1, iterations=1
+    )
+    print_header("Fig 14 — Over Particles runtimes on all devices, seconds")
+    rows = []
+    for p in PROBLEMS:
+        rows.append([p] + [times[(p, m)] for m in CPUS_ + GPUS_])
+    print(format_table(["problem"] + list(CPUS_ + GPUS_), rows))
+
+
+def test_fig14_p100_fastest_everywhere(times):
+    for p in PROBLEMS:
+        others = [times[(p, m)] for m in CPUS_ + ("k20x",)]
+        assert times[(p, "p100")] <= min(others), p
+
+
+def test_fig14_p100_vs_broadwell_csp(times):
+    """Paper: 3.2× over the dual-socket Broadwell."""
+    ratio = times[("csp", "broadwell")] / times[("csp", "p100")]
+    assert 1.8 < ratio < 4.5
+
+
+def test_fig14_broadwell_fastest_cpu_csp(times):
+    """Paper: Broadwell 1.34× faster than the POWER8; KNL disappointing."""
+    bdw = times[("csp", "broadwell")]
+    assert bdw < times[("csp", "power8")]
+    assert bdw < times[("csp", "knl")]
+    assert 1.1 < times[("csp", "power8")] / bdw < 2.0
+
+
+def test_fig14_knl_power8_similar_csp(times):
+    """Paper: 'The POWER8 achieves similar performance to the KNL on the
+    csp problem'."""
+    ratio = times[("csp", "knl")] / times[("csp", "power8")]
+    assert 0.6 < ratio < 1.4
+
+
+def test_fig14_k20x_slowest_for_csp(times):
+    """Paper: the K20X was 'actually the slowest by a small margin' on csp."""
+    k20x = times[("csp", "k20x")]
+    for m in CPUS_:
+        assert k20x > times[("csp", m)] * 0.95, m
+    # ...but by a margin, not an order of magnitude
+    assert k20x < 3.0 * max(times[("csp", m)] for m in CPUS_)
+
+
+def test_fig14_k20x_competitive_elsewhere(times):
+    """§VIII: 'modern HPC CPUs were quite close in performance to the
+    K20X'."""
+    for p in PROBLEMS:
+        cpu_best = min(times[(p, m)] for m in CPUS_)
+        assert times[(p, "k20x")] < 5.0 * cpu_best, p
+
+
+if __name__ == "__main__":
+    t = _runtimes()
+    for p in PROBLEMS:
+        print(p, {m: round(t[(p, m)], 2) for m in CPUS_ + GPUS_})

@@ -1,0 +1,92 @@
+"""§VI-H and §VIII-A in-text numbers — GPU registers and atomics.
+
+* §VI-H: restricting the Over Particles kernel from 102 to 64 registers
+  raised K20X occupancy enough for a 1.6× csp speedup;
+* §VII-E: the same cap on the P100 lifted occupancy 0.38 → 0.49 but made
+  wall-clock 1.07× *worse*;
+* §VIII-A: the P100's hardware double-precision atomicAdd is worth 1.20×
+  end-to-end versus the K20X-style CAS emulation.
+"""
+
+import pytest
+
+from repro.bench import format_table, print_header, standard_gpu_time
+from repro.machine import K20X, P100
+
+
+@pytest.fixture(scope="module")
+def preds():
+    return {
+        "k20x": standard_gpu_time("csp", "k20x"),
+        "k20x-reg64": standard_gpu_time("csp", "k20x", max_registers=64),
+        "p100": standard_gpu_time("csp", "p100"),
+        "p100-reg64": standard_gpu_time("csp", "p100", max_registers=64),
+        "p100-emulated": standard_gpu_time(
+            "csp", "p100", force_emulated_atomics=True
+        ),
+    }
+
+
+def test_text_gpu_table(benchmark, preds):
+    benchmark.pedantic(
+        lambda: standard_gpu_time("csp", "k20x", max_registers=64),
+        rounds=1,
+        iterations=1,
+    )
+    print_header("§VI-H / §VIII-A — GPU register caps and atomics (csp)")
+    rows = [
+        [name, p.seconds, p.registers_per_thread, p.occupancy,
+         p.active_warps_per_sm]
+        for name, p in preds.items()
+    ]
+    print(format_table(["config", "seconds", "regs", "occupancy", "warps/SM"], rows))
+    print(
+        format_table(
+            ["effect", "model", "paper"],
+            [
+                ["K20X reg cap speedup", preds["k20x"].seconds / preds["k20x-reg64"].seconds, 1.6],
+                ["P100 reg cap slowdown", preds["p100-reg64"].seconds / preds["p100"].seconds, 1.07],
+                ["P100 native atomicAdd gain", preds["p100-emulated"].seconds / preds["p100"].seconds, 1.20],
+            ],
+        )
+    )
+
+
+def test_text_k20x_register_cap_speedup(preds):
+    """Paper: 'achieving a speedup of 1.6x for the csp problem'."""
+    ratio = preds["k20x"].seconds / preds["k20x-reg64"].seconds
+    assert 1.3 < ratio < 1.9
+
+
+def test_text_k20x_occupancy_mechanism(preds):
+    """102 regs → 20 warps (0.31); 64 regs → 32 warps (0.50)."""
+    assert preds["k20x"].active_warps_per_sm == 20
+    assert preds["k20x-reg64"].active_warps_per_sm == 32
+
+
+def test_text_p100_register_cap_backfires(preds):
+    """Occupancy rises 0.39 → 0.50 yet time gets slightly worse (1.07×)."""
+    assert preds["p100-reg64"].occupancy > preds["p100"].occupancy
+    slowdown = preds["p100-reg64"].seconds / preds["p100"].seconds
+    assert 1.0 <= slowdown < 1.25
+
+
+def test_text_p100_native_atomics_gain(preds):
+    """Paper: 'the improvement ... provided by this intrinsic was 1.20x'."""
+    gain = preds["p100-emulated"].seconds / preds["p100"].seconds
+    assert 1.1 < gain < 1.35
+
+
+def test_text_hardware_flags():
+    assert not K20X.native_double_atomics
+    assert P100.native_double_atomics
+
+
+if __name__ == "__main__":
+    for name, p in [
+        ("k20x", standard_gpu_time("csp", "k20x")),
+        ("k20x-reg64", standard_gpu_time("csp", "k20x", max_registers=64)),
+        ("p100", standard_gpu_time("csp", "p100")),
+        ("p100-reg64", standard_gpu_time("csp", "p100", max_registers=64)),
+    ]:
+        print(name, round(p.seconds, 1), p.occupancy)

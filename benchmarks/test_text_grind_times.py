@@ -1,0 +1,90 @@
+"""§VI-A in-text numbers — event grind times and the tally's runtime share.
+
+The paper measured, on the Broadwell node:
+
+* facet events grind at ~3 ns (from the stream problem) and collisions at
+  ~18 ns (from the scatter problem) — node-level wall-clock per event;
+* sample profiling attributed ~50% of the Over Particles runtime to
+  tallying, but only ~22% of the Over Events runtime;
+* census events are too rare to matter.
+
+Our facet grind and both tally shares land on the paper's numbers; the
+collision grind comes out cheaper than 18 ns because our scatter problem
+keeps its cross-section tables cache-resident (EXPERIMENTS.md discusses
+the deviation).
+"""
+
+import pytest
+
+from repro.bench import format_table, paper_workload, print_header, standard_cpu_time
+from repro.core import Scheme
+
+
+@pytest.fixture(scope="module")
+def grind():
+    stream = standard_cpu_time("stream", "broadwell")
+    scatter = standard_cpu_time("scatter", "broadwell")
+    return {
+        "facet_ns": stream.grind_times_ns["facet"],
+        "collision_ns": scatter.grind_times_ns["collision"],
+    }
+
+
+@pytest.fixture(scope="module")
+def tally_shares():
+    return {
+        "op": standard_cpu_time("csp", "broadwell").tally_fraction,
+        "oe": standard_cpu_time("csp", "broadwell", Scheme.OVER_EVENTS).tally_fraction,
+    }
+
+
+def test_text_grind_table(benchmark, grind, tally_shares):
+    benchmark.pedantic(
+        lambda: standard_cpu_time("stream", "broadwell"), rounds=1, iterations=1
+    )
+    print_header("§VI-A — grind times and tally share (Broadwell)")
+    print(
+        format_table(
+            ["quantity", "model", "paper"],
+            [
+                ["facet grind (ns)", grind["facet_ns"], 3.0],
+                ["collision grind (ns)", grind["collision_ns"], 18.0],
+                ["tally share, OverParticles", tally_shares["op"], 0.50],
+                ["tally share, OverEvents", tally_shares["oe"], 0.22],
+            ],
+        )
+    )
+
+
+def test_text_facet_grind_near_3ns(grind):
+    assert 1.5 < grind["facet_ns"] < 6.0
+
+
+def test_text_collision_grind_positive_and_small(grind):
+    """Reported; the paper's 18 ns is not reached (see EXPERIMENTS.md)."""
+    assert 0.3 < grind["collision_ns"] < 30.0
+
+
+def test_text_tally_share_op_near_half(tally_shares):
+    """Paper: tallying ≈50% of the Over Particles runtime."""
+    assert 0.40 < tally_shares["op"] < 0.62
+
+
+def test_text_tally_share_oe_near_quarter(tally_shares):
+    """Paper: only ≈22% under Over Events."""
+    assert 0.10 < tally_shares["oe"] < 0.35
+    assert tally_shares["oe"] < tally_shares["op"]
+
+
+def test_text_census_negligible():
+    """'We essentially ignore the census event' — it is one event per
+    history against thousands."""
+    w = paper_workload("csp")
+    assert w.census_pp <= 1.0
+    assert w.census_pp / (w.facets_pp + w.collisions_pp) < 1e-3
+
+
+if __name__ == "__main__":
+    s = standard_cpu_time("stream", "broadwell")
+    c = standard_cpu_time("scatter", "broadwell")
+    print("facet", s.grind_times_ns["facet"], "collision", c.grind_times_ns["collision"])

@@ -1,0 +1,93 @@
+"""§IV-B in-text numbers — what the three test problems actually do.
+
+* stream: "Around 7000 facets are encountered per simulated particle" at
+  the 4000² mesh, and "a particle may travel multiple times across the
+  whole width of the mesh";
+* scatter: "Many of the particles will not leave the cell that they were
+  born in, rather they will deposit energy until their energy falls below
+  the fixed value of interest";
+* the facet count per particle scales linearly with mesh resolution — the
+  law that lets reduced-scale measurements stand in for paper scale.
+"""
+
+import pytest
+
+from repro.bench import (
+    format_table,
+    measured_workload,
+    paper_workload,
+    print_header,
+)
+from repro.core import PROBLEM_FACTORIES, Scheme, Simulation
+
+
+def test_text_characterisation_table(benchmark):
+    w = benchmark.pedantic(
+        lambda: {p: paper_workload(p) for p in PROBLEM_FACTORIES},
+        rounds=1,
+        iterations=1,
+    )
+    print_header("§IV-B — per-particle event statistics at paper scale (4000²)")
+    rows = [
+        [name, wl.facets_pp, wl.collisions_pp, wl.reflections_pp]
+        for name, wl in w.items()
+    ]
+    print(format_table(["problem", "facets/particle", "collisions/particle",
+                        "reflections/particle"], rows))
+
+
+def test_text_stream_7000_facets():
+    """Paper: ≈7000 facets per particle."""
+    w = paper_workload("stream")
+    assert 6200 < w.facets_pp < 7800
+
+
+def test_text_stream_crosses_mesh_repeatedly():
+    """A 1 MeV neutron flies 1.38 m per 1e-7 s step across a 1 m mesh with
+    reflective walls — more than one full width, so reflections occur."""
+    w = paper_workload("stream")
+    assert w.reflections_pp > 0.5
+    # total crossings exceed one mesh width of cells
+    assert w.facets_pp > w.mesh_nx
+
+
+def test_text_facet_scaling_linear():
+    """facets/particle ∝ nx, validated over a 4× resolution range."""
+    counts = {}
+    for nx in (48, 96, 192):
+        cfg = PROBLEM_FACTORIES["stream"](nx=nx, nparticles=25)
+        r = Simulation(cfg).run(Scheme.OVER_EVENTS)
+        counts[nx] = r.counters.mean_facets_per_particle()
+    assert counts[96] / counts[48] == pytest.approx(2.0, rel=0.06)
+    assert counts[192] / counts[96] == pytest.approx(2.0, rel=0.06)
+
+
+def test_text_scatter_confined_to_birth_cells():
+    """Scatter histories barely move: at the measurement resolution almost
+    no particle leaves its birth cell (mfp ≪ cell size)."""
+    w = measured_workload("scatter")
+    assert w.facets_pp < 0.5
+    assert w.collisions_pp > 10
+
+
+def test_text_scatter_deposits_until_energy_cutoff():
+    cfg = PROBLEM_FACTORIES["scatter"](nx=96, nparticles=40, ntimesteps=4)
+    r = Simulation(cfg).run(Scheme.OVER_EVENTS)
+    # after a few timesteps nearly every history has terminated at the
+    # energy of interest, having deposited its energy
+    assert r.counters.terminations > 0.9 * 40
+    assert r.tally.total() > 0.95 * cfg.total_source_energy_ev()
+
+
+def test_text_csp_between_the_extremes():
+    w = paper_workload("csp")
+    ws = paper_workload("stream")
+    wc = paper_workload("scatter")
+    assert wc.collisions_pp > w.collisions_pp > ws.collisions_pp
+    assert ws.facets_pp > w.facets_pp > wc.facets_pp
+
+
+if __name__ == "__main__":
+    for p in PROBLEM_FACTORIES:
+        w = paper_workload(p)
+        print(p, round(w.facets_pp, 1), round(w.collisions_pp, 1))

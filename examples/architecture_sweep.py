@@ -1,0 +1,64 @@
+"""Cross-architecture performance sweep (the Fig 14 pipeline, end to end).
+
+    python examples/architecture_sweep.py
+
+1. Runs the real transport at reduced scale and characterises the
+   workload (events, memory touches, work distribution).
+2. Rescales to the paper's problem sizes using the validated scaling laws.
+3. Prices the run on every device model — Broadwell, KNL, POWER8, K20X,
+   P100 — with the paper's baseline configuration for each.
+"""
+
+from repro.bench import (
+    DEVICE_BASELINES,
+    paper_workload,
+    standard_cpu_time,
+    standard_gpu_time,
+)
+from repro.core import Scheme
+from repro.machine import CPUS, GPUS
+
+PROBLEMS = ("stream", "scatter", "csp")
+
+
+def main() -> None:
+    print("workload characterisation at paper scale (4000² mesh):")
+    for problem in PROBLEMS:
+        w = paper_workload(problem)
+        print(f"  {problem:8s}: {w.facets_pp:8.1f} facets/particle, "
+              f"{w.collisions_pp:6.1f} collisions/particle, "
+              f"{w.nparticles:.0e} particles")
+
+    header = f"{'problem':8s}" + "".join(f"{m:>12s}" for m in list(CPUS) + list(GPUS))
+    print("\npredicted Over Particles runtimes (seconds):")
+    print(header)
+    for problem in PROBLEMS:
+        cells = [
+            f"{standard_cpu_time(problem, m).seconds:12.1f}" for m in CPUS
+        ] + [
+            f"{standard_gpu_time(problem, m).seconds:12.1f}" for m in GPUS
+        ]
+        print(f"{problem:8s}" + "".join(cells))
+
+    print("\npredicted Over Events runtimes (seconds):")
+    print(header)
+    for problem in PROBLEMS:
+        cells = [
+            f"{standard_cpu_time(problem, m, Scheme.OVER_EVENTS).seconds:12.1f}"
+            for m in CPUS
+        ] + [
+            f"{standard_gpu_time(problem, m, Scheme.OVER_EVENTS).seconds:12.1f}"
+            for m in GPUS
+        ]
+        print(f"{problem:8s}" + "".join(cells))
+
+    csp_p100 = standard_gpu_time("csp", "p100").seconds
+    csp_bdw = standard_cpu_time("csp", "broadwell").seconds
+    print(f"\nP100 advantage over dual-socket Broadwell on csp: "
+          f"{csp_bdw / csp_p100:.1f}x  (paper: 3.2x)")
+    print("device baselines:", {m: (n, a.value, fast)
+                                for m, (n, a, fast) in DEVICE_BASELINES.items()})
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+"""Radiation dose mapping with statistical quality control.
+
+    python examples/dose_mapping.py
+
+The paper motivates neutral-particle transport with medical physics: "for
+medical sciences the algorithms can be used to determine radiation
+dosages" (§III-A).  This example computes a dose (energy-deposition) map
+around a shielded source with *independent-batch statistics* — the
+standard way a production Monte Carlo code reports how trustworthy each
+cell of the map is — and renders both the dose and its relative error as
+ASCII heatmaps.  It then shows importance splitting cutting the error in
+the shielded region at the same particle budget.
+"""
+
+import numpy as np
+
+from repro.analysis import batch_statistics, render_heatmap
+from repro.core.config import SimulationConfig
+from repro.mesh.boundary import BoundaryCondition
+from repro.particles.source import SourceRegion
+
+
+def dose_problem(importance: bool, nx: int = 48) -> SimulationConfig:
+    """A source next to a shield wall, with tissue-like medium beyond."""
+    density = np.full((nx, nx), 0.1)  # thin tissue-like background
+    density[:, 20:26] = 4.0  # shield wall (~3 mean free paths thick)
+    imap = None
+    if importance:
+        imap = np.ones((nx, nx))
+        for j, col in enumerate(range(20, nx)):
+            imap[:, col] = 2.0 ** min(j // 2, 6)
+    return SimulationConfig(
+        name="dose",
+        nx=nx, ny=nx, width=1.0, height=1.0,
+        density=density,
+        importance_map=imap,
+        source=SourceRegion(x0=0.1, x1=0.2, y0=0.4, y1=0.6, energy_ev=1.0e6),
+        nparticles=400,
+        dt=1.0e-7,
+        ntimesteps=3,
+        seed=21,
+        xs_nentries=2500,
+        boundary=BoundaryCondition.VACUUM,
+    )
+
+
+def main() -> None:
+    stats = batch_statistics(dose_problem(importance=False), nbatches=4)
+    print(render_heatmap(stats.mean, width=48, height=20,
+                         title="dose map (log scale)"))
+    print()
+    print(render_heatmap(stats.relative_error(), width=48, height=20,
+                         log=False, title="relative standard error"))
+
+    # Statistical quality behind the shield, analog vs importance-split:
+    # batch the *region total* (cell errors are correlated, so the region's
+    # error must come from per-batch region sums, not summed cell errors).
+    from repro.core import Scheme, Simulation
+
+    behind = slice(30, 48)
+    for label, importance in (("analog", False), ("importance-split", True)):
+        totals = []
+        for b in range(6):
+            cfg = dose_problem(importance).with_(seed=500 + 97 * b)
+            r = Simulation(cfg).run(Scheme.OVER_EVENTS)
+            totals.append(r.tally.deposition[:, behind].sum())
+        totals = np.array(totals)
+        err = totals.std(ddof=1) / (totals.mean() * np.sqrt(len(totals)))
+        print(f"{label:18s}: dose behind shield = {totals.mean():.3e} eV "
+              f"(rel. err of mean ≈ {err:.1%})")
+
+    print("\nThe importance map multiplies the histories that make it past")
+    print("the wall, buying a better-converged dose estimate exactly where")
+    print("the analog run is starved of samples.")
+
+
+if __name__ == "__main__":
+    main()

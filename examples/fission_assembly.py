@@ -1,0 +1,61 @@
+"""Multiplying media: a moderated fissile assembly (the §IX extension).
+
+    python examples/fission_assembly.py
+
+Builds a two-material problem — a fissile block inside a light moderator —
+and sweeps the fuel density to show subcritical multiplication: each source
+neutron induces a growing (but finite) number of fission secondaries as the
+block gets denser.  Every energy path is ledgered exactly, so the balance
+check holds even with particles being created mid-flight.
+"""
+
+import numpy as np
+
+from repro.core import Scheme, Simulation
+from repro.core.config import SimulationConfig
+from repro.core.validation import energy_balance_error
+from repro.particles.source import SourceRegion
+from repro.xs.materials import fissile_fuel, hydrogenous_moderator
+
+
+def assembly(fuel_density: float, nparticles: int = 150) -> SimulationConfig:
+    nx = 64
+    density = np.full((nx, nx), 1.0e-30)
+    density[24:40, 24:40] = fuel_density
+    material_map = np.zeros((nx, nx), dtype=np.int64)
+    material_map[24:40, 24:40] = 1
+    return SimulationConfig(
+        name=f"assembly-{fuel_density:g}",
+        nx=nx, ny=nx, width=1.0, height=1.0,
+        density=density,
+        material_map=material_map,
+        materials=(hydrogenous_moderator(2500), fissile_fuel(2500)),
+        source=SourceRegion(x0=0.05, x1=0.15, y0=0.45, y1=0.55, energy_ev=1.0e6),
+        nparticles=nparticles,
+        dt=1.0e-7,
+        ntimesteps=4,
+        seed=17,
+        xs_nentries=2500,
+    )
+
+
+def main() -> None:
+    print(f"{'fuel density':>12} {'fissions':>9} {'secondaries':>12} "
+          f"{'multiplication':>15} {'balance err':>12}")
+    for rho in (50.0, 200.0, 400.0, 800.0):
+        config = assembly(rho)
+        result = Simulation(config).run(Scheme.OVER_EVENTS)
+        c = result.counters
+        err = energy_balance_error(result)
+        assert err < 1e-10, "the extended energy ledger must balance"
+        m = c.secondaries_banked / config.nparticles
+        print(f"{rho:>12.0f} {c.fissions:>9d} {c.secondaries_banked:>12d} "
+              f"{m:>15.2f} {err:>12.2e}")
+
+    print("\nDenser fuel → more collisions in the block → more fission")
+    print("secondaries per source neutron, while the assembly stays")
+    print("subcritical (the bank always drains).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+"""Shielding study: how much of a source's energy penetrates a dense wall?
+
+    python examples/reactor_shielding.py
+
+Particle transport is "essential for shielding and criticality
+calculations" (paper §III-A).  This example builds a custom problem with
+the public API — a mono-energetic source on the left, a dense shield wall
+in the middle, a void detector region on the right — and sweeps the wall
+thickness to produce an attenuation table.
+"""
+
+import numpy as np
+
+from repro.core import Scheme, Simulation
+from repro.core.config import SimulationConfig
+from repro.core.validation import energy_balance_error
+from repro.particles.source import SourceRegion
+
+
+def shielding_config(wall_cells: int, nx: int = 96, nparticles: int = 300) -> SimulationConfig:
+    """A 1 m box: source at the left edge, a shield wall starting at x=0.45."""
+    density = np.full((nx, nx), 1.0e-30)  # void background
+    wall_start = int(0.45 * nx)
+    # ~10 kg/m³ puts the mean free path near two cells, so the sweep
+    # spans optically thin to optically thick walls.
+    density[:, wall_start: wall_start + wall_cells] = 10.0
+    return SimulationConfig(
+        name=f"shield-{wall_cells}",
+        nx=nx,
+        ny=nx,
+        width=1.0,
+        height=1.0,
+        density=density,
+        source=SourceRegion(x0=0.02, x1=0.08, y0=0.4, y1=0.6, energy_ev=1.0e6),
+        nparticles=nparticles,
+        dt=1.0e-7,
+        ntimesteps=3,  # let histories finish inside the wall
+        seed=11,
+    )
+
+
+def main() -> None:
+    print(f"{'wall cells':>10} {'wall (cm)':>10} {'absorbed %':>11} "
+          f"{'behind-wall flux %':>19}")
+    for wall_cells in (1, 2, 4, 8, 16):
+        config = shielding_config(wall_cells)
+        result = Simulation(config).run(Scheme.OVER_EVENTS)
+        assert energy_balance_error(result) < 1e-9
+
+        dep = result.tally.deposition
+        injected = config.total_source_energy_ev()
+        absorbed = dep.sum() / injected
+
+        # "Flux" proxy: energy still in flight in the region behind the wall.
+        store = result.store
+        wall_end = (int(0.45 * config.nx) + wall_cells) / config.nx
+        behind = store.alive & (store.x > wall_end)
+        flux = float((store.weight[behind] * store.energy[behind]).sum()) / injected
+
+        width_cm = wall_cells / config.nx * 100.0
+        print(f"{wall_cells:>10} {width_cm:>10.1f} {100 * absorbed:>11.1f} "
+              f"{100 * flux:>19.2f}")
+
+    print("\nThicker walls absorb more and let exponentially less energy "
+          "reach the far side — the attenuation a shielding code exists "
+          "to compute.")
+
+
+if __name__ == "__main__":
+    main()

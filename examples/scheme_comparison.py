@@ -1,0 +1,48 @@
+"""Over Particles vs Over Events, on identical inputs.
+
+    python examples/scheme_comparison.py
+
+Demonstrates the property that makes the paper's comparison meaningful:
+the two parallelisation schemes traverse the same histories through the
+same physics with the same counter-based random numbers, so their results
+agree to the last bit — only the execution structure differs.
+"""
+
+import numpy as np
+
+from repro.core import Scheme, Simulation, csp_problem
+
+
+def main() -> None:
+    sim = Simulation(csp_problem(nx=96, nparticles=300))
+    op = sim.run(Scheme.OVER_PARTICLES)
+    oe = sim.run(Scheme.OVER_EVENTS)
+
+    print("event counts:")
+    for field in ("collisions", "facets", "census_events", "terminations"):
+        a, b = getattr(op.counters, field), getattr(oe.counters, field)
+        print(f"  {field:14s}: OP={a:8d}  OE={b:8d}  equal={a == b}")
+
+    same_tally = np.allclose(
+        op.tally.deposition, oe.tally.deposition, rtol=1e-12, atol=1e-30
+    )
+    print(f"tallies agree to accumulation-order rounding: {same_tally}")
+
+    exact = sum(
+        1
+        for p, i in zip(op.particles, range(len(oe.store)))
+        if p.x == oe.store.x[i]
+        and p.energy == oe.store.energy[i]
+        and p.rng_counter == int(oe.store.rng_counter[i])
+    )
+    print(f"bit-identical final particle states: {exact}/{len(op.particles)}")
+
+    print(f"\nhost wall-clock: OP={op.wallclock_s:.2f}s (scalar Python loop), "
+          f"OE={oe.wallclock_s:.2f}s (numpy kernels)")
+    print("On this Python host the vectorised Over Events driver wins; on the")
+    print("paper's hardware the ranking reverses — run the benchmarks/ suite")
+    print("to see the machine models reproduce that result.")
+
+
+if __name__ == "__main__":
+    main()

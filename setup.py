@@ -1,0 +1,10 @@
+"""Setup shim for offline editable installs (`pip install -e . --no-use-pep517`).
+
+All real metadata lives in pyproject.toml; this file exists because the
+sandboxed environment has no `wheel` package, which PEP 660 editable
+installs require.
+"""
+
+from setuptools import setup
+
+setup()

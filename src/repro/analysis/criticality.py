@@ -1,0 +1,63 @@
+"""Multiplication estimates for multiplying media (fission extension).
+
+For a source-driven (fixed-source) problem the natural multiplication
+measure is the secondary yield: how many fission neutrons one source
+neutron induces, directly and through its whole progeny.  If each neutron
+(source or secondary) induces ``k`` next-generation neutrons on average,
+the total progeny per source neutron is the geometric sum
+``M = k / (1 − k)``, so ``k = M / (1 + M)`` — subcritical systems have
+``k < 1`` and a finite bank, which the transport's draining bank realises
+operationally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["MultiplicationEstimate", "estimate_multiplication"]
+
+
+@dataclass(frozen=True)
+class MultiplicationEstimate:
+    """Multiplication summary of a fixed-source fission run.
+
+    Attributes
+    ----------
+    secondaries_per_source:
+        Total banked secondaries per source particle (all generations) —
+        the measured ``M``.
+    k_effective:
+        The implied per-generation multiplication ``M / (1 + M)``.
+    fissions:
+        Fission (banking) events.
+    """
+
+    secondaries_per_source: float
+    k_effective: float
+    fissions: int
+
+    @property
+    def subcritical(self) -> bool:
+        """True when the implied k is below 1 (always, for a finite run
+        whose bank drained)."""
+        return self.k_effective < 1.0
+
+
+def estimate_multiplication(result) -> MultiplicationEstimate:
+    """Summarise a finished run's fission multiplication.
+
+    Parameters
+    ----------
+    result:
+        A :class:`repro.core.simulation.TransportResult` from a
+        configuration with fissile material.
+    """
+    c = result.counters
+    nsource = result.config.nparticles
+    m = c.secondaries_banked / max(nsource, 1)
+    k = m / (1.0 + m)
+    return MultiplicationEstimate(
+        secondaries_per_source=m,
+        k_effective=k,
+        fissions=c.fissions,
+    )

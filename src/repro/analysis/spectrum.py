@@ -1,0 +1,108 @@
+"""Energy spectra of the in-flight population.
+
+Reactor physics reads neutron populations in *lethargy* ``u = ln(E₀/E)``:
+elastic moderation adds a constant mean lethargy gain ``ξ`` per collision
+(ξ = 1 for hydrogen), so a slowing-down population spreads uniformly in
+lethargy where it would bunch up hopelessly on a linear energy axis.  This
+module bins a run's surviving population in lethargy and extracts the
+standard moderation diagnostics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["LethargySpectrum", "lethargy_spectrum", "mean_lethargy_gain"]
+
+
+@dataclass(frozen=True)
+class LethargySpectrum:
+    """A weighted lethargy histogram of live particles.
+
+    Attributes
+    ----------
+    edges:
+        Lethargy bin edges (``u = ln(E_ref/E)``, increasing = slower).
+    weights:
+        Summed statistical weight per bin.
+    reference_energy_ev:
+        The ``E_ref`` the lethargies are measured against.
+    """
+
+    edges: np.ndarray
+    weights: np.ndarray
+    reference_energy_ev: float
+
+    @property
+    def total_weight(self) -> float:
+        return float(self.weights.sum())
+
+    def mean_lethargy(self) -> float:
+        """Weight-averaged lethargy of the population."""
+        if self.total_weight == 0:
+            return 0.0
+        centres = 0.5 * (self.edges[:-1] + self.edges[1:])
+        return float((centres * self.weights).sum() / self.total_weight)
+
+    def mean_energy_ev(self) -> float:
+        """Energy corresponding to the mean lethargy."""
+        return float(self.reference_energy_ev * np.exp(-self.mean_lethargy()))
+
+
+def lethargy_spectrum(
+    result,
+    nbins: int = 40,
+    reference_energy_ev: float | None = None,
+    max_lethargy: float = 25.0,
+) -> LethargySpectrum:
+    """Bin a run's live population in lethargy.
+
+    Parameters
+    ----------
+    result:
+        A :class:`repro.core.simulation.TransportResult` from either
+        scheme.
+    nbins:
+        Histogram bins over ``[0, max_lethargy]``.
+    reference_energy_ev:
+        ``E_ref``; defaults to the run's source energy.
+    """
+    if nbins < 1:
+        raise ValueError("need at least one bin")
+    e_ref = (
+        result.config.source.energy_ev
+        if reference_energy_ev is None
+        else reference_energy_ev
+    )
+    if result.store is not None:
+        alive = result.store.alive
+        energies = result.store.energy[alive]
+        weights = result.store.weight[alive]
+    else:
+        energies = np.array([p.energy for p in result.particles if p.alive])
+        weights = np.array([p.weight for p in result.particles if p.alive])
+
+    edges = np.linspace(0.0, max_lethargy, nbins + 1)
+    if energies.size == 0:
+        return LethargySpectrum(edges, np.zeros(nbins), e_ref)
+    u = np.log(e_ref / np.maximum(energies, 1e-300))
+    u = np.clip(u, 0.0, max_lethargy)
+    hist, _ = np.histogram(u, bins=edges, weights=weights)
+    return LethargySpectrum(edges, hist, e_ref)
+
+
+def mean_lethargy_gain(a_ratio: float) -> float:
+    """The textbook mean lethargy gain per elastic collision, ξ.
+
+    ``ξ = 1 + α·ln(α)/(1−α)`` with ``α = ((A−1)/(A+1))²``; ξ = 1 exactly
+    for hydrogen (A=1) and ≈ 2/(A+2/3) for heavy nuclides — the constant
+    that makes lethargy the natural moderation variable.
+    """
+    if a_ratio <= 0:
+        raise ValueError("mass ratio must be positive")
+    if a_ratio == 1.0:
+        return 1.0
+    alpha = ((a_ratio - 1.0) / (a_ratio + 1.0)) ** 2
+    return float(1.0 + alpha * np.log(alpha) / (1.0 - alpha))

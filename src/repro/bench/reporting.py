@@ -1,0 +1,53 @@
+"""Plain-text rendering of figure rows/series.
+
+Every bench prints the same rows/series the paper's figure reports, with a
+"paper" column alongside the model's value where the paper states a number
+(EXPERIMENTS.md aggregates these).  Run a bench directly
+(``python benchmarks/test_fig09_broadwell.py``) to see its table without
+pytest's capture.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["print_header", "format_table", "format_series"]
+
+
+def print_header(title: str) -> None:
+    """Banner for one figure's output."""
+    line = "=" * max(len(title), 20)
+    print(f"\n{line}\n{title}\n{line}")
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    float_fmt: str = "{:.2f}",
+) -> str:
+    """Fixed-width table; floats formatted, everything else ``str()``-ed."""
+    str_rows = []
+    for row in rows:
+        str_rows.append(
+            [
+                float_fmt.format(v) if isinstance(v, float) else str(v)
+                for v in row
+            ]
+        )
+    widths = [
+        max(len(h), *(len(r[i]) for r in str_rows)) if str_rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    out = ["  ".join(h.ljust(w) for h, w in zip(headers, widths))]
+    out.append("  ".join("-" * w for w in widths))
+    for r in str_rows:
+        out.append("  ".join(c.rjust(w) for c, w in zip(r, widths)))
+    return "\n".join(out)
+
+
+def format_series(name: str, xs: Sequence[object], ys: Sequence[float]) -> str:
+    """One labelled series, x→y pairs on one line each."""
+    lines = [f"series: {name}"]
+    for x, y in zip(xs, ys):
+        lines.append(f"  {x}: {y:.3f}")
+    return "\n".join(lines)

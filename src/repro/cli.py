@@ -1,0 +1,295 @@
+"""Command-line interface.
+
+    python -m repro run --problem csp --nx 128 --particles 500
+    python -m repro predict --problem csp --machine p100
+    python -m repro characterise --problem stream
+    python -m repro figures
+
+``run`` executes the real transport on this host; ``predict`` prices a
+paper-scale run on one of the five modelled devices; ``characterise``
+prints the scale-free workload statistics; ``figures`` prints the
+cross-architecture summary tables (the Fig 9/10/11/14 pipeline).  The
+full figure suite with assertions lives in ``benchmarks/``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core import PROBLEM_FACTORIES, Scheme, Simulation
+from repro.core.validation import energy_balance_error, population_accounted
+from repro.machine import ALL_MACHINES, CPUS, GPUS
+from repro.mesh.boundary import BoundaryCondition
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Exploring On-Node Parallelism with Neutral' "
+            "(Martineau & McIntosh-Smith, CLUSTER 2017)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run the transport on this host")
+    run.add_argument("--problem", choices=sorted(PROBLEM_FACTORIES), default="csp")
+    run.add_argument("--nx", type=int, default=128, help="mesh cells per axis")
+    run.add_argument("--particles", type=int, default=500)
+    run.add_argument(
+        "--scheme",
+        choices=[s.value for s in Scheme],
+        default=Scheme.OVER_PARTICLES.value,
+    )
+    run.add_argument("--timesteps", type=int, default=1)
+    run.add_argument("--seed", type=int, default=7)
+    run.add_argument(
+        "--boundary",
+        choices=[b.value for b in BoundaryCondition],
+        default=BoundaryCondition.REFLECTIVE.value,
+    )
+    run.add_argument("--russian-roulette", action="store_true")
+    run.add_argument(
+        "--show-tally",
+        action="store_true",
+        help="render the deposition field as an ASCII heatmap (Fig 2)",
+    )
+
+    run3d = sub.add_parser("run3d", help="run the 3-D extension on this host")
+    run3d.add_argument(
+        "--problem", choices=["stream3", "scatter3", "csp3"], default="csp3"
+    )
+    run3d.add_argument("--n", type=int, default=24, help="mesh cells per axis")
+    run3d.add_argument("--particles", type=int, default=100)
+    run3d.add_argument(
+        "--scheme",
+        choices=[s.value for s in Scheme],
+        default=Scheme.OVER_PARTICLES.value,
+    )
+    run3d.add_argument("--seed", type=int, default=7)
+
+    predict = sub.add_parser(
+        "predict", help="price a paper-scale run on a modelled device"
+    )
+    predict.add_argument("--problem", choices=sorted(PROBLEM_FACTORIES), default="csp")
+    predict.add_argument("--machine", choices=sorted(ALL_MACHINES), default="broadwell")
+    predict.add_argument(
+        "--scheme",
+        choices=[s.value for s in Scheme],
+        default=Scheme.OVER_PARTICLES.value,
+    )
+
+    char = sub.add_parser(
+        "characterise", help="print the workload statistics at paper scale"
+    )
+    char.add_argument("--problem", choices=sorted(PROBLEM_FACTORIES), default="csp")
+
+    figures = sub.add_parser(
+        "figures", help="print the cross-architecture tables"
+    )
+    figures.add_argument(
+        "--output",
+        default=None,
+        help="also write the tables (plus workload characterisation) to "
+        "this markdown file",
+    )
+    return parser
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    cfg = PROBLEM_FACTORIES[args.problem](
+        nx=args.nx,
+        nparticles=args.particles,
+        ntimesteps=args.timesteps,
+        seed=args.seed,
+        boundary=BoundaryCondition(args.boundary),
+        use_russian_roulette=args.russian_roulette,
+    )
+    result = Simulation(cfg).run(Scheme(args.scheme))
+    c = result.counters
+    print(f"problem={cfg.name} mesh={cfg.nx}x{cfg.ny} particles={cfg.nparticles} "
+          f"scheme={args.scheme}")
+    print(f"events: collisions={c.collisions} facets={c.facets} "
+          f"census={c.census_events} terminations={c.terminations} "
+          f"escapes={c.escapes}")
+    print(f"per-particle: collisions={c.mean_collisions_per_particle():.2f} "
+          f"facets={c.mean_facets_per_particle():.2f}")
+    print(f"deposition total: {result.tally.total():.4e} eV")
+    print(f"energy balance error: {energy_balance_error(result):.2e}")
+    print(f"population accounted: {population_accounted(result)}")
+    print(f"host wall-clock: {result.wallclock_s:.3f} s")
+    if args.show_tally:
+        from repro.analysis.viz import render_heatmap
+
+        print(render_heatmap(
+            result.tally.deposition, title="energy deposition (log scale)"
+        ))
+    return 0
+
+
+def _cmd_run3d(args: argparse.Namespace) -> int:
+    from repro.volume import (
+        csp3_problem,
+        energy_balance_error_3d,
+        population_accounted_3d,
+        run_over_events_3d,
+        run_over_particles_3d,
+        scatter3_problem,
+        stream3_problem,
+    )
+
+    factory = {
+        "stream3": stream3_problem,
+        "scatter3": scatter3_problem,
+        "csp3": csp3_problem,
+    }[args.problem]
+    cfg = factory(n=args.n, nparticles=args.particles, seed=args.seed)
+    driver = (
+        run_over_particles_3d
+        if Scheme(args.scheme) is Scheme.OVER_PARTICLES
+        else run_over_events_3d
+    )
+    result = driver(cfg)
+    c = result.counters
+    print(f"problem={cfg.name} mesh={cfg.nx}³ particles={cfg.nparticles} "
+          f"scheme={args.scheme}")
+    print(f"events: collisions={c.collisions} facets={c.facets} "
+          f"census={c.census_events}")
+    print(f"energy balance error: {energy_balance_error_3d(result):.2e}")
+    print(f"population accounted: {population_accounted_3d(result)}")
+    print(f"host wall-clock: {result.wallclock_s:.3f} s")
+    return 0
+
+
+def _cmd_predict(args: argparse.Namespace) -> int:
+    from repro.bench import standard_cpu_time, standard_gpu_time
+
+    scheme = Scheme(args.scheme)
+    if args.machine in CPUS:
+        p = standard_cpu_time(args.problem, args.machine, scheme)
+        print(f"{args.machine} / {args.problem} / {args.scheme}")
+        print(f"predicted runtime: {p.seconds:.2f} s  (bound: {p.bound})")
+        print(f"achieved bandwidth: {p.achieved_bandwidth_gbs:.1f} GB/s")
+        print(f"tally share: {p.tally_fraction:.0%}")
+        print(f"core utilisation: {p.utilization:.0%}")
+    else:
+        p = standard_gpu_time(args.problem, args.machine, scheme)
+        print(f"{args.machine} / {args.problem} / {args.scheme}")
+        print(f"predicted runtime: {p.seconds:.2f} s  (bound: {p.bound})")
+        print(f"achieved bandwidth: {p.achieved_bandwidth_gbs:.1f} GB/s")
+        print(f"occupancy: {p.occupancy:.2f} "
+              f"({p.active_warps_per_sm} warps/SM, "
+              f"{p.registers_per_thread} registers)")
+    return 0
+
+
+def _cmd_characterise(args: argparse.Namespace) -> int:
+    from repro.bench import PAPER_SCALE, paper_workload
+
+    w = paper_workload(args.problem)
+    nparticles, nx = PAPER_SCALE[args.problem]
+    print(f"{args.problem} at paper scale ({nx}² mesh, {nparticles:.0e} particles):")
+    print(f"  facets/particle:     {w.facets_pp:.1f}")
+    print(f"  collisions/particle: {w.collisions_pp:.2f}")
+    print(f"  reflections/particle:{w.reflections_pp:.2f}")
+    print(f"  tally flushes/part.: {w.flushes_pp:.1f}")
+    print(f"  xs lookups/particle: {w.lookups_pp:.2f}")
+    print(f"  event mix (coll/facet/census): "
+          f"{w.event_mix[0]:.4f}/{w.event_mix[1]:.4f}/{w.event_mix[2]:.4f}")
+    print(f"  work imbalance (cv): {w.work_cv:.2f}")
+    print(f"  tally conflict probability: {w.conflict_probability:.2e}")
+    return 0
+
+
+def _figures_text() -> str:
+    from repro.bench import (
+        PAPER_SCALE,
+        format_table,
+        paper_workload,
+        standard_cpu_time,
+        standard_gpu_time,
+    )
+
+    problems = ("stream", "scatter", "csp")
+    sections = []
+
+    lines = ["## Workload characterisation at paper scale (4000²)", ""]
+    rows = []
+    for p in problems:
+        w = paper_workload(p)
+        rows.append([p, f"{PAPER_SCALE[p][0]:.0e}", w.facets_pp, w.collisions_pp])
+    lines.append(format_table(
+        ["problem", "particles", "facets/particle", "collisions/particle"], rows
+    ))
+    sections.append("\n".join(lines))
+
+    lines = ["## Over Particles runtimes, seconds (Fig 14 pipeline)", ""]
+    rows = []
+    for p in problems:
+        rows.append(
+            [p]
+            + [standard_cpu_time(p, m).seconds for m in CPUS]
+            + [standard_gpu_time(p, m).seconds for m in GPUS]
+        )
+    lines.append(format_table(["problem"] + list(CPUS) + list(GPUS), rows))
+    sections.append("\n".join(lines))
+
+    lines = ["## Over Events / Over Particles slowdown (Figs 9-13)", ""]
+    rows = []
+    for p in problems:
+        row = [p]
+        for m in CPUS:
+            row.append(
+                standard_cpu_time(p, m, Scheme.OVER_EVENTS).seconds
+                / standard_cpu_time(p, m).seconds
+            )
+        for m in GPUS:
+            row.append(
+                standard_gpu_time(p, m, Scheme.OVER_EVENTS).seconds
+                / standard_gpu_time(p, m).seconds
+            )
+        rows.append(row)
+    lines.append(format_table(["problem"] + list(CPUS) + list(GPUS), rows))
+    sections.append("\n".join(lines))
+
+    return "\n\n".join(sections) + "\n"
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    text = _figures_text()
+    print(text)
+    output = getattr(args, "output", None)
+    if output:
+        from pathlib import Path
+
+        path = Path(output)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        header = (
+            "# Cross-architecture summary (model output)\n\n"
+            "Generated by `python -m repro figures --output ...`; the full "
+            "per-figure suite with assertions lives in `benchmarks/`.\n\n"
+        )
+        path.write_text(header + text)
+        print(f"written: {path}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "run": _cmd_run,
+        "run3d": _cmd_run3d,
+        "predict": _cmd_predict,
+        "characterise": _cmd_characterise,
+        "figures": _cmd_figures,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

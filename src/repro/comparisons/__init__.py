@@ -1,0 +1,38 @@
+"""Comparator mini-apps from the arch suite.
+
+The paper contrasts ``neutral``'s scaling behaviour against two other arch
+mini-apps (Fig 3, Fig 6):
+
+* **flow** — "a highly optimised hydrodynamics application": implemented
+  here as a real 2-D finite-volume Euler solver
+  (:mod:`repro.comparisons.flow`);
+* **hot** — "a conjugate gradient based heat conduction linear solver":
+  implemented as a matrix-free CG solve of the implicit heat equation
+  (:mod:`repro.comparisons.hot`).
+
+Both are classic *memory-bandwidth-bound* stencil codes — the foil to
+neutral's latency-bound profile.  :mod:`repro.comparisons.characterisation`
+derives their per-cell byte/flop intensities and evaluates the
+bandwidth-saturation scaling model that produces their Fig 3 efficiency
+curves and Fig 6 hyperthreading behaviour (no HT gain; ~1.2× penalty when
+oversubscribed).
+"""
+
+from repro.comparisons.flow import FlowSolver, sod_initial_state
+from repro.comparisons.hot import HotSolver
+from repro.comparisons.characterisation import (
+    StencilCharacterisation,
+    FLOW_CHARACTERISATION,
+    HOT_CHARACTERISATION,
+    predict_stencil_runtime,
+)
+
+__all__ = [
+    "FlowSolver",
+    "sod_initial_state",
+    "HotSolver",
+    "StencilCharacterisation",
+    "FLOW_CHARACTERISATION",
+    "HOT_CHARACTERISATION",
+    "predict_stencil_runtime",
+]

@@ -1,0 +1,136 @@
+"""Roofline characterisation of the stencil comparators.
+
+``flow`` and ``hot`` are bandwidth-bound: their runtime on a CPU node is
+``max(flop time, bytes / delivered bandwidth)``, and delivered bandwidth
+saturates once a handful of cores per socket are streaming.  That single
+mechanism produces both comparator behaviours the paper reports:
+
+* Fig 3 — parallel efficiency that falls as each socket's bandwidth
+  saturates, recovers when the second socket's controllers come in, and is
+  near-perfect on POWER8 ("there are many memory controllers ... many
+  threads are required to saturate the memory bandwidth");
+* Fig 6 — no benefit from hyperthreading (extra threads on a saturated
+  core add no bandwidth) and a ≈1.2× penalty for oversubscription (context
+  switching on a fully busy core).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.machine.spec import CPUSpec
+from repro.parallel.affinity import Affinity, place_threads
+from repro.perfmodel.costs import DEFAULT_CONSTANTS, ModelConstants
+
+__all__ = [
+    "StencilCharacterisation",
+    "FLOW_CHARACTERISATION",
+    "HOT_CHARACTERISATION",
+    "PER_CORE_STREAM_GBS",
+    "predict_stencil_runtime",
+]
+
+#: Streaming bandwidth one core can draw, GB/s (published single-core
+#: STREAM results).  POWER8's per-core draw is modest relative to its many
+#: Centaur channels, which is exactly why it needs many threads to
+#: saturate (§VI-B).
+PER_CORE_STREAM_GBS = {
+    "broadwell": 12.0,
+    "knights landing": 5.5,
+    "power8": 11.0,
+}
+
+
+@dataclass(frozen=True)
+class StencilCharacterisation:
+    """Per-cell-per-iteration intensity of a stencil code.
+
+    Attributes
+    ----------
+    name:
+        Mini-app name.
+    bytes_per_cell:
+        Main-memory traffic per cell per sweep (reads + writes of the
+        field arrays; stencil neighbours come from cache).
+    flops_per_cell:
+        Floating-point operations per cell per sweep.
+    """
+
+    name: str
+    bytes_per_cell: float
+    flops_per_cell: float
+
+
+#: flow: 4 conserved fields read + written (64 B), ghost/flux temporaries
+#: ≈ one extra read-equivalent per field → ~160 B/cell/step; ~90 flops.
+FLOW_CHARACTERISATION = StencilCharacterisation(
+    name="flow", bytes_per_cell=160.0, flops_per_cell=90.0
+)
+
+#: hot: per CG iteration: stencil apply (read x, write Ax), two dots and
+#: two AXPYs over 5 vectors ≈ 112 B/cell; ~20 flops.
+HOT_CHARACTERISATION = StencilCharacterisation(
+    name="hot", bytes_per_cell=112.0, flops_per_cell=20.0
+)
+
+
+def _per_core_stream(spec: CPUSpec, constants: ModelConstants) -> float:
+    key = spec.name.lower()
+    for name, value in PER_CORE_STREAM_GBS.items():
+        if name in key:
+            return value
+    return constants.single_thread_stream_gbs
+
+
+def predict_stencil_runtime(
+    char: StencilCharacterisation,
+    spec: CPUSpec,
+    ncells: int,
+    iterations: int,
+    nthreads: int,
+    affinity: Affinity = Affinity.COMPACT,
+    constants: ModelConstants = DEFAULT_CONSTANTS,
+) -> float:
+    """Predicted seconds for ``iterations`` sweeps over ``ncells`` cells.
+
+    ``max(flops / flop_rate, bytes / BW)`` where the delivered bandwidth is
+    ``min(socket share of achievable, cores_used × per-core draw)`` summed
+    over populated sockets, plus the oversubscription switching penalty
+    (at ~100% issue utilisation the full §VI-E cost applies).
+    """
+    if ncells < 1 or iterations < 1:
+        raise ValueError("work must be positive")
+    placement = place_threads(
+        nthreads, spec.sockets, spec.cores_per_socket, spec.smt_per_core, affinity
+    )
+    per_core_bw = _per_core_stream(spec, constants)
+    socket_bw = spec.dram.bandwidth_gbs / spec.sockets
+
+    bandwidth = 0.0
+    for s in range(spec.sockets):
+        lo = s * spec.cores_per_socket
+        cores_here = int(
+            (placement.per_core[lo: lo + spec.cores_per_socket] > 0).sum()
+        )
+        bandwidth += min(socket_bw, cores_here * per_core_bw)
+    bandwidth = max(bandwidth, per_core_bw)
+
+    bytes_total = char.bytes_per_cell * ncells * iterations
+    flops_total = char.flops_per_cell * ncells * iterations
+    # Vectorised stencil flops at the full SIMD rate.
+    flop_rate = (
+        placement.cores_used
+        * spec.clock_ghz
+        * 1.0e9
+        * spec.issue_width
+        * spec.vector_width_f64
+    )
+
+    seconds = max(bytes_total / (bandwidth * 1.0e9), flops_total / flop_rate)
+
+    if placement.oversubscribed:
+        hw = spec.total_cores * spec.smt_per_core
+        ratio = nthreads / hw
+        # Bandwidth-bound code is ~100% busy: full switching penalty.
+        seconds *= 1.0 + constants.oversubscription_switch_cost * (ratio - 1.0)
+    return seconds

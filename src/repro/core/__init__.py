@@ -1,0 +1,54 @@
+"""The ``neutral`` mini-app core: configuration, the two parallelisation
+schemes, the paper's test problems, and validation.
+
+Public entry points:
+
+* :class:`repro.core.simulation.Simulation` — facade: build from a
+  :class:`repro.core.config.SimulationConfig` (or a problem factory from
+  :mod:`repro.core.problems`) and run either scheme;
+* :func:`repro.core.over_particles.run_over_particles` — depth-first
+  history tracking (paper §V-A, Listing 1);
+* :func:`repro.core.over_events.run_over_events` — breadth-first event
+  passes (paper §V-B, Listing 2);
+* :mod:`repro.core.validation` — conservation checks.
+
+Both schemes consume identical per-particle random streams and produce
+identical physics; the schemes differ only in traversal order — exactly the
+property the paper's performance study relies on.
+"""
+
+from repro.core.config import SimulationConfig, Scheme, Layout, SearchStrategy
+from repro.core.counters import Counters, EventPassStats
+from repro.core.problems import (
+    stream_problem,
+    scatter_problem,
+    csp_problem,
+    PROBLEM_FACTORIES,
+    PAPER_MESH_SIZE,
+    PAPER_TIMESTEP_S,
+)
+from repro.core.simulation import Simulation, TransportResult
+from repro.core.over_particles import run_over_particles
+from repro.core.over_events import run_over_events
+from repro.core.validation import energy_balance_error, population_accounted
+
+__all__ = [
+    "SimulationConfig",
+    "Scheme",
+    "Layout",
+    "SearchStrategy",
+    "Counters",
+    "EventPassStats",
+    "stream_problem",
+    "scatter_problem",
+    "csp_problem",
+    "PROBLEM_FACTORIES",
+    "PAPER_MESH_SIZE",
+    "PAPER_TIMESTEP_S",
+    "Simulation",
+    "TransportResult",
+    "run_over_particles",
+    "run_over_events",
+    "energy_balance_error",
+    "population_accounted",
+]

@@ -1,0 +1,196 @@
+"""Simulation configuration.
+
+A :class:`SimulationConfig` fully determines a transport run: mesh, source,
+material, cutoffs, RNG seed and the algorithmic options the paper studies
+(scheme, data layout, energy-bin search strategy).  Two configs with equal
+fields produce bit-reproducible runs — the property the counter-based RNG
+buys (paper §IV-F).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from enum import Enum
+
+import numpy as np
+
+from repro.mesh.boundary import BoundaryCondition
+from repro.particles.source import SourceRegion
+from repro.physics.variance import DEFAULT_ENERGY_CUTOFF_EV, DEFAULT_WEIGHT_CUTOFF
+
+__all__ = ["Scheme", "Layout", "SearchStrategy", "SimulationConfig"]
+
+
+class Scheme(Enum):
+    """Parallelisation scheme (paper §V)."""
+
+    OVER_PARTICLES = "over_particles"
+    OVER_EVENTS = "over_events"
+
+
+class Layout(Enum):
+    """Particle data layout (paper §VI-D).
+
+    The layout does not change the physics; it changes the memory-access
+    pattern, which the machine model prices.  The Over Events scheme and the
+    GPU ports only support SoA.
+    """
+
+    AOS = "aos"
+    SOA = "soa"
+
+
+class SearchStrategy(Enum):
+    """Energy-bin search for cross-section lookups (paper §VI-A)."""
+
+    BINARY = "binary"
+    CACHED_LINEAR = "cached_linear"
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Full specification of one transport calculation.
+
+    Attributes
+    ----------
+    name:
+        Problem label ("stream", "scatter", "csp", or custom).
+    nx, ny:
+        Mesh cells per axis.
+    width, height:
+        Mesh physical extent [m].
+    density:
+        Cell-centred density field, shape ``(ny, nx)`` [kg/m³].
+    source:
+        The particle source region.
+    nparticles:
+        Histories per timestep.
+    dt:
+        Timestep length [s]; the paper fixes 1e-7 s to control the number of
+        events per timestep.
+    ntimesteps:
+        Number of timesteps to run.
+    seed:
+        Global RNG seed (Threefry key word 0).
+    molar_mass_g_mol:
+        Molar mass of the single homogeneous medium; also sets the elastic
+        scattering mass ratio ``A ≈ M`` (in neutron masses).
+    energy_cutoff_ev, weight_cutoff:
+        Variance-reduction termination thresholds (§IV-E).
+    xs_nentries:
+        Points per cross-section table (§IV-D).
+    search:
+        Energy-bin search strategy (§VI-A).
+    layout:
+        Particle data layout (§VI-D).
+    boundary:
+        Problem-boundary treatment.  The paper's experiments all use
+        reflective boundaries (§IV-C); vacuum (leakage) boundaries are an
+        extension for shielding-style problems.
+    use_russian_roulette:
+        Replace the deterministic weight-cutoff termination with Russian
+        roulette (unbiased stochastic termination) — the standard
+        companion of implicit capture, provided as an extension.
+    materials:
+        Tuple of :class:`repro.xs.materials.Material`.  ``None`` (the
+        paper's setup) means one homogeneous non-multiplying medium built
+        from ``molar_mass_g_mol`` and ``xs_nentries``.
+    material_map:
+        Per-cell material index, shape ``(ny, nx)``; ``None`` means
+        material 0 everywhere.  Multi-material meshes and fission are the
+        paper's §IX future work, implemented here as extensions.
+    importance_map:
+        Optional per-cell importances enabling geometry splitting/roulette
+        at importance-changing facet crossings (§IV-E's variance-reduction
+        family); ``None`` disables the technique.
+    """
+
+    name: str
+    nx: int
+    ny: int
+    width: float
+    height: float
+    density: np.ndarray
+    source: SourceRegion
+    nparticles: int
+    dt: float = 1.0e-7
+    ntimesteps: int = 1
+    seed: int = 7
+    molar_mass_g_mol: float = 1.0
+    energy_cutoff_ev: float = DEFAULT_ENERGY_CUTOFF_EV
+    weight_cutoff: float = DEFAULT_WEIGHT_CUTOFF
+    xs_nentries: int = 25_000
+    search: SearchStrategy = SearchStrategy.CACHED_LINEAR
+    layout: Layout = Layout.AOS
+    boundary: BoundaryCondition = BoundaryCondition.REFLECTIVE
+    use_russian_roulette: bool = False
+    materials: tuple | None = None
+    material_map: np.ndarray | None = None
+    importance_map: np.ndarray | None = None
+
+    def __post_init__(self) -> None:
+        if self.nparticles < 1:
+            raise ValueError("need at least one particle")
+        if self.dt <= 0:
+            raise ValueError("timestep must be positive")
+        if self.ntimesteps < 1:
+            raise ValueError("need at least one timestep")
+        if self.molar_mass_g_mol <= 0:
+            raise ValueError("molar mass must be positive")
+        density = np.asarray(self.density, dtype=np.float64)
+        if density.shape != (self.ny, self.nx):
+            raise ValueError(
+                f"density shape {density.shape} != ({self.ny}, {self.nx})"
+            )
+        object.__setattr__(self, "density", density)
+        if self.material_map is not None:
+            mmap = np.asarray(self.material_map, dtype=np.int64)
+            if mmap.shape != (self.ny, self.nx):
+                raise ValueError(
+                    f"material_map shape {mmap.shape} != ({self.ny}, {self.nx})"
+                )
+            nmat = len(self.materials) if self.materials else 1
+            if mmap.min() < 0 or mmap.max() >= nmat:
+                raise ValueError("material_map indices out of range")
+            object.__setattr__(self, "material_map", mmap)
+        if self.materials is not None and len(self.materials) == 0:
+            raise ValueError("materials, when given, must be non-empty")
+        if self.importance_map is not None:
+            imap = np.asarray(self.importance_map, dtype=np.float64)
+            if imap.shape != (self.ny, self.nx):
+                raise ValueError(
+                    f"importance_map shape {imap.shape} != ({self.ny}, {self.nx})"
+                )
+            if np.any(imap <= 0):
+                raise ValueError("importances must be positive")
+            object.__setattr__(self, "importance_map", imap)
+
+    @property
+    def a_ratio(self) -> float:
+        """Elastic-scattering target mass in neutron masses (A ≈ molar mass)."""
+        return self.molar_mass_g_mol
+
+    def with_(self, **changes) -> "SimulationConfig":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **changes)
+
+    def total_source_energy_ev(self) -> float:
+        """Weighted energy injected per timestep — the conservation budget."""
+        return self.nparticles * self.source.energy_ev * self.source.weight
+
+    def resolved_materials(self) -> tuple:
+        """The material set, defaulting to the paper's single homogeneous
+        non-multiplying medium.  Builds tables; call once per run."""
+        if self.materials is not None:
+            return tuple(self.materials)
+        from repro.xs.materials import hydrogenous_moderator
+
+        return (
+            hydrogenous_moderator(self.xs_nentries, self.molar_mass_g_mol),
+        )
+
+    def resolved_material_map(self) -> np.ndarray:
+        """Per-cell material indices (zeros when not configured)."""
+        if self.material_map is not None:
+            return self.material_map
+        return np.zeros((self.ny, self.nx), dtype=np.int64)

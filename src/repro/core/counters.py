@@ -1,0 +1,186 @@
+"""Instrumentation counters.
+
+Everything the performance model needs to price a run on a machine model is
+collected here while the *real* transport executes: event counts, memory
+touches (density reads, tally flushes), cross-section search work, RNG
+draws, the per-particle work distribution (for load-imbalance and
+scheduling studies), and per-pass occupancy statistics of the Over Events
+scheme (for vectorisation-efficiency and gather-cost modelling).
+
+The counters are *algorithm facts*, independent of the host executing the
+Python: the same run on any machine yields the same counters, which is what
+makes the downstream machine models reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["Counters", "EventPassStats"]
+
+
+@dataclass
+class EventPassStats:
+    """Occupancy of one Over Events pass.
+
+    Attributes
+    ----------
+    n_active:
+        Particles still being advanced when the pass started (the gather
+        loop visits the whole list; this is how many lanes do useful work).
+    n_collision, n_facet, n_census:
+        Particles handled by each event kernel in this pass.
+    """
+
+    n_active: int
+    n_collision: int
+    n_facet: int
+    n_census: int
+
+
+@dataclass
+class Counters:
+    """Aggregate instrumentation for one transport run."""
+
+    nparticles: int = 0
+
+    # --- event counts ---------------------------------------------------
+    collisions: int = 0
+    facets: int = 0
+    census_events: int = 0
+    terminations: int = 0
+    reflections: int = 0
+
+    # --- boundary leakage (vacuum boundaries, extension) ------------------
+    escapes: int = 0
+    escaped_energy: float = 0.0
+
+    # --- Russian roulette ledger (extension) ------------------------------
+    roulette_kills: int = 0
+    roulette_survivals: int = 0
+    roulette_loss_energy: float = 0.0
+    roulette_gain_energy: float = 0.0
+
+    # --- fission (multiplying media, extension) ---------------------------
+    fissions: int = 0
+    secondaries_banked: int = 0
+    fission_injected_energy: float = 0.0
+
+    # --- importance splitting (variance reduction, extension) -------------
+    splits: int = 0
+    clones_banked: int = 0
+
+    # --- memory-touch counts --------------------------------------------
+    tally_flushes: int = 0
+    density_reads: int = 0
+
+    # --- cross-section search work ---------------------------------------
+    xs_lookups: int = 0
+    xs_binary_probes: int = 0
+    xs_linear_probes: int = 0
+
+    # --- RNG -------------------------------------------------------------
+    rng_draws: int = 0
+
+    # --- per-particle work distribution (load imbalance, §VI-C) ----------
+    collisions_per_particle: np.ndarray = field(
+        default_factory=lambda: np.zeros(0, dtype=np.int64)
+    )
+    facets_per_particle: np.ndarray = field(
+        default_factory=lambda: np.zeros(0, dtype=np.int64)
+    )
+
+    # --- Over Events pass structure (§V-B) --------------------------------
+    oe_passes: list[EventPassStats] = field(default_factory=list)
+
+    # --- tally address statistics (atomic contention) ---------------------
+    tally_conflict_probability: float = 0.0
+
+    # ----------------------------------------------------------------------
+    @property
+    def total_events(self) -> int:
+        """Collisions + facets + census events."""
+        return self.collisions + self.facets + self.census_events
+
+    def events_per_particle(self) -> np.ndarray:
+        """Total events per particle — the per-history work distribution."""
+        return self.collisions_per_particle + self.facets_per_particle
+
+    def load_imbalance(self) -> float:
+        """``max / mean`` of per-particle events.
+
+        1.0 means perfectly uniform histories; the csp problem shows the
+        largest value of the three test cases (paper §VI-C).
+        """
+        ev = self.events_per_particle()
+        if ev.size == 0 or ev.mean() == 0:
+            return 1.0
+        return float(ev.max() / ev.mean())
+
+    def mean_facets_per_particle(self) -> float:
+        """Facet events per history (≈7000 in the paper's stream problem)."""
+        if self.nparticles == 0:
+            return 0.0
+        return self.facets / self.nparticles
+
+    def mean_collisions_per_particle(self) -> float:
+        """Collision events per history."""
+        if self.nparticles == 0:
+            return 0.0
+        return self.collisions / self.nparticles
+
+    def oe_mean_occupancy(self) -> float:
+        """Mean fraction of the particle list active per OE pass.
+
+        The OE kernels visit the whole list each pass ("particles are
+        gathered from memory", §V-B); occupancy below 1 is wasted streaming
+        traffic and wasted vector lanes.
+        """
+        if not self.oe_passes:
+            return 1.0
+        total = sum(p.n_active for p in self.oe_passes)
+        return total / (len(self.oe_passes) * max(self.nparticles, 1))
+
+    def merge(self, other: "Counters") -> None:
+        """Accumulate another run's counters (multi-timestep aggregation)."""
+        if self.nparticles == 0:
+            self.nparticles = other.nparticles
+        self.collisions += other.collisions
+        self.facets += other.facets
+        self.census_events += other.census_events
+        self.terminations += other.terminations
+        self.reflections += other.reflections
+        self.escapes += other.escapes
+        self.escaped_energy += other.escaped_energy
+        self.roulette_kills += other.roulette_kills
+        self.roulette_survivals += other.roulette_survivals
+        self.roulette_loss_energy += other.roulette_loss_energy
+        self.roulette_gain_energy += other.roulette_gain_energy
+        self.fissions += other.fissions
+        self.secondaries_banked += other.secondaries_banked
+        self.fission_injected_energy += other.fission_injected_energy
+        self.splits += other.splits
+        self.clones_banked += other.clones_banked
+        self.tally_flushes += other.tally_flushes
+        self.density_reads += other.density_reads
+        self.xs_lookups += other.xs_lookups
+        self.xs_binary_probes += other.xs_binary_probes
+        self.xs_linear_probes += other.xs_linear_probes
+        self.rng_draws += other.rng_draws
+        if self.collisions_per_particle.size == 0:
+            self.collisions_per_particle = other.collisions_per_particle.copy()
+            self.facets_per_particle = other.facets_per_particle.copy()
+        elif other.collisions_per_particle.size == self.collisions_per_particle.size:
+            self.collisions_per_particle = (
+                self.collisions_per_particle + other.collisions_per_particle
+            )
+            self.facets_per_particle = (
+                self.facets_per_particle + other.facets_per_particle
+            )
+        self.oe_passes.extend(other.oe_passes)
+        # Keep the max conflict probability — conservative for contention.
+        self.tally_conflict_probability = max(
+            self.tally_conflict_probability, other.tally_conflict_probability
+        )

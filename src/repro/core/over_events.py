@@ -1,0 +1,607 @@
+"""The Over Events parallelisation scheme (paper §V-B, Listing 2).
+
+Breadth-first traversal: every pass advances *all* in-flight particles by
+exactly one event — distances are computed for the whole population, the
+next event of each particle is determined, and the collision / facet /
+census kernels each process their subset.  The paper's observations map
+directly onto this implementation:
+
+* *tight vectorisable loops* — every kernel here is a numpy array
+  operation over the particle batch;
+* *no register caching* — cached state (microscopic cross sections, cached
+  energy bins, local density, material index) must live in per-particle
+  arrays and is streamed from memory every pass;
+* *gather/scatter* — kernels visit the whole particle list and select
+  their subset by mask; occupancy per pass is recorded in
+  :class:`repro.core.counters.EventPassStats` so the machine model can
+  price the wasted traffic;
+* *batched atomics* — tally flushes happen together in one scatter-add per
+  pass (``np.add.at``), the analogue of the separate tally loop the paper
+  introduced to enable vectorisation (§VI-G).
+
+The driver also supports the §IX extensions (vacuum boundaries, Russian
+roulette, multi-material meshes, fission).  Fission secondaries are
+appended to the store between passes and advance with the population.
+
+The physics — including per-particle RNG streams and the deterministic
+derivation of secondary identities — is identical to the Over Particles
+scheme; the test suite checks final states match bit-for-bit and tallies
+match to accumulation-order rounding.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core.config import Scheme, SimulationConfig
+from repro.core.counters import Counters, EventPassStats
+from repro.mesh.structured import StructuredMesh
+from repro.mesh.tally import EnergyDepositionTally
+from repro.particles.particle import Particle
+from repro.particles.soa import ParticleStore
+from repro.particles.source import sample_source_soa
+from repro.physics.collision import collide_vec
+from repro.physics.constants import speed_from_energy_ev_vec
+from repro.physics.events import (
+    EventKind,
+    distance_to_collision_vec,
+    distance_to_facet_vec,
+    select_event_vec,
+)
+from repro.physics.facet import cross_facet_vec
+from repro.physics.fission import sample_secondary_energy, secondary_id
+from repro.physics.importance import clone_id, split_count_vec
+from repro.rng.distributions import sample_isotropic_direction, sample_mean_free_paths
+from repro.rng.stream import ParticleRNG, VectorParticleRNG
+from repro.xs.lookup import binary_search_bin_vec
+from repro.xs.macroscopic import macroscopic_cross_section
+
+__all__ = ["run_over_events"]
+
+
+class _EventContext:
+    """Run-wide state for the Over Events driver."""
+
+    def __init__(self, config: SimulationConfig, mesh: StructuredMesh,
+                 tally: EnergyDepositionTally, store: ParticleStore):
+        self.config = config
+        self.mesh = mesh
+        self.tally = tally
+        self.store = store
+        self.materials = config.resolved_materials()
+        self.material_map = config.resolved_material_map()
+        self.mat_a = np.array([m.a_ratio for m in self.materials])
+        self.mat_molar = np.array([m.molar_mass_g_mol for m in self.materials])
+        self.mat_nu = np.array([m.nu for m in self.materials])
+        self.mat_fissile = np.array([m.fissile for m in self.materials])
+        self.counters = Counters(nparticles=len(store))
+        n = len(store)
+        self.micro_s = np.zeros(n, dtype=np.float64)
+        self.micro_c = np.zeros(n, dtype=np.float64)
+        self.micro_f = np.zeros(n, dtype=np.float64)
+        self.mat_idx = self.material_map[store.celly, store.cellx]
+        self.coll_pp = np.zeros(n, dtype=np.int64)
+        self.facet_pp = np.zeros(n, dtype=np.int64)
+        self.nbins_log2 = int(np.ceil(np.log2(max(config.xs_nentries, 2))))
+        self.rng = VectorParticleRNG(config.seed, store.particle_id, store.rng_counter)
+        self.pending_children: list[Particle] = []
+
+    # ------------------------------------------------------------------
+    def refresh_micro(self, idx: np.ndarray) -> None:
+        """Re-gather microscopic cross sections for the given particles,
+        grouped by material (the vectorised bisection of §V-B)."""
+        if idx.size == 0:
+            return
+        store = self.store
+        c = self.counters
+        for mi, mat in enumerate(self.materials):
+            sel = idx[self.mat_idx[idx] == mi]
+            if sel.size == 0:
+                continue
+            e = store.energy[sel]
+            sb = binary_search_bin_vec(mat.scatter, e)
+            cb = binary_search_bin_vec(mat.capture, e)
+            self.micro_s[sel] = mat.scatter.interpolate_at_bin_vec(e, sb)
+            self.micro_c[sel] = mat.capture.interpolate_at_bin_vec(e, cb)
+            store.scatter_bin[sel] = sb
+            store.capture_bin[sel] = cb
+            if mat.fissile:
+                fb = binary_search_bin_vec(mat.fission, e)
+                self.micro_f[sel] = mat.fission.interpolate_at_bin_vec(e, fb)
+                store.fission_bin[sel] = fb
+                c.xs_lookups += 3 * sel.size
+                c.xs_binary_probes += 3 * sel.size * self.nbins_log2
+            else:
+                self.micro_f[sel] = 0.0
+                c.xs_lookups += 2 * sel.size
+                c.xs_binary_probes += 2 * sel.size * self.nbins_log2
+
+    def macroscopic(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """(Σ_s, Σ_a, Σ_f) arrays from the cached microscopic values."""
+        molar = self.mat_molar[self.mat_idx]
+        rho = self.store.local_density
+        sigma_s = macroscopic_cross_section(self.micro_s, rho, molar)
+        sigma_f = macroscopic_cross_section(self.micro_f, rho, molar)
+        sigma_a = macroscopic_cross_section(self.micro_c, rho, molar) + sigma_f
+        return sigma_s, sigma_a, sigma_f
+
+    # ------------------------------------------------------------------
+    def bank_secondaries(
+        self,
+        parents: np.ndarray,
+        counts: np.ndarray,
+        counters_at_event: np.ndarray,
+        weights_before: np.ndarray,
+    ) -> None:
+        """Create fission secondaries for the given parent indices.
+
+        Identity and birth draws are derived exactly as in the Over
+        Particles driver, so the two schemes bank bit-identical children.
+        """
+        store = self.store
+        c = self.counters
+        for j, pi in enumerate(parents):
+            n_children = int(counts[j])
+            if n_children <= 0:
+                continue
+            c.fissions += 1
+            for k in range(n_children):
+                cid = secondary_id(
+                    self.config.seed,
+                    int(store.particle_id[pi]),
+                    int(counters_at_event[j]),
+                    k,
+                )
+                rng = ParticleRNG(self.config.seed, cid)
+                u_dir = rng.next_uniform()
+                u_energy = rng.next_uniform()
+                u_mfp = rng.next_uniform()
+                mat = self.materials[int(self.mat_idx[pi])]
+                ox, oy = sample_isotropic_direction(u_dir)
+                child = Particle(
+                    x=float(store.x[pi]),
+                    y=float(store.y[pi]),
+                    omega_x=ox,
+                    omega_y=oy,
+                    energy=sample_secondary_energy(u_energy, mat.fission_energy_ev),
+                    weight=1.0,
+                    cellx=int(store.cellx[pi]),
+                    celly=int(store.celly[pi]),
+                    particle_id=cid,
+                    dt_to_census=float(store.dt_to_census[pi]),
+                    mfp_to_collision=sample_mean_free_paths(u_mfp),
+                    rng_counter=rng.counter,
+                )
+                child.local_density = float(store.local_density[pi])
+                c.fission_injected_energy += child.weight * child.energy
+                c.secondaries_banked += 1
+                c.rng_draws += 3
+                self.pending_children.append(child)
+
+    def absorb_children(self) -> None:
+        """Append banked secondaries to the population between passes."""
+        if not self.pending_children:
+            return
+        chunk = ParticleStore.from_particles(self.pending_children)
+        n_new = len(chunk)
+        self.store.extend(chunk)
+        self.micro_s = np.concatenate([self.micro_s, np.zeros(n_new)])
+        self.micro_c = np.concatenate([self.micro_c, np.zeros(n_new)])
+        self.micro_f = np.concatenate([self.micro_f, np.zeros(n_new)])
+        self.mat_idx = np.concatenate(
+            [self.mat_idx, self.material_map[chunk.celly, chunk.cellx]]
+        )
+        self.coll_pp = np.concatenate(
+            [self.coll_pp, np.zeros(n_new, dtype=np.int64)]
+        )
+        self.facet_pp = np.concatenate(
+            [self.facet_pp, np.zeros(n_new, dtype=np.int64)]
+        )
+        # Extend the RNG with the live counters (the store's counter field
+        # is only synchronised at the end of the run).
+        self.rng = VectorParticleRNG(
+            self.config.seed,
+            np.concatenate([self.rng.particle_ids, chunk.particle_id]),
+            np.concatenate([self.rng.counters, chunk.rng_counter]),
+        )
+        new_idx = np.arange(len(self.store) - n_new, len(self.store))
+        self.refresh_micro(new_idx)
+        self.pending_children = []
+
+
+def run_over_events(
+    config: SimulationConfig,
+    store: ParticleStore | None = None,
+    tally: EnergyDepositionTally | None = None,
+):
+    """Run the full calculation with the Over Events scheme.
+
+    Parameters
+    ----------
+    config:
+        The simulation specification.
+    store:
+        A pre-sampled SoA particle store (for scheme-equivalence tests);
+        sampled from the config's source when omitted.
+    tally:
+        An existing tally to accumulate into; a fresh one when omitted.
+
+    Returns
+    -------
+    TransportResult
+        Tally, counters, the final particle store (including any fission
+        secondaries), and wall-clock time.
+    """
+    from repro.core.simulation import TransportResult
+
+    t0 = time.perf_counter()
+    mesh = StructuredMesh(config.nx, config.ny, config.width, config.height, config.density)
+    if tally is None:
+        tally = EnergyDepositionTally(config.nx, config.ny)
+    materials = config.resolved_materials()
+    if store is None:
+        store = sample_source_soa(
+            mesh, config.source, config.nparticles, config.seed, config.dt,
+            scatter_table=materials[0].scatter,
+            capture_table=materials[0].capture,
+        )
+
+    ctx = _EventContext(config, mesh, tally, store)
+    # Keep the already-built material set (avoids rebuilding the tables).
+    ctx.materials = materials
+    counters = ctx.counters
+    counters.rng_draws += 4 * len(store)
+    vacuum = config.boundary
+    roulette_weight = None  # default 10 × cutoff, see physics.variance
+
+    for step in range(config.ntimesteps):
+        if step > 0:
+            store.dt_to_census[store.alive] = config.dt
+        store.censused[:] = ~store.alive
+
+        # Refresh the cached microscopic cross sections for every live
+        # history (Over Particles does the same at each history start).
+        ctx.refresh_micro(np.nonzero(store.alive)[0])
+
+        # ---- loop until(all_particles_reach_census) ---------------------
+        while True:
+            active = store.active_mask()
+            if not active.any():
+                break
+
+            # foreach(particle): calculate_time_to_events()
+            sigma_s, sigma_a, sigma_f = ctx.macroscopic()
+            sigma_t = sigma_s + sigma_a
+            speed = speed_from_energy_ev_vec(store.energy)
+            d_coll = distance_to_collision_vec(store.mfp_to_collision, sigma_t)
+            x_lo = store.cellx * mesh.dx
+            x_hi = (store.cellx + 1) * mesh.dx
+            y_lo = store.celly * mesh.dy
+            y_hi = (store.celly + 1) * mesh.dy
+            d_facet, axis = distance_to_facet_vec(
+                store.x, store.y, store.omega_x, store.omega_y,
+                x_lo, x_hi, y_lo, y_hi,
+            )
+            d_census = store.dt_to_census * speed
+            event = select_event_vec(d_coll, d_facet, d_census)
+
+            cmask = active & (event == int(EventKind.COLLISION))
+            fmask = active & (event == int(EventKind.FACET))
+            zmask = active & (event == int(EventKind.CENSUS))
+            counters.oe_passes.append(
+                EventPassStats(
+                    n_active=int(active.sum()),
+                    n_collision=int(cmask.sum()),
+                    n_facet=int(fmask.sum()),
+                    n_census=int(zmask.sum()),
+                )
+            )
+
+            # ---- foreach(colliding_particle): handle_collision() --------
+            if cmask.any():
+                c = np.nonzero(cmask)[0]
+                d = d_coll[c]
+                sp = speed[c]
+                store.x[c] = store.x[c] + store.omega_x[c] * d
+                store.y[c] = store.y[c] + store.omega_y[c] * d
+                store.dt_to_census[c] = np.maximum(
+                    0.0, store.dt_to_census[c] - d / sp
+                )
+                weight_before = store.weight[c].copy()
+                counters_at_event = ctx.rng.counters[c].copy()
+                u_angle = ctx.rng.next_uniform(cmask)
+                u_sense = ctx.rng.next_uniform(cmask)
+                u_mfp = ctx.rng.next_uniform(cmask)
+                counters.rng_draws += 3 * c.size
+                a_ratio = ctx.mat_a[ctx.mat_idx[c]]
+                (e_new, w_new, ox_new, oy_new, mfp_new, dep, term, below) = collide_vec(
+                    store.energy[c],
+                    store.weight[c],
+                    store.omega_x[c],
+                    store.omega_y[c],
+                    sigma_a[c],
+                    sigma_t[c],
+                    a_ratio,
+                    u_angle,
+                    u_sense,
+                    u_mfp,
+                    config.energy_cutoff_ev,
+                    config.weight_cutoff,
+                    defer_weight_cutoff=config.use_russian_roulette,
+                )
+                store.energy[c] = e_new
+                store.weight[c] = w_new
+                store.omega_x[c] = ox_new
+                store.omega_y[c] = oy_new
+                store.mfp_to_collision[c] = mfp_new
+                store.deposit_buffer[c] += dep
+                counters.collisions += c.size
+                ctx.coll_pp[c] += 1
+
+                # ---- fission banking (extension) ------------------------
+                fissile_here = ctx.mat_fissile[ctx.mat_idx[c]] & (sigma_t[c] > 0.0)
+                if fissile_here.any():
+                    fis_mask = np.zeros(len(store), dtype=bool)
+                    fis_mask[c[fissile_here]] = True
+                    u_fission = ctx.rng.next_uniform(fis_mask)
+                    counters.rng_draws += int(fissile_here.sum())
+                    sel = c[fissile_here]
+                    expected = (
+                        weight_before[fissile_here]
+                        * ctx.mat_nu[ctx.mat_idx[sel]]
+                        * sigma_f[sel]
+                        / sigma_t[sel]
+                    )
+                    counts = np.floor(expected + u_fission).astype(np.int64)
+                    ctx.bank_secondaries(
+                        sel,
+                        counts,
+                        counters_at_event[fissile_here],
+                        weight_before[fissile_here],
+                    )
+
+                dead = c[term]
+                if dead.size:
+                    tally.flush_vec(
+                        store.cellx[dead], store.celly[dead],
+                        store.deposit_buffer[dead],
+                    )
+                    store.deposit_buffer[dead] = 0.0
+                    store.alive[dead] = False
+                    counters.tally_flushes += dead.size
+                    counters.terminations += dead.size
+
+                # ---- Russian roulette (extension) ------------------------
+                if config.use_russian_roulette and below.any():
+                    r_mask = np.zeros(len(store), dtype=bool)
+                    r_mask[c[below]] = True
+                    u_roulette = ctx.rng.next_uniform(r_mask)
+                    counters.rng_draws += int(below.sum())
+                    sel = c[below]
+                    w = store.weight[sel]
+                    restored = 10.0 * config.weight_cutoff
+                    survive = u_roulette < (w / restored)
+                    killed = sel[~survive]
+                    if killed.size:
+                        counters.roulette_kills += killed.size
+                        counters.roulette_loss_energy += float(
+                            (store.weight[killed] * store.energy[killed]).sum()
+                        )
+                        store.weight[killed] = 0.0
+                        tally.flush_vec(
+                            store.cellx[killed], store.celly[killed],
+                            store.deposit_buffer[killed],
+                        )
+                        store.deposit_buffer[killed] = 0.0
+                        store.alive[killed] = False
+                        counters.tally_flushes += killed.size
+                        counters.terminations += killed.size
+                    survivors = sel[survive]
+                    if survivors.size:
+                        counters.roulette_survivals += survivors.size
+                        counters.roulette_gain_energy += float(
+                            (
+                                (restored - store.weight[survivors])
+                                * store.energy[survivors]
+                            ).sum()
+                        )
+                        store.weight[survivors] = restored
+
+                surv = c[store.alive[c]]
+                if surv.size:
+                    ctx.refresh_micro(surv)
+
+            # ---- foreach(particle_encountering_facet): handle_facet() ---
+            if fmask.any():
+                f = np.nonzero(fmask)[0]
+                old_cx_f = store.cellx[f].copy()
+                old_cy_f = store.celly[f].copy()
+                d = d_facet[f]
+                sp = speed[f]
+                st = sigma_t[f]
+                store.x[f] = store.x[f] + store.omega_x[f] * d
+                store.y[f] = store.y[f] + store.omega_y[f] * d
+                store.dt_to_census[f] = np.maximum(
+                    0.0, store.dt_to_census[f] - d / sp
+                )
+                store.mfp_to_collision[f] = np.maximum(
+                    0.0, store.mfp_to_collision[f] - d * st
+                )
+                ax = axis[f]
+                hit_x = ax == 0
+                fx = f[hit_x]
+                store.x[fx] = np.where(
+                    store.omega_x[fx] > 0.0, x_hi[fx], x_lo[fx]
+                )
+                fy = f[~hit_x]
+                store.y[fy] = np.where(
+                    store.omega_y[fy] > 0.0, y_hi[fy], y_lo[fy]
+                )
+                # Batched tally loop — the separate atomic pass of §VI-G.
+                tally.flush_vec(
+                    store.cellx[f], store.celly[f], store.deposit_buffer[f]
+                )
+                store.deposit_buffer[f] = 0.0
+                counters.tally_flushes += f.size
+                new_cx, new_cy, new_ox, new_oy, reflected, escaped = cross_facet_vec(
+                    store.cellx[f], store.celly[f],
+                    store.omega_x[f], store.omega_y[f], ax, mesh, vacuum,
+                )
+                counters.facets += f.size
+                ctx.facet_pp[f] += 1
+                gone = f[escaped]
+                if gone.size:
+                    counters.escapes += gone.size
+                    counters.escaped_energy += float(
+                        (store.weight[gone] * store.energy[gone]).sum()
+                    )
+                    store.alive[gone] = False
+                stay = ~escaped
+                store.cellx[f[stay]] = new_cx[stay]
+                store.celly[f[stay]] = new_cy[stay]
+                store.omega_x[f[stay]] = new_ox[stay]
+                store.omega_y[f[stay]] = new_oy[stay]
+                crossed = f[stay & ~reflected]
+                store.local_density[crossed] = mesh.density_at_vec(
+                    store.cellx[crossed], store.celly[crossed]
+                )
+                counters.density_reads += crossed.size
+                counters.reflections += int(reflected.sum())
+                # Multi-material extension: particles entering a different
+                # material must refresh their cached microscopic values.
+                if crossed.size:
+                    new_mat = ctx.material_map[
+                        store.celly[crossed], store.cellx[crossed]
+                    ]
+                    changed = crossed[new_mat != ctx.mat_idx[crossed]]
+                    ctx.mat_idx[crossed] = new_mat
+                    if changed.size:
+                        ctx.refresh_micro(changed)
+
+                # ---- importance splitting / roulette (VR extension) ------
+                if config.importance_map is not None and crossed.size:
+                    imap = config.importance_map
+                    cross_in_f = stay & ~reflected
+                    ratios = (
+                        imap[store.celly[crossed], store.cellx[crossed]]
+                        / imap[old_cy_f[cross_in_f], old_cx_f[cross_in_f]]
+                    )
+                    changed_r = ratios != 1.0
+                    sel = crossed[changed_r]
+                    if sel.size:
+                        counters_before = ctx.rng.counters[sel].copy()
+                        imp_mask = np.zeros(len(store), dtype=bool)
+                        imp_mask[sel] = True
+                        u_imp = ctx.rng.next_uniform(imp_mask)
+                        counters.rng_draws += sel.size
+                        r = ratios[changed_r]
+
+                        # splits (entering higher importance)
+                        up = r > 1.0
+                        if up.any():
+                            n_after = split_count_vec(r[up], u_imp[up])
+                            for pi, n, ctr in zip(
+                                sel[up], n_after, counters_before[up]
+                            ):
+                                if n <= 1:
+                                    continue
+                                counters.splits += 1
+                                w_each = float(store.weight[pi]) / int(n)
+                                for k in range(int(n) - 1):
+                                    cid = clone_id(
+                                        config.seed,
+                                        int(store.particle_id[pi]),
+                                        int(ctr),
+                                        k,
+                                    )
+                                    c = Particle(
+                                        x=float(store.x[pi]),
+                                        y=float(store.y[pi]),
+                                        omega_x=float(store.omega_x[pi]),
+                                        omega_y=float(store.omega_y[pi]),
+                                        energy=float(store.energy[pi]),
+                                        weight=w_each,
+                                        cellx=int(store.cellx[pi]),
+                                        celly=int(store.celly[pi]),
+                                        particle_id=cid,
+                                        dt_to_census=float(store.dt_to_census[pi]),
+                                        mfp_to_collision=float(
+                                            store.mfp_to_collision[pi]
+                                        ),
+                                        rng_counter=0,
+                                    )
+                                    c.local_density = float(store.local_density[pi])
+                                    c.scatter_bin = int(store.scatter_bin[pi])
+                                    c.capture_bin = int(store.capture_bin[pi])
+                                    c.fission_bin = int(store.fission_bin[pi])
+                                    counters.clones_banked += 1
+                                    ctx.pending_children.append(c)
+                                store.weight[pi] = w_each
+
+                        # roulette (entering lower importance)
+                        down = ~up
+                        if down.any():
+                            dsel = sel[down]
+                            survive = u_imp[down] < r[down]
+                            surv = dsel[survive]
+                            if surv.size:
+                                counters.roulette_survivals += surv.size
+                                boosted = store.weight[surv] / r[down][survive]
+                                counters.roulette_gain_energy += float(
+                                    (
+                                        (boosted - store.weight[surv])
+                                        * store.energy[surv]
+                                    ).sum()
+                                )
+                                store.weight[surv] = boosted
+                            dead_i = dsel[~survive]
+                            if dead_i.size:
+                                counters.roulette_kills += dead_i.size
+                                counters.roulette_loss_energy += float(
+                                    (
+                                        store.weight[dead_i] * store.energy[dead_i]
+                                    ).sum()
+                                )
+                                store.weight[dead_i] = 0.0
+                                store.alive[dead_i] = False
+                                counters.terminations += dead_i.size
+
+            # ---- handle_census() ----------------------------------------
+            if zmask.any():
+                z = np.nonzero(zmask)[0]
+                d = d_census[z]
+                store.x[z] = store.x[z] + store.omega_x[z] * d
+                store.y[z] = store.y[z] + store.omega_y[z] * d
+                store.mfp_to_collision[z] = np.maximum(
+                    0.0, store.mfp_to_collision[z] - d * sigma_t[z]
+                )
+                store.dt_to_census[z] = 0.0
+                tally.flush_vec(
+                    store.cellx[z], store.celly[z], store.deposit_buffer[z]
+                )
+                store.deposit_buffer[z] = 0.0
+                counters.tally_flushes += z.size
+                store.censused[z] = True
+                counters.census_events += z.size
+
+            # ---- fission secondaries join the population -----------------
+            ctx.absorb_children()
+            store = ctx.store
+
+    store.rng_counter = ctx.rng.counters
+    counters.nparticles = len(store)
+    counters.collisions_per_particle = ctx.coll_pp
+    counters.facets_per_particle = ctx.facet_pp
+    counters.tally_conflict_probability = tally.conflict_probability()
+
+    return TransportResult(
+        config=config,
+        scheme=Scheme.OVER_EVENTS,
+        tally=tally,
+        counters=counters,
+        particles=None,
+        store=store,
+        wallclock_s=time.perf_counter() - t0,
+    )

@@ -1,0 +1,548 @@
+"""The Over Particles parallelisation scheme (paper §V-A, Listing 1).
+
+Depth-first traversal: one worker follows one particle history from birth
+(or census restore) to its next census or termination.  The defining
+performance properties the paper attributes to this scheme are visible in
+the code structure:
+
+* *register caching* — the microscopic cross sections, the macroscopic
+  cross sections, and the particle state live in **local variables** for
+  the whole history; the lookup tables are touched only when the energy
+  changes (i.e. at collisions) or the particle enters a different
+  material;
+* *deep branching* — the event dispatch plus the facet logic nest several
+  levels;
+* *scattered atomics* — tally flushes happen wherever each history happens
+  to be, spread randomly in time and space;
+* *load imbalance* — histories have very different lengths; the per-history
+  work is recorded so the scheduling substrate can replay it under
+  different OpenMP-style schedules.
+
+Beyond the paper's configuration, the driver supports its §IX extensions:
+vacuum boundaries, Russian roulette, multi-material meshes, and fission
+(secondaries are banked during the sweep and their histories processed
+until the bank drains, within the same timestep).
+
+Executed serially here (Python), the traversal order is exactly the order a
+single OpenMP thread would process its chunk; the parallel substrate
+(:mod:`repro.parallel`) partitions the recorded per-history work across
+simulated threads.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core.config import SearchStrategy, Scheme, SimulationConfig
+from repro.core.counters import Counters
+from repro.mesh.structured import StructuredMesh
+from repro.mesh.tally import EnergyDepositionTally
+from repro.particles.particle import Particle
+from repro.particles.source import sample_source_aos
+from repro.physics.collision import collide
+from repro.physics.constants import speed_from_energy_ev
+from repro.physics.events import (
+    EventKind,
+    distance_to_collision,
+    distance_to_facet,
+    select_event,
+)
+from repro.physics.facet import cross_facet
+from repro.physics.fission import (
+    expected_secondaries,
+    realised_secondaries,
+    sample_secondary_energy,
+    secondary_id,
+)
+from repro.physics.importance import clone_id, split_count
+from repro.physics.variance import russian_roulette
+from repro.rng.distributions import sample_isotropic_direction, sample_mean_free_paths
+from repro.rng.stream import ParticleRNG
+from repro.xs.lookup import (
+    LookupStats,
+    binary_search_bin,
+    cached_linear_search_bin,
+)
+from repro.xs.macroscopic import macroscopic_cross_section
+from repro.xs.tables import CrossSectionTable
+
+__all__ = ["run_over_particles"]
+
+
+def _lookup_micro(
+    table: CrossSectionTable,
+    energy: float,
+    cached_bin: int,
+    strategy: SearchStrategy,
+    stats: LookupStats,
+) -> tuple[float, int]:
+    """One microscopic lookup: bin search + linear interpolation."""
+    if strategy is SearchStrategy.CACHED_LINEAR:
+        b = cached_linear_search_bin(table, energy, cached_bin, stats)
+    else:
+        b = binary_search_bin(table, energy, stats)
+    return table.interpolate_at_bin(energy, b), b
+
+
+class _HistoryContext:
+    """Shared run state threaded through every history (one per run)."""
+
+    def __init__(self, config: SimulationConfig, mesh: StructuredMesh,
+                 tally: EnergyDepositionTally):
+        self.config = config
+        self.mesh = mesh
+        self.tally = tally
+        self.materials = config.resolved_materials()
+        self.material_map = config.resolved_material_map()
+        self.importance_map = config.importance_map
+        self.counters = Counters()
+        self.lookup_stats = LookupStats()
+        self.coll_pp: list[int] = []
+        self.facet_pp: list[int] = []
+        self.bank: list[Particle] = []
+        #: Optional event trace: (history_index, EventKind int, flat cell).
+        #: Consumed by :mod:`repro.simexec` for discrete-event replay.
+        self.trace: list[tuple[int, int, int]] | None = None
+
+    def material_at(self, cellx: int, celly: int) -> int:
+        return int(self.material_map[celly, cellx])
+
+
+def _spawn_secondary(
+    ctx: _HistoryContext,
+    parent: Particle,
+    parent_counter: int,
+    child_index: int,
+    dt_remaining: float,
+) -> Particle:
+    """Create one fission secondary at the parent's position.
+
+    The child's identity derives deterministically from the parent's state
+    (id and event counter), so both schemes bank bit-identical children.
+    Birth consumes three draws from the child's own stream: direction,
+    energy, first optical distance.
+    """
+    cid = secondary_id(
+        ctx.config.seed, parent.particle_id, parent_counter, child_index
+    )
+    rng = ParticleRNG(ctx.config.seed, cid)
+    u_dir = rng.next_uniform()
+    u_energy = rng.next_uniform()
+    u_mfp = rng.next_uniform()
+    mat = ctx.materials[ctx.material_at(parent.cellx, parent.celly)]
+    ox, oy = sample_isotropic_direction(u_dir)
+    child = Particle(
+        x=parent.x,
+        y=parent.y,
+        omega_x=ox,
+        omega_y=oy,
+        energy=sample_secondary_energy(u_energy, mat.fission_energy_ev),
+        weight=1.0,
+        cellx=parent.cellx,
+        celly=parent.celly,
+        particle_id=cid,
+        dt_to_census=dt_remaining,
+        mfp_to_collision=sample_mean_free_paths(u_mfp),
+        rng_counter=rng.counter,
+    )
+    child.local_density = parent.local_density
+    # Birth initialisation of the cached bins (like the source sampler's) —
+    # the history's first counted lookup then walks from the right line.
+    child.scatter_bin = binary_search_bin(mat.scatter, child.energy)
+    child.capture_bin = binary_search_bin(mat.capture, child.energy)
+    if mat.fissile:
+        child.fission_bin = binary_search_bin(mat.fission, child.energy)
+    return child
+
+
+def _spawn_clone(
+    ctx: _HistoryContext,
+    parent: Particle,
+    parent_counter: int,
+    clone_index: int,
+    weight: float,
+) -> Particle:
+    """Create one importance-splitting clone of the parent.
+
+    Clones inherit the parent's full flight state (position, direction,
+    energy, remaining optical distance and census time) with the split
+    weight; they diverge from the parent at their next random decision,
+    drawn from their own fresh stream.
+    """
+    cid = clone_id(ctx.config.seed, parent.particle_id, parent_counter, clone_index)
+    c = Particle(
+        x=parent.x,
+        y=parent.y,
+        omega_x=parent.omega_x,
+        omega_y=parent.omega_y,
+        energy=parent.energy,
+        weight=weight,
+        cellx=parent.cellx,
+        celly=parent.celly,
+        particle_id=cid,
+        dt_to_census=parent.dt_to_census,
+        mfp_to_collision=parent.mfp_to_collision,
+        rng_counter=0,
+    )
+    c.local_density = parent.local_density
+    c.scatter_bin = parent.scatter_bin
+    c.capture_bin = parent.capture_bin
+    c.fission_bin = parent.fission_bin
+    return c
+
+
+def _track_history(ctx: _HistoryContext, p: Particle, index: int) -> None:
+    """Advance one history until census or termination (the Listing 1 body)."""
+    config = ctx.config
+    mesh = ctx.mesh
+    tally = ctx.tally
+    counters = ctx.counters
+    rng = ParticleRNG(config.seed, p.particle_id, p.rng_counter)
+
+    # Cache the material and microscopic cross sections in locals
+    # ("registers"): they change only at collisions (energy) and at
+    # material-crossing facets.
+    mat_idx = ctx.material_at(p.cellx, p.celly)
+    mat = ctx.materials[mat_idx]
+
+    def lookup_all() -> tuple[float, float, float]:
+        micro_s, p.scatter_bin = _lookup_micro(
+            mat.scatter, p.energy, p.scatter_bin, config.search, ctx.lookup_stats
+        )
+        micro_c, p.capture_bin = _lookup_micro(
+            mat.capture, p.energy, p.capture_bin, config.search, ctx.lookup_stats
+        )
+        micro_f = 0.0
+        if mat.fissile:
+            micro_f, p.fission_bin = _lookup_micro(
+                mat.fission, p.energy, p.fission_bin, config.search,
+                ctx.lookup_stats,
+            )
+        return micro_s, micro_c, micro_f
+
+    def macro(micro: float) -> float:
+        return float(
+            macroscopic_cross_section(micro, p.local_density, mat.molar_mass_g_mol)
+        )
+
+    micro_s, micro_c, micro_f = lookup_all()
+    sigma_s = macro(micro_s)
+    sigma_f = macro(micro_f)
+    sigma_a = macro(micro_c) + sigma_f
+    sigma_t = sigma_s + sigma_a
+    speed = speed_from_energy_ev(p.energy)
+
+    while True:
+        # --- calculate_time_to_events() --------------------------------
+        d_coll = distance_to_collision(p.mfp_to_collision, sigma_t)
+        x_lo, x_hi, y_lo, y_hi = mesh.cell_bounds(p.cellx, p.celly)
+        d_facet, axis = distance_to_facet(
+            p.x, p.y, p.omega_x, p.omega_y, x_lo, x_hi, y_lo, y_hi
+        )
+        d_census = p.dt_to_census * speed
+        event = select_event(d_coll, d_facet, d_census)
+
+        if event is EventKind.COLLISION:
+            # ---- handle_collision() -----------------------------------
+            p.x = p.x + p.omega_x * d_coll
+            p.y = p.y + p.omega_y * d_coll
+            p.dt_to_census = max(0.0, p.dt_to_census - d_coll / speed)
+            weight_before = p.weight
+            counter_at_event = rng.counter
+            u_angle = rng.next_uniform()
+            u_sense = rng.next_uniform()
+            u_mfp = rng.next_uniform()
+            counters.rng_draws += 3
+            out = collide(
+                p.energy,
+                p.weight,
+                p.omega_x,
+                p.omega_y,
+                sigma_a,
+                sigma_t,
+                mat.a_ratio,
+                u_angle,
+                u_sense,
+                u_mfp,
+                config.energy_cutoff_ev,
+                config.weight_cutoff,
+                defer_weight_cutoff=config.use_russian_roulette,
+            )
+            p.energy = out.energy
+            p.weight = out.weight
+            p.omega_x = out.omega_x
+            p.omega_y = out.omega_y
+            p.mfp_to_collision = out.mfp_to_collision
+            p.deposit_buffer += out.deposit
+            counters.collisions += 1
+            ctx.coll_pp[index] += 1
+            if ctx.trace is not None:
+                ctx.trace.append(
+                    (index, int(EventKind.COLLISION),
+                     p.celly * mesh.nx + p.cellx)
+                )
+
+            # ---- fission banking (multiplying media extension) --------
+            if mat.fissile and sigma_t > 0.0:
+                u_fission = rng.next_uniform()
+                counters.rng_draws += 1
+                expected = expected_secondaries(
+                    weight_before, mat.nu, sigma_f, sigma_t
+                )
+                n_children = realised_secondaries(expected, u_fission)
+                if n_children > 0:
+                    counters.fissions += 1
+                    for k in range(n_children):
+                        child = _spawn_secondary(
+                            ctx, p, counter_at_event, k, p.dt_to_census
+                        )
+                        counters.fission_injected_energy += (
+                            child.weight * child.energy
+                        )
+                        counters.secondaries_banked += 1
+                        counters.rng_draws += 3
+                        ctx.bank.append(child)
+
+            if out.terminated:
+                tally.flush(p.cellx, p.celly, p.deposit_buffer)
+                p.deposit_buffer = 0.0
+                counters.tally_flushes += 1
+                counters.terminations += 1
+                p.alive = False
+                break
+
+            # ---- Russian roulette (extension) --------------------------
+            if out.below_weight_cutoff:
+                u_roulette = rng.next_uniform()
+                counters.rng_draws += 1
+                new_weight, killed = russian_roulette(
+                    p.weight, u_roulette, config.weight_cutoff
+                )
+                if killed:
+                    counters.roulette_kills += 1
+                    counters.roulette_loss_energy += p.weight * p.energy
+                    p.weight = 0.0
+                    tally.flush(p.cellx, p.celly, p.deposit_buffer)
+                    p.deposit_buffer = 0.0
+                    counters.tally_flushes += 1
+                    counters.terminations += 1
+                    p.alive = False
+                    break
+                counters.roulette_survivals += 1
+                counters.roulette_gain_energy += (new_weight - p.weight) * p.energy
+                p.weight = new_weight
+
+            # The energy changed: refresh the cached microscopic values.
+            micro_s, micro_c, micro_f = lookup_all()
+            sigma_s = macro(micro_s)
+            sigma_f = macro(micro_f)
+            sigma_a = macro(micro_c) + sigma_f
+            sigma_t = sigma_s + sigma_a
+            speed = speed_from_energy_ev(p.energy)
+
+        elif event is EventKind.FACET:
+            # ---- handle_facet() ---------------------------------------
+            p.x = p.x + p.omega_x * d_facet
+            p.y = p.y + p.omega_y * d_facet
+            p.dt_to_census = max(0.0, p.dt_to_census - d_facet / speed)
+            p.mfp_to_collision = max(
+                0.0, p.mfp_to_collision - d_facet * sigma_t
+            )
+            # Snap the hit coordinate exactly onto the facet plane so
+            # rounding never strands a particle outside its cell.
+            if axis == 0:
+                p.x = x_hi if p.omega_x > 0.0 else x_lo
+            else:
+                p.y = y_hi if p.omega_y > 0.0 else y_lo
+            # Flush the deposition register onto the tally mesh — the
+            # atomic read-modify-write of §VI-A, performed unconditionally.
+            tally.flush(p.cellx, p.celly, p.deposit_buffer)
+            p.deposit_buffer = 0.0
+            counters.tally_flushes += 1
+            old_cx, old_cy = p.cellx, p.celly
+            new_cx, new_cy, new_ox, new_oy, reflected, escaped = cross_facet(
+                p.cellx, p.celly, p.omega_x, p.omega_y, axis, mesh,
+                config.boundary,
+            )
+            counters.facets += 1
+            ctx.facet_pp[index] += 1
+            if ctx.trace is not None:
+                ctx.trace.append(
+                    (index, int(EventKind.FACET),
+                     old_cy * mesh.nx + old_cx)
+                )
+            if escaped:
+                counters.escapes += 1
+                counters.escaped_energy += p.weight * p.energy
+                p.alive = False
+                break
+            p.cellx, p.celly = new_cx, new_cy
+            p.omega_x, p.omega_y = new_ox, new_oy
+            if reflected:
+                counters.reflections += 1
+            else:
+                # Load the destination cell's density — the random read.
+                p.local_density = mesh.density_at(p.cellx, p.celly)
+                counters.density_reads += 1
+                new_mat_idx = ctx.material_at(p.cellx, p.celly)
+                if new_mat_idx != mat_idx:
+                    # Entered a different material: the cached microscopic
+                    # values are stale (multi-material extension).
+                    mat_idx = new_mat_idx
+                    mat = ctx.materials[mat_idx]
+                    micro_s, micro_c, micro_f = lookup_all()
+                sigma_s = macro(micro_s)
+                sigma_f = macro(micro_f)
+                sigma_a = macro(micro_c) + sigma_f
+                sigma_t = sigma_s + sigma_a
+                # ---- importance splitting / roulette (VR extension) ----
+                if ctx.importance_map is not None:
+                    ratio = float(
+                        ctx.importance_map[new_cy, new_cx]
+                        / ctx.importance_map[old_cy, old_cx]
+                    )
+                    if ratio != 1.0:
+                        counter_before = rng.counter
+                        u_imp = rng.next_uniform()
+                        counters.rng_draws += 1
+                        if ratio > 1.0:
+                            n_after = split_count(ratio, u_imp)
+                            if n_after > 1:
+                                counters.splits += 1
+                                w_each = p.weight / n_after
+                                for k in range(n_after - 1):
+                                    clone = _spawn_clone(
+                                        ctx, p, counter_before, k, w_each
+                                    )
+                                    counters.clones_banked += 1
+                                    ctx.bank.append(clone)
+                                p.weight = w_each
+                        else:
+                            if u_imp < ratio:
+                                counters.roulette_survivals += 1
+                                boosted = p.weight / ratio
+                                counters.roulette_gain_energy += (
+                                    (boosted - p.weight) * p.energy
+                                )
+                                p.weight = boosted
+                            else:
+                                counters.roulette_kills += 1
+                                counters.roulette_loss_energy += (
+                                    p.weight * p.energy
+                                )
+                                p.weight = 0.0
+                                counters.terminations += 1
+                                p.alive = False
+                                break
+
+        else:
+            # ---- handle_census() --------------------------------------
+            p.x = p.x + p.omega_x * d_census
+            p.y = p.y + p.omega_y * d_census
+            p.mfp_to_collision = max(
+                0.0, p.mfp_to_collision - d_census * sigma_t
+            )
+            p.dt_to_census = 0.0
+            tally.flush(p.cellx, p.celly, p.deposit_buffer)
+            p.deposit_buffer = 0.0
+            counters.tally_flushes += 1
+            counters.census_events += 1
+            if ctx.trace is not None:
+                ctx.trace.append(
+                    (index, int(EventKind.CENSUS),
+                     p.celly * mesh.nx + p.cellx)
+                )
+            break
+
+    p.rng_counter = rng.counter
+
+
+def run_over_particles(
+    config: SimulationConfig,
+    particles: list[Particle] | None = None,
+    tally: EnergyDepositionTally | None = None,
+    trace: list | None = None,
+):
+    """Run the full calculation with the Over Particles scheme.
+
+    Parameters
+    ----------
+    config:
+        The simulation specification.
+    particles:
+        Pre-sampled particles (for scheme-equivalence tests); sampled from
+        the config's source when omitted.
+    tally:
+        An existing tally to accumulate into; a fresh one when omitted.
+    trace:
+        Optional list to receive the event trace
+        ``(history_index, event_kind, flat_cell)`` — the input of the
+        discrete-event parallel replay in :mod:`repro.simexec`.
+
+    Returns
+    -------
+    TransportResult
+        Tally, counters, final particle states (including any fission
+        secondaries), and wall-clock time.
+    """
+    # Imported here to avoid a circular import with simulation.py.
+    from repro.core.simulation import TransportResult
+
+    t0 = time.perf_counter()
+    mesh = StructuredMesh(config.nx, config.ny, config.width, config.height, config.density)
+    if tally is None:
+        tally = EnergyDepositionTally(config.nx, config.ny)
+    ctx = _HistoryContext(config, mesh, tally)
+    ctx.trace = trace
+    primary = ctx.materials[0]
+    if particles is None:
+        particles = sample_source_aos(
+            mesh, config.source, config.nparticles, config.seed, config.dt,
+            scatter_table=primary.scatter, capture_table=primary.capture,
+        )
+
+    ctx.counters.nparticles = len(particles)
+    ctx.counters.rng_draws += 4 * len(particles)  # birth draws
+    ctx.coll_pp = [0] * len(particles)
+    ctx.facet_pp = [0] * len(particles)
+
+    for step in range(config.ntimesteps):
+        if step > 0:
+            for p in particles:
+                if p.alive:
+                    p.dt_to_census = config.dt
+        cursor = 0
+        while cursor < len(particles):
+            p = particles[cursor]
+            if p.alive:
+                _track_history(ctx, p, cursor)
+            cursor += 1
+            # Drain the fission bank within the timestep: secondaries are
+            # appended to the population and tracked in turn (their own
+            # fissions may bank further generations).
+            if cursor == len(particles) and ctx.bank:
+                particles.extend(ctx.bank)
+                ctx.coll_pp.extend([0] * len(ctx.bank))
+                ctx.facet_pp.extend([0] * len(ctx.bank))
+                ctx.bank = []
+
+    counters = ctx.counters
+    counters.nparticles = len(particles)
+    counters.xs_lookups = ctx.lookup_stats.lookups
+    counters.xs_binary_probes = ctx.lookup_stats.binary_probes
+    counters.xs_linear_probes = ctx.lookup_stats.linear_probes
+    counters.collisions_per_particle = np.asarray(ctx.coll_pp, dtype=np.int64)
+    counters.facets_per_particle = np.asarray(ctx.facet_pp, dtype=np.int64)
+    counters.tally_conflict_probability = tally.conflict_probability()
+
+    return TransportResult(
+        config=config,
+        scheme=Scheme.OVER_PARTICLES,
+        tally=tally,
+        counters=counters,
+        particles=particles,
+        store=None,
+        wallclock_s=time.perf_counter() - t0,
+    )

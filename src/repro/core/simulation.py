@@ -1,0 +1,115 @@
+"""Top-level simulation facade and result type.
+
+:class:`Simulation` is the public entry point most users want::
+
+    from repro.core import Simulation, csp_problem, Scheme
+
+    sim = Simulation(csp_problem(nx=128, nparticles=1000))
+    result = sim.run(Scheme.OVER_PARTICLES)
+    print(result.counters.total_events, result.tally.total())
+
+Both schemes are exposed behind the same interface and produce identical
+physics; :class:`TransportResult` carries everything downstream layers need
+— the tally for validation, the counters for the machine models, and the
+final particle population for multi-timestep coupling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.config import Scheme, SimulationConfig
+from repro.core.counters import Counters
+from repro.mesh.tally import EnergyDepositionTally
+from repro.particles.particle import Particle
+from repro.particles.soa import ParticleStore
+
+__all__ = ["TransportResult", "Simulation"]
+
+
+@dataclass
+class TransportResult:
+    """Everything a transport run produces.
+
+    Attributes
+    ----------
+    config:
+        The configuration that was run.
+    scheme:
+        Which parallelisation scheme produced the result.
+    tally:
+        The energy-deposition tally.
+    counters:
+        Algorithm instrumentation (events, memory touches, work
+        distribution) for the performance model.
+    particles:
+        Final AoS particle list (Over Particles runs).
+    store:
+        Final SoA store (Over Events runs).
+    wallclock_s:
+        Host wall-clock time of the Python run.  *Not* used by any paper
+        figure — those come from the machine models — but reported for the
+        pytest-benchmark harness.
+    """
+
+    config: SimulationConfig
+    scheme: Scheme
+    tally: EnergyDepositionTally
+    counters: Counters
+    particles: list[Particle] | None
+    store: ParticleStore | None
+    wallclock_s: float
+
+    # ------------------------------------------------------------------
+    def in_flight_energy_ev(self) -> float:
+        """Weighted energy still carried by live particles."""
+        if self.store is not None:
+            alive = self.store.alive
+            return float(
+                np.sum(self.store.weight[alive] * self.store.energy[alive])
+            )
+        assert self.particles is not None
+        return sum(p.weight * p.energy for p in self.particles if p.alive)
+
+    def deposited_energy_ev(self) -> float:
+        """Total energy deposited on the tally mesh."""
+        return self.tally.total()
+
+    def alive_count(self) -> int:
+        """Histories still alive (censused, not terminated)."""
+        if self.store is not None:
+            return int(self.store.alive.sum())
+        assert self.particles is not None
+        return sum(1 for p in self.particles if p.alive)
+
+
+class Simulation:
+    """Facade over the two scheme drivers.
+
+    Parameters
+    ----------
+    config:
+        A :class:`~repro.core.config.SimulationConfig`, typically from one
+        of the problem factories in :mod:`repro.core.problems`.
+    """
+
+    def __init__(self, config: SimulationConfig):
+        self.config = config
+
+    def run(self, scheme: Scheme = Scheme.OVER_PARTICLES) -> TransportResult:
+        """Run the configured calculation with the chosen scheme."""
+        # Local imports: the drivers import TransportResult from here.
+        from repro.core.over_events import run_over_events
+        from repro.core.over_particles import run_over_particles
+
+        if scheme is Scheme.OVER_PARTICLES:
+            return run_over_particles(self.config)
+        if scheme is Scheme.OVER_EVENTS:
+            return run_over_events(self.config)
+        raise ValueError(f"unknown scheme: {scheme}")
+
+    def run_both(self) -> tuple[TransportResult, TransportResult]:
+        """Run both schemes on identical inputs (for comparisons/tests)."""
+        return self.run(Scheme.OVER_PARTICLES), self.run(Scheme.OVER_EVENTS)

@@ -1,0 +1,52 @@
+"""Machine models for the five devices of the paper's evaluation.
+
+We do not have a Broadwell node, a KNL, a POWER8, or NVIDIA K20X/P100 GPUs
+(nor can pure Python exercise them meaningfully) — so, per the reproduction
+ground rules, the hardware is *simulated*: each device is described by a
+:class:`repro.machine.spec.CPUSpec` or :class:`repro.machine.spec.GPUSpec`
+built from public datasheet numbers (cores, SMT ways, clocks, cache sizes
+and latencies, memory bandwidths and latencies, NUMA/cluster topology, GPU
+SM/register-file geometry).
+
+The specs are *descriptions only*; the maths that combines them with the
+measured algorithm counters to predict runtimes lives in
+:mod:`repro.perfmodel`.  Keeping the two separated means every figure is
+generated from the same hardware description and the same model constants —
+no per-figure tuning.
+"""
+
+from repro.machine.spec import (
+    CacheLevel,
+    MemorySpec,
+    CPUSpec,
+    GPUSpec,
+    MachineKind,
+)
+from repro.machine.registry import (
+    BROADWELL,
+    KNL,
+    POWER8,
+    K20X,
+    P100,
+    ALL_MACHINES,
+    CPUS,
+    GPUS,
+    get_machine,
+)
+
+__all__ = [
+    "CacheLevel",
+    "MemorySpec",
+    "CPUSpec",
+    "GPUSpec",
+    "MachineKind",
+    "BROADWELL",
+    "KNL",
+    "POWER8",
+    "K20X",
+    "P100",
+    "ALL_MACHINES",
+    "CPUS",
+    "GPUS",
+    "get_machine",
+]

@@ -1,0 +1,171 @@
+"""The five devices of the paper's evaluation, from public datasheets.
+
+Sources: Intel ARK and optimisation manuals (Broadwell, KNL), IBM POWER8
+redbooks, NVIDIA Kepler/Pascal whitepapers, plus published STREAM and
+pointer-chase measurements for achievable bandwidths and latencies.  The
+"achievable" bandwidths deliberately match the paper's own accounting —
+e.g. §VII-D quotes the K20X's 35 GB/s as "roughly 20% of the achievable
+memory bandwidth" (⇒ ~175 GB/s) and §VII-E quotes 125 GB/s as 25% on the
+P100 (⇒ ~500 GB/s).
+
+Nothing in this file is derived from the paper's *results*; these are the
+numbers one would look up before running the experiments.
+"""
+
+from __future__ import annotations
+
+from repro.machine.spec import CacheLevel, CPUSpec, GPUSpec, MemorySpec
+
+__all__ = [
+    "BROADWELL",
+    "KNL",
+    "POWER8",
+    "K20X",
+    "P100",
+    "CPUS",
+    "GPUS",
+    "ALL_MACHINES",
+    "get_machine",
+]
+
+#: Dual-socket Intel Xeon E5-2699 v4 (Broadwell), 22 cores/socket, HT2,
+#: 2.1 GHz sustained (§VII-A).  DDR4-2400 × 4 channels per socket.
+BROADWELL = CPUSpec(
+    name="Intel Xeon E5-2699 v4 (Broadwell) 2S",
+    sockets=2,
+    cores_per_socket=22,
+    smt_per_core=2,
+    clock_ghz=2.1,
+    issue_width=2.0,
+    vector_width_f64=4,  # AVX2
+    vector_gather_supported=False,  # AVX2 gathers are microcoded, ~no win
+    caches=(
+        CacheLevel(size_bytes=32 * 1024, latency_cycles=4),
+        CacheLevel(size_bytes=256 * 1024, latency_cycles=12),
+        CacheLevel(size_bytes=55 * 1024 * 1024, latency_cycles=50, shared=True),
+    ),
+    dram=MemorySpec(
+        bandwidth_gbs=130.0, latency_ns=85.0, capacity_gb=256.0,
+        random_bw_fraction=0.65,  # ring uncore handles scattered lines well
+    ),
+    numa_latency_multiplier=1.6,
+    atomic_latency_cycles=60.0,
+    latency_load_multiplier=1.25,
+)
+
+#: Intel Xeon Phi 7210 (Knights Landing), 64 cores, SMT4, 1.3 GHz (§VII-B).
+#: 1 MB L2 per 2-core tile (512 kB per core), no L3; 16 GB MCDRAM plus DDR4.
+#: MCDRAM streams ~4.5× DDR but its random-access latency is *higher* —
+#: exactly the §VII-B observation that Over Particles/scatter ran slightly
+#: faster from DRAM.
+KNL = CPUSpec(
+    name="Intel Xeon Phi 7210 (Knights Landing)",
+    sockets=1,
+    cores_per_socket=64,
+    smt_per_core=4,
+    clock_ghz=1.3,
+    issue_width=0.5,  # Silvermont-derived cores: weak on branchy scalar code
+    vector_width_f64=8,  # AVX-512
+    vector_gather_supported=True,
+    caches=(
+        CacheLevel(size_bytes=32 * 1024, latency_cycles=5),
+        CacheLevel(size_bytes=512 * 1024, latency_cycles=17),
+    ),
+    dram=MemorySpec(
+        bandwidth_gbs=80.0, latency_ns=130.0, capacity_gb=96.0,
+        random_bw_fraction=0.25,  # mesh NoC is poor at scattered lines
+    ),
+    fast_memory=MemorySpec(
+        bandwidth_gbs=450.0, latency_ns=155.0, capacity_gb=16.0,
+        random_bw_fraction=0.25,
+    ),
+    numa_latency_multiplier=1.0,
+    atomic_latency_cycles=80.0,
+    latency_load_multiplier=2.9,  # mesh-of-rings congestion under full load
+)
+
+#: Dual-socket IBM POWER8, 10 cores/socket, SMT8, ~3.5 GHz (§VII-C).
+#: Each socket is two 5-core chiplets on an on-chip interconnect — the
+#: paper's "two groups of 5 cores" behind the step at the 6th thread.
+#: Memory behind Centaur buffer chips: high bandwidth, high latency.
+POWER8 = CPUSpec(
+    name="IBM POWER8 2S (10c, SMT8)",
+    sockets=2,
+    cores_per_socket=10,
+    smt_per_core=8,
+    clock_ghz=3.5,
+    issue_width=2.0,
+    vector_width_f64=2,  # VSX
+    vector_gather_supported=False,
+    caches=(
+        CacheLevel(size_bytes=64 * 1024, latency_cycles=3),
+        CacheLevel(size_bytes=512 * 1024, latency_cycles=13),
+        CacheLevel(size_bytes=80 * 1024 * 1024, latency_cycles=30, shared=True),
+    ),
+    dram=MemorySpec(
+        bandwidth_gbs=230.0, latency_ns=140.0, capacity_gb=512.0,
+        random_bw_fraction=0.35,  # Centaur line transfers
+    ),
+    numa_latency_multiplier=1.4,
+    cores_per_cluster=5,
+    cluster_latency_penalty_cycles=100.0,  # ~29 ns cross-chiplet hop
+    atomic_latency_cycles=120.0,
+    latency_load_multiplier=3.0,  # Centaur buffer queueing under SMT8 load
+)
+
+#: NVIDIA K20X (Kepler GK110), 14 SMX, 732 MHz, 6 GB GDDR5 (§VII-D).
+#: No native double-precision atomicAdd — emulated with a CAS loop.
+K20X = GPUSpec(
+    name="NVIDIA K20X (Kepler)",
+    sms=14,
+    max_warps_per_sm=64,
+    warp_size=32,
+    registers_per_sm=65536,
+    clock_ghz=0.732,
+    memory=MemorySpec(
+        bandwidth_gbs=175.0, latency_ns=478.0, capacity_gb=6.0,
+        random_bw_fraction=0.4,
+    ),
+    memory_latency_cycles=350.0,
+    native_double_atomics=False,
+    atomic_latency_cycles=280.0,
+    saturation_warps_per_sm=64,  # Kepler keeps gaining from occupancy
+    op_kernel_registers=102,  # sm_35 compile (§VI-H)
+)
+
+#: NVIDIA P100 (Pascal GP100), 56 SMs, 1.33 GHz, 16 GB HBM2 (§VII-E).
+#: Native double atomicAdd; saturates memory-level parallelism at modest
+#: occupancy ("does not require as high occupancy as previous
+#: architecture generations").
+P100 = GPUSpec(
+    name="NVIDIA P100 (Pascal)",
+    sms=56,
+    max_warps_per_sm=64,
+    warp_size=32,
+    registers_per_sm=65536,
+    clock_ghz=1.328,
+    memory=MemorySpec(
+        bandwidth_gbs=500.0, latency_ns=280.0, capacity_gb=16.0,
+        random_bw_fraction=0.25,  # HBM2 bank behaviour on 64 B sectors
+    ),
+    memory_latency_cycles=372.0,
+    native_double_atomics=True,
+    atomic_latency_cycles=140.0,
+    saturation_warps_per_sm=24,
+    op_kernel_registers=79,  # sm_60 compile (§VII-E)
+)
+
+CPUS = {"broadwell": BROADWELL, "knl": KNL, "power8": POWER8}
+GPUS = {"k20x": K20X, "p100": P100}
+ALL_MACHINES = {**CPUS, **GPUS}
+
+
+def get_machine(name: str):
+    """Look up a device by short name ('broadwell', 'knl', 'power8',
+    'k20x', 'p100')."""
+    key = name.lower()
+    if key not in ALL_MACHINES:
+        raise KeyError(
+            f"unknown machine {name!r}; available: {sorted(ALL_MACHINES)}"
+        )
+    return ALL_MACHINES[key]

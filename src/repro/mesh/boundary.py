@@ -1,0 +1,68 @@
+"""Reflective boundary conditions.
+
+The mini-app encloses the problem in reflective boundaries (paper §IV-C):
+they increase particle lifetimes — in the stream problem a particle crosses
+the whole mesh several times per timestep — and make it easy to check
+conservation of the particle population, since nothing can leak.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+import numpy as np
+
+__all__ = ["BoundaryCondition", "reflect_direction", "reflect_direction_vec"]
+
+
+class BoundaryCondition(Enum):
+    """Supported boundary treatments.
+
+    Only ``REFLECTIVE`` is exercised by the paper's experiments; ``VACUUM``
+    (particles escape and their history ends) is provided for completeness
+    and for the multi-node future-work path.
+    """
+
+    REFLECTIVE = "reflective"
+    VACUUM = "vacuum"
+
+
+def reflect_direction(ox: float, oy: float, axis: int) -> tuple[float, float]:
+    """Reflect a direction off a boundary normal to ``axis``.
+
+    Parameters
+    ----------
+    ox, oy:
+        Unit direction components.
+    axis:
+        0 for an x-facing facet (flip ``ox``), 1 for a y-facing facet
+        (flip ``oy``).
+    """
+    if axis == 0:
+        return -ox, oy
+    if axis == 1:
+        return ox, -oy
+    raise ValueError(f"axis must be 0 or 1, got {axis}")
+
+
+def reflect_direction_vec(
+    ox: np.ndarray, oy: np.ndarray, axis: np.ndarray, do_reflect: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorised reflection used by the Over Events scheme.
+
+    Parameters
+    ----------
+    ox, oy:
+        Direction component arrays (modified copies are returned).
+    axis:
+        Per-particle facet axis (0 = x facet, 1 = y facet).
+    do_reflect:
+        Boolean mask of particles that hit a problem boundary.
+    """
+    ox = ox.copy()
+    oy = oy.copy()
+    flip_x = do_reflect & (axis == 0)
+    flip_y = do_reflect & (axis == 1)
+    ox[flip_x] = -ox[flip_x]
+    oy[flip_y] = -oy[flip_y]
+    return ox, oy

@@ -1,0 +1,37 @@
+"""On-node parallelism substrate (simulated OpenMP threading).
+
+The paper's mini-app parallelises its particle loop with OpenMP and studies
+scheduling (§VI-C, Fig 4), affinity/placement (§VII), SMT occupancy (§VI-E,
+Fig 6) and atomic contention (§VI-F).  Running in pure Python we cannot use
+real threads for speed, but we do not need to: the observable effects of
+those choices are fully determined by
+
+* the per-history work distribution (measured for real by the transport
+  counters), and
+* the scheduling policy / placement rule (implemented exactly here).
+
+:mod:`repro.parallel.schedule` implements the OpenMP ``schedule`` clauses as
+a discrete-event simulation over measured work items;
+:mod:`repro.parallel.affinity` maps thread counts onto sockets, cores and
+SMT slots as ``KMP_AFFINITY=compact|scatter`` would; and
+:mod:`repro.parallel.atomics` prices atomic read-modify-write contention
+from the measured tally conflict statistics.
+"""
+
+from repro.parallel.schedule import (
+    ScheduleKind,
+    ScheduleOutcome,
+    simulate_parallel_for,
+)
+from repro.parallel.affinity import Affinity, ThreadPlacement, place_threads
+from repro.parallel.atomics import atomic_op_cost_cycles
+
+__all__ = [
+    "ScheduleKind",
+    "ScheduleOutcome",
+    "simulate_parallel_for",
+    "Affinity",
+    "ThreadPlacement",
+    "place_threads",
+    "atomic_op_cost_cycles",
+]

@@ -1,0 +1,143 @@
+"""Thread placement (``KMP_AFFINITY``-style).
+
+The paper's CPU runs pin threads with ``KMP_AFFINITY=compact`` (Broadwell,
+§VII-A) or ``scatter`` (KNL, §VII-B) at ``granularity=fine``.  Placement
+determines three quantities the machine model needs as a function of thread
+count:
+
+* how many **sockets** are populated (NUMA traffic, Fig 3's efficiency
+  cliff when the second socket is consumed);
+* how many **cores** are populated (per-core execution resources);
+* how many **SMT slots per core** are occupied (latency hiding, Fig 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+import numpy as np
+
+__all__ = ["Affinity", "ThreadPlacement", "place_threads"]
+
+
+class Affinity(Enum):
+    """Placement policies the paper uses.
+
+    ``COMPACT`` packs consecutive threads onto adjacent SMT slots
+    (``granularity=fine``) — it fills a core's hyperthreads, then the next
+    core, then the next socket.
+    ``COMPACT_CORES`` is compact at core granularity: one thread per core
+    across socket 0, then socket 1, and only then the second SMT slots —
+    the placement whose thread sweep reproduces the paper's Fig 3
+    signatures (the NUMA crossing, and POWER8's steps at threads 6 and 11
+    as the 5-core cluster and then the second socket are entered).
+    ``SCATTER`` spreads threads as widely as possible — round-robin over
+    sockets, then cores, filling SMT slots only when every core has a
+    thread.
+    """
+
+    COMPACT = "compact"
+    COMPACT_CORES = "compact_cores"
+    SCATTER = "scatter"
+
+
+@dataclass(frozen=True)
+class ThreadPlacement:
+    """Summary of where ``nthreads`` landed on the node.
+
+    Attributes
+    ----------
+    nthreads:
+        Total software threads (may exceed hardware slots:
+        oversubscription, studied on Broadwell in §VI-E).
+    sockets_used, cores_used:
+        Populated sockets and physical cores.
+    threads_per_core:
+        Mean software threads per populated core (= SMT occupancy when not
+        oversubscribed).
+    max_threads_per_core:
+        Worst-case software threads on one core.
+    oversubscribed:
+        True when software threads exceed hardware thread slots.
+    per_core:
+        Software threads on each physical core (length
+        ``sockets × cores_per_socket``, core-major within socket).
+    cores_per_socket:
+        Topology echo, so consumers can derive per-socket groupings.
+    """
+
+    nthreads: int
+    sockets_used: int
+    cores_used: int
+    threads_per_core: float
+    max_threads_per_core: int
+    oversubscribed: bool
+    per_core: np.ndarray
+    cores_per_socket: int
+
+    def threads_on_socket(self, socket: int) -> int:
+        """Software threads placed on ``socket``."""
+        lo = socket * self.cores_per_socket
+        return int(self.per_core[lo: lo + self.cores_per_socket].sum())
+
+    def socket_of_core(self, core: int) -> int:
+        """Socket index owning physical core ``core``."""
+        return core // self.cores_per_socket
+
+
+def place_threads(
+    nthreads: int,
+    sockets: int,
+    cores_per_socket: int,
+    smt_per_core: int,
+    affinity: Affinity = Affinity.COMPACT,
+) -> ThreadPlacement:
+    """Compute the placement summary for ``nthreads`` on a node topology.
+
+    Oversubscribed threads (beyond ``sockets × cores × smt``) wrap around
+    the whole machine in placement order, as the OS scheduler would
+    time-slice them.
+    """
+    if nthreads < 1:
+        raise ValueError("need at least one thread")
+    if sockets < 1 or cores_per_socket < 1 or smt_per_core < 1:
+        raise ValueError("topology dimensions must be positive")
+
+    total_cores = sockets * cores_per_socket
+    hw_slots = total_cores * smt_per_core
+    per_core = np.zeros(total_cores, dtype=np.int64)
+
+    for t in range(nthreads):
+        slot = t % hw_slots
+        if affinity is Affinity.COMPACT:
+            # slot order: (socket, core, smt) — fill a core's SMT slots,
+            # then the next core, then the next socket.
+            core = slot // smt_per_core
+        elif affinity is Affinity.COMPACT_CORES:
+            # slot order: (smt, socket, core) — socket 0's cores first,
+            # then socket 1's, then the second SMT slots.
+            core = slot % total_cores
+        else:
+            # slot order: (smt, interleaved sockets) — one thread per core
+            # round-robin across sockets, then the second SMT slot, etc.
+            within_round = slot % total_cores
+            socket = within_round % sockets
+            core_in_socket = within_round // sockets
+            core = socket * cores_per_socket + core_in_socket
+        per_core[core] += 1
+
+    cores_used = int((per_core > 0).sum())
+    sockets_used = int(
+        np.unique(np.nonzero(per_core)[0] // cores_per_socket).size
+    )
+    return ThreadPlacement(
+        nthreads=nthreads,
+        sockets_used=sockets_used,
+        cores_used=cores_used,
+        threads_per_core=nthreads / cores_used,
+        max_threads_per_core=int(per_core.max()),
+        oversubscribed=nthreads > hw_slots,
+        per_core=per_core,
+        cores_per_socket=cores_per_socket,
+    )

@@ -1,0 +1,74 @@
+"""Atomic read-modify-write cost model.
+
+Every facet encounter flushes the deposition register onto the tally mesh
+with an atomic (paper §VI-A); sample profiling attributed ~50% of the Over
+Particles runtime to tallying.  The cost of an atomic add has two parts:
+
+* a **base latency** — the read-modify-write round trip to wherever the
+  line currently lives (a hardware property, per
+  :class:`repro.machine.spec.MachineSpec`; the K20X must *emulate* double
+  atomics with a CAS loop, the P100 has a native instruction worth 1.20×
+  end-to-end, §VIII-A);
+* a **contention penalty** — when another thread holds the same cache line,
+  the line ping-pongs.  The probability that a concurrent flush targets the
+  same cell is measured from the real tally address stream
+  (:meth:`repro.mesh.tally.EnergyDepositionTally.conflict_probability`).
+
+The expected serialisation per conflicting pair grows with the number of
+*other* threads flushing concurrently; with ``T`` threads and per-flush
+cell-collision probability ``p``, the expected number of contenders for a
+given flush is ``p (T−1)`` (cells are also adjacent in memory, so ``p`` is
+computed over cache lines, i.e. groups of 8 float64 cells).
+"""
+
+from __future__ import annotations
+
+__all__ = ["atomic_op_cost_cycles", "line_conflict_probability"]
+
+#: float64 tally cells per 64-byte cache line.
+CELLS_PER_LINE = 8
+
+
+def line_conflict_probability(cell_conflict_probability: float) -> float:
+    """Approximate cache-line collision probability from cell collisions.
+
+    Flush addresses that collide at cell granularity certainly collide at
+    line granularity; nearby-cell flushes add roughly a factor of the line
+    width for spatially clustered tallies.  Clamped to 1.
+    """
+    if not 0.0 <= cell_conflict_probability <= 1.0:
+        raise ValueError("probability must be in [0, 1]")
+    return min(1.0, cell_conflict_probability * CELLS_PER_LINE)
+
+
+def atomic_op_cost_cycles(
+    base_latency_cycles: float,
+    cell_conflict_probability: float,
+    nthreads_sharing: int,
+    emulated_factor: float = 1.0,
+) -> float:
+    """Expected cycles per atomic flush.
+
+    Parameters
+    ----------
+    base_latency_cycles:
+        Uncontended atomic RMW latency of the target machine.
+    cell_conflict_probability:
+        Measured probability two flushes target the same tally cell.
+    nthreads_sharing:
+        Threads concurrently flushing into the same tally (all threads for
+        the shared tally; 1 for a privatised tally, which removes both the
+        atomicity requirement and the contention).
+    emulated_factor:
+        >1 for devices without native double-precision atomics (the K20X
+        CAS-loop emulation; the paper measured the native P100 instruction
+        to be worth 1.20×).
+    """
+    if base_latency_cycles < 0:
+        raise ValueError("latency must be non-negative")
+    if nthreads_sharing < 1:
+        raise ValueError("need at least one thread")
+    p_line = line_conflict_probability(cell_conflict_probability)
+    expected_contenders = p_line * (nthreads_sharing - 1)
+    # Each contender serialises roughly one extra line transfer.
+    return base_latency_cycles * emulated_factor * (1.0 + expected_contenders)

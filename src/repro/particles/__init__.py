@@ -1,0 +1,25 @@
+"""Particle state storage.
+
+The data structure describing particles is itself a studied design axis of
+the paper (§VI-D, Fig 5): the Over Particles scheme favours an Array of
+Structures (AoS) layout — each history loads its particle once into
+registers and works on it to census — while the GPU and the Over Events
+scheme require Structure of Arrays (SoA) for coalescing/vectorisation.
+
+* :class:`repro.particles.particle.Particle` — the AoS record;
+* :class:`repro.particles.soa.ParticleStore` — the SoA store (numpy arrays)
+  with lossless conversions to/from AoS;
+* :mod:`repro.particles.source` — bounded-region source sampling (§IV-F).
+"""
+
+from repro.particles.particle import Particle
+from repro.particles.soa import ParticleStore
+from repro.particles.source import SourceRegion, sample_source_aos, sample_source_soa
+
+__all__ = [
+    "Particle",
+    "ParticleStore",
+    "SourceRegion",
+    "sample_source_aos",
+    "sample_source_soa",
+]

@@ -1,0 +1,156 @@
+"""The SoA particle store.
+
+Structure-of-Arrays layout: one numpy array per particle field.  This is the
+layout the Over Events scheme and the GPU port use (paper §VI-D) — memory
+access for a whole batch of particles touches each field contiguously, at
+the cost of losing the AoS property that one history's state fits in a
+couple of cache lines.
+
+Conversions to/from the AoS representation are lossless, so the test suite
+can assert that both schemes evolve identical state.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.particles.particle import Particle
+
+__all__ = ["ParticleStore"]
+
+_FLOAT_FIELDS = (
+    "x",
+    "y",
+    "omega_x",
+    "omega_y",
+    "energy",
+    "weight",
+    "mfp_to_collision",
+    "dt_to_census",
+    "local_density",
+    "deposit_buffer",
+)
+_INT_FIELDS = ("cellx", "celly", "scatter_bin", "capture_bin", "fission_bin")
+
+
+class ParticleStore:
+    """A batch of particles in Structure-of-Arrays layout.
+
+    All float fields are ``float64`` arrays of length ``n``; cell indices and
+    cached bins are ``int64``; ``alive``/``censused`` are boolean masks;
+    ``particle_id``/``rng_counter`` are ``uint64`` (the Threefry key/counter
+    words).
+    """
+
+    def __init__(self, n: int):
+        if n < 0:
+            raise ValueError("particle count must be non-negative")
+        self.n = int(n)
+        for name in _FLOAT_FIELDS:
+            setattr(self, name, np.zeros(self.n, dtype=np.float64))
+        for name in _INT_FIELDS:
+            setattr(self, name, np.zeros(self.n, dtype=np.int64))
+        self.alive = np.ones(self.n, dtype=bool)
+        self.censused = np.zeros(self.n, dtype=bool)
+        self.particle_id = np.arange(self.n, dtype=np.uint64)
+        self.rng_counter = np.zeros(self.n, dtype=np.uint64)
+
+    def __len__(self) -> int:
+        return self.n
+
+    # ------------------------------------------------------------------
+    # Conversions
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_particles(cls, particles: list[Particle]) -> "ParticleStore":
+        """Pack AoS records into an SoA store (census flags cleared)."""
+        store = cls(len(particles))
+        for i, p in enumerate(particles):
+            store.x[i] = p.x
+            store.y[i] = p.y
+            store.omega_x[i] = p.omega_x
+            store.omega_y[i] = p.omega_y
+            store.energy[i] = p.energy
+            store.weight[i] = p.weight
+            store.mfp_to_collision[i] = p.mfp_to_collision
+            store.dt_to_census[i] = p.dt_to_census
+            store.local_density[i] = p.local_density
+            store.deposit_buffer[i] = p.deposit_buffer
+            store.cellx[i] = p.cellx
+            store.celly[i] = p.celly
+            store.scatter_bin[i] = p.scatter_bin
+            store.capture_bin[i] = p.capture_bin
+            store.fission_bin[i] = p.fission_bin
+            store.alive[i] = p.alive
+            store.particle_id[i] = p.particle_id
+            store.rng_counter[i] = p.rng_counter
+        return store
+
+    def to_particles(self) -> list[Particle]:
+        """Unpack to AoS records (census flags are not represented in AoS)."""
+        out: list[Particle] = []
+        for i in range(self.n):
+            p = Particle(
+                x=float(self.x[i]),
+                y=float(self.y[i]),
+                omega_x=float(self.omega_x[i]),
+                omega_y=float(self.omega_y[i]),
+                energy=float(self.energy[i]),
+                weight=float(self.weight[i]),
+                cellx=int(self.cellx[i]),
+                celly=int(self.celly[i]),
+                particle_id=int(self.particle_id[i]),
+                dt_to_census=float(self.dt_to_census[i]),
+                mfp_to_collision=float(self.mfp_to_collision[i]),
+                rng_counter=int(self.rng_counter[i]),
+            )
+            p.alive = bool(self.alive[i])
+            p.scatter_bin = int(self.scatter_bin[i])
+            p.capture_bin = int(self.capture_bin[i])
+            p.fission_bin = int(self.fission_bin[i])
+            p.local_density = float(self.local_density[i])
+            p.deposit_buffer = float(self.deposit_buffer[i])
+            out.append(p)
+        return out
+
+    # ------------------------------------------------------------------
+    # Growth (fission secondaries)
+    # ------------------------------------------------------------------
+    def extend(self, other: "ParticleStore") -> None:
+        """Append another store's particles (fission secondaries joining
+        the in-flight population)."""
+        for name in _FLOAT_FIELDS + _INT_FIELDS + (
+            "alive", "censused", "particle_id", "rng_counter",
+        ):
+            setattr(
+                self,
+                name,
+                np.concatenate([getattr(self, name), getattr(other, name)]),
+            )
+        self.n += other.n
+
+    # ------------------------------------------------------------------
+    # Masks and accounting
+    # ------------------------------------------------------------------
+    def active_mask(self) -> np.ndarray:
+        """Particles still being advanced this timestep."""
+        return self.alive & ~self.censused
+
+    def nbytes(self) -> int:
+        """Total memory footprint of the store in bytes."""
+        total = 0
+        for name in _FLOAT_FIELDS + _INT_FIELDS:
+            total += getattr(self, name).nbytes
+        total += self.alive.nbytes + self.censused.nbytes
+        total += self.particle_id.nbytes + self.rng_counter.nbytes
+        return int(total)
+
+    @staticmethod
+    def bytes_per_particle_aos() -> int:
+        """Bytes of one AoS record as the C mini-app would lay it out.
+
+        10 doubles + 4 ints + id/counter + flag, padded — used by the cache
+        model to contrast AoS (one or two lines per history) against SoA
+        (one line *per field* per particle).
+        """
+        return 10 * 8 + 4 * 8 + 2 * 8 + 8  # 136 bytes, ~2-3 cache lines

@@ -1,0 +1,188 @@
+"""Model constants, with provenance.
+
+Every constant used by the runtime models is collected here so the whole
+figure suite demonstrably runs off one parameterisation.  Three kinds of
+numbers appear:
+
+* **instruction-count estimates** — from reading the kernels we actually
+  wrote (e.g. a Threefry-2x64-20 evaluation is ~100 ALU operations; the
+  facet handler is ~20 operations of compare/add);
+* **micro-architectural facts** — cache-line size, the fraction of stream
+  bandwidth random 64-byte accesses achieve (~0.35–0.45 on all tested
+  DDR/GDDR systems);
+* **calibrated-once constants** — ``MEM_CONCURRENCY_PER_CORE``: the
+  effective number of outstanding DRAM misses a core sustains for
+  dependent random-access chains.  These are calibrated against exactly
+  one measurement per device — the paper's Fig 6 SMT speedup — and then
+  reused unchanged in every other figure.  (The paper itself identifies
+  this quantity as the key architectural lever: "The Broadwell CPU is
+  limited to a small finite number of memory transactions per core",
+  §VIII-A.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["ModelConstants", "DEFAULT_CONSTANTS", "MEM_CONCURRENCY_PER_CORE"]
+
+#: Effective sustained outstanding DRAM misses per core under dependent
+#: random-access chains, per device (calibrated once from Fig 6; see module
+#: docstring).  GPUs express the same quantity through resident warps.
+MEM_CONCURRENCY_PER_CORE = {
+    "broadwell": 1.35,
+    "knights landing": 2.2,
+    "power8": 5.0,
+}
+
+
+@dataclass(frozen=True)
+class ModelConstants:
+    """All tunables of the analytic runtime model.
+
+    Attributes
+    ----------
+    collision_alu_ops:
+        ALU operations per collision: 3 Threefry draws (~100 ops each is an
+        overestimate amortised by ILP; we charge 60 effective each),
+        two-body kinematics incl. three sqrts, implicit capture and
+        termination logic.
+    facet_alu_ops:
+        ALU operations per facet: the Cartesian intersection arithmetic and
+        the 4-deep branch ladder — "one or two FLOPs" per branch (§VI-A).
+    census_alu_ops:
+        Census bookkeeping.
+    lookup_alu_ops:
+        Interpolation arithmetic per cross-section lookup.
+    probe_alu_ops:
+        Compare/advance per search probe.
+    random_bw_fraction:
+        Fraction of achievable stream bandwidth delivered for random
+        cache-line-sized traffic.
+    density_adjacent_fraction:
+        Fraction of facet density reads that hit the just-used cache line
+        (x-facing crossings walk adjacent cells; §V-A's "locality
+        benefits").
+    oe_bytes_per_event:
+        SoA bytes streamed per *handled event* across the Over Events
+        kernel chain (time-to-event, event determination, the event
+        handler and the separate tally loop each re-read the particle
+        fields they need — roughly 4–5 kernels × ~18 float64 fields;
+        §V-B "state is cached in the particle data store and streamed
+        from memory for each loop").
+    oe_flag_bytes_per_visit:
+        Bytes read per *inactive* particle visit per pass (the kernels
+        "visit the entire list of particles checking if they are to be
+        processed" — an event flag per kernel).
+    distance_alu_ops:
+        ALU operations of the time-to-event calculation, re-executed for
+        every active particle every OE pass (in OP it is part of the
+        per-event loop and charged within the event costs).
+    oe_gather_mlp_boost:
+        Memory-level-parallelism multiplier of the OE scheme's batched
+        gathers relative to OP's serial dependent chains (a vector gather
+        issues several independent loads).
+    oe_batched_atomic_duty:
+        Fraction of OE wall-time during which the batched tally loop runs
+        (all threads flush together, §VII-A1).
+    op_atomic_duty:
+        Same for OP, where flushes are spread along each history.
+    gather_penalty_unsupported / gather_penalty_supported:
+        Per-element extra cost factor of vector gathers without/with
+        hardware gather support (drives Fig 8's CPU-vs-KNL split).
+    vector_efficiency:
+        Fraction of ideal SIMD speedup reached by the tight OE kernels on
+        non-gather arithmetic.
+    gpu_spill_penalty:
+        Relative compute inflation per spilled register when capping
+        registers below the kernel's natural usage (§VII-E: capping
+        79→64 on the P100 cost 1.07×).  The per-architecture natural
+        register usage of the OP megakernel lives on
+        :class:`repro.machine.spec.GPUSpec` (102 on sm_35, 79 on sm_60).
+    oversubscription_switch_cost:
+        Throughput penalty per unit of software-thread oversubscription
+        (flow's 1.2× penalty at 2× oversubscription, §VI-E).
+    oversubscription_mlp_bonus:
+        Extra effective memory concurrency per unit oversubscription for
+        latency-bound codes (the OS switches on long stalls — §VI-E's
+        "context switching ... faster than waiting").
+    dispatch_cycles:
+        Cost of one dynamic/guided chunk acquisition (a contended
+        fetch-add).
+    op_shared_capacity_scale / oe_shared_capacity_scale:
+        Competition divisor on shared caches: under OP, density and tally
+        split the last level (2); under OE, the streamed particle arrays
+        continuously evict the mesh data (8).
+    soa_fields_per_event:
+        Particle fields touched per event that fall out of the innermost
+        cache under the SoA layout (line-granularity waste, §VI-D).
+    gpu_warp_mlp:
+        Outstanding cache lines one warp sustains on a dependent
+        uncoalesced access chain.
+    gpu_stream_efficiency / cpu_stream_efficiency:
+        Fraction of achievable bandwidth reached by the OE scheme's short
+        streaming kernels (barrier entry/exit and gather interludes keep
+        the memory system from its steady-state rate).
+    gpu_atomic_emulation_factor:
+        Extra memory transactions per tally flush when double atomicAdd is
+        CAS-emulated (Kepler); removing it is the P100's measured 1.20×
+        (§VIII-A).
+    gpu_oe_registers:
+        Per-thread registers of the (small) Over Events kernels.
+    privatized_store_cost_fraction:
+        Fraction of the line latency a privatised-tally store still costs:
+        stores retire through the write buffer without waiting for the
+        line, but sustained random stores eventually stall on fill/RFO
+        capacity.
+    """
+
+    collision_alu_ops: float = 400.0
+    facet_alu_ops: float = 22.0
+    census_alu_ops: float = 12.0
+    lookup_alu_ops: float = 10.0
+    probe_alu_ops: float = 3.0
+    distance_alu_ops: float = 45.0
+    random_bw_fraction: float = 0.4
+    density_adjacent_fraction: float = 0.35
+    oe_bytes_per_event: float = 650.0
+    oe_flag_bytes_per_visit: float = 32.0
+    oe_gather_mlp_boost: float = 1.6
+    oe_batched_atomic_duty: float = 1.0
+    op_atomic_duty: float = 0.5
+    op_shared_capacity_scale: float = 2.0
+    oe_shared_capacity_scale: float = 8.0
+    soa_fields_per_event: float = 6.0
+    gather_penalty_unsupported: float = 1.0
+    gather_penalty_supported: float = 0.15
+    vector_efficiency: float = 0.6
+    gpu_spill_penalty: float = 0.35
+    gpu_warp_mlp: float = 1.0
+    gpu_stream_efficiency: float = 0.6
+    cpu_stream_efficiency: float = 0.7
+    oe_tally_kernel_byte_share: float = 0.2
+    privatized_store_cost_fraction: float = 0.7
+    single_thread_stream_gbs: float = 8.0
+    migration_cost_us: float = 0.5
+    decomposed_remote_fraction: float = 0.05
+    gpu_atomic_emulation_factor: float = 1.4
+    gpu_oe_registers: int = 40
+    oversubscription_switch_cost: float = 0.2
+    oversubscription_mlp_bonus: float = 0.08
+    dispatch_cycles: float = 80.0
+
+    mem_concurrency: dict = field(
+        default_factory=lambda: dict(MEM_CONCURRENCY_PER_CORE)
+    )
+
+    def mem_concurrency_for(self, machine_name: str) -> float:
+        """Per-core outstanding-miss capacity for a device (by registry key
+        or full name); defaults to 2.0 for unknown CPUs."""
+        key = machine_name.lower()
+        for name, value in self.mem_concurrency.items():
+            if name in key:
+                return value
+        return 2.0
+
+
+#: The single parameterisation used by every benchmark and figure.
+DEFAULT_CONSTANTS = ModelConstants()

@@ -1,0 +1,579 @@
+"""CPU runtime model.
+
+Predicts the wall-clock time of a transport run on a CPU node from the
+measured workload and the machine description.  The structure mirrors the
+paper's own analysis of what limits the application:
+
+* per-history work splits into **compute cycles** ``C`` (event arithmetic,
+  RNG, search probes — §VI-A's "limited number of FLOPS ... primarily on
+  data in registers") and **stall cycles** ``S`` (the random density read,
+  the atomic tally flush, search-probe misses);
+* a core running ``k`` SMT threads completes their work in
+  ``max(kC, kS/min(k, MLP), C+S)`` cycles — issue-bound, memory-concurrency
+  bound (``MLP`` = the "small finite number of memory transactions per
+  core", §VIII-A), or bound by one thread's serial chain;
+* threads on a remote socket pay the NUMA latency multiplier on their
+  misses (data is first-touched on socket 0); POWER8 threads beyond the
+  first 5-core cluster pay the cluster-crossing penalty (§VI-B);
+* the whole node is additionally capped by the random-access bandwidth of
+  the socket holding the data, and — for the Over Events scheme — by the
+  streaming bandwidth consumed re-reading the particle store every pass;
+* the makespan inherits the load imbalance of the chosen OpenMP schedule,
+  replayed exactly over the measured per-history work distribution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+import numpy as np
+
+from repro.core.config import Layout, Scheme, SearchStrategy
+from repro.machine.spec import CPUSpec
+from repro.parallel.affinity import Affinity, ThreadPlacement, place_threads
+from repro.parallel.atomics import atomic_op_cost_cycles
+from repro.parallel.schedule import ScheduleKind, simulate_parallel_for
+from repro.perfmodel.costs import DEFAULT_CONSTANTS, ModelConstants
+from repro.perfmodel.memory import random_access_latency_cycles, streaming_seconds
+from repro.perfmodel.workload import Workload
+
+__all__ = ["TallyMode", "CPUOptions", "CPUPrediction", "predict_cpu",
+           "oe_vector_speedups"]
+
+#: Bytes of one cache line (the unit of random traffic).
+LINE_BYTES = 64.0
+
+
+class TallyMode(Enum):
+    """Tally implementations studied in §VI-F."""
+
+    ATOMIC = "atomic"
+    PRIVATIZED = "privatized"
+    PRIVATIZED_MERGE_EVERY_STEP = "privatized_merge"
+
+
+class DataPlacement(Enum):
+    """Where the mesh data lives relative to the threads.
+
+    ``FIRST_TOUCH`` is the paper's (implicit) setup: the master thread
+    initialises the fields, so they sit on socket 0 and remote-socket
+    threads pay the NUMA latency — the Fig 3 cliff.  ``INTERLEAVED`` is
+    the page-striping alternative the paper mentions ("if you instead
+    interleaved the threads on NUMA nodes, the scaling drops slower").
+    ``DECOMPOSED`` models the §IX future-work MPI-rank-per-NUMA-domain
+    decomposition: every access is local, at the price of migrating
+    particles between ranks at subdomain crossings.
+    """
+
+    FIRST_TOUCH = "first_touch"
+    INTERLEAVED = "interleaved"
+    DECOMPOSED = "decomposed"
+
+
+@dataclass(frozen=True)
+class CPUOptions:
+    """Experiment configuration for one CPU prediction.
+
+    Defaults reproduce the paper's headline setup: Over Particles, AoS,
+    atomic tally, cached-linear search, static schedule, compact affinity.
+    """
+
+    nthreads: int
+    scheme: Scheme = Scheme.OVER_PARTICLES
+    layout: Layout = Layout.AOS
+    tally: TallyMode = TallyMode.ATOMIC
+    search: SearchStrategy = SearchStrategy.CACHED_LINEAR
+    affinity: Affinity = Affinity.COMPACT
+    schedule: ScheduleKind = ScheduleKind.STATIC
+    chunk: int = 16
+    vectorized: bool = True
+    use_fast_memory: bool = False
+    exact_schedule_sim: bool = False
+    placement_policy: DataPlacement = DataPlacement.FIRST_TOUCH
+
+
+@dataclass(frozen=True)
+class CPUPrediction:
+    """Model output.
+
+    Attributes
+    ----------
+    seconds:
+        Predicted wall-clock time.
+    breakdown:
+        Per-thread cycle totals by component (compute, density, tally,
+        search, streaming-equivalent, ...).
+    tally_fraction:
+        Share of per-thread time spent on tally flushes — the §VI-A
+        profiling number (~50% OP, ~22% OE).
+    achieved_bandwidth_gbs:
+        Total bytes moved / seconds.
+    grind_times_ns:
+        Node-level wall-clock per event, by event type (the §VI-A 18 ns /
+        3 ns numbers are node-level: runtime divided by event count).
+    utilization:
+        Core issue-slot utilisation of the binding thread group.
+    imbalance_factor:
+        Makespan / mean busy time of the schedule replay.
+    placement:
+        Where the threads landed.
+    bound:
+        Which term bound the runtime ("latency", "bandwidth", "compute").
+    """
+
+    seconds: float
+    breakdown: dict
+    tally_fraction: float
+    achieved_bandwidth_gbs: float
+    grind_times_ns: dict
+    utilization: float
+    imbalance_factor: float
+    placement: ThreadPlacement
+    bound: str
+
+
+# ---------------------------------------------------------------------------
+# Component costs
+# ---------------------------------------------------------------------------
+
+def _per_particle_cycles(
+    w: Workload,
+    spec: CPUSpec,
+    opt: CPUOptions,
+    k_per_core: float,
+    remote_fraction: float,
+    cluster: bool,
+    con: ModelConstants,
+) -> tuple[float, float, dict]:
+    """Compute (C, S, breakdown) cycles per particle for one thread class."""
+    numa_frac = remote_fraction
+    shared_scale = (
+        con.oe_shared_capacity_scale
+        if opt.scheme is Scheme.OVER_EVENTS
+        else con.op_shared_capacity_scale
+    )
+    if opt.tally is not TallyMode.ATOMIC:
+        # Privatised copies inflate the cache footprint (§VI-F).
+        threads_on_socket = min(
+            opt.nthreads, spec.cores_per_socket * spec.smt_per_core
+        )
+        # Each thread mostly touches its own copy near its particles, so
+        # the effective extra competition grows sub-linearly in threads.
+        shared_scale = shared_scale * max(1.0, threads_on_socket / 8.0)
+
+    mesh_bytes = w.mesh_bytes()
+
+    # --- compute cycles ---------------------------------------------------
+    # Both schemes honour the configured search strategy: the cached-bin
+    # trick lives in the particle data either way (§VI-A).
+    if opt.search is SearchStrategy.CACHED_LINEAR:
+        probes_pp = w.lookups_pp * max(w.linear_probes_per_lookup, 2.0)
+    else:
+        probes_pp = w.lookups_pp * max(
+            w.binary_probes_per_lookup, np.log2(max(w.xs_table_bytes / 32.0, 2.0))
+        )
+
+    alu = (
+        w.collisions_pp * con.collision_alu_ops
+        + w.facets_pp * con.facet_alu_ops
+        + w.census_pp * con.census_alu_ops
+        + w.lookups_pp * con.lookup_alu_ops
+        + probes_pp * con.probe_alu_ops
+    )
+    if opt.scheme is Scheme.OVER_EVENTS:
+        events_pp = w.collisions_pp + w.facets_pp + w.census_pp
+        alu += events_pp * con.distance_alu_ops
+        # Inactive-lane visits: flag checks for passes beyond the history.
+        alu += max(w.oe_passes - events_pp, 0.0) * 2.0
+    if opt.layout is Layout.SOA and opt.scheme is Scheme.OVER_PARTICLES:
+        # Field-by-field addressing costs extra instructions on top of the
+        # cache-line waste priced below (§VI-D).
+        events_pp = w.collisions_pp + w.facets_pp + w.census_pp
+        alu += events_pp * con.soa_fields_per_event
+    issue = spec.issue_width
+    if opt.scheme is Scheme.OVER_EVENTS and opt.vectorized:
+        speedups = oe_vector_speedups(spec, con)
+        alu = alu / speedups["overall"]
+        # Vector pipelines issue at full rate even on cores whose scalar
+        # branchy IPC is poor (KNL's VPUs vs its Silvermont front end).
+        issue = max(issue, 2.0)
+
+    compute = alu / issue
+
+    # --- stall cycles -----------------------------------------------------
+    common = dict(
+        threads_per_core=max(1.0, k_per_core),
+        numa_remote_fraction=numa_frac,
+        cluster_penalty=cluster,
+        use_fast_memory=opt.use_fast_memory,
+        shared_capacity_scale=shared_scale,
+    )
+    density_lat = random_access_latency_cycles(
+        spec,
+        mesh_bytes,
+        adjacent_fraction=con.density_adjacent_fraction,
+        **common,
+    )
+    density = w.density_reads_pp * density_lat
+
+    tally_line_lat = random_access_latency_cycles(
+        spec,
+        mesh_bytes,
+        adjacent_fraction=con.density_adjacent_fraction,
+        **common,
+    )
+    if opt.tally is TallyMode.ATOMIC:
+        duty = (
+            con.oe_batched_atomic_duty
+            if opt.scheme is Scheme.OVER_EVENTS
+            else con.op_atomic_duty
+        )
+        contenders = max(1, int(round(opt.nthreads * duty)))
+        atomic = atomic_op_cost_cycles(
+            spec.atomic_latency_cycles,
+            w.conflict_probability,
+            contenders,
+        )
+        tally = w.flushes_pp * (tally_line_lat + atomic)
+    else:
+        # Plain store into the thread-private copy: no RMW round trip, no
+        # contention, and the store buffer hides most of the line-fill
+        # latency (the thread does not wait for the RFO to complete).
+        tally = w.flushes_pp * con.privatized_store_cost_fraction * tally_line_lat
+
+    table_lat = random_access_latency_cycles(
+        spec, w.xs_table_bytes, adjacent_fraction=0.0, **common
+    )
+    innermost = spec.caches[0].latency_cycles
+    if opt.search is SearchStrategy.CACHED_LINEAR:
+        # One random table touch to reach the cached bin's line; the walk
+        # then scans *sequential* lines, which the prefetchers stream —
+        # charge one innermost-latency touch per line (8 entries) scanned.
+        search = w.lookups_pp * table_lat + (probes_pp / 8.0) * innermost
+    else:
+        # Every bisection probe is a dependent random access into the
+        # (multi-megabyte) table.
+        search = probes_pp * table_lat
+
+    soa = 0.0
+    if opt.layout is Layout.SOA and opt.scheme is Scheme.OVER_PARTICLES:
+        events_pp = w.collisions_pp + w.facets_pp + w.census_pp
+        second_lat = (
+            spec.caches[1].latency_cycles if len(spec.caches) > 1 else innermost * 3
+        )
+        soa = events_pp * con.soa_fields_per_event * (second_lat - innermost)
+
+    stall = density + tally + search + soa
+    breakdown = {
+        "compute": compute,
+        "density": density,
+        "tally": tally,
+        "search": search,
+        "soa_penalty": soa,
+    }
+    return compute, stall, breakdown
+
+
+def _core_cycles(
+    c: float, s: float, k: float, mlp: float, oversub_ratio: float,
+    busy_fraction: float, con: ModelConstants,
+) -> float:
+    """Cycles for one core to complete k threads of (C, S) work each.
+
+    ``max(kC, kS/min(k, MLP), C+S)`` plus the oversubscription effects:
+    a switch-cost penalty proportional to the busy fraction and a small
+    concurrency bonus for latency-bound threads (§VI-E).
+    """
+    k = max(k, 1.0)
+    mlp_eff = mlp
+    penalty = 1.0
+    if oversub_ratio > 1.0:
+        mlp_eff = mlp * (1.0 + con.oversubscription_mlp_bonus * (oversub_ratio - 1.0))
+        penalty = 1.0 + con.oversubscription_switch_cost * (oversub_ratio - 1.0) * busy_fraction
+    return penalty * max(k * c, k * s / min(k, mlp_eff), c + s)
+
+
+# ---------------------------------------------------------------------------
+# Vectorisation (Fig 8)
+# ---------------------------------------------------------------------------
+
+def oe_vector_speedups(spec: CPUSpec, con: ModelConstants = DEFAULT_CONSTANTS) -> dict:
+    """Per-kernel SIMD speedups of the Over Events scheme.
+
+    Each kernel's speedup is ``width × efficiency / (1 + gathers ×
+    gather_penalty)``: gathers per vector element serialise on machines
+    without hardware gather support (Fig 8: on Broadwell only the facet
+    kernel gained; KNL gained everywhere).
+    """
+    width = spec.vector_width_f64
+    eff = con.vector_efficiency
+    pen = (
+        con.gather_penalty_supported
+        if spec.vector_gather_supported
+        else con.gather_penalty_unsupported
+    )
+    gathers = {
+        # cross-section table gathers: 2 lookups × (probe chain ≈ 2 lines)
+        "collision": 4.0,
+        # destination-density gather
+        "facet": 1.0,
+        # pure arithmetic on contiguous fields
+        "distance": 0.0,
+        "census": 0.0,
+    }
+    out = {}
+    for kernel, g in gathers.items():
+        out[kernel] = max(1.0, width * eff / (1.0 + g * pen))
+    # Event-count-weighted blend used for the aggregate compute term; the
+    # distance kernel dominates instruction counts.
+    out["overall"] = max(
+        1.0,
+        0.5 * out["distance"] + 0.25 * out["facet"] + 0.25 * out["collision"],
+    )
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Top-level prediction
+# ---------------------------------------------------------------------------
+
+def predict_cpu(
+    workload: Workload,
+    spec: CPUSpec,
+    options: CPUOptions,
+    constants: ModelConstants = DEFAULT_CONSTANTS,
+) -> CPUPrediction:
+    """Predict the wall-clock seconds of a run on a CPU node."""
+    w = workload
+    opt = options
+    con = constants
+    n = w.nparticles
+    if opt.scheme is Scheme.OVER_EVENTS and opt.layout is Layout.AOS:
+        raise ValueError("the Over Events scheme requires the SoA layout")
+
+    placement = place_threads(
+        opt.nthreads,
+        spec.sockets,
+        spec.cores_per_socket,
+        spec.smt_per_core,
+        opt.affinity,
+    )
+    mlp = con.mem_concurrency_for(spec.name)
+    if opt.scheme is Scheme.OVER_EVENTS:
+        mlp = mlp * con.oe_gather_mlp_boost
+    oversub_ratio = max(
+        1.0, opt.nthreads / (spec.total_cores * spec.smt_per_core)
+    )
+
+    # --- thread classes: (socket, beyond-first-cluster) -------------------
+    # Data is first-touched on socket 0; remote threads pay NUMA latency.
+    per_core = placement.per_core
+    particles_per_thread = n / opt.nthreads
+
+    class_times = []
+    class_info = []
+    for core, count in enumerate(per_core):
+        if count == 0:
+            continue
+        socket = placement.socket_of_core(core)
+        if opt.placement_policy is DataPlacement.FIRST_TOUCH:
+            remote = 1.0 if socket != 0 else 0.0
+        elif opt.placement_policy is DataPlacement.INTERLEAVED:
+            remote = (placement.sockets_used - 1) / max(placement.sockets_used, 1)
+        else:  # DECOMPOSED: each rank's data is local bar halo/migration
+            remote = con.decomposed_remote_fraction
+        cluster = (
+            spec.cores_per_cluster > 0
+            and (core % spec.cores_per_socket) >= spec.cores_per_cluster
+        )
+        key = (count, remote, cluster)
+        if key in class_info:
+            continue
+        class_info.append(key)
+        c_pp, s_pp, breakdown = _per_particle_cycles(
+            w, spec, opt, float(count), remote, cluster, con
+        )
+        c = c_pp * particles_per_thread
+        s = s_pp * particles_per_thread
+        busy_frac = c / max(c + s, 1e-300)
+        cyc = _core_cycles(c, s, float(count), mlp, oversub_ratio, busy_frac, con)
+        class_times.append((cyc, c, s, breakdown, busy_frac))
+
+    cyc_max, c_ref, s_ref, breakdown, busy_frac = max(
+        class_times, key=lambda t: t[0]
+    )
+    latency_seconds = cyc_max / (spec.clock_ghz * 1.0e9)
+
+    # --- schedule imbalance ------------------------------------------------
+    if opt.exact_schedule_sim:
+        work = w.work_distribution(n)
+        outcome = simulate_parallel_for(work, opt.nthreads, opt.schedule, opt.chunk)
+        mean_busy = outcome.thread_busy.mean()
+        imbalance = outcome.makespan / mean_busy if mean_busy > 0 else 1.0
+        dispatch_s = (
+            outcome.chunks_dispatched
+            * con.dispatch_cycles
+            / opt.nthreads
+            / (spec.clock_ghz * 1.0e9)
+        )
+    else:
+        # Analytic static-schedule imbalance: thread sums of m items
+        # concentrate as 1/sqrt(m); the expected maximum of T near-Gaussian
+        # sums sits sqrt(2 ln T) sigmas above the mean.
+        m = max(particles_per_thread, 1.0)
+        if opt.schedule is ScheduleKind.STATIC:
+            imbalance = 1.0 + w.work_cv * np.sqrt(2.0 * np.log(max(opt.nthreads, 2)) / m)
+            dispatch_s = 0.0
+        else:
+            chunks = n / max(opt.chunk, 1)
+            imbalance = 1.0 + opt.chunk * (1.0 + w.work_cv) / (2.0 * m)
+            dispatch_s = chunks * con.dispatch_cycles / opt.nthreads / (
+                spec.clock_ghz * 1.0e9
+            )
+    latency_seconds = latency_seconds * imbalance + dispatch_s
+
+    # --- bandwidth caps ----------------------------------------------------
+    # Random traffic (cache-line sized): non-adjacent density reads and
+    # tally flushes (flushes are read-modify-write: two line transfers).
+    # Only the cache-missing share reaches the memory controllers — at
+    # paper scale essentially all of it, at reduced validation scales
+    # almost none (the mesh is cache-resident).
+    from repro.perfmodel.memory import memory_miss_fraction
+
+    miss_frac = memory_miss_fraction(
+        spec,
+        w.mesh_bytes(),
+        threads_per_core=max(1.0, placement.threads_per_core),
+        shared_capacity_scale=(
+            con.oe_shared_capacity_scale
+            if opt.scheme is Scheme.OVER_EVENTS
+            else con.op_shared_capacity_scale
+        ),
+    )
+    random_lines = miss_frac * n * (
+        w.density_reads_pp * (1.0 - con.density_adjacent_fraction)
+        + w.flushes_pp * 2.0 * (1.0 - con.density_adjacent_fraction)
+    )
+    region = (
+        spec.fast_memory
+        if (opt.use_fast_memory and spec.fast_memory)
+        else spec.dram
+    )
+    # First-touch pins the data to socket 0's controllers; interleaving or
+    # decomposing spreads the traffic over every populated socket's.
+    if opt.placement_policy is DataPlacement.FIRST_TOUCH:
+        socket_bw = region.bandwidth_gbs / spec.sockets
+    else:
+        socket_bw = (
+            region.bandwidth_gbs / spec.sockets * placement.sockets_used
+        )
+    random_bytes = random_lines * LINE_BYTES
+    random_bw_seconds = streaming_seconds(
+        random_bytes, socket_bw * region.random_bw_fraction
+    )
+
+    stream_bytes = 0.0
+    stream_seconds = 0.0
+    if opt.scheme is Scheme.OVER_EVENTS:
+        events = n * (w.collisions_pp + w.facets_pp + w.census_pp)
+        stream_bytes = (
+            events * con.oe_bytes_per_event
+            + w.oe_passes * n * con.oe_flag_bytes_per_visit
+        )
+        stream_seconds = streaming_seconds(
+            stream_bytes, socket_bw * con.cpu_stream_efficiency
+        )
+    else:
+        stream_bytes = n * 136.0 * 2.0  # read + write back each history
+        stream_seconds = streaming_seconds(stream_bytes, socket_bw)
+
+    # --- tally privatisation merge (§VI-F) ----------------------------------
+    # A host code needs the merged tally each timestep.  The compress is a
+    # master-thread reduction over every private copy (the natural, naive
+    # implementation) plus re-zeroing the copies, so it runs at a single
+    # thread's streaming rate — which is what makes it "significantly
+    # slower than when using atomic operations" in the paper.
+    merge_seconds = 0.0
+    if opt.tally is TallyMode.PRIVATIZED_MERGE_EVERY_STEP:
+        merge_bytes = opt.nthreads * w.mesh_bytes() * 2.0
+        merge_seconds = streaming_seconds(
+            merge_bytes, con.single_thread_stream_gbs
+        )
+
+    # --- §IX decomposition: particle migration between ranks ---------------
+    migration_seconds = 0.0
+    if (
+        opt.placement_policy is DataPlacement.DECOMPOSED
+        and placement.sockets_used > 1
+    ):
+        ranks = placement.sockets_used
+        # An x-decomposition into `ranks` slabs has ranks−1 internal
+        # planes; a particle crosses one per mesh-width traversal.
+        migrations = n * w.facets_pp * (ranks - 1) / max(w.mesh_nx, 1)
+        migration_seconds = (
+            migrations * con.migration_cost_us * 1e-6 / ranks
+        )
+
+    if opt.scheme is Scheme.OVER_EVENTS:
+        # The barriered kernel chain serialises the latency-bound gather
+        # kernels against the streaming passes over the particle store.
+        gather_seconds = max(latency_seconds, random_bw_seconds)
+        seconds = gather_seconds + stream_seconds + merge_seconds + migration_seconds
+        bound = (
+            "streaming"
+            if stream_seconds > gather_seconds
+            else ("latency" if latency_seconds >= random_bw_seconds else "bandwidth")
+        )
+    else:
+        bw_seconds = random_bw_seconds + stream_seconds
+        seconds = max(latency_seconds, bw_seconds) + merge_seconds + migration_seconds
+        bound = "latency" if latency_seconds >= bw_seconds else "bandwidth"
+        if c_ref >= s_ref and bound == "latency":
+            bound = "compute"
+
+    # Streaming appears in the breakdown in per-thread cycle equivalents so
+    # shares (e.g. the tally fraction) account for it.  The separate tally
+    # loop owns its slice of the streamed bytes (it re-reads the deposit
+    # buffers and cell indices), so that slice is attributed to "tally" —
+    # this is what keeps the OE tally share near the paper's 22%.
+    breakdown = dict(breakdown)
+    if opt.scheme is Scheme.OVER_EVENTS:
+        stream_equiv = (
+            stream_seconds * spec.clock_ghz * 1.0e9 * sum(breakdown.values())
+            / max(cyc_max, 1e-300)
+        )
+        tally_slice = stream_equiv * con.oe_tally_kernel_byte_share
+        breakdown["tally"] = breakdown["tally"] + tally_slice
+        breakdown["streaming"] = stream_equiv - tally_slice
+    else:
+        breakdown["streaming"] = 0.0
+
+    total_bytes = random_bytes + stream_bytes
+    # Grind time per event type (§VI-A's node-level ns/event): apportion
+    # wall-clock by each type's share of per-thread cycles — collision-ish
+    # work (compute + search) vs facet-ish work (density + tally) — then
+    # divide by the type's event count.
+    grind = {"collision": 0.0, "facet": 0.0}
+    c_share = breakdown["compute"] + breakdown["search"]
+    f_share = breakdown["density"] + breakdown["tally"] + breakdown["soa_penalty"]
+    total_share = max(c_share + f_share, 1e-300)
+    if w.collisions_pp > 0:
+        grind["collision"] = (
+            seconds * (c_share / total_share) / (w.collisions_pp * n) * 1e9
+        )
+    if w.facets_pp > 0:
+        grind["facet"] = seconds * (f_share / total_share) / (w.facets_pp * n) * 1e9
+
+    return CPUPrediction(
+        seconds=seconds,
+        breakdown=breakdown,
+        tally_fraction=breakdown["tally"]
+        / max(sum(breakdown.values()), 1e-300),
+        achieved_bandwidth_gbs=total_bytes / seconds / 1.0e9,
+        grind_times_ns=grind,
+        utilization=busy_frac,
+        imbalance_factor=imbalance,
+        placement=placement,
+        bound=bound,
+    )

@@ -1,0 +1,30 @@
+"""Speedup and parallel-efficiency helpers for the scaling figures."""
+
+from __future__ import annotations
+
+__all__ = ["speedup", "parallel_efficiency", "efficiency_series"]
+
+
+def speedup(t_base: float, t_new: float) -> float:
+    """``t_base / t_new`` — >1 means the new configuration is faster."""
+    if t_base <= 0 or t_new <= 0:
+        raise ValueError("times must be positive")
+    return t_base / t_new
+
+
+def parallel_efficiency(t1: float, tn: float, nthreads: int) -> float:
+    """``t1 / (n × tn)`` — 1.0 is ideal strong scaling."""
+    if nthreads < 1:
+        raise ValueError("need at least one thread")
+    return speedup(t1, tn) / nthreads
+
+
+def efficiency_series(times: dict[int, float]) -> dict[int, float]:
+    """Parallel efficiency for a {nthreads: seconds} sweep.
+
+    The single-thread entry is the baseline; it must be present.
+    """
+    if 1 not in times:
+        raise ValueError("the sweep must include nthreads=1 as the baseline")
+    t1 = times[1]
+    return {n: parallel_efficiency(t1, t, n) for n, t in sorted(times.items())}

@@ -1,0 +1,180 @@
+"""GPU runtime model.
+
+Predicts device wall-clock from the measured workload and a
+:class:`repro.machine.spec.GPUSpec`, following the paper's GPU analysis
+(§VII-D/E, §VIII-A):
+
+* the Over Particles megakernel is **memory-latency bound**: each in-flight
+  history advances through a dependent chain of uncoalesced accesses
+  (density read, tally RMW).  Throughput is set by how many lines the
+  device keeps in flight — resident warps per SM, register-limited
+  (§VI-H's occupancy arithmetic), clipped at the device's saturation point
+  (small on Pascal);
+* random traffic is additionally capped by the memory system's random-access
+  bandwidth (the 35 GB/s ≈ 20% and 125 GB/s ≈ 25% figures);
+* the Over Events kernels stream the particle store every pass (coalesced,
+  high bandwidth — the K20X's 90 GB/s ≈ 50%) *in addition to* the same
+  random gathers, with the kernel chain serialising the two;
+* tally flushes cost extra transactions where double atomicAdd must be
+  CAS-emulated (K20X); the P100's native instruction removes this — the
+  paper measured the difference at 1.20× end-to-end;
+* branch divergence inflates compute by the warp-coherence factor — real
+  but minor here, as the profiler told the authors (§VII-E).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import Scheme
+from repro.machine.spec import GPUSpec
+from repro.perfmodel.costs import DEFAULT_CONSTANTS, ModelConstants
+from repro.perfmodel.workload import Workload
+
+__all__ = ["GPUOptions", "GPUPrediction", "predict_gpu"]
+
+LINE_BYTES = 64.0
+
+
+@dataclass(frozen=True)
+class GPUOptions:
+    """Experiment configuration for one GPU prediction.
+
+    Attributes
+    ----------
+    scheme:
+        Over Particles or Over Events.
+    max_registers:
+        Compiler register cap (``-maxrregcount``); ``None`` leaves the
+        kernel's natural usage (102 on sm_35, 79 on sm_60).
+    force_emulated_atomics:
+        Model double atomicAdd as CAS-emulated even on devices with native
+        support — the §VIII-A counterfactual that isolates the intrinsic's
+        1.20× contribution.
+    """
+
+    scheme: Scheme = Scheme.OVER_PARTICLES
+    max_registers: int | None = None
+    force_emulated_atomics: bool = False
+
+
+@dataclass(frozen=True)
+class GPUPrediction:
+    """Model output for a GPU run."""
+
+    seconds: float
+    breakdown: dict
+    occupancy: float
+    active_warps_per_sm: int
+    registers_per_thread: int
+    achieved_bandwidth_gbs: float
+    warp_coherence: float
+    bound: str
+
+
+def predict_gpu(
+    workload: Workload,
+    spec: GPUSpec,
+    options: GPUOptions = GPUOptions(),
+    constants: ModelConstants = DEFAULT_CONSTANTS,
+) -> GPUPrediction:
+    """Predict device wall-clock seconds for a transport run."""
+    w = workload
+    con = constants
+    n = w.nparticles
+    events = n * (w.collisions_pp + w.facets_pp + w.census_pp)
+
+    # --- occupancy from register pressure (§VI-H) -------------------------
+    natural_regs = (
+        spec.op_kernel_registers
+        if options.scheme is Scheme.OVER_PARTICLES
+        else con.gpu_oe_registers
+    )
+    regs = natural_regs
+    spill_factor = 1.0
+    if options.max_registers is not None and options.max_registers < natural_regs:
+        regs = options.max_registers
+        spill_factor = 1.0 + con.gpu_spill_penalty * (
+            (natural_regs - regs) / natural_regs
+        )
+    warps = spec.warps_for_registers(regs)
+    occupancy = warps / spec.max_warps_per_sm
+    warps_eff = min(warps, spec.saturation_warps_per_sm)
+
+    # --- random (uncoalesced) traffic --------------------------------------
+    emulated = options.force_emulated_atomics or not spec.native_double_atomics
+    atomic_factor = con.gpu_atomic_emulation_factor if emulated else 1.0
+    random_lines_pp = w.density_reads_pp + w.flushes_pp * 2.0 * atomic_factor
+    random_lines = n * random_lines_pp
+    random_bytes = random_lines * LINE_BYTES
+
+    latency_s = spec.memory_latency_cycles / (spec.clock_ghz * 1.0e9)
+    # Each resident warp sustains ~gpu_warp_mlp outstanding lines of its
+    # dependent chain; the device completes lines at warps × MLP per
+    # latency.
+    line_rate = spec.sms * warps_eff * con.gpu_warp_mlp / latency_s
+    latency_seconds = random_lines / line_rate * spill_factor
+
+    random_bw_seconds = random_bytes / (
+        spec.memory.random_bandwidth_gbs() * 1.0e9
+    )
+
+    # --- compute with divergence (§VII-E) ----------------------------------
+    coherence = w.warp_event_coherence()
+    alu_pp = (
+        w.collisions_pp * con.collision_alu_ops
+        + w.facets_pp * con.facet_alu_ops
+        + w.census_pp * con.census_alu_ops
+        + w.lookups_pp * con.lookup_alu_ops
+    )
+    if options.scheme is Scheme.OVER_EVENTS:
+        alu_pp += (w.collisions_pp + w.facets_pp + w.census_pp) * con.distance_alu_ops
+        coherence = 1.0  # each OE kernel is branch-uniform
+    warp_instructions = n * alu_pp / spec.warp_size / coherence * spill_factor
+    compute_seconds = warp_instructions / (
+        spec.sms * spec.issue_width * spec.clock_ghz * 1.0e9
+    )
+
+    # --- Over Events streaming (coalesced) ---------------------------------
+    stream_seconds = 0.0
+    stream_bytes = 0.0
+    if options.scheme is Scheme.OVER_EVENTS:
+        stream_bytes = (
+            events * con.oe_bytes_per_event
+            + w.oe_passes * n * con.oe_flag_bytes_per_visit
+        )
+        stream_seconds = stream_bytes / (
+            spec.memory.bandwidth_gbs * con.gpu_stream_efficiency * 1.0e9
+        )
+
+    random_seconds = max(latency_seconds, random_bw_seconds)
+    if options.scheme is Scheme.OVER_EVENTS:
+        # The kernel chain serialises the streaming passes and the gather/
+        # scatter kernels; compute overlaps within each.
+        seconds = random_seconds + stream_seconds + 0.2 * compute_seconds
+        bound = "streaming" if stream_seconds > random_seconds else (
+            "latency" if latency_seconds >= random_bw_seconds else "bandwidth"
+        )
+    else:
+        seconds = max(random_seconds, compute_seconds)
+        if compute_seconds >= random_seconds:
+            bound = "compute"
+        else:
+            bound = "latency" if latency_seconds >= random_bw_seconds else "bandwidth"
+
+    total_bytes = random_bytes + stream_bytes
+    return GPUPrediction(
+        seconds=seconds,
+        breakdown={
+            "latency_s": latency_seconds,
+            "random_bw_s": random_bw_seconds,
+            "compute_s": compute_seconds,
+            "stream_s": stream_seconds,
+        },
+        occupancy=occupancy,
+        active_warps_per_sm=warps,
+        registers_per_thread=regs,
+        achieved_bandwidth_gbs=total_bytes / seconds / 1.0e9,
+        warp_coherence=coherence,
+        bound=bound,
+    )

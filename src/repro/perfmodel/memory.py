@@ -1,0 +1,144 @@
+"""Memory-hierarchy latency and bandwidth model.
+
+The algorithm's defining access is a *random* load (density read) or
+read-modify-write (tally flush) over a working set far larger than any
+cache at paper scale (a 4000² float64 field is 128 MB).  Expected access
+latency follows the standard hierarchical model: the probability of hitting
+a level is the fraction of the working set that fits there, evaluated
+innermost-first; misses in all levels pay the memory latency (DRAM, MCDRAM
+or GDDR/HBM), possibly scaled by a NUMA or cluster penalty.
+
+Capacity accounting under threading:
+
+* private levels (L1/L2) are divided among the SMT threads of a core;
+* shared levels (L3) are divided among the active threads of the socket;
+* a privatised tally multiplies the *working set* per thread's tally
+  accesses stay the same, but it evicts everyone else — modelled by
+  scaling the shared-level capacity by the total-footprint inflation
+  (§VI-F's "increased memory footprint caused negative cache effects").
+"""
+
+from __future__ import annotations
+
+from repro.machine.spec import CPUSpec
+
+__all__ = [
+    "effective_cache_levels",
+    "random_access_latency_cycles",
+    "streaming_seconds",
+]
+
+
+def effective_cache_levels(
+    spec: CPUSpec,
+    threads_per_core: float,
+    threads_per_socket: float,
+    shared_capacity_scale: float = 1.0,
+) -> list[tuple[float, float]]:
+    """Per-thread effective (capacity, latency) of each cache level.
+
+    Parameters
+    ----------
+    spec:
+        The CPU description.
+    threads_per_core:
+        Software threads sharing each core's private caches.
+    threads_per_socket:
+        Software threads sharing each socket's shared cache.
+    shared_capacity_scale:
+        Extra divisor on shared capacity (>1 models footprint inflation,
+        e.g. privatised tallies).
+    """
+    if threads_per_core < 1 or threads_per_socket < 1:
+        raise ValueError("thread counts must be >= 1")
+    levels = []
+    for level in spec.caches:
+        if level.shared:
+            cap = level.size_bytes / threads_per_socket / shared_capacity_scale
+        else:
+            cap = level.size_bytes / threads_per_core
+        levels.append((cap, level.latency_cycles))
+    return levels
+
+
+def random_access_latency_cycles(
+    spec: CPUSpec,
+    working_set_bytes: float,
+    threads_per_core: float = 1.0,
+    threads_per_socket: float = 1.0,
+    adjacent_fraction: float = 0.0,
+    numa_remote_fraction: float = 0.0,
+    cluster_penalty: bool = False,
+    use_fast_memory: bool = False,
+    shared_capacity_scale: float = 1.0,
+) -> float:
+    """Expected cycles for one random access over ``working_set_bytes``.
+
+    ``adjacent_fraction`` of accesses hit the innermost cache regardless of
+    the working set (spatial locality: x-facing facet crossings touch the
+    line already loaded).  ``numa_remote_fraction`` of memory-level misses
+    pay the remote-socket multiplier.  ``cluster_penalty`` adds the on-chip
+    cluster-crossing cost to shared-cache hits (POWER8, §VI-B).
+    """
+    if working_set_bytes <= 0:
+        raise ValueError("working set must be positive")
+    if not 0.0 <= adjacent_fraction <= 1.0:
+        raise ValueError("adjacent_fraction must be in [0, 1]")
+    if not 0.0 <= numa_remote_fraction <= 1.0:
+        raise ValueError("numa_remote_fraction must be in [0, 1]")
+
+    levels = effective_cache_levels(
+        spec, threads_per_core, threads_per_socket, shared_capacity_scale
+    )
+    mem_cycles = spec.memory_latency_cycles(use_fast_memory)
+    mem_cycles = mem_cycles * (
+        1.0 + numa_remote_fraction * (spec.numa_latency_multiplier - 1.0)
+    )
+    if cluster_penalty:
+        # Crossing the on-chip cluster interconnect adds a hop to shared
+        # cache *and* memory accesses (POWER8's two 5-core chiplets,
+        # §VI-B).
+        mem_cycles = mem_cycles + spec.cluster_latency_penalty_cycles
+
+    expected = 0.0
+    p_miss_so_far = 1.0
+    for i, (cap, lat) in enumerate(levels):
+        p_hit = min(1.0, cap / working_set_bytes)
+        if cluster_penalty and i == len(levels) - 1 and spec.caches[i].shared:
+            lat = lat + spec.cluster_latency_penalty_cycles
+        expected += p_miss_so_far * p_hit * lat
+        p_miss_so_far *= 1.0 - p_hit
+    expected += p_miss_so_far * mem_cycles
+
+    innermost_lat = levels[0][1] if levels else mem_cycles
+    return adjacent_fraction * innermost_lat + (1.0 - adjacent_fraction) * expected
+
+
+def memory_miss_fraction(
+    spec: CPUSpec,
+    working_set_bytes: float,
+    threads_per_core: float = 1.0,
+    shared_capacity_scale: float = 1.0,
+) -> float:
+    """Fraction of random accesses that reach main memory.
+
+    The node-level random-bandwidth cap only applies to the traffic that
+    actually leaves the caches; at paper scale (128 MB fields) this is
+    nearly 1, while reduced-scale validation meshes are largely
+    cache-resident.
+    """
+    if working_set_bytes <= 0:
+        raise ValueError("working set must be positive")
+    p_miss = 1.0
+    for cap, _lat in effective_cache_levels(
+        spec, threads_per_core, 1.0, shared_capacity_scale
+    ):
+        p_miss *= 1.0 - min(1.0, cap / working_set_bytes)
+    return p_miss
+
+
+def streaming_seconds(bytes_moved: float, bandwidth_gbs: float) -> float:
+    """Time to stream ``bytes_moved`` at ``bandwidth_gbs`` (GB/s)."""
+    if bandwidth_gbs <= 0:
+        raise ValueError("bandwidth must be positive")
+    return bytes_moved / (bandwidth_gbs * 1.0e9)

@@ -1,0 +1,172 @@
+"""Roofline analysis helpers.
+
+The paper's central observation — "neutral is not bound by memory
+bandwidth or the available FLOPS" (§VI-B) — is a roofline statement: the
+application sits *under* both roofs, limited by latency instead.  This
+module provides the arithmetic to place any measured workload on a
+device's roofline and to classify which roof (if any) binds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.machine.spec import CPUSpec, GPUSpec
+from repro.perfmodel.costs import DEFAULT_CONSTANTS, ModelConstants
+from repro.perfmodel.workload import Workload
+
+__all__ = [
+    "RooflineBound",
+    "RooflinePoint",
+    "peak_flops",
+    "arithmetic_intensity",
+    "roofline_time",
+    "classify_workload",
+]
+
+LINE_BYTES = 64.0
+
+
+class RooflineBound(Enum):
+    """Which roof a kernel touches."""
+
+    COMPUTE = "compute"
+    BANDWIDTH = "bandwidth"
+    LATENCY = "latency"  # under both roofs — the paper's diagnosis
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One workload placed on one device's roofline.
+
+    Attributes
+    ----------
+    intensity_flops_per_byte:
+        Arithmetic intensity of the workload.
+    achieved_flops:
+        FLOP rate implied by the predicted runtime.
+    peak_flops / peak_bandwidth_flops:
+        The two roofs at this intensity.
+    bound:
+        The binding regime.
+    """
+
+    intensity_flops_per_byte: float
+    achieved_flops: float
+    peak_flops: float
+    peak_bandwidth_flops: float
+    bound: RooflineBound
+
+    @property
+    def fraction_of_roof(self) -> float:
+        """Achieved rate over the lower roof (≤1 by construction for model
+        outputs; ≪1 signals latency boundedness)."""
+        roof = min(self.peak_flops, self.peak_bandwidth_flops)
+        return self.achieved_flops / roof if roof > 0 else 0.0
+
+
+def peak_flops(spec) -> float:
+    """Peak double-precision FLOP/s of a device description."""
+    if isinstance(spec, CPUSpec):
+        return (
+            spec.total_cores
+            * spec.clock_ghz
+            * 1.0e9
+            * spec.issue_width
+            * spec.vector_width_f64
+        )
+    if isinstance(spec, GPUSpec):
+        # warp-wide FMA throughput as a summary peak
+        return (
+            spec.sms
+            * spec.warp_size
+            * spec.issue_width
+            * spec.clock_ghz
+            * 1.0e9
+        )
+    raise TypeError(f"not a machine spec: {spec!r}")
+
+
+def _workload_flops(w: Workload, con: ModelConstants) -> float:
+    """Total floating/ALU operations of a run (model accounting)."""
+    return w.nparticles * (
+        w.collisions_pp * con.collision_alu_ops
+        + w.facets_pp * con.facet_alu_ops
+        + w.census_pp * con.census_alu_ops
+        + w.lookups_pp * con.lookup_alu_ops
+    )
+
+
+def _workload_bytes(w: Workload, con: ModelConstants) -> float:
+    """Main-memory bytes of the Over Particles traversal (line-granular
+    random traffic)."""
+    lines = w.nparticles * (
+        w.density_reads_pp * (1.0 - con.density_adjacent_fraction)
+        + w.flushes_pp * 2.0 * (1.0 - con.density_adjacent_fraction)
+    )
+    return lines * LINE_BYTES
+
+
+def arithmetic_intensity(
+    w: Workload, constants: ModelConstants = DEFAULT_CONSTANTS
+) -> float:
+    """FLOPs per main-memory byte of the workload."""
+    b = _workload_bytes(w, constants)
+    if b <= 0:
+        return float("inf")
+    return _workload_flops(w, constants) / b
+
+
+def roofline_time(
+    w: Workload, spec, constants: ModelConstants = DEFAULT_CONSTANTS
+) -> float:
+    """The *roofline* lower bound on runtime — what a latency-free machine
+    would need.  The gap between this and the full model's prediction is
+    the latency-bound signature."""
+    flops = _workload_flops(w, constants)
+    bytes_ = _workload_bytes(w, constants)
+    bw = (
+        spec.dram.bandwidth_gbs if isinstance(spec, CPUSpec) else spec.memory.bandwidth_gbs
+    ) * 1.0e9
+    return max(flops / peak_flops(spec), bytes_ / bw)
+
+
+def classify_workload(
+    w: Workload,
+    spec,
+    predicted_seconds: float,
+    constants: ModelConstants = DEFAULT_CONSTANTS,
+) -> RooflinePoint:
+    """Place a workload/prediction pair on the device roofline.
+
+    A prediction within 1.5× of a roof is attributed to that roof;
+    anything slower is latency-bound — the paper's regime.
+    """
+    if predicted_seconds <= 0:
+        raise ValueError("predicted time must be positive")
+    flops = _workload_flops(w, constants)
+    bytes_ = _workload_bytes(w, constants)
+    intensity = arithmetic_intensity(w, constants)
+    pf = peak_flops(spec)
+    bw = (
+        spec.dram.bandwidth_gbs if isinstance(spec, CPUSpec) else spec.memory.bandwidth_gbs
+    ) * 1.0e9
+    bw_roof_flops = bw * intensity
+    achieved = flops / predicted_seconds
+
+    compute_time = flops / pf
+    bandwidth_time = bytes_ / bw
+    if predicted_seconds <= 1.5 * compute_time:
+        bound = RooflineBound.COMPUTE
+    elif predicted_seconds <= 1.5 * bandwidth_time:
+        bound = RooflineBound.BANDWIDTH
+    else:
+        bound = RooflineBound.LATENCY
+    return RooflinePoint(
+        intensity_flops_per_byte=intensity,
+        achieved_flops=achieved,
+        peak_flops=pf,
+        peak_bandwidth_flops=bw_roof_flops,
+        bound=bound,
+    )

@@ -1,0 +1,132 @@
+"""Facet-crossing logic.
+
+The facet event contains the deepest branching of the tracking loop — up to
+four levels (paper §VI-A): which axis was hit, travel direction along that
+axis, problem boundary or interior facet, and the reflective-boundary
+handling.  Each branch performs only one or two FLOPs, which is why the
+event's grind time is so low (~3 ns on Broadwell) and why its cost is
+dominated by the density-mesh read and the tally flush rather than by
+arithmetic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mesh.boundary import BoundaryCondition
+from repro.mesh.structured import StructuredMesh
+
+__all__ = ["cross_facet", "cross_facet_vec"]
+
+
+def cross_facet(
+    cellx: int,
+    celly: int,
+    omega_x: float,
+    omega_y: float,
+    axis: int,
+    mesh: StructuredMesh,
+    bc: BoundaryCondition = BoundaryCondition.REFLECTIVE,
+) -> tuple[int, int, float, float, bool, bool]:
+    """Resolve a facet encounter for a particle sitting on the facet.
+
+    Parameters
+    ----------
+    cellx, celly:
+        The cell the particle is leaving.
+    omega_x, omega_y:
+        Direction of flight (determines which facet of ``axis`` was hit).
+    axis:
+        0 if an x-facing facet was hit, 1 for a y-facing facet.
+    mesh:
+        The mesh, for boundary detection.
+    bc:
+        Problem-boundary treatment: reflective (the paper's choice) or
+        vacuum (particles escape and their history ends).
+
+    Returns
+    -------
+    (new_cellx, new_celly, new_ox, new_oy, reflected, escaped):
+        Destination cell (unchanged at a boundary), possibly flipped
+        direction, whether a reflective boundary was hit, and whether the
+        particle left through a vacuum boundary.
+    """
+    vacuum = bc is BoundaryCondition.VACUUM
+    if axis == 0:  # x facet
+        if omega_x > 0.0:  # travelling +x
+            if cellx == mesh.nx - 1:  # problem boundary
+                if vacuum:
+                    return cellx, celly, omega_x, omega_y, False, True
+                return cellx, celly, -omega_x, omega_y, True, False
+            return cellx + 1, celly, omega_x, omega_y, False, False
+        else:  # travelling -x
+            if cellx == 0:
+                if vacuum:
+                    return cellx, celly, omega_x, omega_y, False, True
+                return cellx, celly, -omega_x, omega_y, True, False
+            return cellx - 1, celly, omega_x, omega_y, False, False
+    else:  # y facet
+        if omega_y > 0.0:  # travelling +y
+            if celly == mesh.ny - 1:
+                if vacuum:
+                    return cellx, celly, omega_x, omega_y, False, True
+                return cellx, celly, omega_x, -omega_y, True, False
+            return cellx, celly + 1, omega_x, omega_y, False, False
+        else:  # travelling -y
+            if celly == 0:
+                if vacuum:
+                    return cellx, celly, omega_x, omega_y, False, True
+                return cellx, celly, omega_x, -omega_y, True, False
+            return cellx, celly - 1, omega_x, omega_y, False, False
+
+
+def cross_facet_vec(
+    cellx: np.ndarray,
+    celly: np.ndarray,
+    omega_x: np.ndarray,
+    omega_y: np.ndarray,
+    axis: np.ndarray,
+    mesh: StructuredMesh,
+    bc: BoundaryCondition = BoundaryCondition.REFLECTIVE,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Vectorised :func:`cross_facet` over particle arrays.
+
+    Returns new cell indices, directions, the reflected mask and the
+    escaped mask; inputs are not modified.
+    """
+    new_cx = cellx.copy()
+    new_cy = celly.copy()
+    new_ox = omega_x.copy()
+    new_oy = omega_y.copy()
+
+    x_facet = axis == 0
+    y_facet = ~x_facet
+
+    going_px = x_facet & (omega_x > 0.0)
+    going_nx = x_facet & (omega_x <= 0.0)
+    going_py = y_facet & (omega_y > 0.0)
+    going_ny = y_facet & (omega_y <= 0.0)
+
+    bnd_px = going_px & (cellx == mesh.nx - 1)
+    bnd_nx = going_nx & (cellx == 0)
+    bnd_py = going_py & (celly == mesh.ny - 1)
+    bnd_ny = going_ny & (celly == 0)
+    at_boundary = bnd_px | bnd_nx | bnd_py | bnd_ny
+
+    if bc is BoundaryCondition.VACUUM:
+        escaped = at_boundary
+        reflected = np.zeros_like(at_boundary)
+    else:
+        escaped = np.zeros_like(at_boundary)
+        reflected = at_boundary
+        flip_x = bnd_px | bnd_nx
+        flip_y = bnd_py | bnd_ny
+        new_ox[flip_x] = -new_ox[flip_x]
+        new_oy[flip_y] = -new_oy[flip_y]
+
+    new_cx[going_px & ~bnd_px] += 1
+    new_cx[going_nx & ~bnd_nx] -= 1
+    new_cy[going_py & ~bnd_py] += 1
+    new_cy[going_ny & ~bnd_ny] -= 1
+
+    return new_cx, new_cy, new_ox, new_oy, reflected, escaped

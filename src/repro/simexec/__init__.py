@@ -1,0 +1,35 @@
+"""Discrete-event simulated-parallel execution.
+
+The analytic performance model (:mod:`repro.perfmodel`) prices a run with
+closed-form terms; this package provides the *independent cross-check*: it
+replays the transport's recorded event trace across virtual OpenMP threads
+through an explicit discrete-event simulation of the node's shared
+resources —
+
+* per-core SMT issue sharing,
+* per-core outstanding-miss capacity (the paper's "small finite number of
+  memory transactions per core", §VIII-A) as an explicit token resource,
+* per-cache-line atomic conflicts detected from the *actual* tally flush
+  addresses the histories produced,
+* static or dynamic work distribution.
+
+Agreement between the two estimators (asserted in
+``benchmarks/test_model_vs_simulation.py``) is what stands in for hardware
+as evidence that the model's structure is right, not just its calibration.
+"""
+
+from repro.simexec.engine import (
+    SimExecOptions,
+    SimExecResult,
+    simulate_execution,
+)
+from repro.simexec.trace import EventTrace, record_trace, synthetic_trace
+
+__all__ = [
+    "SimExecOptions",
+    "SimExecResult",
+    "simulate_execution",
+    "EventTrace",
+    "record_trace",
+    "synthetic_trace",
+]

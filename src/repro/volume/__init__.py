@@ -1,0 +1,57 @@
+"""Three-dimensional transport (the §IV-C future-work extension).
+
+The paper deliberately chose a 2-D structured grid, hypothesising that the
+performance-limiting characteristics are *independent of the geometry*, and
+promised a 3-D extension "to validate our current assumptions".  This
+subpackage is that extension: a full 3-D structured-grid transport with the
+same event structure, the same counter-based RNG discipline, and both
+parallelisation schemes.
+
+The validation the paper asked for is in
+``benchmarks/test_futurework_3d.py``: per *facet event* the 3-D code
+performs exactly the same memory operations as the 2-D code (one random
+density read, one atomic tally flush), the event-mix extremes (stream /
+scatter) reproduce, and the facet rate follows the closed-form
+``v·dt·E[|Ω_x|+|Ω_y|+|Ω_z|]/Δ`` with the isotropic-3D mean of 3/2 — the
+geometry changes the constants, not the character.
+
+Public entry points mirror the 2-D core:
+
+* :class:`repro.volume.mesh3.StructuredMesh3D` and
+  :class:`repro.volume.mesh3.Tally3D`;
+* :func:`repro.volume.driver3.run_over_particles_3d` /
+  :func:`repro.volume.driver3.run_over_events_3d`;
+* problem factories in :mod:`repro.volume.problems3`;
+* conservation checks in :mod:`repro.volume.validation3`.
+"""
+
+from repro.volume.mesh3 import StructuredMesh3D, Tally3D
+from repro.volume.driver3 import (
+    Transport3DResult,
+    run_over_events_3d,
+    run_over_particles_3d,
+)
+from repro.volume.problems3 import (
+    csp3_problem,
+    scatter3_problem,
+    stream3_problem,
+    Volume3DConfig,
+)
+from repro.volume.validation3 import (
+    energy_balance_error_3d,
+    population_accounted_3d,
+)
+
+__all__ = [
+    "StructuredMesh3D",
+    "Tally3D",
+    "Transport3DResult",
+    "run_over_particles_3d",
+    "run_over_events_3d",
+    "Volume3DConfig",
+    "stream3_problem",
+    "scatter3_problem",
+    "csp3_problem",
+    "energy_balance_error_3d",
+    "population_accounted_3d",
+]

@@ -1,0 +1,487 @@
+"""3-D transport drivers: Over Particles and Over Events.
+
+Both schemes mirror their 2-D counterparts event for event — same
+counter-based draw protocol (six draws at birth: position ×3, direction
+×2, first optical distance; three per collision), same flush discipline,
+same census semantics — so the scheme-equivalence and conservation
+properties carry over unchanged, which is precisely the paper's
+geometry-independence hypothesis (§IV-C).
+
+The medium is the single homogeneous material of the paper's setup
+(multi-material/fission composition in 3-D is left to the same future-work
+list the paper keeps them on).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.counters import Counters
+from repro.physics.constants import speed_from_energy_ev, speed_from_energy_ev_vec
+from repro.physics.events import (
+    EventKind,
+    distance_to_collision,
+    distance_to_collision_vec,
+    select_event,
+    select_event_vec,
+)
+from repro.rng.stream import ParticleRNG, VectorParticleRNG
+from repro.volume.collision3 import collide3, collide3_vec
+from repro.volume.events3 import distance_to_facet_3d, distance_to_facet_3d_vec
+from repro.volume.facet3 import cross_facet_3d, cross_facet_3d_vec
+from repro.volume.kinematics3 import (
+    sample_isotropic_direction_3d,
+    sample_isotropic_direction_3d_vec,
+)
+from repro.volume.mesh3 import StructuredMesh3D, Tally3D
+from repro.volume.problems3 import Volume3DConfig
+from repro.xs.lookup import binary_search_bin, binary_search_bin_vec
+from repro.xs.macroscopic import macroscopic_cross_section
+from repro.xs.tables import make_capture_table, make_scatter_table
+
+__all__ = ["Particle3", "Transport3DResult", "run_over_particles_3d",
+           "run_over_events_3d"]
+
+
+class Particle3:
+    """One 3-D particle (AoS record for the Over Particles driver)."""
+
+    __slots__ = (
+        "x", "y", "z", "ox", "oy", "oz", "energy", "weight",
+        "cellx", "celly", "cellz", "mfp_to_collision", "dt_to_census",
+        "alive", "particle_id", "rng_counter", "local_density",
+        "deposit_buffer",
+    )
+
+    def __init__(self, **kw):
+        self.alive = True
+        self.local_density = 0.0
+        self.deposit_buffer = 0.0
+        for k, v in kw.items():
+            setattr(self, k, v)
+
+
+@dataclass
+class Transport3DResult:
+    """Output of a 3-D run (mirrors the 2-D ``TransportResult`` API the
+    validation helpers need)."""
+
+    config: Volume3DConfig
+    tally: Tally3D
+    counters: Counters
+    particles: list | None
+    arrays: dict | None
+    wallclock_s: float
+
+    def in_flight_energy_ev(self) -> float:
+        """Weighted energy carried by live particles."""
+        if self.arrays is not None:
+            alive = self.arrays["alive"]
+            return float(
+                (self.arrays["weight"][alive] * self.arrays["energy"][alive]).sum()
+            )
+        return sum(p.weight * p.energy for p in self.particles if p.alive)
+
+    def alive_count(self) -> int:
+        """Histories still alive."""
+        if self.arrays is not None:
+            return int(self.arrays["alive"].sum())
+        return sum(1 for p in self.particles if p.alive)
+
+
+def _tables(config: Volume3DConfig):
+    return (
+        make_scatter_table(config.xs_nentries),
+        make_capture_table(config.xs_nentries),
+    )
+
+
+def _micro_at(table, e: float) -> float:
+    b = binary_search_bin(table, e)
+    return table.interpolate_at_bin(e, b)
+
+
+def _sample_source_3d(config: Volume3DConfig, mesh: StructuredMesh3D):
+    """Six-draw birth protocol, scalar records (bit-matched by the SoA
+    sampler below, which consumes the same counters)."""
+    src = config.source
+    out = []
+    for pid in range(config.nparticles):
+        rng = ParticleRNG(config.seed, pid)
+        u = [rng.next_uniform() for _ in range(6)]
+        x = src.x0 + u[0] * (src.x1 - src.x0)
+        y = src.y0 + u[1] * (src.y1 - src.y0)
+        z = src.z0 + u[2] * (src.z1 - src.z0)
+        ox, oy, oz = sample_isotropic_direction_3d(u[3], u[4])
+        mfp = float(-np.log(1.0 - u[5]))
+        cx, cy, cz = mesh.cell_of_point(x, y, z)
+        p = Particle3(
+            x=x, y=y, z=z, ox=ox, oy=oy, oz=oz,
+            energy=src.energy_ev, weight=src.weight,
+            cellx=cx, celly=cy, cellz=cz,
+            mfp_to_collision=mfp, dt_to_census=config.dt,
+            particle_id=pid, rng_counter=rng.counter,
+        )
+        p.local_density = mesh.density_at(cx, cy, cz)
+        out.append(p)
+    return out
+
+
+def _sample_source_3d_soa(config: Volume3DConfig, mesh: StructuredMesh3D):
+    """Vectorised birth, bit-identical to :func:`_sample_source_3d`."""
+    src = config.source
+    n = config.nparticles
+    ids = np.arange(n, dtype=np.uint64)
+    rng = VectorParticleRNG(config.seed, ids)
+    u = [rng.next_uniform() for _ in range(6)]
+    x = src.x0 + u[0] * (src.x1 - src.x0)
+    y = src.y0 + u[1] * (src.y1 - src.y0)
+    z = src.z0 + u[2] * (src.z1 - src.z0)
+    ox, oy, oz = sample_isotropic_direction_3d_vec(u[3], u[4])
+    cx, cy, cz = mesh.cell_of_point_vec(x, y, z)
+    arrays = {
+        "x": x, "y": y, "z": z, "ox": ox, "oy": oy, "oz": oz,
+        "energy": np.full(n, src.energy_ev),
+        "weight": np.full(n, src.weight),
+        "cellx": cx, "celly": cy, "cellz": cz,
+        "mfp": -np.log(1.0 - u[5]),
+        "dt": np.full(n, config.dt),
+        "density": mesh.density_at_vec(cx, cy, cz),
+        "deposit": np.zeros(n),
+        "alive": np.ones(n, dtype=bool),
+        "censused": np.zeros(n, dtype=bool),
+    }
+    return arrays, rng
+
+
+# ---------------------------------------------------------------------------
+# Over Particles
+# ---------------------------------------------------------------------------
+
+def run_over_particles_3d(config: Volume3DConfig) -> Transport3DResult:
+    """Depth-first 3-D transport (the Listing 1 loop in one more axis)."""
+    t0 = time.perf_counter()
+    mesh = StructuredMesh3D(
+        config.nx, config.ny, config.nz,
+        config.width, config.height, config.depth, config.density,
+    )
+    tally = Tally3D(config.nx, config.ny, config.nz)
+    scatter_table, capture_table = _tables(config)
+    particles = _sample_source_3d(config, mesh)
+    counters = Counters(nparticles=len(particles))
+    counters.rng_draws += 6 * len(particles)
+    coll_pp = np.zeros(len(particles), dtype=np.int64)
+    facet_pp = np.zeros(len(particles), dtype=np.int64)
+
+    for step in range(config.ntimesteps):
+        if step > 0:
+            for p in particles:
+                if p.alive:
+                    p.dt_to_census = config.dt
+        for i, p in enumerate(particles):
+            if not p.alive:
+                continue
+            _track_history_3d(
+                p, i, mesh, tally, scatter_table, capture_table,
+                config, counters, coll_pp, facet_pp,
+            )
+
+    counters.collisions_per_particle = coll_pp
+    counters.facets_per_particle = facet_pp
+    return Transport3DResult(
+        config=config, tally=tally, counters=counters,
+        particles=particles, arrays=None,
+        wallclock_s=time.perf_counter() - t0,
+    )
+
+
+def _track_history_3d(
+    p, index, mesh, tally, scatter_table, capture_table, config, counters,
+    coll_pp, facet_pp,
+):
+    rng = ParticleRNG(config.seed, p.particle_id, p.rng_counter)
+    molar = config.molar_mass_g_mol
+
+    def sigmas():
+        micro_s = _micro_at(scatter_table, p.energy)
+        micro_c = _micro_at(capture_table, p.energy)
+        counters.xs_lookups += 2
+        s = float(macroscopic_cross_section(micro_s, p.local_density, molar))
+        a = float(macroscopic_cross_section(micro_c, p.local_density, molar))
+        return s + a, a, micro_s, micro_c
+
+    sigma_t, sigma_a, micro_s, micro_c = sigmas()
+    speed = speed_from_energy_ev(p.energy)
+
+    while True:
+        d_coll = distance_to_collision(p.mfp_to_collision, sigma_t)
+        bounds = mesh.cell_bounds(p.cellx, p.celly, p.cellz)
+        d_facet, axis = distance_to_facet_3d(
+            p.x, p.y, p.z, p.ox, p.oy, p.oz, *bounds
+        )
+        d_census = p.dt_to_census * speed
+        event = select_event(d_coll, d_facet, d_census)
+
+        if event is EventKind.COLLISION:
+            p.x += p.ox * d_coll
+            p.y += p.oy * d_coll
+            p.z += p.oz * d_coll
+            p.dt_to_census = max(0.0, p.dt_to_census - d_coll / speed)
+            u1 = rng.next_uniform()
+            u2 = rng.next_uniform()
+            u3 = rng.next_uniform()
+            counters.rng_draws += 3
+            out = collide3(
+                p.energy, p.weight, p.ox, p.oy, p.oz, sigma_a, sigma_t,
+                config.a_ratio, u1, u2, u3,
+                config.energy_cutoff_ev, config.weight_cutoff,
+            )
+            p.energy, p.weight = out.energy, out.weight
+            p.ox, p.oy, p.oz = out.ox, out.oy, out.oz
+            p.mfp_to_collision = out.mfp_to_collision
+            p.deposit_buffer += out.deposit
+            counters.collisions += 1
+            coll_pp[index] += 1
+            if out.terminated:
+                tally.flush(p.cellx, p.celly, p.cellz, p.deposit_buffer)
+                p.deposit_buffer = 0.0
+                counters.tally_flushes += 1
+                counters.terminations += 1
+                p.alive = False
+                break
+            sigma_t, sigma_a, micro_s, micro_c = sigmas()
+            speed = speed_from_energy_ev(p.energy)
+
+        elif event is EventKind.FACET:
+            p.x += p.ox * d_facet
+            p.y += p.oy * d_facet
+            p.z += p.oz * d_facet
+            p.dt_to_census = max(0.0, p.dt_to_census - d_facet / speed)
+            p.mfp_to_collision = max(0.0, p.mfp_to_collision - d_facet * sigma_t)
+            x_lo, x_hi, y_lo, y_hi, z_lo, z_hi = bounds
+            if axis == 0:
+                p.x = x_hi if p.ox > 0.0 else x_lo
+            elif axis == 1:
+                p.y = y_hi if p.oy > 0.0 else y_lo
+            else:
+                p.z = z_hi if p.oz > 0.0 else z_lo
+            tally.flush(p.cellx, p.celly, p.cellz, p.deposit_buffer)
+            p.deposit_buffer = 0.0
+            counters.tally_flushes += 1
+            (ncx, ncy, ncz, nox, noy, noz, reflected, escaped) = cross_facet_3d(
+                p.cellx, p.celly, p.cellz, p.ox, p.oy, p.oz, axis, mesh,
+                config.boundary,
+            )
+            counters.facets += 1
+            facet_pp[index] += 1
+            if escaped:
+                counters.escapes += 1
+                counters.escaped_energy += p.weight * p.energy
+                p.alive = False
+                break
+            p.cellx, p.celly, p.cellz = ncx, ncy, ncz
+            p.ox, p.oy, p.oz = nox, noy, noz
+            if reflected:
+                counters.reflections += 1
+            else:
+                p.local_density = mesh.density_at(ncx, ncy, ncz)
+                counters.density_reads += 1
+                s = float(macroscopic_cross_section(micro_s, p.local_density, molar))
+                a = float(macroscopic_cross_section(micro_c, p.local_density, molar))
+                sigma_t, sigma_a = s + a, a
+
+        else:
+            p.x += p.ox * d_census
+            p.y += p.oy * d_census
+            p.z += p.oz * d_census
+            p.mfp_to_collision = max(0.0, p.mfp_to_collision - d_census * sigma_t)
+            p.dt_to_census = 0.0
+            tally.flush(p.cellx, p.celly, p.cellz, p.deposit_buffer)
+            p.deposit_buffer = 0.0
+            counters.tally_flushes += 1
+            counters.census_events += 1
+            break
+
+    p.rng_counter = rng.counter
+
+
+# ---------------------------------------------------------------------------
+# Over Events
+# ---------------------------------------------------------------------------
+
+def run_over_events_3d(config: Volume3DConfig) -> Transport3DResult:
+    """Breadth-first 3-D transport (the Listing 2 passes in one more axis)."""
+    t0 = time.perf_counter()
+    mesh = StructuredMesh3D(
+        config.nx, config.ny, config.nz,
+        config.width, config.height, config.depth, config.density,
+    )
+    tally = Tally3D(config.nx, config.ny, config.nz)
+    scatter_table, capture_table = _tables(config)
+    a, rng = _sample_source_3d_soa(config, mesh)
+    n = config.nparticles
+    counters = Counters(nparticles=n)
+    counters.rng_draws += 6 * n
+    coll_pp = np.zeros(n, dtype=np.int64)
+    facet_pp = np.zeros(n, dtype=np.int64)
+    molar = config.molar_mass_g_mol
+
+    micro_s = np.zeros(n)
+    micro_c = np.zeros(n)
+
+    def refresh(idx):
+        if idx.size == 0:
+            return
+        e = a["energy"][idx]
+        sb = binary_search_bin_vec(scatter_table, e)
+        cb = binary_search_bin_vec(capture_table, e)
+        micro_s[idx] = scatter_table.interpolate_at_bin_vec(e, sb)
+        micro_c[idx] = capture_table.interpolate_at_bin_vec(e, cb)
+        counters.xs_lookups += 2 * idx.size
+
+    for step in range(config.ntimesteps):
+        if step > 0:
+            a["dt"][a["alive"]] = config.dt
+        a["censused"][:] = ~a["alive"]
+        refresh(np.nonzero(a["alive"])[0])
+
+        while True:
+            active = a["alive"] & ~a["censused"]
+            if not active.any():
+                break
+            sigma_s = macroscopic_cross_section(micro_s, a["density"], molar)
+            sigma_a = macroscopic_cross_section(micro_c, a["density"], molar)
+            sigma_t = sigma_s + sigma_a
+            speed = speed_from_energy_ev_vec(a["energy"])
+            d_coll = distance_to_collision_vec(a["mfp"], sigma_t)
+            x_lo = a["cellx"] * mesh.dx
+            x_hi = (a["cellx"] + 1) * mesh.dx
+            y_lo = a["celly"] * mesh.dy
+            y_hi = (a["celly"] + 1) * mesh.dy
+            z_lo = a["cellz"] * mesh.dz
+            z_hi = (a["cellz"] + 1) * mesh.dz
+            d_facet, axis = distance_to_facet_3d_vec(
+                a["x"], a["y"], a["z"], a["ox"], a["oy"], a["oz"],
+                x_lo, x_hi, y_lo, y_hi, z_lo, z_hi,
+            )
+            d_census = a["dt"] * speed
+            event = select_event_vec(d_coll, d_facet, d_census)
+
+            cmask = active & (event == int(EventKind.COLLISION))
+            fmask = active & (event == int(EventKind.FACET))
+            zmask = active & (event == int(EventKind.CENSUS))
+
+            if cmask.any():
+                c = np.nonzero(cmask)[0]
+                d = d_coll[c]
+                a["x"][c] += a["ox"][c] * d
+                a["y"][c] += a["oy"][c] * d
+                a["z"][c] += a["oz"][c] * d
+                a["dt"][c] = np.maximum(0.0, a["dt"][c] - d / speed[c])
+                u1 = rng.next_uniform(cmask)
+                u2 = rng.next_uniform(cmask)
+                u3 = rng.next_uniform(cmask)
+                counters.rng_draws += 3 * c.size
+                (e_new, w_new, nox, noy, noz, mfp_new, dep, term) = collide3_vec(
+                    a["energy"][c], a["weight"][c],
+                    a["ox"][c], a["oy"][c], a["oz"][c],
+                    sigma_a[c], sigma_t[c], config.a_ratio,
+                    u1, u2, u3,
+                    config.energy_cutoff_ev, config.weight_cutoff,
+                )
+                a["energy"][c] = e_new
+                a["weight"][c] = w_new
+                a["ox"][c], a["oy"][c], a["oz"][c] = nox, noy, noz
+                a["mfp"][c] = mfp_new
+                a["deposit"][c] += dep
+                counters.collisions += c.size
+                coll_pp[c] += 1
+                dead = c[term]
+                if dead.size:
+                    tally.flush_vec(
+                        a["cellx"][dead], a["celly"][dead], a["cellz"][dead],
+                        a["deposit"][dead],
+                    )
+                    a["deposit"][dead] = 0.0
+                    a["alive"][dead] = False
+                    counters.tally_flushes += dead.size
+                    counters.terminations += dead.size
+                refresh(c[~term])
+
+            if fmask.any():
+                f = np.nonzero(fmask)[0]
+                d = d_facet[f]
+                a["x"][f] += a["ox"][f] * d
+                a["y"][f] += a["oy"][f] * d
+                a["z"][f] += a["oz"][f] * d
+                a["dt"][f] = np.maximum(0.0, a["dt"][f] - d / speed[f])
+                a["mfp"][f] = np.maximum(0.0, a["mfp"][f] - d * sigma_t[f])
+                ax = axis[f]
+                for axis_i, (coord, o, lo, hi) in enumerate(
+                    (("x", "ox", x_lo, x_hi), ("y", "oy", y_lo, y_hi),
+                     ("z", "oz", z_lo, z_hi))
+                ):
+                    sel = f[ax == axis_i]
+                    a[coord][sel] = np.where(
+                        a[o][sel] > 0.0, hi[sel], lo[sel]
+                    )
+                tally.flush_vec(
+                    a["cellx"][f], a["celly"][f], a["cellz"][f], a["deposit"][f]
+                )
+                a["deposit"][f] = 0.0
+                counters.tally_flushes += f.size
+                (ncx, ncy, ncz, nox, noy, noz, reflected, escaped) = cross_facet_3d_vec(
+                    a["cellx"][f], a["celly"][f], a["cellz"][f],
+                    a["ox"][f], a["oy"][f], a["oz"][f], ax, mesh,
+                    config.boundary,
+                )
+                counters.facets += f.size
+                facet_pp[f] += 1
+                gone = f[escaped]
+                if gone.size:
+                    counters.escapes += gone.size
+                    counters.escaped_energy += float(
+                        (a["weight"][gone] * a["energy"][gone]).sum()
+                    )
+                    a["alive"][gone] = False
+                stay = ~escaped
+                a["cellx"][f[stay]] = ncx[stay]
+                a["celly"][f[stay]] = ncy[stay]
+                a["cellz"][f[stay]] = ncz[stay]
+                a["ox"][f[stay]] = nox[stay]
+                a["oy"][f[stay]] = noy[stay]
+                a["oz"][f[stay]] = noz[stay]
+                crossed = f[stay & ~reflected]
+                a["density"][crossed] = mesh.density_at_vec(
+                    a["cellx"][crossed], a["celly"][crossed], a["cellz"][crossed]
+                )
+                counters.density_reads += crossed.size
+                counters.reflections += int(reflected.sum())
+
+            if zmask.any():
+                z = np.nonzero(zmask)[0]
+                d = d_census[z]
+                a["x"][z] += a["ox"][z] * d
+                a["y"][z] += a["oy"][z] * d
+                a["z"][z] += a["oz"][z] * d
+                a["mfp"][z] = np.maximum(0.0, a["mfp"][z] - d * sigma_t[z])
+                a["dt"][z] = 0.0
+                tally.flush_vec(
+                    a["cellx"][z], a["celly"][z], a["cellz"][z], a["deposit"][z]
+                )
+                a["deposit"][z] = 0.0
+                counters.tally_flushes += z.size
+                a["censused"][z] = True
+                counters.census_events += z.size
+
+    counters.collisions_per_particle = coll_pp
+    counters.facets_per_particle = facet_pp
+    a["rng_counter"] = rng.counters
+    return Transport3DResult(
+        config=config, tally=tally, counters=counters,
+        particles=None, arrays=a,
+        wallclock_s=time.perf_counter() - t0,
+    )

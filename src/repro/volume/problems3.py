@@ -1,0 +1,134 @@
+"""3-D problem configuration and the three test-case factories.
+
+The factories mirror the 2-D suite (§IV-B) in one more dimension: stream
+(centred source, near-vacuum cube), scatter (dense cube) and csp (corner
+source, dense cube in the centre).  Mesh extent stays 1 m so the per-facet
+arithmetic is directly comparable with the 2-D problems.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.core.problems import HIGH_DENSITY, LOW_DENSITY, SOURCE_ENERGY_EV
+from repro.mesh.boundary import BoundaryCondition
+from repro.physics.variance import DEFAULT_ENERGY_CUTOFF_EV, DEFAULT_WEIGHT_CUTOFF
+
+__all__ = [
+    "SourceBox3D",
+    "Volume3DConfig",
+    "stream3_problem",
+    "scatter3_problem",
+    "csp3_problem",
+]
+
+
+@dataclass(frozen=True)
+class SourceBox3D:
+    """A mono-energetic isotropic box source in 3-D."""
+
+    x0: float
+    x1: float
+    y0: float
+    y1: float
+    z0: float
+    z1: float
+    energy_ev: float
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not (self.x0 < self.x1 and self.y0 < self.y1 and self.z0 < self.z1):
+            raise ValueError("source box must have positive extent")
+        if self.energy_ev <= 0 or self.weight <= 0:
+            raise ValueError("energy and weight must be positive")
+
+
+@dataclass(frozen=True)
+class Volume3DConfig:
+    """Full specification of one 3-D transport calculation."""
+
+    name: str
+    nx: int
+    ny: int
+    nz: int
+    density: np.ndarray
+    source: SourceBox3D
+    nparticles: int
+    width: float = 1.0
+    height: float = 1.0
+    depth: float = 1.0
+    dt: float = 1.0e-7
+    ntimesteps: int = 1
+    seed: int = 7
+    molar_mass_g_mol: float = 1.0
+    energy_cutoff_ev: float = DEFAULT_ENERGY_CUTOFF_EV
+    weight_cutoff: float = DEFAULT_WEIGHT_CUTOFF
+    xs_nentries: int = 2500
+    boundary: BoundaryCondition = BoundaryCondition.REFLECTIVE
+
+    def __post_init__(self) -> None:
+        if self.nparticles < 1:
+            raise ValueError("need at least one particle")
+        if self.dt <= 0 or self.ntimesteps < 1:
+            raise ValueError("invalid time parameters")
+        density = np.asarray(self.density, dtype=np.float64)
+        if density.shape != (self.nz, self.ny, self.nx):
+            raise ValueError(
+                f"density shape {density.shape} != ({self.nz}, {self.ny}, {self.nx})"
+            )
+        object.__setattr__(self, "density", density)
+
+    @property
+    def a_ratio(self) -> float:
+        """Elastic scattering mass ratio."""
+        return self.molar_mass_g_mol
+
+    def with_(self, **changes) -> "Volume3DConfig":
+        """Copy with fields replaced."""
+        return replace(self, **changes)
+
+    def total_source_energy_ev(self) -> float:
+        """Conservation budget per run."""
+        return self.nparticles * self.source.energy_ev * self.source.weight
+
+
+def _centre_box() -> SourceBox3D:
+    return SourceBox3D(
+        x0=0.45, x1=0.55, y0=0.45, y1=0.55, z0=0.45, z1=0.55,
+        energy_ev=SOURCE_ENERGY_EV,
+    )
+
+
+def stream3_problem(n: int = 24, nparticles: int = 50, **overrides) -> Volume3DConfig:
+    """3-D stream: centred source, near-vacuum cube."""
+    density = np.full((n, n, n), LOW_DENSITY)
+    return Volume3DConfig(
+        name="stream3", nx=n, ny=n, nz=n, density=density,
+        source=_centre_box(), nparticles=nparticles, **overrides,
+    )
+
+
+def scatter3_problem(n: int = 24, nparticles: int = 50, **overrides) -> Volume3DConfig:
+    """3-D scatter: centred source, homogeneously dense cube."""
+    density = np.full((n, n, n), HIGH_DENSITY)
+    return Volume3DConfig(
+        name="scatter3", nx=n, ny=n, nz=n, density=density,
+        source=_centre_box(), nparticles=nparticles, **overrides,
+    )
+
+
+def csp3_problem(n: int = 24, nparticles: int = 50, **overrides) -> Volume3DConfig:
+    """3-D csp: corner source, dense cube spanning [0.4, 0.6]³."""
+    density = np.full((n, n, n), LOW_DENSITY)
+    lo, hi = int(0.4 * n), int(np.ceil(0.6 * n))
+    density[lo:hi, lo:hi, lo:hi] = HIGH_DENSITY
+    return Volume3DConfig(
+        name="csp3", nx=n, ny=n, nz=n, density=density,
+        source=SourceBox3D(
+            x0=0.0, x1=0.1, y0=0.0, y1=0.1, z0=0.0, z1=0.1,
+            energy_ev=SOURCE_ENERGY_EV,
+        ),
+        nparticles=nparticles, **overrides,
+    )

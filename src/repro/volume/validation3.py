@@ -1,0 +1,24 @@
+"""Conservation checks for 3-D runs (same ledger as the 2-D core)."""
+
+from __future__ import annotations
+
+from repro.volume.driver3 import Transport3DResult
+
+__all__ = ["energy_balance_error_3d", "population_accounted_3d"]
+
+
+def energy_balance_error_3d(result: Transport3DResult) -> float:
+    """``|deposited + in_flight + escaped − injected| / injected``."""
+    injected = result.config.total_source_energy_ev()
+    accounted = (
+        result.tally.total()
+        + result.in_flight_energy_ev()
+        + result.counters.escaped_energy
+    )
+    return abs(accounted - injected) / injected
+
+
+def population_accounted_3d(result: Transport3DResult) -> bool:
+    """Alive + terminated + escaped covers every history."""
+    c = result.counters
+    return result.alive_count() + c.terminations + c.escapes == c.nparticles

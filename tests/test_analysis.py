@@ -1,0 +1,245 @@
+"""Analysis utilities: batch statistics, multiplication, ASCII rendering,
+and the roofline classifiers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    batch_statistics,
+    estimate_multiplication,
+    render_heatmap,
+    render_series,
+)
+from repro.core import Scheme, Simulation, scatter_problem
+from repro.machine import BROADWELL, P100
+from repro.perfmodel.roofline import (
+    RooflineBound,
+    arithmetic_intensity,
+    classify_workload,
+    peak_flops,
+    roofline_time,
+)
+
+
+# ---------------------------------------------------------------------------
+# Batch statistics
+# ---------------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def stats_small():
+    cfg = scatter_problem(nx=32, nparticles=60, ntimesteps=2)
+    return batch_statistics(cfg, nbatches=4)
+
+
+def test_batch_statistics_shapes(stats_small):
+    assert stats_small.mean.shape == (32, 32)
+    assert stats_small.stderr.shape == (32, 32)
+    assert stats_small.nbatches == 4
+    assert stats_small.total_mean > 0
+    assert stats_small.total_stderr >= 0
+
+
+def test_batch_statistics_mean_matches_single_runs(stats_small):
+    """The batch mean is the average of the individual batch totals, so it
+    lands near any single run's total."""
+    cfg = scatter_problem(nx=32, nparticles=60, ntimesteps=2)
+    one = Simulation(cfg).run(Scheme.OVER_EVENTS).tally.total()
+    assert stats_small.total_mean == pytest.approx(one, rel=0.1)
+
+
+def test_relative_error_shrinks_with_batches():
+    """CLT: doubling the batch count shrinks the standard error ~1/√2.
+    (Statistical: assert a decrease, not the exact factor.)"""
+    cfg = scatter_problem(nx=32, nparticles=40, ntimesteps=2)
+    few = batch_statistics(cfg, nbatches=3)
+    many = batch_statistics(cfg, nbatches=9)
+    assert many.max_relative_error() < few.max_relative_error() * 1.05
+    assert many.total_stderr < few.total_stderr * 1.2
+
+
+def test_relative_error_fields(stats_small):
+    rel = stats_small.relative_error()
+    assert rel.shape == stats_small.mean.shape
+    assert np.all(rel >= 0)
+    assert stats_small.max_relative_error() >= 0
+
+
+def test_batch_statistics_validation():
+    cfg = scatter_problem(nx=16, nparticles=10)
+    with pytest.raises(ValueError):
+        batch_statistics(cfg, nbatches=1)
+
+
+# ---------------------------------------------------------------------------
+# Multiplication
+# ---------------------------------------------------------------------------
+
+def test_estimate_multiplication():
+    from tests.test_extensions import _fission_cfg
+
+    r = Simulation(_fission_cfg()).run(Scheme.OVER_EVENTS)
+    est = estimate_multiplication(r)
+    assert est.secondaries_per_source == pytest.approx(
+        r.counters.secondaries_banked / 80
+    )
+    assert 0.0 <= est.k_effective < 1.0
+    assert est.subcritical
+    assert est.fissions == r.counters.fissions
+
+
+def test_multiplication_zero_without_fission():
+    r = Simulation(scatter_problem(nx=16, nparticles=10)).run(Scheme.OVER_EVENTS)
+    est = estimate_multiplication(r)
+    assert est.secondaries_per_source == 0.0
+    assert est.k_effective == 0.0
+
+
+# ---------------------------------------------------------------------------
+# ASCII rendering
+# ---------------------------------------------------------------------------
+
+def test_heatmap_basic():
+    field = np.zeros((40, 40))
+    field[20, 20] = 100.0
+    out = render_heatmap(field, width=20, height=10, title="peak")
+    lines = out.splitlines()
+    assert lines[0] == "peak"
+    assert len(lines) == 11
+    assert all(len(l) == 20 for l in lines[1:])
+    assert "@" in out  # the peak reaches the top of the ramp
+
+
+def test_heatmap_uniform_field():
+    out = render_heatmap(np.ones((8, 8)), width=8, height=8)
+    assert set(out.replace("\n", "")) == {_first_ramp_char()}
+
+
+def _first_ramp_char():
+    from repro.analysis.viz import _RAMP
+
+    return _RAMP[0]
+
+
+def test_heatmap_validation():
+    with pytest.raises(ValueError):
+        render_heatmap(np.zeros(5))
+    with pytest.raises(ValueError):
+        render_heatmap(np.zeros((4, 4)), width=0)
+
+
+def test_heatmap_orientation():
+    """Row 0 of the field renders at the bottom (y upward)."""
+    field = np.zeros((10, 10))
+    field[0, :] = 50.0  # bottom row hot
+    out = render_heatmap(field, width=10, height=10, log=False)
+    lines = out.splitlines()
+    assert "@" in lines[-1]
+    assert "@" not in lines[0]
+
+
+def test_series_basic():
+    out = render_series([1, 2, 3, 4, 5], label="ramp")
+    assert out.startswith("ramp: ")
+    assert "min=1" in out and "max=5" in out
+
+
+def test_series_downsamples():
+    out = render_series(np.sin(np.linspace(0, 10, 500)), width=40)
+    strip = out.split("  [")[0]
+    assert len(strip) <= 42
+
+
+def test_series_validation():
+    with pytest.raises(ValueError):
+        render_series([])
+
+
+# ---------------------------------------------------------------------------
+# Roofline
+# ---------------------------------------------------------------------------
+
+def test_peak_flops_orders():
+    assert peak_flops(BROADWELL) == pytest.approx(44 * 2.1e9 * 2 * 4)
+    assert peak_flops(P100) > peak_flops(BROADWELL)
+    with pytest.raises(TypeError):
+        peak_flops("broadwell")
+
+
+def test_neutral_is_latency_bound_on_roofline():
+    """The paper's headline diagnosis: under both roofs."""
+    from repro.bench import paper_workload, standard_cpu_time
+
+    w = paper_workload("csp")
+    seconds = standard_cpu_time("csp", "broadwell").seconds
+    point = classify_workload(w, BROADWELL, seconds)
+    assert point.bound is RooflineBound.LATENCY
+    assert point.fraction_of_roof < 0.6
+    assert roofline_time(w, BROADWELL) < seconds  # roofline is a lower bound
+
+
+def test_intensity_positive():
+    from repro.bench import paper_workload
+
+    assert arithmetic_intensity(paper_workload("csp")) > 0
+    # scatter does far more flops per byte than the streaming problems
+    assert arithmetic_intensity(paper_workload("scatter")) > arithmetic_intensity(
+        paper_workload("stream")
+    )
+
+
+def test_classify_validation():
+    from repro.bench import paper_workload
+
+    with pytest.raises(ValueError):
+        classify_workload(paper_workload("csp"), BROADWELL, 0.0)
+
+
+# ---------------------------------------------------------------------------
+# Lethargy spectra (moderation diagnostics)
+# ---------------------------------------------------------------------------
+
+def test_mean_lethargy_gain_textbook_values():
+    from repro.analysis import mean_lethargy_gain
+
+    assert mean_lethargy_gain(1.0) == 1.0  # hydrogen: ξ = 1 exactly
+    # ξ(12) ≈ 0.158 (carbon), ξ(238) ≈ 0.0084 (uranium) — textbook numbers
+    assert mean_lethargy_gain(12.0) == pytest.approx(0.158, abs=0.002)
+    assert mean_lethargy_gain(238.0) == pytest.approx(0.0084, abs=0.0002)
+    with pytest.raises(ValueError):
+        mean_lethargy_gain(0.0)
+
+
+def test_lethargy_spectrum_tracks_moderation():
+    """After k collisions off hydrogen the mean lethargy is ≈ k·ξ = k."""
+    from repro.analysis import lethargy_spectrum
+
+    cfg = scatter_problem(nx=32, nparticles=80, dt=1e-10)
+    r = Simulation(cfg).run(Scheme.OVER_EVENTS)
+    k = r.counters.mean_collisions_per_particle()
+    assert k > 1
+    spec = lethargy_spectrum(r)
+    assert spec.total_weight == pytest.approx(
+        float(r.store.weight[r.store.alive].sum()), rel=1e-9
+    )
+    assert spec.mean_lethargy() == pytest.approx(k, rel=0.25)
+    assert spec.mean_energy_ev() < 1e6
+
+
+def test_lethargy_spectrum_empty_population():
+    from repro.analysis import lethargy_spectrum
+
+    cfg = scatter_problem(nx=32, nparticles=10, ntimesteps=6)
+    r = Simulation(cfg).run(Scheme.OVER_EVENTS)
+    if r.alive_count() == 0:
+        spec = lethargy_spectrum(r)
+        assert spec.total_weight == 0.0
+        assert spec.mean_lethargy() == 0.0
+
+
+def test_lethargy_spectrum_validation():
+    from repro.analysis import lethargy_spectrum
+
+    cfg = scatter_problem(nx=16, nparticles=5)
+    r = Simulation(cfg).run(Scheme.OVER_EVENTS)
+    with pytest.raises(ValueError):
+        lethargy_spectrum(r, nbins=0)

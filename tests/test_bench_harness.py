@@ -1,0 +1,70 @@
+"""Bench harness: workload caching, device baselines, table rendering."""
+
+import pytest
+
+from repro.bench import (
+    DEVICE_BASELINES,
+    PAPER_SCALE,
+    format_series,
+    format_table,
+    measured_workload,
+    paper_workload,
+    standard_cpu_time,
+    standard_gpu_time,
+)
+from repro.core import Scheme
+
+
+def test_measured_workload_cached():
+    a = measured_workload("csp")
+    b = measured_workload("csp")
+    assert a is b  # lru-cached: one transport per problem per process
+
+
+def test_measured_workload_unknown():
+    with pytest.raises(KeyError):
+        measured_workload("nope")
+
+
+def test_paper_workload_scales():
+    w = paper_workload("scatter")
+    assert w.nparticles == PAPER_SCALE["scatter"][0] == 10_000_000
+    assert w.mesh_nx == 4000
+
+
+def test_device_baselines_complete():
+    assert set(DEVICE_BASELINES) == {"broadwell", "knl", "power8"}
+    for nthreads, affinity, fast in DEVICE_BASELINES.values():
+        assert nthreads > 0
+
+
+def test_standard_cpu_time_override():
+    base = standard_cpu_time("csp", "broadwell")
+    fewer = standard_cpu_time("csp", "broadwell", nthreads=22)
+    assert fewer.seconds > base.seconds
+
+
+def test_standard_gpu_time_schemes():
+    op = standard_gpu_time("csp", "p100")
+    oe = standard_gpu_time("csp", "p100", Scheme.OVER_EVENTS)
+    assert oe.seconds > op.seconds
+
+
+def test_format_table_alignment():
+    out = format_table(["a", "bb"], [[1, 2.5], ["xx", 3.25]])
+    lines = out.splitlines()
+    assert len(lines) == 4
+    assert "2.50" in out and "3.25" in out
+    widths = {len(l) for l in lines}
+    assert len(widths) == 1  # all rows equal width
+
+
+def test_format_table_empty_rows():
+    out = format_table(["h1", "h2"], [])
+    assert "h1" in out
+
+
+def test_format_series():
+    out = format_series("eff", [1, 2], [0.5, 0.25])
+    assert "series: eff" in out
+    assert "1: 0.500" in out

@@ -1,0 +1,100 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_parser_rejects_unknown_problem():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["run", "--problem", "nope"])
+
+
+def test_run_command(capsys):
+    rc = main(["run", "--problem", "csp", "--nx", "48", "--particles", "30"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "energy balance error" in out
+    assert "population accounted: True" in out
+
+
+def test_run_with_extensions(capsys):
+    rc = main([
+        "run", "--problem", "stream", "--nx", "48", "--particles", "20",
+        "--boundary", "vacuum", "--russian-roulette",
+        "--scheme", "over_events",
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "escapes=20" in out
+
+
+def test_predict_cpu(capsys):
+    rc = main(["predict", "--problem", "csp", "--machine", "broadwell"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "predicted runtime" in out
+    assert "tally share" in out
+
+
+def test_predict_gpu(capsys):
+    rc = main(["predict", "--problem", "csp", "--machine", "p100"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "occupancy" in out
+    assert "79 registers" in out
+
+
+def test_characterise(capsys):
+    rc = main(["characterise", "--problem", "stream"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "facets/particle" in out
+
+
+def test_figures(capsys):
+    rc = main(["figures"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "Over Particles runtimes" in out
+    assert "csp" in out and "p100" in out
+
+
+def test_run3d(capsys):
+    rc = main(["run3d", "--problem", "stream3", "--n", "12", "--particles", "15"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "mesh=12³" in out
+    assert "population accounted: True" in out
+
+
+def test_run3d_over_events(capsys):
+    rc = main([
+        "run3d", "--problem", "scatter3", "--n", "12", "--particles", "15",
+        "--scheme", "over_events",
+    ])
+    assert rc == 0
+    assert "collisions=" in capsys.readouterr().out
+
+
+def test_run_show_tally(capsys):
+    rc = main([
+        "run", "--problem", "scatter", "--nx", "48", "--particles", "40",
+        "--show-tally",
+    ])
+    assert rc == 0
+    assert "energy deposition (log scale)" in capsys.readouterr().out
+
+
+def test_figures_output_file(tmp_path, capsys):
+    out = tmp_path / "sub" / "REPORT.md"
+    rc = main(["figures", "--output", str(out)])
+    assert rc == 0
+    text = out.read_text()
+    assert "Cross-architecture summary" in text
+    assert "csp" in text and "p100" in text

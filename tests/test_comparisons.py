@@ -1,0 +1,209 @@
+"""flow and hot comparator mini-apps, and their roofline characterisation."""
+
+import numpy as np
+import pytest
+
+from repro.comparisons.characterisation import (
+    FLOW_CHARACTERISATION,
+    HOT_CHARACTERISATION,
+    predict_stencil_runtime,
+)
+from repro.comparisons.flow import GAMMA, FlowSolver, sod_initial_state
+from repro.comparisons.hot import HotSolver
+from repro.machine import BROADWELL, POWER8
+from repro.parallel.affinity import Affinity
+
+
+# ---------------------------------------------------------------------------
+# flow
+# ---------------------------------------------------------------------------
+
+@pytest.fixture
+def sod():
+    return FlowSolver(*sod_initial_state(128, 16))
+
+
+def test_flow_mass_exactly_conserved(sod):
+    m0 = sod.total_mass()
+    sod.run(60)
+    assert sod.total_mass() == pytest.approx(m0, rel=1e-12)
+
+
+def test_flow_energy_exactly_conserved(sod):
+    e0 = sod.total_energy()
+    sod.run(60)
+    assert sod.total_energy() == pytest.approx(e0, rel=1e-12)
+
+
+def test_flow_density_stays_positive(sod):
+    sod.run(100)
+    assert np.all(sod.rho > 0)
+
+
+def test_flow_sod_shock_moves_right(sod):
+    """The Sod contact/shock system propagates into the low-density half."""
+    before = sod.rho[8, 70:96].mean()
+    sod.run(100)
+    after = sod.rho[8, 70:96].mean()
+    assert after > before + 0.05
+
+
+def test_flow_rarefaction_lowers_left_density(sod):
+    sod.run(100)
+    assert sod.rho[8, 10:50].min() < 1.0 - 0.05
+
+
+def test_flow_uniform_state_is_steady():
+    rho = np.ones((16, 16))
+    p = np.ones((16, 16))
+    e = p / (GAMMA - 1.0)
+    s = FlowSolver(rho, np.zeros_like(rho), np.zeros_like(rho), e)
+    s.run(20)
+    assert np.allclose(s.rho, 1.0)
+    assert np.allclose(s.mx, 0.0)
+    assert np.allclose(s.e, e)
+
+
+def test_flow_cfl_timestep_shrinks_with_resolution():
+    a = FlowSolver(*sod_initial_state(64, 8)).stable_dt()
+    b = FlowSolver(*sod_initial_state(128, 8)).stable_dt()
+    assert b < a
+
+
+def test_flow_reflection_off_walls():
+    """A leftward slab of momentum reflects off the x=0 wall."""
+    rho = np.ones((8, 64))
+    mx = np.zeros_like(rho)
+    mx[:, 4:10] = -0.3
+    e = np.full_like(rho, 1.0 / (GAMMA - 1.0)) + 0.5 * mx**2
+    s = FlowSolver(rho, mx, np.zeros_like(rho), e)
+    s.run(120)
+    assert float(s.mx.sum()) > -float(np.abs(mx).sum())  # momentum returned
+
+
+def test_flow_validation():
+    good = sod_initial_state(16, 8)
+    with pytest.raises(ValueError):
+        FlowSolver(good[0], good[1][:4], good[2], good[3])
+    with pytest.raises(ValueError):
+        FlowSolver(-good[0], good[1], good[2], good[3])
+    with pytest.raises(ValueError):
+        FlowSolver(*good, cfl=1.5)
+
+
+# ---------------------------------------------------------------------------
+# hot
+# ---------------------------------------------------------------------------
+
+@pytest.fixture
+def hot():
+    t = np.zeros((24, 24))
+    t[8:16, 8:16] = 100.0
+    return HotSolver(t, conductivity=1.0, dt=1e-4)
+
+
+def test_hot_converges(hot):
+    hot.solve_timestep(tol=1e-10)
+    assert hot.last_residual <= 1e-10
+    assert hot.last_iterations > 0
+
+
+def test_hot_conserves_heat(hot):
+    """Insulated boundaries: total heat invariant under diffusion."""
+    q0 = hot.total_heat()
+    for _ in range(3):
+        hot.solve_timestep()
+    assert hot.total_heat() == pytest.approx(q0, rel=1e-9)
+
+
+def test_hot_diffuses_peak(hot):
+    peak0 = hot.t.max()
+    hot.solve_timestep()
+    assert hot.t.max() < peak0
+    assert hot.t.min() >= -1e-9  # no undershoot to negative temperature
+
+
+def test_hot_matches_dense_solve():
+    t = np.zeros((8, 8))
+    t[3:5, 3:5] = 10.0
+    h = HotSolver(t, conductivity=0.5, dt=1e-4)
+    a = h.dense_operator()
+    expected = np.linalg.solve(a, t.ravel()).reshape(8, 8)
+    h.solve_timestep(tol=1e-12)
+    assert np.allclose(h.t, expected, atol=1e-8)
+
+
+def test_hot_operator_symmetric_positive_definite():
+    h = HotSolver(np.zeros((8, 8)), conductivity=1.0, dt=1e-3)
+    a = h.dense_operator()
+    assert np.allclose(a, a.T, atol=1e-12)
+    assert np.linalg.eigvalsh(a).min() > 0
+
+
+def test_hot_validation():
+    with pytest.raises(ValueError):
+        HotSolver(np.zeros(4))
+    with pytest.raises(ValueError):
+        HotSolver(np.zeros((4, 4)), conductivity=-1.0)
+
+
+# ---------------------------------------------------------------------------
+# characterisation / scaling model
+# ---------------------------------------------------------------------------
+
+CELLS = 4000 * 4000
+
+
+def _eff(spec, n, affinity=Affinity.COMPACT_CORES):
+    t1 = predict_stencil_runtime(FLOW_CHARACTERISATION, spec, CELLS, 10, 1,
+                                 affinity=affinity)
+    tn = predict_stencil_runtime(FLOW_CHARACTERISATION, spec, CELLS, 10, n,
+                                 affinity=affinity)
+    return t1 / (n * tn)
+
+
+def test_flow_efficiency_declines_with_saturation():
+    """Fig 3: flow's efficiency falls once a socket's bandwidth saturates."""
+    assert _eff(BROADWELL, 2) > 0.9
+    assert _eff(BROADWELL, 22) < 0.5
+    assert _eff(BROADWELL, 44) < _eff(BROADWELL, 8)
+
+
+def test_power8_flow_near_perfect_efficiency():
+    """Fig 3: 'flow achieves near perfect parallel efficiency on POWER8'."""
+    assert _eff(POWER8, 10) > 0.9
+
+
+def test_flow_no_hyperthreading_benefit():
+    """Fig 6: flow gains nothing from SMT (bandwidth already saturated)."""
+    t44 = predict_stencil_runtime(
+        FLOW_CHARACTERISATION, BROADWELL, CELLS, 10, 44, Affinity.SCATTER
+    )
+    t88 = predict_stencil_runtime(
+        FLOW_CHARACTERISATION, BROADWELL, CELLS, 10, 88, Affinity.SCATTER
+    )
+    assert t88 == pytest.approx(t44, rel=0.02)
+
+
+def test_flow_oversubscription_penalty():
+    """Fig 6: ~1.2× penalty at 2× oversubscription on Broadwell."""
+    t88 = predict_stencil_runtime(
+        FLOW_CHARACTERISATION, BROADWELL, CELLS, 10, 88, Affinity.SCATTER
+    )
+    t176 = predict_stencil_runtime(
+        FLOW_CHARACTERISATION, BROADWELL, CELLS, 10, 176, Affinity.SCATTER
+    )
+    assert 1.1 < t176 / t88 < 1.3
+
+
+def test_hot_also_bandwidth_bound():
+    t = predict_stencil_runtime(HOT_CHARACTERISATION, BROADWELL, CELLS, 10, 44)
+    flops_time = HOT_CHARACTERISATION.flops_per_cell * CELLS * 10 / (
+        44 * 2.1e9 * 2 * 4
+    )
+    assert t > flops_time  # memory, not flops, is binding
+
+
+def test_characterisation_validation():
+    with pytest.raises(ValueError):
+        predict_stencil_runtime(FLOW_CHARACTERISATION, BROADWELL, 0, 10, 4)

@@ -1,0 +1,136 @@
+"""The three test problems expose the behaviours the paper describes (§IV-B)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    PAPER_MESH_SIZE,
+    PAPER_TIMESTEP_S,
+    PROBLEM_FACTORIES,
+    Scheme,
+    Simulation,
+    csp_problem,
+    scatter_problem,
+    stream_problem,
+)
+from repro.core.problems import HIGH_DENSITY, LOW_DENSITY, SOURCE_ENERGY_EV
+
+
+def test_paper_scale_defaults():
+    cfg = stream_problem()
+    assert cfg.nx == cfg.ny == PAPER_MESH_SIZE == 4000
+    assert cfg.dt == PAPER_TIMESTEP_S == 1e-7
+    assert cfg.nparticles == 1_000_000
+    assert scatter_problem().nparticles == 10_000_000
+    assert csp_problem().nparticles == 1_000_000
+
+
+def test_density_fields():
+    s = stream_problem(nx=16)
+    assert np.all(s.density == LOW_DENSITY)
+    sc = scatter_problem(nx=16)
+    assert np.all(sc.density == HIGH_DENSITY)
+    c = csp_problem(nx=20)
+    assert c.density[10, 10] == HIGH_DENSITY  # centre
+    assert c.density[0, 0] == LOW_DENSITY  # corner
+    # square occupies ~4% of cells ([0.4,0.6]²)
+    frac = (c.density == HIGH_DENSITY).mean()
+    assert 0.02 < frac < 0.06
+
+
+def test_source_locations():
+    s = stream_problem(nx=16)
+    assert 0.4 < s.source.x0 < s.source.x1 < 0.6  # centred
+    c = csp_problem(nx=16)
+    assert c.source.x0 == 0.0 and c.source.x1 <= 0.11  # bottom-left
+
+
+def test_source_energy_one_mev():
+    for factory in PROBLEM_FACTORIES.values():
+        assert factory(nx=8).source.energy_ev == SOURCE_ENERGY_EV == 1e6
+
+
+@pytest.fixture(scope="module")
+def small_runs():
+    out = {}
+    for name, factory in PROBLEM_FACTORIES.items():
+        cfg = factory(nx=96, nparticles=40)
+        out[name] = Simulation(cfg).run(Scheme.OVER_EVENTS)
+    return out
+
+
+def test_stream_is_facet_dominated(small_runs):
+    c = small_runs["stream"].counters
+    assert c.collisions == 0
+    assert c.mean_facets_per_particle() > 50
+
+
+def test_stream_facets_extrapolate_to_paper_value(small_runs):
+    """≈7000 facets/particle at the 4000² mesh (§IV-B)."""
+    c = small_runs["stream"].counters
+    extrapolated = c.mean_facets_per_particle() * PAPER_MESH_SIZE / 96
+    assert 6000 < extrapolated < 8000
+
+
+def test_stream_crosses_mesh_multiple_times(small_runs):
+    """Reflective boundaries: particles traverse the full width repeatedly."""
+    c = small_runs["stream"].counters
+    assert c.reflections > 0
+    # total x+y crossings per particle exceed one mesh width of cells
+    assert c.mean_facets_per_particle() > 96
+
+
+def test_scatter_is_collision_dominated(small_runs):
+    c = small_runs["scatter"].counters
+    assert c.mean_collisions_per_particle() > 5
+    assert c.mean_facets_per_particle() < 2
+    assert c.collisions > 10 * c.facets
+
+
+def test_scatter_particles_die_near_birth_cell(small_runs):
+    """High density: histories deposit until below the energy of interest."""
+    r = small_runs["scatter"]
+    # Deposition is concentrated: the source box covers 1/100 of the mesh
+    # area but receives nearly all the energy.
+    dep = r.tally.deposition
+    total = dep.sum()
+    iy, ix = np.nonzero(dep > 0)
+    span_x = ix.max() - ix.min()
+    span_y = iy.max() - iy.min()
+    assert span_x <= 96 * 0.12 and span_y <= 96 * 0.12
+    assert total > 0.9 * r.config.total_source_energy_ev()
+
+
+def test_csp_is_mixed(small_runs):
+    c = small_runs["csp"].counters
+    assert c.collisions > 0
+    assert c.facets > 10 * c.collisions  # streaming-dominated event mix
+
+
+def test_csp_deposits_in_centre_square(small_runs):
+    r = small_runs["csp"]
+    dep = r.tally.deposition
+    in_square = r.config.density == HIGH_DENSITY
+    assert dep[in_square].sum() > 0.99 * dep.sum()
+
+
+def test_csp_has_largest_work_imbalance():
+    """§VI-C: csp 'exhibited the greatest load imbalance' — measured as the
+    spread of per-history *work* (grind-time weighted events) over complete
+    histories (enough timesteps that scatter histories finish rather than
+    being truncated mid-flight by census)."""
+    from repro.core.problems import PROBLEM_FACTORIES
+
+    cv = {}
+    for name, factory in PROBLEM_FACTORIES.items():
+        cfg = factory(nx=96, nparticles=60, ntimesteps=3)
+        c = Simulation(cfg).run(Scheme.OVER_EVENTS).counters
+        # weight collisions 6x facets (18 ns vs 3 ns grind times)
+        work = 6.0 * c.collisions_per_particle + c.facets_per_particle
+        cv[name] = work.std() / work.mean()
+    assert cv["csp"] > cv["stream"]
+    assert cv["csp"] > cv["scatter"]
+
+
+def test_factories_registry():
+    assert set(PROBLEM_FACTORIES) == {"stream", "scatter", "csp"}

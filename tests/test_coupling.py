@@ -1,0 +1,73 @@
+"""Transport → heat-conduction coupling (the §VI-F host-code pattern)."""
+
+import numpy as np
+import pytest
+
+from repro.core import Scheme, scatter_problem
+from repro.coupling import run_coupled
+
+
+@pytest.fixture(scope="module")
+def coupled():
+    cfg = scatter_problem(nx=32, nparticles=40, dt=1.5e-9)
+    return cfg, run_coupled(cfg, nsteps=4)
+
+
+def test_energy_handed_over_completely(coupled):
+    cfg, r = coupled
+    # Everything deposited across steps sums to (injected − in-flight);
+    # by the final step the histories have thermalised almost fully.
+    assert r.total_deposited_ev == pytest.approx(
+        cfg.total_source_energy_ev(), rel=1e-3
+    )
+
+
+def test_deposition_continues_across_steps(coupled):
+    _, r = coupled
+    assert len(r.deposition_per_step) == 4
+    # front-loaded (elastic collisions halve the energy) but not finished
+    assert r.deposition_per_step[0].sum() > r.deposition_per_step[1].sum() > 0
+
+
+def test_temperature_rises_where_energy_lands(coupled):
+    cfg, r = coupled
+    assert r.temperature.max() > 300.0
+    assert r.temperature.min() >= 300.0 - 1e-9
+    hot_iy, hot_ix = np.unravel_index(np.argmax(r.temperature), r.temperature.shape)
+    dep = sum(r.deposition_per_step)
+    dep_iy, dep_ix = np.unravel_index(np.argmax(dep), dep.shape)
+    # the hottest cell is where (or next to where) the most energy landed
+    assert abs(int(hot_iy) - int(dep_iy)) <= 1
+    assert abs(int(hot_ix) - int(dep_ix)) <= 1
+
+
+def test_cg_converges_each_exchange(coupled):
+    _, r = coupled
+    assert all(i >= 1 for i in r.cg_iterations)
+
+
+def test_schemes_produce_identical_coupled_history():
+    cfg = scatter_problem(nx=24, nparticles=25, dt=1.5e-9)
+    a = run_coupled(cfg, nsteps=3, scheme=Scheme.OVER_EVENTS)
+    b = run_coupled(cfg, nsteps=3, scheme=Scheme.OVER_PARTICLES)
+    for da, db in zip(a.deposition_per_step, b.deposition_per_step):
+        assert np.allclose(da, db, rtol=1e-9)
+    assert np.allclose(a.temperature, b.temperature, rtol=1e-9)
+
+
+def test_heat_source_validation():
+    from repro.comparisons.hot import HotSolver
+
+    h = HotSolver(np.zeros((8, 8)))
+    with pytest.raises(ValueError):
+        h.solve_timestep(source=np.zeros((4, 4)))
+
+
+def test_coupling_validation():
+    cfg = scatter_problem(nx=16, nparticles=10)
+    with pytest.raises(ValueError):
+        run_coupled(cfg, nsteps=0)
+    with pytest.raises(ValueError):
+        run_coupled(cfg, nsteps=1, heat_capacity_j_per_k=0.0)
+    with pytest.raises(ValueError):
+        run_coupled(cfg, nsteps=1, heat_dt=0.0)

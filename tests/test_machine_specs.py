@@ -1,0 +1,127 @@
+"""Machine descriptions: registry integrity, occupancy arithmetic."""
+
+import pytest
+
+from repro.machine import (
+    ALL_MACHINES,
+    BROADWELL,
+    CPUS,
+    GPUS,
+    K20X,
+    KNL,
+    P100,
+    POWER8,
+    get_machine,
+)
+from repro.machine.spec import CacheLevel, CPUSpec, GPUSpec, MemorySpec
+
+
+def test_registry_contents():
+    assert set(ALL_MACHINES) == {"broadwell", "knl", "power8", "k20x", "p100"}
+    assert set(CPUS) == {"broadwell", "knl", "power8"}
+    assert set(GPUS) == {"k20x", "p100"}
+
+
+def test_get_machine():
+    assert get_machine("Broadwell") is BROADWELL
+    with pytest.raises(KeyError):
+        get_machine("epyc")
+
+
+def test_broadwell_topology():
+    """Paper §VII-A: dual socket, 22 cores, 88 threads at 2.1 GHz."""
+    assert BROADWELL.total_cores == 44
+    assert BROADWELL.total_threads == 88
+    assert BROADWELL.clock_ghz == pytest.approx(2.1)
+
+
+def test_knl_topology():
+    """Paper §VII-B: KNL 7210 runs 256 threads; MCDRAM present."""
+    assert KNL.total_threads == 256
+    assert KNL.fast_memory is not None
+    assert KNL.fast_memory.capacity_gb == 16.0
+    # MCDRAM streams much faster but has *higher* random latency.
+    assert KNL.fast_memory.bandwidth_gbs > 4 * KNL.dram.bandwidth_gbs
+    assert KNL.fast_memory.latency_ns > KNL.dram.latency_ns
+
+
+def test_power8_topology():
+    """Paper §VII-C: 160 threads (8 SMT); two 5-core clusters per socket."""
+    assert POWER8.total_threads == 160
+    assert POWER8.smt_per_core == 8
+    assert POWER8.cores_per_cluster == 5
+
+
+def test_gpu_achievable_bandwidths_match_paper_accounting():
+    """§VII-D: 35 GB/s ≈ 20% ⇒ ~175 GB/s; §VII-E: 125 ≈ 25% ⇒ ~500."""
+    assert K20X.memory.bandwidth_gbs == pytest.approx(175.0)
+    assert P100.memory.bandwidth_gbs == pytest.approx(500.0)
+
+
+def test_kepler_lacks_native_double_atomics():
+    assert not K20X.native_double_atomics
+    assert P100.native_double_atomics
+
+
+def test_occupancy_arithmetic_matches_paper():
+    """§VII-E: 79 regs ⇒ occupancy 0.38-0.39; 64 regs ⇒ 0.49-0.50."""
+    assert P100.warps_for_registers(79) == 25
+    assert P100.occupancy(79) == pytest.approx(0.39, abs=0.01)
+    assert P100.warps_for_registers(64) == 32
+    assert P100.occupancy(64) == pytest.approx(0.50, abs=0.01)
+    # §VI-H: K20X at 102 regs is down at 20 warps.
+    assert K20X.warps_for_registers(102) == 20
+
+
+def test_op_kernel_registers_per_architecture():
+    """102 compiling for sm_35, 79 for sm_60 (§VI-H, §VII-E)."""
+    assert K20X.op_kernel_registers == 102
+    assert P100.op_kernel_registers == 79
+
+
+def test_warps_clamped_to_hardware_max():
+    assert P100.warps_for_registers(1) == P100.max_warps_per_sm
+    with pytest.raises(ValueError):
+        P100.warps_for_registers(0)
+
+
+def test_memory_latency_cycles_loaded_vs_unloaded():
+    loaded = BROADWELL.memory_latency_cycles()
+    unloaded = BROADWELL.memory_latency_cycles(loaded=False)
+    assert loaded > unloaded
+    assert unloaded == pytest.approx(85.0 * 2.1)
+
+
+def test_fast_memory_selection():
+    assert KNL.bandwidth(use_fast_memory=True) == 450.0
+    assert KNL.bandwidth(use_fast_memory=False) == 80.0
+    # Machines without fast memory fall back to DRAM.
+    assert BROADWELL.bandwidth(use_fast_memory=True) == 130.0
+
+
+def test_spec_validation():
+    mem = MemorySpec(bandwidth_gbs=100, latency_ns=100, capacity_gb=16)
+    with pytest.raises(ValueError):
+        CacheLevel(size_bytes=0, latency_cycles=4)
+    with pytest.raises(ValueError):
+        MemorySpec(bandwidth_gbs=-1, latency_ns=100, capacity_gb=16)
+    with pytest.raises(ValueError):
+        MemorySpec(bandwidth_gbs=100, latency_ns=100, capacity_gb=16,
+                   random_bw_fraction=0.0)
+    with pytest.raises(ValueError):
+        CPUSpec(
+            name="bad", sockets=0, cores_per_socket=1, smt_per_core=1,
+            clock_ghz=1.0, issue_width=1.0, vector_width_f64=2,
+            vector_gather_supported=False, caches=(), dram=mem,
+        )
+    with pytest.raises(ValueError):
+        GPUSpec(
+            name="bad", sms=0, max_warps_per_sm=64, warp_size=32,
+            registers_per_sm=65536, clock_ghz=1.0, memory=mem,
+            memory_latency_cycles=300, native_double_atomics=True,
+            atomic_latency_cycles=100, saturation_warps_per_sm=24,
+        )
+
+
+def test_random_bandwidth():
+    assert BROADWELL.dram.random_bandwidth_gbs() == pytest.approx(130.0 * 0.65)

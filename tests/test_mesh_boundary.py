@@ -1,0 +1,50 @@
+"""Reflective boundary behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.mesh.boundary import (
+    BoundaryCondition,
+    reflect_direction,
+    reflect_direction_vec,
+)
+
+
+def test_reflect_x():
+    assert reflect_direction(0.6, 0.8, axis=0) == (-0.6, 0.8)
+
+
+def test_reflect_y():
+    assert reflect_direction(0.6, 0.8, axis=1) == (0.6, -0.8)
+
+
+def test_reflect_preserves_norm():
+    ox, oy = reflect_direction(0.6, 0.8, axis=0)
+    assert ox * ox + oy * oy == pytest.approx(1.0)
+
+
+def test_double_reflection_is_identity():
+    ox, oy = reflect_direction(*reflect_direction(0.6, 0.8, 1), 1)
+    assert (ox, oy) == (0.6, 0.8)
+
+
+def test_invalid_axis():
+    with pytest.raises(ValueError):
+        reflect_direction(1.0, 0.0, axis=2)
+
+
+def test_reflect_vec_masked():
+    ox = np.array([0.6, 0.6, 0.6])
+    oy = np.array([0.8, 0.8, 0.8])
+    axis = np.array([0, 1, 0])
+    do = np.array([True, True, False])
+    rx, ry = reflect_direction_vec(ox, oy, axis, do)
+    assert np.array_equal(rx, [-0.6, 0.6, 0.6])
+    assert np.array_equal(ry, [0.8, -0.8, 0.8])
+    # inputs untouched
+    assert np.array_equal(ox, [0.6, 0.6, 0.6])
+
+
+def test_boundary_condition_enum():
+    assert BoundaryCondition.REFLECTIVE.value == "reflective"
+    assert BoundaryCondition.VACUUM.value == "vacuum"

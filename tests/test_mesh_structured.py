@@ -1,0 +1,96 @@
+"""Structured mesh: indexing, geometry, validation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mesh.structured import StructuredMesh
+
+
+def test_basic_properties():
+    m = StructuredMesh(8, 4, width=2.0, height=1.0)
+    assert m.ncells == 32
+    assert m.dx == pytest.approx(0.25)
+    assert m.dy == pytest.approx(0.25)
+
+
+def test_flat_index_row_major():
+    m = StructuredMesh(10, 5)
+    assert m.flat_index(0, 0) == 0
+    assert m.flat_index(9, 0) == 9
+    assert m.flat_index(0, 1) == 10
+    assert m.flat_index(9, 4) == 49
+
+
+@given(
+    x=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    y=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+)
+@settings(max_examples=200, deadline=None)
+def test_cell_of_point_in_range(x, y):
+    m = StructuredMesh(16, 16)
+    ix, iy = m.cell_of_point(x, y)
+    assert 0 <= ix < 16 and 0 <= iy < 16
+    x0, x1, y0, y1 = m.cell_bounds(ix, iy)
+    assert x0 <= x <= x1 + 1e-12
+    assert y0 <= y <= y1 + 1e-12
+
+
+def test_cell_of_point_boundary_clamps():
+    m = StructuredMesh(4, 4)
+    assert m.cell_of_point(1.0, 1.0) == (3, 3)
+    assert m.cell_of_point(0.0, 0.0) == (0, 0)
+
+
+def test_cell_of_point_outside_raises():
+    m = StructuredMesh(4, 4)
+    with pytest.raises(ValueError):
+        m.cell_of_point(1.5, 0.5)
+
+
+def test_cell_of_point_vec_matches_scalar():
+    m = StructuredMesh(13, 7, width=3.0, height=2.0)
+    rng = np.random.default_rng(0)
+    x = rng.uniform(0, 3.0, 200)
+    y = rng.uniform(0, 2.0, 200)
+    ix, iy = m.cell_of_point_vec(x, y)
+    for i in range(200):
+        assert (int(ix[i]), int(iy[i])) == m.cell_of_point(float(x[i]), float(y[i]))
+
+
+def test_cell_bounds_tile_the_domain():
+    m = StructuredMesh(5, 3, width=1.0, height=0.6)
+    assert m.cell_bounds(0, 0)[0] == 0.0
+    assert m.cell_bounds(4, 0)[1] == pytest.approx(1.0)
+    assert m.cell_bounds(0, 2)[3] == pytest.approx(0.6)
+    # adjacent cells share a face
+    assert m.cell_bounds(1, 0)[0] == m.cell_bounds(0, 0)[1]
+
+
+def test_density_roundtrip():
+    d = np.arange(12, dtype=float).reshape(3, 4)
+    m = StructuredMesh(4, 3, density=d)
+    assert m.density_at(2, 1) == 6.0
+    ix = np.array([0, 3])
+    iy = np.array([2, 0])
+    assert np.array_equal(m.density_at_vec(ix, iy), np.array([8.0, 3.0]))
+
+
+def test_density_shape_validation():
+    with pytest.raises(ValueError):
+        StructuredMesh(4, 3, density=np.zeros((4, 3)))
+    with pytest.raises(ValueError):
+        StructuredMesh(4, 3, density=-np.ones((3, 4)))
+
+
+def test_invalid_dims():
+    with pytest.raises(ValueError):
+        StructuredMesh(0, 4)
+    with pytest.raises(ValueError):
+        StructuredMesh(4, 4, width=0.0)
+
+
+def test_density_nbytes():
+    m = StructuredMesh(100, 100)
+    assert m.density_nbytes() == 100 * 100 * 8

@@ -1,0 +1,112 @@
+"""Thread placement and atomic-contention accounting."""
+
+import pytest
+
+from repro.parallel.affinity import Affinity, place_threads
+from repro.parallel.atomics import (
+    atomic_op_cost_cycles,
+    line_conflict_probability,
+)
+
+# Broadwell-like topology: 2 sockets x 22 cores x 2 SMT.
+BDW = dict(sockets=2, cores_per_socket=22, smt_per_core=2)
+# KNL-like: 1 socket x 64 cores x 4 SMT.
+KNL = dict(sockets=1, cores_per_socket=64, smt_per_core=4)
+
+
+def test_compact_fills_smt_first():
+    p = place_threads(2, affinity=Affinity.COMPACT, **BDW)
+    assert p.cores_used == 1
+    assert p.max_threads_per_core == 2
+    assert p.sockets_used == 1
+
+
+def test_scatter_spreads_cores_first():
+    p = place_threads(2, affinity=Affinity.SCATTER, **BDW)
+    assert p.cores_used == 2
+    assert p.sockets_used == 2
+    assert p.max_threads_per_core == 1
+
+
+def test_compact_consumes_socket_before_second():
+    """With compact+fine, 44 threads fill socket 0 of the Broadwell node."""
+    p = place_threads(44, affinity=Affinity.COMPACT, **BDW)
+    assert p.sockets_used == 1
+    p = place_threads(45, affinity=Affinity.COMPACT, **BDW)
+    assert p.sockets_used == 2
+
+
+def test_scatter_one_per_core_at_core_count():
+    p = place_threads(44, affinity=Affinity.SCATTER, **BDW)
+    assert p.cores_used == 44
+    assert p.max_threads_per_core == 1
+    p = place_threads(88, affinity=Affinity.SCATTER, **BDW)
+    assert p.max_threads_per_core == 2
+
+
+def test_knl_scatter_256():
+    p = place_threads(256, affinity=Affinity.SCATTER, **KNL)
+    assert p.cores_used == 64
+    assert p.threads_per_core == pytest.approx(4.0)
+    assert not p.oversubscribed
+
+
+def test_oversubscription_detected_and_wraps():
+    p = place_threads(100, affinity=Affinity.COMPACT, **BDW)
+    assert p.oversubscribed
+    assert p.per_core.sum() == 100
+    assert p.max_threads_per_core >= 3
+
+
+def test_threads_on_socket():
+    p = place_threads(50, affinity=Affinity.COMPACT, **BDW)
+    assert p.threads_on_socket(0) == 44
+    assert p.threads_on_socket(1) == 6
+    assert p.socket_of_core(0) == 0
+    assert p.socket_of_core(22) == 1
+
+
+def test_placement_validation():
+    with pytest.raises(ValueError):
+        place_threads(0, **BDW)
+    with pytest.raises(ValueError):
+        place_threads(4, sockets=0, cores_per_socket=4, smt_per_core=1)
+
+
+# ---------------------------------------------------------------------------
+# Atomics
+# ---------------------------------------------------------------------------
+
+def test_line_conflict_probability():
+    assert line_conflict_probability(0.0) == 0.0
+    assert line_conflict_probability(0.01) == pytest.approx(0.08)
+    assert line_conflict_probability(0.5) == 1.0  # clamped
+    with pytest.raises(ValueError):
+        line_conflict_probability(1.5)
+
+
+def test_atomic_cost_uncontended():
+    assert atomic_op_cost_cycles(25.0, 0.0, 64) == pytest.approx(25.0)
+    assert atomic_op_cost_cycles(25.0, 0.5, 1) == pytest.approx(25.0)
+
+
+def test_atomic_cost_grows_with_threads_and_conflicts():
+    base = atomic_op_cost_cycles(25.0, 0.01, 2)
+    more_threads = atomic_op_cost_cycles(25.0, 0.01, 64)
+    more_conflict = atomic_op_cost_cycles(25.0, 0.1, 2)
+    assert more_threads > base
+    assert more_conflict > base
+
+
+def test_atomic_emulation_factor():
+    """The K20X CAS-loop emulation multiplies the whole cost."""
+    native = atomic_op_cost_cycles(280.0, 0.001, 100, emulated_factor=1.0)
+    emulated = atomic_op_cost_cycles(280.0, 0.001, 100, emulated_factor=1.4)
+    assert emulated == pytest.approx(1.4 * native)
+
+
+def test_atomic_validation():
+    with pytest.raises(ValueError):
+        atomic_op_cost_cycles(-1.0, 0.0, 4)
+    with pytest.raises(ValueError):
+        atomic_op_cost_cycles(10.0, 0.0, 0)

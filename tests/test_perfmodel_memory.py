@@ -1,0 +1,96 @@
+"""Memory-hierarchy model: hit probabilities, NUMA/cluster penalties."""
+
+import pytest
+
+from repro.machine import BROADWELL, KNL, POWER8
+from repro.perfmodel.memory import (
+    effective_cache_levels,
+    random_access_latency_cycles,
+    streaming_seconds,
+)
+
+
+def test_tiny_working_set_hits_innermost():
+    lat = random_access_latency_cycles(BROADWELL, working_set_bytes=1024)
+    assert lat == pytest.approx(BROADWELL.caches[0].latency_cycles)
+
+
+def test_huge_working_set_approaches_memory_latency():
+    lat = random_access_latency_cycles(BROADWELL, working_set_bytes=10 * 2**30)
+    mem = BROADWELL.memory_latency_cycles()
+    assert lat > 0.9 * mem
+
+
+def test_latency_monotone_in_working_set():
+    prev = 0.0
+    for ws in (1e3, 1e5, 1e7, 1e9, 1e11):
+        lat = random_access_latency_cycles(BROADWELL, ws)
+        assert lat >= prev - 1e-9
+        prev = lat
+
+
+def test_adjacent_fraction_blends_toward_l1():
+    full = random_access_latency_cycles(BROADWELL, 1e9, adjacent_fraction=0.0)
+    half = random_access_latency_cycles(BROADWELL, 1e9, adjacent_fraction=0.5)
+    l1 = BROADWELL.caches[0].latency_cycles
+    assert half == pytest.approx(0.5 * l1 + 0.5 * full)
+
+
+def test_numa_remote_fraction_penalises_misses():
+    local = random_access_latency_cycles(BROADWELL, 1e9)
+    remote = random_access_latency_cycles(BROADWELL, 1e9, numa_remote_fraction=1.0)
+    assert remote > local
+    assert remote / local < BROADWELL.numa_latency_multiplier + 0.01
+
+
+def test_cluster_penalty_applies_to_shared_level():
+    """POWER8 cluster crossing adds latency to L3 hits (§VI-B)."""
+    ws = 8e6  # partially L3-resident
+    base = random_access_latency_cycles(POWER8, ws)
+    clustered = random_access_latency_cycles(POWER8, ws, cluster_penalty=True)
+    assert clustered > base
+
+
+def test_fast_memory_changes_miss_latency():
+    """KNL: MCDRAM misses are *slower* than DDR misses (latency, not BW)."""
+    ddr = random_access_latency_cycles(KNL, 1e9, use_fast_memory=False)
+    mcdram = random_access_latency_cycles(KNL, 1e9, use_fast_memory=True)
+    assert mcdram > ddr
+
+
+def test_thread_sharing_shrinks_private_caches():
+    one = effective_cache_levels(BROADWELL, 1, 1)
+    four = effective_cache_levels(BROADWELL, 2, 44)
+    assert four[0][0] == one[0][0] / 2  # L1 halved by 2 SMT threads
+    assert four[0][1] == one[0][1]  # latency unchanged
+
+
+def test_shared_capacity_scale():
+    base = effective_cache_levels(BROADWELL, 1, 1)
+    scaled = effective_cache_levels(BROADWELL, 1, 1, shared_capacity_scale=4.0)
+    assert scaled[-1][0] == base[-1][0] / 4
+
+
+def test_more_cache_pressure_raises_latency():
+    ws = 30e6
+    relaxed = random_access_latency_cycles(BROADWELL, ws, shared_capacity_scale=1.0)
+    pressured = random_access_latency_cycles(BROADWELL, ws, shared_capacity_scale=8.0)
+    assert pressured > relaxed
+
+
+def test_streaming_seconds():
+    assert streaming_seconds(1e9, 1.0) == pytest.approx(1.0)
+    assert streaming_seconds(1e9, 100.0) == pytest.approx(0.01)
+    with pytest.raises(ValueError):
+        streaming_seconds(1e9, 0.0)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        random_access_latency_cycles(BROADWELL, 0.0)
+    with pytest.raises(ValueError):
+        random_access_latency_cycles(BROADWELL, 1e6, adjacent_fraction=2.0)
+    with pytest.raises(ValueError):
+        random_access_latency_cycles(BROADWELL, 1e6, numa_remote_fraction=-0.5)
+    with pytest.raises(ValueError):
+        effective_cache_levels(BROADWELL, 0, 1)

@@ -1,0 +1,215 @@
+"""Property-based tests (hypothesis) on the core invariants.
+
+Beyond the per-module properties tested alongside each component, these
+run whole-system properties over randomised inputs: conservation and
+scheme equivalence for arbitrary problem configurations, store round-trips
+for arbitrary particle states, tally accumulation semantics, and the
+workload-rescaling algebra.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import Scheme, Simulation
+from repro.core.config import SimulationConfig
+from repro.core.validation import energy_balance_error, population_accounted
+from repro.mesh.boundary import BoundaryCondition
+from repro.mesh.tally import EnergyDepositionTally
+from repro.particles.particle import Particle
+from repro.particles.soa import ParticleStore
+from repro.particles.source import SourceRegion
+
+SLOW = settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+# ---------------------------------------------------------------------------
+# Whole-system: conservation + scheme equivalence over random configs
+# ---------------------------------------------------------------------------
+
+@given(
+    seed=st.integers(min_value=0, max_value=2**31),
+    log_density=st.floats(min_value=-3.0, max_value=3.5),
+    boundary=st.sampled_from(list(BoundaryCondition)),
+    src_x=st.floats(min_value=0.05, max_value=0.75),
+)
+@SLOW
+def test_random_problem_conserves_and_schemes_agree(
+    seed, log_density, boundary, src_x
+):
+    nx = 16
+    cfg = SimulationConfig(
+        name="random",
+        nx=nx, ny=nx, width=1.0, height=1.0,
+        density=np.full((nx, nx), 10.0**log_density),
+        source=SourceRegion(
+            x0=src_x, x1=src_x + 0.2, y0=0.4, y1=0.6, energy_ev=1e6
+        ),
+        nparticles=8,
+        dt=2.0e-8,
+        seed=seed,
+        boundary=boundary,
+        xs_nentries=512,
+    )
+    a = Simulation(cfg).run(Scheme.OVER_PARTICLES)
+    b = Simulation(cfg).run(Scheme.OVER_EVENTS)
+    assert energy_balance_error(a) < 1e-10
+    assert energy_balance_error(b) < 1e-10
+    assert population_accounted(a)
+    assert a.counters.collisions == b.counters.collisions
+    assert a.counters.facets == b.counters.facets
+    assert a.counters.escapes == b.counters.escapes
+    assert np.allclose(a.tally.deposition, b.tally.deposition, rtol=1e-9)
+    for p, i in zip(a.particles, range(len(b.store))):
+        assert p.x == b.store.x[i]
+        assert p.energy == b.store.energy[i]
+        assert p.rng_counter == int(b.store.rng_counter[i])
+
+
+@given(seed=st.integers(min_value=0, max_value=2**31))
+@SLOW
+def test_weights_and_energies_stay_physical(seed):
+    nx = 16
+    cfg = SimulationConfig(
+        name="phys",
+        nx=nx, ny=nx, width=1.0, height=1.0,
+        density=np.full((nx, nx), 100.0),
+        source=SourceRegion(x0=0.4, x1=0.6, y0=0.4, y1=0.6, energy_ev=1e6),
+        nparticles=10,
+        dt=5.0e-8,
+        seed=seed,
+        xs_nentries=512,
+    )
+    r = Simulation(cfg).run(Scheme.OVER_EVENTS)
+    st_ = r.store
+    assert np.all(st_.weight >= 0.0)
+    assert np.all(st_.weight <= 1.0 + 1e-12)
+    assert np.all(st_.energy >= 0.0)
+    assert np.all(st_.energy <= 1e6 + 1e-6)  # elastic scattering only loses
+    norms = st_.omega_x**2 + st_.omega_y**2
+    assert np.allclose(norms, 1.0, atol=1e-9)
+    assert np.all(st_.x >= 0.0) and np.all(st_.x <= 1.0)
+    assert np.all(st_.y >= 0.0) and np.all(st_.y <= 1.0)
+    assert np.all(r.tally.deposition >= 0.0)
+
+
+# ---------------------------------------------------------------------------
+# ParticleStore round-trip
+# ---------------------------------------------------------------------------
+
+particle_strategy = st.builds(
+    Particle,
+    x=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    y=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    omega_x=st.floats(min_value=-1.0, max_value=1.0, allow_nan=False),
+    omega_y=st.floats(min_value=-1.0, max_value=1.0, allow_nan=False),
+    energy=st.floats(min_value=0.0, max_value=1e7, allow_nan=False),
+    weight=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    cellx=st.integers(min_value=0, max_value=4000),
+    celly=st.integers(min_value=0, max_value=4000),
+    particle_id=st.integers(min_value=0, max_value=2**63),
+    dt_to_census=st.floats(min_value=0.0, max_value=1e-6, allow_nan=False),
+    mfp_to_collision=st.floats(min_value=0.0, max_value=50.0, allow_nan=False),
+    rng_counter=st.integers(min_value=0, max_value=2**40),
+)
+
+
+@given(particles=st.lists(particle_strategy, min_size=0, max_size=20))
+@settings(max_examples=50, deadline=None)
+def test_store_roundtrip_property(particles):
+    store = ParticleStore.from_particles(particles)
+    back = store.to_particles()
+    assert len(back) == len(particles)
+    for a, b in zip(particles, back):
+        for f in Particle.__slots__:
+            assert getattr(a, f) == getattr(b, f), f
+
+
+@given(
+    n1=st.integers(min_value=0, max_value=10),
+    n2=st.integers(min_value=0, max_value=10),
+)
+@settings(max_examples=50, deadline=None)
+def test_store_extend_property(n1, n2):
+    a = ParticleStore(n1)
+    b = ParticleStore(n2)
+    b.particle_id = b.particle_id + np.uint64(1000)
+    a.extend(b)
+    assert len(a) == n1 + n2
+    assert a.x.shape == (n1 + n2,)
+    if n2:
+        assert int(a.particle_id[n1]) == 1000
+
+
+# ---------------------------------------------------------------------------
+# Tally accumulation semantics
+# ---------------------------------------------------------------------------
+
+@given(
+    flushes=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=7),
+            st.integers(min_value=0, max_value=7),
+            st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+        ),
+        min_size=0,
+        max_size=60,
+    )
+)
+@settings(max_examples=100, deadline=None)
+def test_tally_vec_equals_sequential(flushes):
+    """One scatter-add is exactly a loop of atomic adds."""
+    seq = EnergyDepositionTally(8, 8)
+    vec = EnergyDepositionTally(8, 8)
+    for ix, iy, e in flushes:
+        seq.flush(ix, iy, e)
+    if flushes:
+        ix, iy, e = (np.array(v) for v in zip(*flushes))
+        vec.flush_vec(ix.astype(np.int64), iy.astype(np.int64), e.astype(float))
+    assert np.allclose(seq.deposition, vec.deposition, rtol=1e-12)
+    assert np.array_equal(seq.flush_counts, vec.flush_counts)
+    assert seq.flushes == vec.flushes
+
+
+@given(
+    counts=st.lists(st.integers(min_value=0, max_value=50), min_size=1, max_size=30)
+)
+@settings(max_examples=100, deadline=None)
+def test_conflict_probability_bounds(counts):
+    t = EnergyDepositionTally(6, 5)
+    flat = np.zeros(30, dtype=np.int64)
+    flat[: len(counts)] = counts
+    t.flush_counts = flat.reshape(5, 6)
+    p = t.conflict_probability()
+    assert 0.0 <= p <= 1.0
+    if sum(counts) > 0:
+        nonzero = sum(1 for c in counts if c)
+        assert p >= 1.0 / max(nonzero, 1) - 1e-12  # ≥ uniform over used cells
+
+
+# ---------------------------------------------------------------------------
+# Workload rescaling algebra
+# ---------------------------------------------------------------------------
+
+@given(
+    nx2=st.integers(min_value=16, max_value=512),
+    n2=st.integers(min_value=10, max_value=10**7),
+)
+@settings(max_examples=50, deadline=None)
+def test_workload_scaling_invertible(nx2, n2):
+    from repro.bench import measured_workload
+
+    w = measured_workload("csp")
+    there = w.scaled(n2, nx2)
+    back = there.scaled(w.nparticles, w.mesh_nx)
+    assert back.facets_pp == pytest.approx(w.facets_pp, rel=1e-9)
+    assert back.collisions_pp == pytest.approx(w.collisions_pp, rel=1e-9)
+    assert back.density_reads_pp == pytest.approx(w.density_reads_pp, rel=1e-9)
+    assert back.conflict_probability == pytest.approx(
+        w.conflict_probability, rel=1e-9
+    )

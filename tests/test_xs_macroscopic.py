@@ -1,0 +1,55 @@
+"""Macroscopic scaling: units, linearity, array/scalar parity."""
+
+import numpy as np
+import pytest
+
+from repro.xs.macroscopic import (
+    AVOGADRO,
+    BARNS_TO_M2,
+    macroscopic_cross_section,
+    number_density,
+)
+
+
+def test_number_density_water_like():
+    """1000 kg/m³ at 18 g/mol ≈ 3.34e28 molecules/m³ (water check)."""
+    n = float(number_density(1000.0, molar_mass_g_mol=18.0))
+    assert n == pytest.approx(3.345e28, rel=1e-3)
+
+
+def test_macroscopic_known_value():
+    """σ=1 barn, n=1e28/m³ → Σ = 1 /m."""
+    # Choose density so n = 1e28: rho = n * M / (1e3 * N_A).
+    rho = 1e28 * 1.0 / (1e3 * AVOGADRO)
+    sigma = float(macroscopic_cross_section(1.0, rho, molar_mass_g_mol=1.0))
+    assert sigma == pytest.approx(1.0)
+
+
+def test_linearity_in_density():
+    a = float(macroscopic_cross_section(5.0, 100.0))
+    b = float(macroscopic_cross_section(5.0, 200.0))
+    assert b == pytest.approx(2 * a)
+
+
+def test_linearity_in_microscopic():
+    a = float(macroscopic_cross_section(5.0, 100.0))
+    b = float(macroscopic_cross_section(10.0, 100.0))
+    assert b == pytest.approx(2 * a)
+
+
+def test_zero_density_gives_zero():
+    assert float(macroscopic_cross_section(100.0, 0.0)) == 0.0
+
+
+def test_array_scalar_parity():
+    rho = np.array([1.0, 10.0, 1e3])
+    micro = np.array([2.0, 2.0, 2.0])
+    vec = macroscopic_cross_section(micro, rho)
+    for i in range(3):
+        assert vec[i] == float(
+            macroscopic_cross_section(float(micro[i]), float(rho[i]))
+        )
+
+
+def test_barns_constant():
+    assert BARNS_TO_M2 == 1.0e-28
