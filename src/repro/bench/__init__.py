@@ -10,6 +10,8 @@ each figure reports.
 from repro.bench.runner import (
     DEVICE_BASELINES,
     PAPER_SCALE,
+    MeasuredSpeedup,
+    measured_speedup,
     measured_workload,
     paper_workload,
     standard_cpu_time,
@@ -20,6 +22,8 @@ from repro.bench.reporting import format_table, format_series, print_header
 __all__ = [
     "DEVICE_BASELINES",
     "PAPER_SCALE",
+    "MeasuredSpeedup",
+    "measured_speedup",
     "measured_workload",
     "paper_workload",
     "standard_cpu_time",

@@ -15,12 +15,14 @@ figure benches stay declarative.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from functools import lru_cache
 
 from repro.core import PROBLEM_FACTORIES, Scheme, Simulation
 from repro.core.config import Layout
 from repro.machine import CPUS, GPUS
 from repro.parallel.affinity import Affinity
+from repro.parallel.schedule import ScheduleKind, simulate_parallel_for
 from repro.perfmodel import (
     CPUOptions,
     GPUOptions,
@@ -38,6 +40,8 @@ __all__ = [
     "paper_workload",
     "standard_cpu_time",
     "standard_gpu_time",
+    "MeasuredSpeedup",
+    "measured_speedup",
 ]
 
 #: Paper-scale targets per problem: (nparticles, mesh_nx) — §IV-B.
@@ -103,6 +107,75 @@ def standard_cpu_time(
     )
     opts.update(option_overrides)
     return predict_cpu(paper_workload(problem), spec, CPUOptions(**opts))
+
+
+@dataclass(frozen=True)
+class MeasuredSpeedup:
+    """Model-vs-reality record for one pooled run on this host.
+
+    The machine models predict runtimes for the paper's devices; this is
+    the *measured* path — a real worker-pool execution timed against the
+    serial driver — so the modelled scheduling behaviour (load imbalance
+    under STATIC/DYNAMIC) can be checked against the host's actual one.
+    """
+
+    problem: str
+    scheme: Scheme
+    schedule: ScheduleKind
+    nworkers: int
+    serial_s: float
+    parallel_s: float
+    measured_imbalance: float
+    modelled_imbalance: float
+
+    @property
+    def speedup(self) -> float:
+        """Serial wall-clock over pooled wall-clock."""
+        if self.parallel_s == 0:
+            return 1.0
+        return self.serial_s / self.parallel_s
+
+    @property
+    def parallel_efficiency(self) -> float:
+        """Speedup over worker count (1.0 is ideal scaling)."""
+        return self.speedup / self.nworkers
+
+
+def measured_speedup(
+    problem: str,
+    nworkers: int,
+    scheme: Scheme = Scheme.OVER_PARTICLES,
+    schedule: ScheduleKind = ScheduleKind.STATIC,
+    chunk: int = 64,
+    nx: int = MEASUREMENT_NX,
+    nparticles: int = 4 * MEASUREMENT_PARTICLES,
+) -> MeasuredSpeedup:
+    """Time one problem serially and on the worker pool, on this host.
+
+    Runs the same reduced-scale configuration the workload measurements
+    use (scaled up ×4 in histories so there is enough work to shard),
+    then reports the measured speedup and load imbalance next to what the
+    scheduling model predicts for the same per-history work distribution.
+    """
+    if problem not in PROBLEM_FACTORIES:
+        raise KeyError(f"unknown problem {problem!r}")
+    cfg = PROBLEM_FACTORIES[problem](nx=nx, nparticles=nparticles)
+    sim = Simulation(cfg)
+    serial = sim.run(scheme)
+    pooled = sim.run(scheme, nworkers=nworkers, schedule=schedule, chunk=chunk)
+    modelled = simulate_parallel_for(
+        serial.counters.events_per_particle(), nworkers, schedule, chunk
+    )
+    return MeasuredSpeedup(
+        problem=problem,
+        scheme=scheme,
+        schedule=schedule,
+        nworkers=nworkers,
+        serial_s=serial.wallclock_s,
+        parallel_s=pooled.wallclock_s,
+        measured_imbalance=pooled.pool.busy_imbalance(),
+        modelled_imbalance=modelled.load_imbalance(),
+    )
 
 
 def standard_gpu_time(

@@ -54,6 +54,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument("--russian-roulette", action="store_true")
     run.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for real parallel execution (1 = in-process)",
+    )
+    run.add_argument(
+        "--schedule",
+        choices=["static", "dynamic"],
+        default="static",
+        help="pool work distribution: contiguous blocks or a shared chunk queue",
+    )
+    run.add_argument(
+        "--chunk",
+        type=int,
+        default=64,
+        help="histories per dynamic-queue entry",
+    )
+    run.add_argument(
         "--show-tally",
         action="store_true",
         help="render the deposition field as an ASCII heatmap (Fig 2)",
@@ -109,7 +127,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
         boundary=BoundaryCondition(args.boundary),
         use_russian_roulette=args.russian_roulette,
     )
-    result = Simulation(cfg).run(Scheme(args.scheme))
+    from repro.parallel import ScheduleKind, simulate_parallel_for
+
+    schedule = ScheduleKind(args.schedule)
+    result = Simulation(cfg).run(
+        Scheme(args.scheme),
+        nworkers=args.workers,
+        schedule=schedule,
+        chunk=args.chunk,
+    )
     c = result.counters
     print(f"problem={cfg.name} mesh={cfg.nx}x{cfg.ny} particles={cfg.nparticles} "
           f"scheme={args.scheme}")
@@ -122,6 +148,24 @@ def _cmd_run(args: argparse.Namespace) -> int:
     print(f"energy balance error: {energy_balance_error(result):.2e}")
     print(f"population accounted: {population_accounted(result)}")
     print(f"host wall-clock: {result.wallclock_s:.3f} s")
+    pool = result.pool
+    if pool is not None and pool.nworkers > 1:
+        print(f"pool: {pool.nworkers} workers, {pool.schedule.value} schedule "
+              f"(chunk {pool.chunk}, {pool.start_method} start), "
+              f"{pool.chunks_dispatched()} chunks dispatched")
+        for w in pool.workers:
+            print(f"  worker {w.worker_id}: histories={w.histories} "
+                  f"(final {w.final_histories}) events={w.events} "
+                  f"chunks={w.chunks} busy={w.busy_s:.3f}s")
+        # Measured imbalance next to what the scheduling model predicts for
+        # the same per-history work under the same schedule.
+        modelled = simulate_parallel_for(
+            c.events_per_particle(), pool.nworkers, schedule, args.chunk
+        )
+        print(f"load imbalance (max/mean): measured events "
+              f"{pool.event_imbalance():.3f}, busy time "
+              f"{pool.busy_imbalance():.3f}; modelled "
+              f"{modelled.load_imbalance():.3f}")
     if args.show_tally:
         from repro.analysis.viz import render_heatmap
 

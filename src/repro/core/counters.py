@@ -21,6 +21,23 @@ import numpy as np
 __all__ = ["Counters", "EventPassStats"]
 
 
+def _padded_add(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Element-wise sum of two per-particle arrays of possibly different
+    lengths.
+
+    Histories keep their index when the population grows (fission
+    secondaries and clones are *appended*), so the shorter array is the
+    same population truncated before the newcomers arrived: pad it with
+    zeros and add.
+    """
+    if a.size == b.size:
+        return a + b
+    out = np.zeros(max(a.size, b.size), dtype=np.int64)
+    out[: a.size] += a
+    out[: b.size] += b
+    return out
+
+
 @dataclass
 class EventPassStats:
     """Occupancy of one Over Events pass.
@@ -143,10 +160,8 @@ class Counters:
         total = sum(p.n_active for p in self.oe_passes)
         return total / (len(self.oe_passes) * max(self.nparticles, 1))
 
-    def merge(self, other: "Counters") -> None:
-        """Accumulate another run's counters (multi-timestep aggregation)."""
-        if self.nparticles == 0:
-            self.nparticles = other.nparticles
+    def _merge_scalars(self, other: "Counters") -> None:
+        """Accumulate the scalar fields shared by both merge flavours."""
         self.collisions += other.collisions
         self.facets += other.facets
         self.census_events += other.census_events
@@ -169,18 +184,43 @@ class Counters:
         self.xs_binary_probes += other.xs_binary_probes
         self.xs_linear_probes += other.xs_linear_probes
         self.rng_draws += other.rng_draws
-        if self.collisions_per_particle.size == 0:
-            self.collisions_per_particle = other.collisions_per_particle.copy()
-            self.facets_per_particle = other.facets_per_particle.copy()
-        elif other.collisions_per_particle.size == self.collisions_per_particle.size:
-            self.collisions_per_particle = (
-                self.collisions_per_particle + other.collisions_per_particle
-            )
-            self.facets_per_particle = (
-                self.facets_per_particle + other.facets_per_particle
-            )
         self.oe_passes.extend(other.oe_passes)
         # Keep the max conflict probability — conservative for contention.
         self.tally_conflict_probability = max(
             self.tally_conflict_probability, other.tally_conflict_probability
+        )
+
+    def merge(self, other: "Counters") -> None:
+        """Accumulate another run of the *same* population
+        (multi-timestep aggregation).
+
+        The per-particle work arrays are summed index-by-index; when the
+        populations differ in size (fission/roulette changed the population
+        between runs), the shorter array is zero-padded so neither run's
+        histories are dropped from the load-imbalance statistics.
+        """
+        self.nparticles = max(self.nparticles, other.nparticles)
+        self._merge_scalars(other)
+        self.collisions_per_particle = _padded_add(
+            self.collisions_per_particle, other.collisions_per_particle
+        )
+        self.facets_per_particle = _padded_add(
+            self.facets_per_particle, other.facets_per_particle
+        )
+
+    def merge_disjoint(self, other: "Counters") -> None:
+        """Accumulate a run over a *disjoint* set of histories
+        (worker-pool shard reduction, §VI-F privatise-then-reduce).
+
+        Population counts add and the per-particle work arrays are
+        concatenated in call order, so the merged distribution covers every
+        history exactly once.
+        """
+        self.nparticles += other.nparticles
+        self._merge_scalars(other)
+        self.collisions_per_particle = np.concatenate(
+            [self.collisions_per_particle, other.collisions_per_particle]
+        )
+        self.facets_per_particle = np.concatenate(
+            [self.facets_per_particle, other.facets_per_particle]
         )

@@ -61,6 +61,9 @@ class TransportResult:
     particles: list[Particle] | None
     store: ParticleStore | None
     wallclock_s: float
+    #: Per-worker accounting when the run executed on the worker pool
+    #: (:mod:`repro.parallel.pool`); ``None`` for serial runs.
+    pool: "PoolRunInfo | None" = None
 
     # ------------------------------------------------------------------
     def in_flight_energy_ev(self) -> float:
@@ -98,17 +101,54 @@ class Simulation:
     def __init__(self, config: SimulationConfig):
         self.config = config
 
-    def run(self, scheme: Scheme = Scheme.OVER_PARTICLES) -> TransportResult:
-        """Run the configured calculation with the chosen scheme."""
+    def run(
+        self,
+        scheme: Scheme = Scheme.OVER_PARTICLES,
+        *,
+        nworkers: int | None = None,
+        schedule: "ScheduleKind | None" = None,
+        chunk: int = 64,
+    ) -> TransportResult:
+        """Run the configured calculation with the chosen scheme.
+
+        Parameters
+        ----------
+        scheme:
+            Parallelisation scheme (traversal order).
+        nworkers:
+            ``None`` (default) runs the plain serial driver.  Any integer
+            ≥ 1 routes through the shared-memory worker pool
+            (:mod:`repro.parallel.pool`): histories are sharded across
+            that many processes, each accumulating a private tally that is
+            reduced at the end.  ``nworkers=1`` uses the pool's in-process
+            path, so its result is bit-comparable to any other worker
+            count.
+        schedule:
+            Pool work distribution — ``ScheduleKind.STATIC`` (contiguous
+            blocks, the default) or ``ScheduleKind.DYNAMIC`` (shared chunk
+            queue).  Ignored for serial runs.
+        chunk:
+            Histories per DYNAMIC queue entry.
+        """
         # Local imports: the drivers import TransportResult from here.
         from repro.core.over_events import run_over_events
         from repro.core.over_particles import run_over_particles
 
+        if scheme not in (Scheme.OVER_PARTICLES, Scheme.OVER_EVENTS):
+            raise ValueError(f"unknown scheme: {scheme}")
+        if nworkers is not None:
+            from repro.parallel.pool import PoolOptions, run_pool
+            from repro.parallel.schedule import ScheduleKind
+
+            options = PoolOptions(
+                nworkers=nworkers,
+                schedule=schedule if schedule is not None else ScheduleKind.STATIC,
+                chunk=chunk,
+            )
+            return run_pool(self.config, scheme, options)
         if scheme is Scheme.OVER_PARTICLES:
             return run_over_particles(self.config)
-        if scheme is Scheme.OVER_EVENTS:
-            return run_over_events(self.config)
-        raise ValueError(f"unknown scheme: {scheme}")
+        return run_over_events(self.config)
 
     def run_both(self) -> tuple[TransportResult, TransportResult]:
         """Run both schemes on identical inputs (for comparisons/tests)."""

@@ -1,21 +1,25 @@
-"""On-node parallelism substrate (simulated OpenMP threading).
+"""On-node parallelism substrate: real execution and simulated threading.
 
 The paper's mini-app parallelises its particle loop with OpenMP and studies
 scheduling (§VI-C, Fig 4), affinity/placement (§VII), SMT occupancy (§VI-E,
-Fig 6) and atomic contention (§VI-F).  Running in pure Python we cannot use
-real threads for speed, but we do not need to: the observable effects of
-those choices are fully determined by
+Fig 6) and atomic contention (§VI-F).  Two complementary layers live here:
 
-* the per-history work distribution (measured for real by the transport
-  counters), and
-* the scheduling policy / placement rule (implemented exactly here).
+* :mod:`repro.parallel.pool` **executes** the particle loop in parallel for
+  real — a shared-memory worker pool that shards histories across
+  processes, runs the unchanged OP/OE drivers on each shard under a
+  static or dynamic schedule, and reduces per-worker private tallies at
+  the end (privatise-then-reduce, §VI-F);
+* the *modelled* substrate predicts what those choices cost on machines we
+  do not have: :mod:`repro.parallel.schedule` implements the OpenMP
+  ``schedule`` clauses as a discrete-event simulation over measured work
+  items; :mod:`repro.parallel.affinity` maps thread counts onto sockets,
+  cores and SMT slots as ``KMP_AFFINITY=compact|scatter`` would; and
+  :mod:`repro.parallel.atomics` prices atomic read-modify-write contention
+  from the measured tally conflict statistics.
 
-:mod:`repro.parallel.schedule` implements the OpenMP ``schedule`` clauses as
-a discrete-event simulation over measured work items;
-:mod:`repro.parallel.affinity` maps thread counts onto sockets, cores and
-SMT slots as ``KMP_AFFINITY=compact|scatter`` would; and
-:mod:`repro.parallel.atomics` prices atomic read-modify-write contention
-from the measured tally conflict statistics.
+The two layers share :class:`ScheduleKind`, so a measured pooled run and
+its modelled counterpart can be compared directly (the bench harness's
+measured-speedup path does exactly that).
 """
 
 from repro.parallel.schedule import (
@@ -25,6 +29,12 @@ from repro.parallel.schedule import (
 )
 from repro.parallel.affinity import Affinity, ThreadPlacement, place_threads
 from repro.parallel.atomics import atomic_op_cost_cycles
+from repro.parallel.pool import (
+    PoolOptions,
+    PoolRunInfo,
+    WorkerReport,
+    run_pool,
+)
 
 __all__ = [
     "ScheduleKind",
@@ -34,4 +44,8 @@ __all__ = [
     "ThreadPlacement",
     "place_threads",
     "atomic_op_cost_cycles",
+    "PoolOptions",
+    "PoolRunInfo",
+    "WorkerReport",
+    "run_pool",
 ]

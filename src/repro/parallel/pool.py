@@ -1,0 +1,410 @@
+"""Real on-node parallel execution: a shared-memory worker pool.
+
+Everything else in :mod:`repro.parallel` *models* the paper's OpenMP
+machinery; this module runs it for real.  Histories are sharded across
+``multiprocessing`` worker processes and the existing OP/OE drivers run
+unchanged on each shard — the Python analogue of the paper's §VI particle
+loop:
+
+* ``ScheduleKind.STATIC`` carves the population into ``nworkers``
+  contiguous blocks (OpenMP's default static schedule);
+* ``ScheduleKind.DYNAMIC`` pre-fills a shared queue with ``chunk``-sized
+  blocks and idle workers pull the next one (``schedule(dynamic, chunk)``);
+* each worker accumulates into a **private** :class:`EnergyDepositionTally`
+  and private :class:`Counters`, reduced by the parent at the end — the
+  §VI-F tally-privatisation pattern, for real this time.
+
+Determinism.  Every history owns a counter-based RNG stream keyed on its
+``particle_id`` (:mod:`repro.rng.stream`), and fission secondaries / VR
+clones derive their identity from the parent's state alone — so a history
+evolves bit-identically no matter which worker runs it or which chunk it
+arrives in.  Consequently an N-worker run produces the *same final particle
+states* as a serial run, and the same tally up to accumulation-order
+rounding (private tallies are reduced in worker order, which permutes the
+floating-point additions).  The merged population is returned sorted by
+``particle_id`` (primaries first, in birth order), an order independent of
+the worker count, so ``nworkers=4`` and ``nworkers=1`` results compare
+bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import time
+import traceback
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.config import Scheme, SimulationConfig
+from repro.core.counters import Counters
+from repro.mesh.structured import StructuredMesh
+from repro.mesh.tally import EnergyDepositionTally
+from repro.parallel.schedule import ScheduleKind
+from repro.particles.particle import Particle
+from repro.particles.soa import ParticleStore
+from repro.particles.source import sample_source_aos, sample_source_soa
+
+__all__ = ["PoolOptions", "WorkerReport", "PoolRunInfo", "run_pool"]
+
+
+@dataclass(frozen=True)
+class PoolOptions:
+    """Worker-pool configuration.
+
+    Attributes
+    ----------
+    nworkers:
+        Worker process count; 1 runs the sharded path in-process (no
+        fork), which is the reference the parity suite compares against.
+    schedule:
+        ``STATIC`` (contiguous blocks) or ``DYNAMIC`` (shared chunk
+        queue); the other :class:`ScheduleKind` members describe
+        simulated-only policies and are rejected.
+    chunk:
+        Histories per DYNAMIC queue entry.
+    start_method:
+        ``multiprocessing`` start method; ``None`` picks ``fork`` where
+        available (cheap on Linux) and falls back to ``spawn``.
+    """
+
+    nworkers: int
+    schedule: ScheduleKind = ScheduleKind.STATIC
+    chunk: int = 64
+    start_method: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.nworkers < 1:
+            raise ValueError("need at least one worker")
+        if self.chunk < 1:
+            raise ValueError("chunk must be >= 1")
+        if self.schedule not in (ScheduleKind.STATIC, ScheduleKind.DYNAMIC):
+            raise ValueError(
+                "the worker pool executes STATIC or DYNAMIC schedules; "
+                f"{self.schedule} is a simulation-only policy"
+            )
+
+
+@dataclass(frozen=True)
+class WorkerReport:
+    """What one worker did — the measured analogue of a thread's busy time.
+
+    Attributes
+    ----------
+    worker_id:
+        Shard index (also the reduction order).
+    histories:
+        Primary histories assigned to this worker.
+    final_histories:
+        Histories returned, including fission secondaries and clones.
+    events:
+        Transport events (collisions + facets + census) executed.
+    chunks:
+        Work acquisitions (1 per STATIC block; queue pulls for DYNAMIC).
+    busy_s:
+        Wall-clock spent inside the transport drivers.
+    total_s:
+        Worker lifetime including queue waits and result shipping.
+    """
+
+    worker_id: int
+    histories: int
+    final_histories: int
+    events: int
+    chunks: int
+    busy_s: float
+    total_s: float
+
+
+@dataclass(frozen=True)
+class PoolRunInfo:
+    """Per-worker accounting of one pooled run (CLI / bench reporting)."""
+
+    nworkers: int
+    schedule: ScheduleKind
+    chunk: int
+    start_method: str
+    workers: tuple[WorkerReport, ...]
+
+    def _imbalance(self, values: np.ndarray) -> float:
+        mean = values.mean() if values.size else 0.0
+        if mean == 0:
+            return 1.0
+        return float(values.max() / mean)
+
+    def event_imbalance(self) -> float:
+        """``max/mean`` of per-worker executed events — the measured
+        counterpart of :meth:`ScheduleOutcome.load_imbalance`."""
+        return self._imbalance(
+            np.array([w.events for w in self.workers], dtype=np.float64)
+        )
+
+    def busy_imbalance(self) -> float:
+        """``max/mean`` of per-worker driver wall-clock."""
+        return self._imbalance(
+            np.array([w.busy_s for w in self.workers], dtype=np.float64)
+        )
+
+    def chunks_dispatched(self) -> int:
+        """Total work acquisitions across the pool."""
+        return sum(w.chunks for w in self.workers)
+
+
+# ---------------------------------------------------------------------------
+# Shard execution (runs inside workers; in-process when nworkers == 1)
+# ---------------------------------------------------------------------------
+
+def _run_ranges(config, scheme, population, ranges):
+    """Run the scheme driver over each ``(lo, hi)`` history range.
+
+    Accumulates into one private tally and one private counter set, in
+    range order; returns everything the parent needs for the reduction.
+    """
+    from repro.core.over_events import run_over_events
+    from repro.core.over_particles import run_over_particles
+
+    tally = EnergyDepositionTally(config.nx, config.ny)
+    counters = Counters()
+    parts: list[Particle] = []
+    store: ParticleStore | None = None
+    busy = 0.0
+    histories = 0
+    chunks = 0
+    for lo, hi in ranges:
+        chunks += 1
+        histories += hi - lo
+        if scheme is Scheme.OVER_PARTICLES:
+            r = run_over_particles(
+                config, particles=population[lo:hi], tally=tally
+            )
+            parts.extend(r.particles)
+        else:
+            r = run_over_events(
+                config, store=population.subset(np.arange(lo, hi)), tally=tally
+            )
+            if store is None:
+                store = r.store
+            else:
+                store.extend(r.store)
+        counters.merge_disjoint(r.counters)
+        busy += r.wallclock_s
+    return {
+        "tally": tally,
+        "counters": counters,
+        "particles": parts if scheme is Scheme.OVER_PARTICLES else None,
+        "store": store,
+        "busy_s": busy,
+        "histories": histories,
+        "chunks": chunks,
+    }
+
+
+def _queue_ranges(task_queue):
+    """Yield ``(lo, hi)`` ranges from the shared queue until the sentinel."""
+    while True:
+        item = task_queue.get()
+        if item is None:
+            return
+        yield item
+
+
+def _worker_main(worker_id, config, scheme, population, static_ranges,
+                 task_queue, result_queue):
+    """Worker process entry point: run assigned shards, ship the reduction
+    inputs back.  Must stay importable at module level for ``spawn``."""
+    t0 = time.perf_counter()
+    try:
+        ranges = (
+            static_ranges if task_queue is None else _queue_ranges(task_queue)
+        )
+        out = _run_ranges(config, scheme, population, ranges)
+        out["worker_id"] = worker_id
+        out["total_s"] = time.perf_counter() - t0
+        result_queue.put(out)
+    except Exception:  # pragma: no cover - shipped to the parent
+        result_queue.put(
+            {"worker_id": worker_id, "error": traceback.format_exc()}
+        )
+
+
+# ---------------------------------------------------------------------------
+# Parent: shard, dispatch, reduce
+# ---------------------------------------------------------------------------
+
+def _pick_context(options: PoolOptions):
+    if options.start_method is not None:
+        return mp.get_context(options.start_method)
+    methods = mp.get_all_start_methods()
+    return mp.get_context("fork" if "fork" in methods else "spawn")
+
+
+def run_pool(
+    config: SimulationConfig,
+    scheme: Scheme = Scheme.OVER_PARTICLES,
+    options: PoolOptions | None = None,
+):
+    """Run the configured calculation sharded across worker processes.
+
+    Returns a :class:`~repro.core.simulation.TransportResult` whose
+    ``pool`` field carries the per-worker accounting.  Physics is
+    bit-identical to the serial drivers per history; the tally matches the
+    serial run to accumulation-order rounding.
+    """
+    from repro.core.simulation import TransportResult
+
+    if options is None:
+        options = PoolOptions(nworkers=1)
+    t0 = time.perf_counter()
+
+    # Resolve the material set once — the workers would otherwise rebuild
+    # the cross-section tables per chunk acquisition.
+    run_config = config.with_(materials=config.resolved_materials())
+    materials = run_config.materials
+    mesh = StructuredMesh(
+        config.nx, config.ny, config.width, config.height, config.density
+    )
+    sampler = (
+        sample_source_aos if scheme is Scheme.OVER_PARTICLES
+        else sample_source_soa
+    )
+    population = sampler(
+        mesh, config.source, config.nparticles, config.seed, config.dt,
+        scatter_table=materials[0].scatter, capture_table=materials[0].capture,
+    )
+
+    n = config.nparticles
+    nworkers = options.nworkers
+    if options.schedule is ScheduleKind.STATIC:
+        bounds = np.linspace(0, n, nworkers + 1).astype(np.int64)
+        assignments = [
+            [(int(bounds[w]), int(bounds[w + 1]))]
+            if bounds[w + 1] > bounds[w] else []
+            for w in range(nworkers)
+        ]
+        shared_chunks = None
+    else:
+        assignments = None
+        shared_chunks = [
+            (lo, min(lo + options.chunk, n)) for lo in range(0, n, options.chunk)
+        ]
+
+    if nworkers == 1:
+        ranges = (
+            assignments[0] if shared_chunks is None else shared_chunks
+        )
+        t_shard = time.perf_counter()
+        out = _run_ranges(run_config, scheme, population, ranges)
+        out["worker_id"] = 0
+        out["total_s"] = time.perf_counter() - t_shard
+        shard_results = [out]
+        start_method = "inline"
+    else:
+        ctx = _pick_context(options)
+        start_method = ctx.get_start_method()
+        result_queue = ctx.Queue()
+        task_queue = None
+        if shared_chunks is not None:
+            task_queue = ctx.Queue()
+            for c in shared_chunks:
+                task_queue.put(c)
+            for _ in range(nworkers):
+                task_queue.put(None)
+        procs = []
+        for w in range(nworkers):
+            procs.append(ctx.Process(
+                target=_worker_main,
+                args=(
+                    w, run_config, scheme, population,
+                    assignments[w] if assignments is not None else None,
+                    task_queue, result_queue,
+                ),
+                daemon=True,
+            ))
+        for p in procs:
+            p.start()
+        shard_results = []
+        for _ in range(nworkers):
+            out = result_queue.get()
+            if "error" in out:
+                for p in procs:
+                    p.terminate()
+                raise RuntimeError(
+                    f"pool worker {out['worker_id']} failed:\n{out['error']}"
+                )
+            shard_results.append(out)
+        for p in procs:
+            p.join()
+        shard_results.sort(key=lambda r: r["worker_id"])
+
+    # ---- reduce: private tallies/counters → one result (§VI-F) -----------
+    tally = EnergyDepositionTally(config.nx, config.ny)
+    merged = Counters()
+    reports = []
+    all_parts: list[Particle] = []
+    all_store: ParticleStore | None = None
+    for r in shard_results:
+        tally.deposition += r["tally"].deposition
+        tally.flush_counts += r["tally"].flush_counts
+        tally.flushes += r["tally"].flushes
+        merged.merge_disjoint(r["counters"])
+        if scheme is Scheme.OVER_PARTICLES:
+            all_parts.extend(r["particles"])
+        elif r["store"] is not None:
+            if all_store is None:
+                all_store = r["store"]
+            else:
+                all_store.extend(r["store"])
+        reports.append(WorkerReport(
+            worker_id=r["worker_id"],
+            histories=r["histories"],
+            final_histories=(
+                len(r["particles"]) if scheme is Scheme.OVER_PARTICLES
+                else (len(r["store"]) if r["store"] is not None else 0)
+            ),
+            events=r["counters"].total_events,
+            chunks=r["chunks"],
+            busy_s=r["busy_s"],
+            total_s=r["total_s"],
+        ))
+
+    # ---- deterministic population order, independent of nworkers ----------
+    # Primaries carry ids 0..n-1 (birth order); secondaries/clones carry
+    # hashed ids.  Sorting by id therefore yields the same ordering for any
+    # worker count and schedule.
+    if scheme is Scheme.OVER_PARTICLES:
+        ids = np.array([p.particle_id for p in all_parts], dtype=np.uint64)
+    else:
+        if all_store is None:
+            all_store = ParticleStore(0)
+        ids = all_store.particle_id
+    order = np.argsort(ids, kind="stable")
+    if scheme is Scheme.OVER_PARTICLES:
+        particles = [all_parts[i] for i in order]
+        store = None
+    else:
+        particles = None
+        store = all_store.subset(order)
+    merged.collisions_per_particle = merged.collisions_per_particle[order]
+    merged.facets_per_particle = merged.facets_per_particle[order]
+    merged.nparticles = int(ids.size)
+    # Recomputed from the reduced flush histogram — identical to the value
+    # a serial run reports, unlike the per-shard maxima merged above.
+    merged.tally_conflict_probability = tally.conflict_probability()
+
+    info = PoolRunInfo(
+        nworkers=nworkers,
+        schedule=options.schedule,
+        chunk=options.chunk,
+        start_method=start_method,
+        workers=tuple(reports),
+    )
+    return TransportResult(
+        config=config,
+        scheme=scheme,
+        tally=tally,
+        counters=merged,
+        particles=particles,
+        store=store,
+        wallclock_s=time.perf_counter() - t0,
+        pool=info,
+    )

@@ -130,6 +130,26 @@ class ParticleStore:
         self.n += other.n
 
     # ------------------------------------------------------------------
+    # Sharding (worker-pool history decomposition)
+    # ------------------------------------------------------------------
+    def subset(self, indices: np.ndarray) -> "ParticleStore":
+        """A new store holding copies of the selected particles, in the
+        given order.
+
+        Used by :mod:`repro.parallel.pool` both to carve history shards for
+        the workers and to reassemble the merged population into a
+        deterministic order afterwards.
+        """
+        indices = np.asarray(indices)
+        out = ParticleStore(0)
+        out.n = int(indices.size)
+        for name in _FLOAT_FIELDS + _INT_FIELDS + (
+            "alive", "censused", "particle_id", "rng_counter",
+        ):
+            setattr(out, name, getattr(self, name)[indices].copy())
+        return out
+
+    # ------------------------------------------------------------------
     # Masks and accounting
     # ------------------------------------------------------------------
     def active_mask(self) -> np.ndarray:

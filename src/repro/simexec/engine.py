@@ -26,6 +26,7 @@ model's *structure*, not its calibration.
 from __future__ import annotations
 
 import heapq
+from collections import deque
 from dataclasses import dataclass
 
 import numpy as np
@@ -86,6 +87,19 @@ class SimExecOptions:
     jitter: float = 0.1
     start_stagger_cycles: float = 200.0
     privatized_tally: bool = False
+
+    def __post_init__(self) -> None:
+        if self.nthreads < 1:
+            raise ValueError("need at least one thread")
+        if self.chunk < 1:
+            raise ValueError(
+                "chunk must be >= 1 (a dynamic replay pulls at least one "
+                "history per acquisition)"
+            )
+        if self.jitter < 0.0:
+            raise ValueError("jitter must be non-negative")
+        if self.start_stagger_cycles < 0.0:
+            raise ValueError("start_stagger_cycles must be non-negative")
 
 
 @dataclass(frozen=True)
@@ -210,10 +224,12 @@ def simulate_execution(
     n = trace.nhistories
     if options.schedule is ScheduleKind.STATIC:
         bounds = np.linspace(0, n, nthreads + 1).astype(np.int64)
-        queues = [list(range(bounds[t], bounds[t + 1])) for t in range(nthreads)]
+        queues = [
+            deque(range(bounds[t], bounds[t + 1])) for t in range(nthreads)
+        ]
         shared: list[int] = []
     else:
-        queues = [[] for _ in range(nthreads)]
+        queues = [deque() for _ in range(nthreads)]
         shared = list(range(n))
 
     # --- resources ----------------------------------------------------------
@@ -305,7 +321,9 @@ def simulate_execution(
     def acquire_work(t: int) -> bool:
         nonlocal next_shared
         if queues[t]:
-            kinds, cells = trace.histories[queues[t].pop(0)]
+            # deque.popleft() is O(1); a list.pop(0) here is O(n) and turns
+            # the replay into O(total_events × histories) on long traces.
+            kinds, cells = trace.histories[queues[t].popleft()]
             current[t] = (kinds, cells, 0)
             return True
         if shared and next_shared < len(shared):

@@ -34,6 +34,25 @@ def test_run_with_extensions(capsys):
     assert "escapes=20" in out
 
 
+def test_run_with_workers(capsys):
+    rc = main([
+        "run", "--problem", "csp", "--nx", "48", "--particles", "30",
+        "--workers", "2", "--schedule", "dynamic", "--chunk", "8",
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "pool: 2 workers, dynamic schedule" in out
+    assert "worker 0:" in out and "worker 1:" in out
+    assert "load imbalance (max/mean): measured" in out
+    assert "modelled" in out
+    assert "population accounted: True" in out
+
+
+def test_parser_rejects_bad_schedule():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["run", "--schedule", "guided"])
+
+
 def test_predict_cpu(capsys):
     rc = main(["predict", "--problem", "csp", "--machine", "broadwell"])
     assert rc == 0

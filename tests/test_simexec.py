@@ -166,6 +166,27 @@ def test_engine_validation(stream_trace):
         simulate_execution(trace, w, BROADWELL, SimExecOptions(nthreads=0))
 
 
+def test_options_reject_degenerate_chunk_and_jitter():
+    """Regression: chunk=0 used to pass validation and crash the DYNAMIC
+    replay with IndexError on the first empty chunk acquisition."""
+    with pytest.raises(ValueError):
+        SimExecOptions(nthreads=2, chunk=0)
+    with pytest.raises(ValueError):
+        SimExecOptions(nthreads=2, jitter=-0.1)
+    with pytest.raises(ValueError):
+        SimExecOptions(nthreads=2, start_stagger_cycles=-1.0)
+
+
+def test_dynamic_chunk_one_runs_everything(stream_trace):
+    """The smallest legal dynamic chunk exercises the queue the hardest."""
+    trace, w = stream_trace
+    r = simulate_execution(
+        trace, w, BROADWELL,
+        SimExecOptions(nthreads=8, schedule=ScheduleKind.DYNAMIC, chunk=1),
+    )
+    assert r.events_executed == trace.total_events
+
+
 def test_dynamic_vs_static_similar_for_uniform_work(stream_trace):
     """Fig 4's conclusion holds in the replay too: for near-uniform
     histories the schedule choice moves the makespan only slightly."""
