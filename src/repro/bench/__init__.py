@@ -11,6 +11,8 @@ from repro.bench.runner import (
     DEVICE_BASELINES,
     PAPER_SCALE,
     MeasuredSpeedup,
+    RecoveryOverhead,
+    measured_recovery_overhead,
     measured_speedup,
     measured_workload,
     paper_workload,
@@ -23,6 +25,8 @@ __all__ = [
     "DEVICE_BASELINES",
     "PAPER_SCALE",
     "MeasuredSpeedup",
+    "RecoveryOverhead",
+    "measured_recovery_overhead",
     "measured_speedup",
     "measured_workload",
     "paper_workload",

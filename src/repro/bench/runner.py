@@ -22,6 +22,7 @@ from repro.core import PROBLEM_FACTORIES, Scheme, Simulation
 from repro.core.config import Layout
 from repro.machine import CPUS, GPUS
 from repro.parallel.affinity import Affinity
+from repro.parallel.faults import FaultPlan, KillWorker
 from repro.parallel.schedule import ScheduleKind, simulate_parallel_for
 from repro.perfmodel import (
     CPUOptions,
@@ -42,6 +43,8 @@ __all__ = [
     "standard_gpu_time",
     "MeasuredSpeedup",
     "measured_speedup",
+    "RecoveryOverhead",
+    "measured_recovery_overhead",
 ]
 
 #: Paper-scale targets per problem: (nparticles, mesh_nx) — §IV-B.
@@ -175,6 +178,93 @@ def measured_speedup(
         parallel_s=pooled.wallclock_s,
         measured_imbalance=pooled.pool.busy_imbalance(),
         modelled_imbalance=modelled.load_imbalance(),
+    )
+
+
+@dataclass(frozen=True)
+class RecoveryOverhead:
+    """Cost of surviving a worker loss, measured on this host.
+
+    Two identical pooled runs, one undisturbed and one with a
+    deterministic worker kill injected; since recovery re-executes the
+    lost shard bit-identically, the *only* difference is wall-clock —
+    which is exactly the recovery overhead a long campaign pays per
+    failure.
+    """
+
+    problem: str
+    scheme: Scheme
+    schedule: ScheduleKind
+    nworkers: int
+    clean_s: float
+    faulted_s: float
+    retries: int
+    respawns: int
+    degraded: bool
+    #: Final particle states bit-identical between the two runs.
+    states_identical: bool
+
+    @property
+    def overhead(self) -> float:
+        """Fractional slowdown of the faulted run (0.0 = free recovery)."""
+        if self.clean_s == 0:
+            return 0.0
+        return self.faulted_s / self.clean_s - 1.0
+
+
+def measured_recovery_overhead(
+    problem: str,
+    nworkers: int = 2,
+    scheme: Scheme = Scheme.OVER_PARTICLES,
+    schedule: ScheduleKind = ScheduleKind.DYNAMIC,
+    chunk: int = 16,
+    nx: int = MEASUREMENT_NX,
+    nparticles: int = 4 * MEASUREMENT_PARTICLES,
+) -> RecoveryOverhead:
+    """Measure the wall-clock cost of losing (and replacing) one worker.
+
+    Runs the reduced-scale configuration twice on the pool: undisturbed,
+    then with worker 0 hard-killed mid-shard after completing one chunk.
+    Returns the paired timings plus the recovery ledger of the faulted
+    run and a bit-identity check of the final particle states — the
+    determinism claim the chaos suite asserts, measured here for its
+    *cost* instead.
+    """
+    if problem not in PROBLEM_FACTORIES:
+        raise KeyError(f"unknown problem {problem!r}")
+    if nworkers < 2:
+        raise ValueError("recovery needs at least two workers")
+    cfg = PROBLEM_FACTORIES[problem](nx=nx, nparticles=nparticles)
+    sim = Simulation(cfg)
+    clean = sim.run(scheme, nworkers=nworkers, schedule=schedule, chunk=chunk)
+    faulted = sim.run(
+        scheme, nworkers=nworkers, schedule=schedule, chunk=chunk,
+        fault_plan=FaultPlan((KillWorker(worker=0, after_chunks=1),)),
+    )
+    if scheme is Scheme.OVER_PARTICLES:
+        identical = len(clean.particles) == len(faulted.particles) and all(
+            a.particle_id == b.particle_id and a.x == b.x and a.y == b.y
+            and a.energy == b.energy and a.rng_counter == b.rng_counter
+            for a, b in zip(clean.particles, faulted.particles)
+        )
+    else:
+        import numpy as np
+
+        identical = all(
+            np.array_equal(getattr(clean.store, f), getattr(faulted.store, f))
+            for f in ("particle_id", "x", "y", "energy", "rng_counter")
+        )
+    return RecoveryOverhead(
+        problem=problem,
+        scheme=scheme,
+        schedule=schedule,
+        nworkers=nworkers,
+        clean_s=clean.wallclock_s,
+        faulted_s=faulted.wallclock_s,
+        retries=faulted.pool.retries,
+        respawns=faulted.pool.respawns,
+        degraded=faulted.pool.degraded,
+        states_identical=identical,
     )
 
 

@@ -72,6 +72,33 @@ def build_parser() -> argparse.ArgumentParser:
         help="histories per dynamic-queue entry",
     )
     run.add_argument(
+        "--max-retries",
+        type=int,
+        default=2,
+        help="per-shard retry budget after a worker death, hang, or error",
+    )
+    run.add_argument(
+        "--shard-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="declare a worker hung when one shard runs longer than this",
+    )
+    run.add_argument(
+        "--max-respawns",
+        type=int,
+        default=3,
+        help="pool-wide replacement-worker budget before degraded draining",
+    )
+    run.add_argument(
+        "--fault-plan",
+        default=None,
+        metavar="SPEC",
+        help="inject deterministic faults for recovery demos, e.g. "
+        "'kill:worker=1;raise:shard=0,attempts=-1' "
+        "(kinds: kill, delay, raise, drop_heartbeat)",
+    )
+    run.add_argument(
         "--show-tally",
         action="store_true",
         help="render the deposition field as an ASCII heatmap (Fig 2)",
@@ -127,14 +154,21 @@ def _cmd_run(args: argparse.Namespace) -> int:
         boundary=BoundaryCondition(args.boundary),
         use_russian_roulette=args.russian_roulette,
     )
-    from repro.parallel import ScheduleKind, simulate_parallel_for
+    from repro.parallel import FaultPlan, ScheduleKind, simulate_parallel_for
 
     schedule = ScheduleKind(args.schedule)
+    fault_plan = (
+        FaultPlan.parse(args.fault_plan) if args.fault_plan else None
+    )
     result = Simulation(cfg).run(
         Scheme(args.scheme),
         nworkers=args.workers,
         schedule=schedule,
         chunk=args.chunk,
+        max_retries=args.max_retries,
+        shard_timeout=args.shard_timeout,
+        max_worker_respawns=args.max_respawns,
+        fault_plan=fault_plan,
     )
     c = result.counters
     print(f"problem={cfg.name} mesh={cfg.nx}x{cfg.ny} particles={cfg.nparticles} "
@@ -166,6 +200,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
               f"{pool.event_imbalance():.3f}, busy time "
               f"{pool.busy_imbalance():.3f}; modelled "
               f"{modelled.load_imbalance():.3f}")
+        if fault_plan is not None:
+            print(f"fault plan: {fault_plan.describe()}")
+        if pool.recovered():
+            print(f"recovery: {pool.workers_lost} workers lost, "
+                  f"{pool.respawns} respawned, {pool.retries} shard retries")
+        if pool.degraded:
+            print(f"DEGRADED MODE: {pool.degraded_reason} — "
+                  f"{pool.shards_drained_in_process} shards drained "
+                  f"in-process by the parent")
     if args.show_tally:
         from repro.analysis.viz import render_heatmap
 

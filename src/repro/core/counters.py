@@ -208,13 +208,41 @@ class Counters:
             self.facets_per_particle, other.facets_per_particle
         )
 
+    #: Scalar fields captured by :meth:`snapshot` — every physics/work
+    #: count that must be invariant under shard partitioning and recovery.
+    _SCALAR_FIELDS = (
+        "nparticles", "collisions", "facets", "census_events",
+        "terminations", "reflections", "escapes", "escaped_energy",
+        "roulette_kills", "roulette_survivals", "roulette_loss_energy",
+        "roulette_gain_energy", "fissions", "secondaries_banked",
+        "fission_injected_energy", "splits", "clones_banked",
+        "tally_flushes", "density_reads", "xs_lookups", "xs_binary_probes",
+        "xs_linear_probes", "rng_draws",
+    )
+
+    def snapshot(self) -> dict:
+        """Every scalar counter as a plain dict, for exact comparison.
+
+        The worker pool reduces per-shard partial counters with
+        :meth:`merge_disjoint`; because every scalar here is additive and
+        the per-particle arrays concatenate, the reduction is invariant
+        under the shard partition *and* under shard retries (a retried
+        shard's partial result is discarded, never merged twice).  The
+        chaos and property suites assert that invariance by comparing
+        snapshots of faulted, pooled, and serial runs.
+        """
+        return {f: getattr(self, f) for f in self._SCALAR_FIELDS}
+
     def merge_disjoint(self, other: "Counters") -> None:
         """Accumulate a run over a *disjoint* set of histories
         (worker-pool shard reduction, §VI-F privatise-then-reduce).
 
         Population counts add and the per-particle work arrays are
         concatenated in call order, so the merged distribution covers every
-        history exactly once.
+        history exactly once.  Partial results from a shard that died
+        mid-run must never reach this method — the pool re-executes the
+        whole shard and merges only its complete payload, which is what
+        keeps the reduction exact under recovery.
         """
         self.nparticles += other.nparticles
         self._merge_scalars(other)

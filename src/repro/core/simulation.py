@@ -108,6 +108,10 @@ class Simulation:
         nworkers: int | None = None,
         schedule: "ScheduleKind | None" = None,
         chunk: int = 64,
+        max_retries: int = 2,
+        shard_timeout: float | None = None,
+        max_worker_respawns: int = 3,
+        fault_plan: "FaultPlan | None" = None,
     ) -> TransportResult:
         """Run the configured calculation with the chosen scheme.
 
@@ -129,6 +133,19 @@ class Simulation:
             queue).  Ignored for serial runs.
         chunk:
             Histories per DYNAMIC queue entry.
+        max_retries:
+            Per-shard retry budget when a worker dies, hangs, or raises
+            (see ``PoolOptions.max_retries``).
+        shard_timeout:
+            Seconds one shard may run before its worker is declared hung
+            (``None`` disables the per-shard watchdog).
+        max_worker_respawns:
+            Pool-wide replacement-worker budget before degraded in-process
+            draining takes over.
+        fault_plan:
+            Deterministic fault injection
+            (:class:`~repro.parallel.faults.FaultPlan`) for chaos tests
+            and recovery demos; requires ``nworkers >= 2``.
         """
         # Local imports: the drivers import TransportResult from here.
         from repro.core.over_events import run_over_events
@@ -144,6 +161,10 @@ class Simulation:
                 nworkers=nworkers,
                 schedule=schedule if schedule is not None else ScheduleKind.STATIC,
                 chunk=chunk,
+                max_retries=max_retries,
+                shard_timeout=shard_timeout,
+                max_worker_respawns=max_worker_respawns,
+                fault_plan=fault_plan,
             )
             return run_pool(self.config, scheme, options)
         if scheme is Scheme.OVER_PARTICLES:

@@ -29,6 +29,14 @@ from repro.parallel.schedule import (
 )
 from repro.parallel.affinity import Affinity, ThreadPlacement, place_threads
 from repro.parallel.atomics import atomic_op_cost_cycles
+from repro.parallel.faults import (
+    DelayShard,
+    DropHeartbeat,
+    FaultInjected,
+    FaultPlan,
+    KillWorker,
+    RaiseInShard,
+)
 from repro.parallel.pool import (
     PoolOptions,
     PoolRunInfo,
@@ -44,6 +52,12 @@ __all__ = [
     "ThreadPlacement",
     "place_threads",
     "atomic_op_cost_cycles",
+    "DelayShard",
+    "DropHeartbeat",
+    "FaultInjected",
+    "FaultPlan",
+    "KillWorker",
+    "RaiseInShard",
     "PoolOptions",
     "PoolRunInfo",
     "WorkerReport",

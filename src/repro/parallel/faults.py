@@ -1,0 +1,282 @@
+"""Deterministic fault injection for the worker pool.
+
+The fault-tolerance machinery in :mod:`repro.parallel.pool` (heartbeats,
+watchdog, shard retry, degraded drain) is only trustworthy if every failure
+path can be exercised *reproducibly* — a chaos test that kills a worker at
+a random moment proves nothing when it goes green.  A :class:`FaultPlan` is
+a declarative list of faults, each keyed on deterministic coordinates of
+the execution (worker id, worker incarnation, shard id, shard attempt), so
+the same plan produces the same failure at the same place on every run and
+on any host, including a single-core CI runner:
+
+* :class:`KillWorker` — the worker process calls ``os._exit`` (a hard
+  crash: no exception propagation, no result shipped) either mid-shard,
+  after announcing its (``after_chunks``+1)-th shard, or cleanly between
+  shards.  Keyed on ``incarnation`` so a respawned worker is not re-killed
+  unless the plan says so (``incarnations=-1`` kills every respawn —
+  the respawn-budget-exhaustion path).
+* :class:`DelayShard` — ``time.sleep`` injected before a shard executes,
+  to trip the parent's per-shard timeout (the hung-worker path).  Keyed
+  on ``attempt`` so the retried shard runs promptly.
+* :class:`RaiseInShard` — an exception raised inside shard execution
+  (shipped to the parent as a per-shard error).  ``attempts=-1`` fails
+  every retry — the retries-exhausted / degraded-drain path.
+* :class:`DropHeartbeat` — the worker's heartbeat thread never starts,
+  so the parent's watchdog sees a stale heartbeat and declares the
+  (otherwise healthy) worker hung — the heartbeat-age detection path.
+
+Because every history's RNG stream is keyed on its ``particle_id``, a
+retried shard recomputes *bit-identical* particle states, so chaos tests
+can assert exact equality between a faulted and an undisturbed run rather
+than statistical closeness (see ``tests/test_pool_faults.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "FaultInjected",
+    "KillWorker",
+    "DelayShard",
+    "RaiseInShard",
+    "DropHeartbeat",
+    "FaultPlan",
+]
+
+#: Exit status used by injected hard kills, distinguishable from a clean 0.
+KILLED_EXIT_CODE = 43
+
+
+class FaultInjected(RuntimeError):
+    """Raised inside a worker by :class:`RaiseInShard`."""
+
+
+def _matches_count(value: int, limit: int) -> bool:
+    """True when ``value`` falls inside a first-``limit`` window
+    (``limit == -1`` matches everything)."""
+    return limit == -1 or value < limit
+
+
+@dataclass(frozen=True)
+class KillWorker:
+    """Hard-kill worker ``worker`` via ``os._exit``.
+
+    Attributes
+    ----------
+    worker:
+        Worker id (shard-owner index) to kill.
+    after_chunks:
+        Shards the worker completes before dying.
+    incarnations:
+        How many incarnations of this worker die (1 = only the original
+        process; respawns survive.  -1 = every respawn too, which is how
+        the respawn budget is exhausted in tests).
+    mid_shard:
+        ``True`` (default): die after *announcing* the next shard, so the
+        parent must detect the loss and re-enqueue in-flight work.
+        ``False``: die cleanly between shards without taking new work.
+    """
+
+    worker: int
+    after_chunks: int = 0
+    incarnations: int = 1
+    mid_shard: bool = True
+
+
+@dataclass(frozen=True)
+class DelayShard:
+    """Sleep ``seconds`` before executing shard ``shard``.
+
+    ``attempts`` bounds how many attempts of the shard are delayed
+    (default: only the first, so the retry completes; -1 delays every
+    retry as well).
+    """
+
+    shard: int
+    seconds: float
+    attempts: int = 1
+
+
+@dataclass(frozen=True)
+class RaiseInShard:
+    """Raise :class:`FaultInjected` while executing shard ``shard``.
+
+    ``attempts`` bounds how many attempts fail (default: only the first;
+    -1 fails every retry — the retries-exhausted path).
+    """
+
+    shard: int
+    attempts: int = 1
+    message: str = "injected shard fault"
+
+
+@dataclass(frozen=True)
+class DropHeartbeat:
+    """Suppress the heartbeat thread of worker ``worker``.
+
+    The worker keeps executing shards; only its liveness signal goes
+    silent, so the parent's heartbeat-age watchdog (not ``exitcode``)
+    must catch it.  ``incarnations`` as in :class:`KillWorker`.
+    """
+
+    worker: int
+    incarnations: int = 1
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A deterministic set of faults threaded through ``PoolOptions``.
+
+    The plan is pickled into every worker; workers consult it at fixed
+    points of their loop (see :mod:`repro.parallel.pool`), so execution
+    is reproducible for a given plan regardless of host speed or core
+    count.
+    """
+
+    faults: tuple = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        known = (KillWorker, DelayShard, RaiseInShard, DropHeartbeat)
+        for f in self.faults:
+            if not isinstance(f, known):
+                raise ValueError(f"unknown fault type: {f!r}")
+            if isinstance(f, DelayShard) and f.seconds < 0:
+                raise ValueError("DelayShard.seconds must be >= 0")
+
+    def __bool__(self) -> bool:
+        return bool(self.faults)
+
+    # ------------------------------------------------------------------
+    # Lookups, one per injection point in the worker loop.
+    # ------------------------------------------------------------------
+    def kill_for(self, worker: int, incarnation: int) -> KillWorker | None:
+        for f in self.faults:
+            if (
+                isinstance(f, KillWorker)
+                and f.worker == worker
+                and _matches_count(incarnation, f.incarnations)
+            ):
+                return f
+        return None
+
+    def delay_for(self, shard: int, attempt: int) -> DelayShard | None:
+        for f in self.faults:
+            if (
+                isinstance(f, DelayShard)
+                and f.shard == shard
+                and _matches_count(attempt, f.attempts)
+            ):
+                return f
+        return None
+
+    def raise_for(self, shard: int, attempt: int) -> RaiseInShard | None:
+        for f in self.faults:
+            if (
+                isinstance(f, RaiseInShard)
+                and f.shard == shard
+                and _matches_count(attempt, f.attempts)
+            ):
+                return f
+        return None
+
+    def drops_heartbeat(self, worker: int, incarnation: int) -> bool:
+        return any(
+            isinstance(f, DropHeartbeat)
+            and f.worker == worker
+            and _matches_count(incarnation, f.incarnations)
+            for f in self.faults
+        )
+
+    # ------------------------------------------------------------------
+    # CLI round-trip
+    # ------------------------------------------------------------------
+    @classmethod
+    def parse(cls, spec: str) -> "FaultPlan":
+        """Build a plan from a compact CLI spec.
+
+        ``spec`` is ``;``-separated fault clauses, each
+        ``kind:key=value,key=value``::
+
+            kill:worker=1,after=2
+            kill:worker=0,incarnations=-1,mid_shard=0
+            delay:shard=3,seconds=1.5
+            raise:shard=2,attempts=-1
+            drop_heartbeat:worker=1
+
+        Example: ``--fault-plan "kill:worker=1;raise:shard=0"``.
+        """
+        faults = []
+        for clause in spec.split(";"):
+            clause = clause.strip()
+            if not clause:
+                continue
+            kind, _, rest = clause.partition(":")
+            kind = kind.strip().lower()
+            kw: dict[str, float] = {}
+            for pair in filter(None, (p.strip() for p in rest.split(","))):
+                key, _, value = pair.partition("=")
+                if not _:
+                    raise ValueError(
+                        f"malformed fault clause {clause!r}: expected key=value"
+                    )
+                kw[key.strip()] = float(value)
+            try:
+                faults.append(_CLAUSE_BUILDERS[kind](kw))
+            except KeyError as exc:
+                raise ValueError(
+                    f"unknown fault kind {kind!r} in {spec!r} "
+                    f"(known: {', '.join(sorted(_CLAUSE_BUILDERS))})"
+                ) from exc
+        return cls(faults=tuple(faults))
+
+    def describe(self) -> str:
+        """Human-readable one-liner for CLI/bench reporting."""
+        return "; ".join(
+            type(f).__name__
+            + "("
+            + ", ".join(
+                f"{k}={getattr(f, k)}" for k in f.__dataclass_fields__
+            )
+            + ")"
+            for f in self.faults
+        )
+
+
+def _build_kill(kw: dict) -> KillWorker:
+    return KillWorker(
+        worker=int(kw["worker"]),
+        after_chunks=int(kw.get("after", kw.get("after_chunks", 0))),
+        incarnations=int(kw.get("incarnations", 1)),
+        mid_shard=bool(kw.get("mid_shard", 1)),
+    )
+
+
+def _build_delay(kw: dict) -> DelayShard:
+    return DelayShard(
+        shard=int(kw["shard"]),
+        seconds=float(kw.get("seconds", kw.get("s", 1.0))),
+        attempts=int(kw.get("attempts", 1)),
+    )
+
+
+def _build_raise(kw: dict) -> RaiseInShard:
+    return RaiseInShard(
+        shard=int(kw["shard"]),
+        attempts=int(kw.get("attempts", 1)),
+    )
+
+
+def _build_drop_heartbeat(kw: dict) -> DropHeartbeat:
+    return DropHeartbeat(
+        worker=int(kw["worker"]),
+        incarnations=int(kw.get("incarnations", 1)),
+    )
+
+
+_CLAUSE_BUILDERS = {
+    "kill": _build_kill,
+    "delay": _build_delay,
+    "raise": _build_raise,
+    "drop_heartbeat": _build_drop_heartbeat,
+}

@@ -1,4 +1,4 @@
-"""Real on-node parallel execution: a shared-memory worker pool.
+"""Real on-node parallel execution: a fault-tolerant shared-memory pool.
 
 Everything else in :mod:`repro.parallel` *models* the paper's OpenMP
 machinery; this module runs it for real.  Histories are sharded across
@@ -7,32 +7,55 @@ unchanged on each shard — the Python analogue of the paper's §VI particle
 loop:
 
 * ``ScheduleKind.STATIC`` carves the population into ``nworkers``
-  contiguous blocks (OpenMP's default static schedule);
+  contiguous blocks (OpenMP's default static schedule); each block is one
+  *shard* owned by one worker.
 * ``ScheduleKind.DYNAMIC`` pre-fills a shared queue with ``chunk``-sized
-  blocks and idle workers pull the next one (``schedule(dynamic, chunk)``);
-* each worker accumulates into a **private** :class:`EnergyDepositionTally`
-  and private :class:`Counters`, reduced by the parent at the end — the
-  §VI-F tally-privatisation pattern, for real this time.
+  shards and idle workers pull the next one (``schedule(dynamic, chunk)``);
+* each worker accumulates a **private** :class:`EnergyDepositionTally` and
+  private :class:`Counters` per shard, reduced by the parent in shard-id
+  order — the §VI-F tally-privatisation pattern, for real this time.
+
+Fault tolerance.  A long campaign must survive partial executor failure
+(cf. DESIGN.md §4c "Failure model and recovery").  The parent runs a
+watchdog loop that detects
+
+* **dead workers** via ``Process.exitcode``,
+* **hung workers** via heartbeat age (each worker beats a shared
+  timestamp array from a daemon thread) and via a per-shard timeout
+  measured from the worker's shard-start announcement;
+
+a shard lost with its worker (or failed with an exception) is re-enqueued
+with a bounded per-shard retry budget and optional backoff, and the worker
+slot is respawned under a pool-wide respawn budget.  When a shard exhausts
+its retries, or no worker can be respawned for stranded work, the pool
+**degrades gracefully**: remaining shards are drained in-process by the
+parent and the run completes with ``PoolRunInfo.degraded`` set instead of
+raising.  Every failure path is reproducible through the deterministic
+:class:`~repro.parallel.faults.FaultPlan` injection harness threaded
+through :class:`PoolOptions`.
 
 Determinism.  Every history owns a counter-based RNG stream keyed on its
 ``particle_id`` (:mod:`repro.rng.stream`), and fission secondaries / VR
 clones derive their identity from the parent's state alone — so a history
-evolves bit-identically no matter which worker runs it or which chunk it
-arrives in.  Consequently an N-worker run produces the *same final particle
-states* as a serial run, and the same tally up to accumulation-order
-rounding (private tallies are reduced in worker order, which permutes the
-floating-point additions).  The merged population is returned sorted by
-``particle_id`` (primaries first, in birth order), an order independent of
-the worker count, so ``nworkers=4`` and ``nworkers=1`` results compare
-bit-for-bit.
+evolves bit-identically no matter which worker runs it, which chunk it
+arrives in, *or how many times its shard is retried*.  Consequently a run
+that lost and re-executed shards produces the *same final particle states*
+as an undisturbed run, and private tallies reduced in shard-id order make
+the tally independent of worker scheduling too.  The merged population is
+returned sorted by ``particle_id`` (primaries first, in birth order), an
+order independent of the worker count, so ``nworkers=4`` and
+``nworkers=1`` results compare bit-for-bit.
 """
 
 from __future__ import annotations
 
 import multiprocessing as mp
+import os
+import queue as queue_mod
+import threading
 import time
 import traceback
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -40,12 +63,22 @@ from repro.core.config import Scheme, SimulationConfig
 from repro.core.counters import Counters
 from repro.mesh.structured import StructuredMesh
 from repro.mesh.tally import EnergyDepositionTally
+from repro.parallel.faults import KILLED_EXIT_CODE, FaultInjected, FaultPlan
 from repro.parallel.schedule import ScheduleKind
 from repro.particles.particle import Particle
 from repro.particles.soa import ParticleStore
 from repro.particles.source import sample_source_aos, sample_source_soa
 
 __all__ = ["PoolOptions", "WorkerReport", "PoolRunInfo", "run_pool"]
+
+#: Sentinel worker id for shards the parent drained in-process
+#: (degraded mode); shows up as its own :class:`WorkerReport`.
+PARENT_WORKER_ID = -1
+
+#: Watchdog re-enqueues apparently lost-in-transit shards after this many
+#: seconds of total silence with every worker idle (safety net against a
+#: worker dying between pulling a task and announcing it).
+_STALL_WINDOW_S = 5.0
 
 
 @dataclass(frozen=True)
@@ -62,16 +95,51 @@ class PoolOptions:
         queue); the other :class:`ScheduleKind` members describe
         simulated-only policies and are rejected.
     chunk:
-        Histories per DYNAMIC queue entry.
+        Histories per DYNAMIC shard.
     start_method:
         ``multiprocessing`` start method; ``None`` picks ``fork`` where
-        available (cheap on Linux) and falls back to ``spawn``.
+        available (cheap on Linux) and falls back to ``spawn``.  Unknown
+        names are rejected here rather than deep inside
+        ``multiprocessing``.
+    max_retries:
+        Per-shard retry budget.  A shard whose worker died, hung, or
+        raised is re-enqueued up to this many times; past it the shard is
+        drained in-process and the run is flagged degraded.
+    shard_timeout:
+        Seconds a single shard may run before its worker is declared hung
+        and terminated (``None`` disables the per-shard watchdog).
+    max_worker_respawns:
+        Pool-wide budget of replacement worker processes.  Once spent,
+        further worker deaths leave the slot dead; work that nobody can
+        run any more is drained in-process (degraded mode).
+    heartbeat_interval:
+        Seconds between worker heartbeats.
+    heartbeat_timeout:
+        Heartbeat age past which a worker *executing a shard* is declared
+        hung (``None`` disables heartbeat-age detection).  Must exceed
+        ``heartbeat_interval``.
+    retry_backoff:
+        Parent-side sleep of ``retry_backoff * attempt`` seconds before a
+        shard is re-enqueued (0 disables backoff).
+    poll_interval:
+        Parent watchdog polling granularity.
+    fault_plan:
+        Deterministic fault injection (tests/demos); requires
+        ``nworkers >= 2`` because faults run inside worker processes.
     """
 
     nworkers: int
     schedule: ScheduleKind = ScheduleKind.STATIC
     chunk: int = 64
     start_method: str | None = None
+    max_retries: int = 2
+    shard_timeout: float | None = None
+    max_worker_respawns: int = 3
+    heartbeat_interval: float = 0.25
+    heartbeat_timeout: float | None = None
+    retry_backoff: float = 0.0
+    poll_interval: float = 0.05
+    fault_plan: FaultPlan | None = None
 
     def __post_init__(self) -> None:
         if self.nworkers < 1:
@@ -83,28 +151,60 @@ class PoolOptions:
                 "the worker pool executes STATIC or DYNAMIC schedules; "
                 f"{self.schedule} is a simulation-only policy"
             )
+        if self.start_method is not None:
+            known = mp.get_all_start_methods()
+            if self.start_method not in known:
+                raise ValueError(
+                    f"unknown start method {self.start_method!r}; "
+                    f"this platform supports: {', '.join(known)}"
+                )
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.max_worker_respawns < 0:
+            raise ValueError("max_worker_respawns must be >= 0")
+        if self.shard_timeout is not None and self.shard_timeout <= 0:
+            raise ValueError("shard_timeout must be positive (or None)")
+        if self.heartbeat_interval <= 0:
+            raise ValueError("heartbeat_interval must be positive")
+        if (
+            self.heartbeat_timeout is not None
+            and self.heartbeat_timeout <= self.heartbeat_interval
+        ):
+            raise ValueError("heartbeat_timeout must exceed heartbeat_interval")
+        if self.retry_backoff < 0:
+            raise ValueError("retry_backoff must be >= 0")
+        if self.poll_interval <= 0:
+            raise ValueError("poll_interval must be positive")
+        if self.fault_plan is not None and self.fault_plan and self.nworkers < 2:
+            raise ValueError(
+                "fault injection targets worker processes; nworkers must "
+                "be >= 2 for a non-empty fault_plan"
+            )
 
 
 @dataclass(frozen=True)
 class WorkerReport:
-    """What one worker did — the measured analogue of a thread's busy time.
+    """What one worker slot did — the measured analogue of a thread's busy
+    time, aggregated over every incarnation that occupied the slot.
 
     Attributes
     ----------
     worker_id:
-        Shard index (also the reduction order).
+        Slot index (``-1`` is the parent's in-process degraded drain).
     histories:
-        Primary histories assigned to this worker.
+        Primary histories this slot completed.
     final_histories:
         Histories returned, including fission secondaries and clones.
     events:
         Transport events (collisions + facets + census) executed.
     chunks:
-        Work acquisitions (1 per STATIC block; queue pulls for DYNAMIC).
+        Shards completed (1 per STATIC block; queue pulls for DYNAMIC).
     busy_s:
         Wall-clock spent inside the transport drivers.
     total_s:
-        Worker lifetime including queue waits and result shipping.
+        Slot lifetime (sum over incarnations) including queue waits.
+    incarnations:
+        Processes that occupied the slot (1 + respawns of this slot).
     """
 
     worker_id: int
@@ -114,17 +214,35 @@ class WorkerReport:
     chunks: int
     busy_s: float
     total_s: float
+    incarnations: int = 1
 
 
 @dataclass(frozen=True)
 class PoolRunInfo:
-    """Per-worker accounting of one pooled run (CLI / bench reporting)."""
+    """Per-worker accounting of one pooled run (CLI / bench reporting).
+
+    Besides the per-slot reports this carries the recovery ledger: how
+    many shards were retried, how many workers were lost and respawned,
+    and whether the pool had to degrade to in-process draining.
+    """
 
     nworkers: int
     schedule: ScheduleKind
     chunk: int
     start_method: str
     workers: tuple[WorkerReport, ...]
+    #: Shard re-enqueues after a worker death, hang, or shard exception.
+    retries: int = 0
+    #: Replacement worker processes spawned.
+    respawns: int = 0
+    #: Worker processes lost (died, hung, or injected-killed).
+    workers_lost: int = 0
+    #: ``True`` when the pool fell back to in-process draining.
+    degraded: bool = False
+    #: Why the pool degraded (empty when it did not).
+    degraded_reason: str = ""
+    #: Shards the parent executed in-process under degraded mode.
+    shards_drained_in_process: int = 0
 
     def _imbalance(self, values: np.ndarray) -> float:
         mean = values.mean() if values.size else 0.0
@@ -146,8 +264,13 @@ class PoolRunInfo:
         )
 
     def chunks_dispatched(self) -> int:
-        """Total work acquisitions across the pool."""
+        """Total shards completed across the pool (including drained)."""
         return sum(w.chunks for w in self.workers)
+
+    def recovered(self) -> bool:
+        """True when any fault-tolerance machinery engaged."""
+        return bool(self.retries or self.respawns or self.workers_lost
+                    or self.degraded)
 
 
 # ---------------------------------------------------------------------------
@@ -199,36 +322,82 @@ def _run_ranges(config, scheme, population, ranges):
     }
 
 
-def _queue_ranges(task_queue):
-    """Yield ``(lo, hi)`` ranges from the shared queue until the sentinel."""
-    while True:
-        item = task_queue.get()
-        if item is None:
-            return
-        yield item
+def _beat(heartbeats, worker_id, stop, interval):
+    """Heartbeat daemon thread: stamp a shared timestamp until stopped."""
+    while not stop.wait(interval):
+        heartbeats[worker_id] = time.monotonic()
 
 
-def _worker_main(worker_id, config, scheme, population, static_ranges,
-                 task_queue, result_queue):
-    """Worker process entry point: run assigned shards, ship the reduction
-    inputs back.  Must stay importable at module level for ``spawn``."""
-    t0 = time.perf_counter()
+def _hard_exit(result_queue):
+    """Injected crash: flush shipped messages, then die without cleanup."""
+    result_queue.close()
+    result_queue.join_thread()
+    os._exit(KILLED_EXIT_CODE)
+
+
+def _worker_main(worker_id, incarnation, config, scheme, population,
+                 task_queue, result_queue, heartbeats, plan, hb_interval):
+    """Worker process entry point: pull shards, announce, run, ship.
+
+    Must stay importable at module level for ``spawn``.  Consults the
+    fault plan at its deterministic injection points: clean/mid-shard
+    kills keyed on (worker, incarnation, chunks done), delays and raises
+    keyed on (shard, attempt), heartbeat suppression keyed on (worker,
+    incarnation).
+    """
+    stop = threading.Event()
+    heartbeats[worker_id] = time.monotonic()
+    if not plan.drops_heartbeat(worker_id, incarnation):
+        threading.Thread(
+            target=_beat, args=(heartbeats, worker_id, stop, hb_interval),
+            daemon=True,
+        ).start()
+    kill = plan.kill_for(worker_id, incarnation)
+    chunks_done = 0
     try:
-        ranges = (
-            static_ranges if task_queue is None else _queue_ranges(task_queue)
-        )
-        out = _run_ranges(config, scheme, population, ranges)
-        out["worker_id"] = worker_id
-        out["total_s"] = time.perf_counter() - t0
-        result_queue.put(out)
-    except Exception:  # pragma: no cover - shipped to the parent
-        result_queue.put(
-            {"worker_id": worker_id, "error": traceback.format_exc()}
-        )
+        while True:
+            if (kill is not None and not kill.mid_shard
+                    and chunks_done >= kill.after_chunks):
+                _hard_exit(result_queue)
+            task = task_queue.get()
+            if task is None:
+                return
+            shard_id, attempt, lo, hi = task
+            result_queue.put({
+                "type": "start", "worker_id": worker_id,
+                "incarnation": incarnation, "shard": shard_id,
+                "attempt": attempt,
+            })
+            if (kill is not None and kill.mid_shard
+                    and chunks_done >= kill.after_chunks):
+                _hard_exit(result_queue)
+            delay = plan.delay_for(shard_id, attempt)
+            if delay is not None:
+                time.sleep(delay.seconds)
+            try:
+                injected = plan.raise_for(shard_id, attempt)
+                if injected is not None:
+                    raise FaultInjected(injected.message)
+                out = _run_ranges(config, scheme, population, [(lo, hi)])
+            except Exception:
+                result_queue.put({
+                    "type": "error", "worker_id": worker_id,
+                    "incarnation": incarnation, "shard": shard_id,
+                    "attempt": attempt, "error": traceback.format_exc(),
+                })
+            else:
+                out.update(
+                    type="result", worker_id=worker_id,
+                    incarnation=incarnation, shard=shard_id, attempt=attempt,
+                )
+                result_queue.put(out)
+            chunks_done += 1
+    finally:
+        stop.set()
 
 
 # ---------------------------------------------------------------------------
-# Parent: shard, dispatch, reduce
+# Parent: shard, dispatch, watch, recover, reduce
 # ---------------------------------------------------------------------------
 
 def _pick_context(options: PoolOptions):
@@ -238,139 +407,392 @@ def _pick_context(options: PoolOptions):
     return mp.get_context("fork" if "fork" in methods else "spawn")
 
 
-def run_pool(
-    config: SimulationConfig,
-    scheme: Scheme = Scheme.OVER_PARTICLES,
-    options: PoolOptions | None = None,
-):
-    """Run the configured calculation sharded across worker processes.
+def _build_shards(n, options):
+    """The unit-of-recovery work list: ``(lo, hi)`` per shard id.
 
-    Returns a :class:`~repro.core.simulation.TransportResult` whose
-    ``pool`` field carries the per-worker accounting.  Physics is
-    bit-identical to the serial drivers per history; the tally matches the
-    serial run to accumulation-order rounding.
+    STATIC shards are the per-worker contiguous blocks (empty ones
+    dropped); DYNAMIC shards are the chunk queue entries.
+    """
+    if options.schedule is ScheduleKind.STATIC:
+        bounds = np.linspace(0, n, options.nworkers + 1).astype(np.int64)
+        return [
+            (int(bounds[w]), int(bounds[w + 1]))
+            for w in range(options.nworkers)
+            if bounds[w + 1] > bounds[w]
+        ]
+    return [(lo, min(lo + options.chunk, n)) for lo in range(0, n, options.chunk)]
+
+
+class _Slot:
+    """Parent-side ledger for one worker slot across incarnations."""
+
+    __slots__ = ("worker_id", "proc", "incarnation", "queue", "current",
+                 "spawn_t", "lifetime_s", "dead")
+
+    def __init__(self, worker_id, task_queue):
+        self.worker_id = worker_id
+        self.proc = None
+        self.incarnation = -1
+        self.queue = task_queue
+        #: (shard_id, attempt, parent-monotonic start) while mid-shard.
+        self.current = None
+        self.spawn_t = 0.0
+        self.lifetime_s = 0.0
+        self.dead = False
+
+    @property
+    def live(self):
+        return self.proc is not None and not self.dead
+
+
+class _Dispatcher:
+    """The watchdog loop: dispatch shards, detect failures, recover.
+
+    One instance per ``run_pool`` call with ``nworkers > 1``.  The public
+    surface is :meth:`run`, returning per-shard payloads plus the
+    recovery ledger folded into :class:`PoolRunInfo` by the caller.
+    """
+
+    def __init__(self, config, scheme, population, shards, options, ctx):
+        self.config = config
+        self.scheme = scheme
+        self.population = population
+        self.shards = shards
+        self.options = options
+        self.ctx = ctx
+        self.static = options.schedule is ScheduleKind.STATIC
+        self.nslots = (
+            len(shards) if self.static else min(options.nworkers, len(shards))
+        )
+        self.plan = options.fault_plan or FaultPlan()
+        self.result_queue = ctx.Queue()
+        self.heartbeats = ctx.Array("d", max(self.nslots, 1))
+        self.pending = set(range(len(shards)))
+        self.attempts = [0] * len(shards)
+        self.results = {}
+        self.slots: list[_Slot] = []
+        self.retries = 0
+        self.respawns = 0
+        self.workers_lost = 0
+        self.drained = 0
+        self.degraded = False
+        self.degraded_reason = ""
+        self.last_progress = time.monotonic()
+
+    # -- lifecycle ------------------------------------------------------
+    def run(self):
+        if self.static:
+            for sid, (lo, hi) in enumerate(self.shards):
+                q = self.ctx.Queue()
+                q.put((sid, 0, lo, hi))
+                self.slots.append(_Slot(sid, q))
+        else:
+            shared = self.ctx.Queue()
+            for sid, (lo, hi) in enumerate(self.shards):
+                shared.put((sid, 0, lo, hi))
+            self.slots = [_Slot(w, shared) for w in range(self.nslots)]
+        try:
+            for slot in self.slots:
+                self._spawn(slot)
+            self._watch()
+        finally:
+            self._shutdown()
+        return self.results
+
+    def _spawn(self, slot):
+        slot.incarnation += 1
+        slot.spawn_t = time.monotonic()
+        self.heartbeats[slot.worker_id] = slot.spawn_t
+        slot.proc = self.ctx.Process(
+            target=_worker_main,
+            args=(
+                slot.worker_id, slot.incarnation, self.config, self.scheme,
+                self.population, slot.queue, self.result_queue,
+                self.heartbeats, self.plan, self.options.heartbeat_interval,
+            ),
+            daemon=True,
+        )
+        slot.proc.start()
+
+    # -- main loop ------------------------------------------------------
+    def _watch(self):
+        opts = self.options
+        while self.pending:
+            if self._drain_messages():
+                self.last_progress = time.monotonic()
+            if not self.pending:
+                return
+            now = time.monotonic()
+            for slot in self.slots:
+                if not slot.live:
+                    continue
+                reason = None
+                if slot.proc.exitcode is not None:
+                    reason = (
+                        f"worker {slot.worker_id} died "
+                        f"(exit code {slot.proc.exitcode})"
+                    )
+                elif slot.current is not None:
+                    sid, _, started = slot.current
+                    if (opts.shard_timeout is not None
+                            and now - started > opts.shard_timeout):
+                        reason = (
+                            f"worker {slot.worker_id} exceeded the "
+                            f"{opts.shard_timeout:g}s shard timeout on "
+                            f"shard {sid}"
+                        )
+                    elif (opts.heartbeat_timeout is not None
+                          and now - self.heartbeats[slot.worker_id]
+                          > opts.heartbeat_timeout):
+                        reason = (
+                            f"worker {slot.worker_id} heartbeat older than "
+                            f"{opts.heartbeat_timeout:g}s on shard {sid}"
+                        )
+                if reason is not None:
+                    self._recover_worker(slot, reason)
+            if self.pending and not any(s.live for s in self.slots):
+                self._drain_in_process(
+                    set(self.pending), "no live workers remain"
+                )
+            elif (self.pending
+                  and now - self.last_progress > _STALL_WINDOW_S
+                  and all(s.current is None for s in self.slots if s.live)):
+                # Safety net: a task was pulled but never announced (its
+                # worker died in the hand-off window).  Re-enqueue without
+                # charging the retry budget; duplicates are deduplicated
+                # on arrival.
+                for sid in sorted(self.pending):
+                    self._enqueue(sid, self.attempts[sid])
+                self.last_progress = now
+
+    def _drain_messages(self):
+        """Pump the result queue; returns True when progress was made."""
+        progress = False
+        block = True
+        while True:
+            try:
+                msg = self.result_queue.get(
+                    timeout=self.options.poll_interval if block else 0
+                )
+            except queue_mod.Empty:
+                return progress
+            block = False
+            progress = True
+            slot = self.slots[msg["worker_id"]]
+            stale = msg["incarnation"] != slot.incarnation
+            if msg["type"] == "start":
+                if not stale:
+                    slot.current = (
+                        msg["shard"], msg["attempt"], time.monotonic()
+                    )
+                continue
+            if not stale:
+                slot.current = None
+            sid = msg["shard"]
+            if sid not in self.pending:
+                continue  # duplicate completion of a retried shard
+            if msg["type"] == "result":
+                self.results[sid] = msg
+                self.pending.discard(sid)
+            elif stale:
+                # Error shipped by an incarnation that has since been
+                # reaped — _recover_worker already retried its shard;
+                # retrying again here would double-charge the budget.
+                continue
+            else:  # per-shard exception, shipped by a live worker
+                self._retry(
+                    sid,
+                    f"shard {sid} raised in worker {msg['worker_id']}:\n"
+                    f"{msg['error']}",
+                )
+
+    # -- recovery -------------------------------------------------------
+    def _recover_worker(self, slot, reason):
+        """Terminate/reap a dead or hung worker, retry its shard, respawn."""
+        self.workers_lost += 1
+        if slot.proc.is_alive():
+            slot.proc.terminate()
+        slot.proc.join(5.0)
+        if slot.proc.is_alive():  # pragma: no cover - terminate refused
+            slot.proc.kill()
+            slot.proc.join(5.0)
+        slot.lifetime_s += time.monotonic() - slot.spawn_t
+        lost = slot.current
+        slot.current = None
+        slot.proc = None
+        if self.respawns < self.options.max_worker_respawns and self.pending:
+            self.respawns += 1
+            self._spawn(slot)
+        else:
+            slot.dead = True
+        if lost is not None and lost[0] in self.pending:
+            self._retry(lost[0], reason)
+        if slot.dead and self.static:
+            stranded = {
+                sid for sid in self.pending
+                if sid == slot.worker_id  # STATIC shard id == owner slot
+            }
+            if stranded:
+                self._drain_in_process(
+                    stranded,
+                    f"{reason}; respawn budget "
+                    f"({self.options.max_worker_respawns}) exhausted",
+                )
+
+    def _retry(self, sid, reason):
+        self.attempts[sid] += 1
+        if self.attempts[sid] > self.options.max_retries:
+            self._drain_in_process(
+                {sid},
+                f"shard {sid} exhausted its {self.options.max_retries} "
+                f"retries ({reason.splitlines()[0]})",
+            )
+            return
+        self.retries += 1
+        if self.options.retry_backoff:
+            time.sleep(self.options.retry_backoff * self.attempts[sid])
+        self._enqueue(sid, self.attempts[sid])
+
+    def _enqueue(self, sid, attempt):
+        lo, hi = self.shards[sid]
+        target = self.slots[sid].queue if self.static else self.slots[0].queue
+        target.put((sid, attempt, lo, hi))
+
+    def _drain_in_process(self, sids, reason):
+        """Degraded mode: the parent runs stranded shards itself.
+
+        Fault injection does not apply here — the drain is the recovery
+        of last resort and must complete (a *genuine* persistent error
+        still propagates, after the shutdown cleanup).
+        """
+        self.degraded = True
+        if not self.degraded_reason:
+            self.degraded_reason = reason
+        for sid in sorted(sids):
+            if sid not in self.pending:
+                continue
+            t0 = time.perf_counter()
+            out = _run_ranges(
+                self.config, self.scheme, self.population, [self.shards[sid]]
+            )
+            out.update(
+                type="result", worker_id=PARENT_WORKER_ID,
+                incarnation=0, shard=sid, attempt=self.attempts[sid],
+                total_s=time.perf_counter() - t0,
+            )
+            self.results[sid] = out
+            self.pending.discard(sid)
+            self.drained += 1
+        self.last_progress = time.monotonic()
+
+    # -- teardown -------------------------------------------------------
+    def _shutdown(self):
+        """Stop every worker, no matter how the dispatch loop exited.
+
+        This is ``finally``-scoped from :meth:`run` so a parent-side
+        exception can never leak live children.
+        """
+        live = [s for s in self.slots if s.live]
+        for slot in live:
+            try:
+                if self.static:
+                    slot.queue.put(None)
+            except (OSError, ValueError):  # pragma: no cover
+                pass
+        if not self.static and live:
+            for _ in live:
+                try:
+                    self.slots[0].queue.put(None)
+                except (OSError, ValueError):  # pragma: no cover
+                    pass
+        deadline = time.monotonic() + 10.0
+        for slot in live:
+            slot.proc.join(max(0.1, deadline - time.monotonic()))
+            if slot.proc.is_alive():
+                slot.proc.terminate()
+                slot.proc.join(5.0)
+                if slot.proc.is_alive():  # pragma: no cover
+                    slot.proc.kill()
+                    slot.proc.join(5.0)
+            slot.lifetime_s += time.monotonic() - slot.spawn_t
+            slot.proc = None
+        # Unblock queue feeder threads so interpreter shutdown never hangs
+        # on unread pipe data.
+        try:
+            while True:
+                self.result_queue.get_nowait()
+        except (queue_mod.Empty, OSError, ValueError):
+            pass
+
+
+def _reduce(config, scheme, options, shards, results, dispatcher, t0,
+            start_method):
+    """Fold per-shard payloads into one :class:`TransportResult`.
+
+    Reduction runs in **shard-id order**, so the floating-point
+    accumulation order — and therefore the reduced tally, bit for bit —
+    is independent of which worker ran which shard, of retries, and of
+    degraded drains.  Kept module-level so tests can instrument it.
     """
     from repro.core.simulation import TransportResult
 
-    if options is None:
-        options = PoolOptions(nworkers=1)
-    t0 = time.perf_counter()
-
-    # Resolve the material set once — the workers would otherwise rebuild
-    # the cross-section tables per chunk acquisition.
-    run_config = config.with_(materials=config.resolved_materials())
-    materials = run_config.materials
-    mesh = StructuredMesh(
-        config.nx, config.ny, config.width, config.height, config.density
-    )
-    sampler = (
-        sample_source_aos if scheme is Scheme.OVER_PARTICLES
-        else sample_source_soa
-    )
-    population = sampler(
-        mesh, config.source, config.nparticles, config.seed, config.dt,
-        scatter_table=materials[0].scatter, capture_table=materials[0].capture,
-    )
-
-    n = config.nparticles
-    nworkers = options.nworkers
-    if options.schedule is ScheduleKind.STATIC:
-        bounds = np.linspace(0, n, nworkers + 1).astype(np.int64)
-        assignments = [
-            [(int(bounds[w]), int(bounds[w + 1]))]
-            if bounds[w + 1] > bounds[w] else []
-            for w in range(nworkers)
-        ]
-        shared_chunks = None
-    else:
-        assignments = None
-        shared_chunks = [
-            (lo, min(lo + options.chunk, n)) for lo in range(0, n, options.chunk)
-        ]
-
-    if nworkers == 1:
-        ranges = (
-            assignments[0] if shared_chunks is None else shared_chunks
-        )
-        t_shard = time.perf_counter()
-        out = _run_ranges(run_config, scheme, population, ranges)
-        out["worker_id"] = 0
-        out["total_s"] = time.perf_counter() - t_shard
-        shard_results = [out]
-        start_method = "inline"
-    else:
-        ctx = _pick_context(options)
-        start_method = ctx.get_start_method()
-        result_queue = ctx.Queue()
-        task_queue = None
-        if shared_chunks is not None:
-            task_queue = ctx.Queue()
-            for c in shared_chunks:
-                task_queue.put(c)
-            for _ in range(nworkers):
-                task_queue.put(None)
-        procs = []
-        for w in range(nworkers):
-            procs.append(ctx.Process(
-                target=_worker_main,
-                args=(
-                    w, run_config, scheme, population,
-                    assignments[w] if assignments is not None else None,
-                    task_queue, result_queue,
-                ),
-                daemon=True,
-            ))
-        for p in procs:
-            p.start()
-        shard_results = []
-        for _ in range(nworkers):
-            out = result_queue.get()
-            if "error" in out:
-                for p in procs:
-                    p.terminate()
-                raise RuntimeError(
-                    f"pool worker {out['worker_id']} failed:\n{out['error']}"
-                )
-            shard_results.append(out)
-        for p in procs:
-            p.join()
-        shard_results.sort(key=lambda r: r["worker_id"])
-
-    # ---- reduce: private tallies/counters → one result (§VI-F) -----------
     tally = EnergyDepositionTally(config.nx, config.ny)
     merged = Counters()
-    reports = []
     all_parts: list[Particle] = []
     all_store: ParticleStore | None = None
-    for r in shard_results:
+    per_worker: dict[int, dict] = {}
+    for sid in range(len(shards)):
+        r = results[sid]
         tally.deposition += r["tally"].deposition
         tally.flush_counts += r["tally"].flush_counts
         tally.flushes += r["tally"].flushes
         merged.merge_disjoint(r["counters"])
+        final = 0
         if scheme is Scheme.OVER_PARTICLES:
             all_parts.extend(r["particles"])
+            final = len(r["particles"])
         elif r["store"] is not None:
+            final = len(r["store"])
             if all_store is None:
                 all_store = r["store"]
             else:
                 all_store.extend(r["store"])
+        w = per_worker.setdefault(r["worker_id"], {
+            "histories": 0, "final": 0, "events": 0, "chunks": 0,
+            "busy_s": 0.0, "total_s": 0.0,
+        })
+        w["histories"] += r["histories"]
+        w["final"] += final
+        w["events"] += r["counters"].total_events
+        w["chunks"] += r["chunks"]
+        w["busy_s"] += r["busy_s"]
+        w["total_s"] += r.get("total_s", 0.0)
+
+    reports = []
+    slots = dispatcher.slots if dispatcher is not None else []
+    slot_by_id = {s.worker_id: s for s in slots}
+    worker_ids = sorted(set(per_worker) | set(slot_by_id))
+    for wid in worker_ids:
+        w = per_worker.get(wid, {
+            "histories": 0, "final": 0, "events": 0, "chunks": 0,
+            "busy_s": 0.0, "total_s": 0.0,
+        })
+        slot = slot_by_id.get(wid)
         reports.append(WorkerReport(
-            worker_id=r["worker_id"],
-            histories=r["histories"],
-            final_histories=(
-                len(r["particles"]) if scheme is Scheme.OVER_PARTICLES
-                else (len(r["store"]) if r["store"] is not None else 0)
-            ),
-            events=r["counters"].total_events,
-            chunks=r["chunks"],
-            busy_s=r["busy_s"],
-            total_s=r["total_s"],
+            worker_id=wid,
+            histories=w["histories"],
+            final_histories=w["final"],
+            events=w["events"],
+            chunks=w["chunks"],
+            busy_s=w["busy_s"],
+            total_s=slot.lifetime_s if slot is not None else w["total_s"],
+            incarnations=slot.incarnation + 1 if slot is not None else 1,
         ))
 
     # ---- deterministic population order, independent of nworkers ----------
     # Primaries carry ids 0..n-1 (birth order); secondaries/clones carry
     # hashed ids.  Sorting by id therefore yields the same ordering for any
-    # worker count and schedule.
+    # worker count, schedule, and recovery history.
     if scheme is Scheme.OVER_PARTICLES:
         ids = np.array([p.particle_id for p in all_parts], dtype=np.uint64)
     else:
@@ -392,11 +814,21 @@ def run_pool(
     merged.tally_conflict_probability = tally.conflict_probability()
 
     info = PoolRunInfo(
-        nworkers=nworkers,
+        nworkers=options.nworkers,
         schedule=options.schedule,
         chunk=options.chunk,
         start_method=start_method,
         workers=tuple(reports),
+        retries=dispatcher.retries if dispatcher is not None else 0,
+        respawns=dispatcher.respawns if dispatcher is not None else 0,
+        workers_lost=dispatcher.workers_lost if dispatcher is not None else 0,
+        degraded=dispatcher.degraded if dispatcher is not None else False,
+        degraded_reason=(
+            dispatcher.degraded_reason if dispatcher is not None else ""
+        ),
+        shards_drained_in_process=(
+            dispatcher.drained if dispatcher is not None else 0
+        ),
     )
     return TransportResult(
         config=config,
@@ -408,3 +840,69 @@ def run_pool(
         wallclock_s=time.perf_counter() - t0,
         pool=info,
     )
+
+
+def run_pool(
+    config: SimulationConfig,
+    scheme: Scheme = Scheme.OVER_PARTICLES,
+    options: PoolOptions | None = None,
+):
+    """Run the configured calculation sharded across worker processes.
+
+    Returns a :class:`~repro.core.simulation.TransportResult` whose
+    ``pool`` field carries the per-worker accounting and the recovery
+    ledger.  Physics is bit-identical to the serial drivers per history —
+    including retried and drained shards — and the tally matches the
+    serial run to accumulation-order rounding.
+    """
+    if options is None:
+        options = PoolOptions(nworkers=1)
+    t0 = time.perf_counter()
+
+    # Resolve the material set once — the workers would otherwise rebuild
+    # the cross-section tables per shard.
+    run_config = config.with_(materials=config.resolved_materials())
+    materials = run_config.materials
+    mesh = StructuredMesh(
+        config.nx, config.ny, config.width, config.height, config.density
+    )
+    sampler = (
+        sample_source_aos if scheme is Scheme.OVER_PARTICLES
+        else sample_source_soa
+    )
+    population = sampler(
+        mesh, config.source, config.nparticles, config.seed, config.dt,
+        scatter_table=materials[0].scatter, capture_table=materials[0].capture,
+    )
+
+    shards = _build_shards(config.nparticles, options)
+    dispatcher = None
+    if options.nworkers == 1 or not shards:
+        # In-process reference path: every shard runs in this process and
+        # _run_ranges folds them into one payload, presented to the shared
+        # reduction as a single shard spanning the whole population.
+        t_shard = time.perf_counter()
+        out = _run_ranges(run_config, scheme, population, shards)
+        out.update(worker_id=0, total_s=time.perf_counter() - t_shard)
+        return _reduce(
+            config, scheme, options, [(0, config.nparticles)], {0: out},
+            None, t0, "inline",
+        )
+
+    ctx = _pick_context(options)
+    dispatcher = _Dispatcher(
+        run_config, scheme, population, shards, options, ctx
+    )
+    try:
+        results = dispatcher.run()
+        return _reduce(
+            config, scheme, options, shards, results, dispatcher, t0,
+            ctx.get_start_method(),
+        )
+    finally:
+        # Belt and braces for the reduction path: no worker may outlive
+        # this call, even if _reduce (or anything above) raised.
+        for slot in dispatcher.slots:
+            if slot.proc is not None and slot.proc.is_alive():
+                slot.proc.terminate()
+                slot.proc.join(5.0)

@@ -12,9 +12,18 @@ import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
-from repro.core import Scheme, Simulation
+from repro.core import Scheme, Simulation, csp_problem
 from repro.core.config import SimulationConfig
+from repro.core.counters import Counters
 from repro.core.validation import energy_balance_error, population_accounted
+from repro.parallel import (
+    DelayShard,
+    FaultPlan,
+    KillWorker,
+    RaiseInShard,
+    ScheduleKind,
+)
+from repro.parallel import pool as pool_mod
 from repro.mesh.boundary import BoundaryCondition
 from repro.mesh.tally import EnergyDepositionTally
 from repro.particles.particle import Particle
@@ -213,3 +222,129 @@ def test_workload_scaling_invertible(nx2, n2):
     assert back.conflict_probability == pytest.approx(
         w.conflict_probability, rel=1e-9
     )
+
+# ---------------------------------------------------------------------------
+# Fault tolerance: invariants under randomised fault plans
+# ---------------------------------------------------------------------------
+
+_FAULT_N = 36
+
+
+def _fault_reference(scheme):
+    """Serial reference for the fault-plan properties (computed once)."""
+    if scheme not in _fault_reference.cache:
+        cfg = csp_problem(nx=32, nparticles=_FAULT_N)
+        _fault_reference.cache[scheme] = Simulation(cfg).run(scheme)
+    return _fault_reference.cache[scheme]
+
+
+_fault_reference.cache = {}
+
+fault_strategy = st.one_of(
+    st.builds(
+        KillWorker,
+        worker=st.integers(min_value=0, max_value=1),
+        after_chunks=st.integers(min_value=0, max_value=2),
+        mid_shard=st.booleans(),
+    ),
+    st.builds(
+        RaiseInShard,
+        shard=st.integers(min_value=0, max_value=7),
+        attempts=st.integers(min_value=1, max_value=2),
+    ),
+    st.builds(
+        DelayShard,
+        shard=st.integers(min_value=0, max_value=7),
+        seconds=st.sampled_from((0.01, 0.05)),
+    ),
+)
+
+
+@pytest.mark.chaos
+@given(
+    faults=st.lists(fault_strategy, min_size=0, max_size=3),
+    scheme=st.sampled_from([Scheme.OVER_PARTICLES, Scheme.OVER_EVENTS]),
+)
+@settings(
+    max_examples=5,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+def test_random_fault_plans_preserve_invariants(faults, scheme):
+    """No fault plan — kills, injected exceptions, delays, in any
+    combination — may change the merged population size, the particle-id
+    sort order, or the history/counter totals of a pooled run."""
+    serial = _fault_reference(scheme)
+    cfg = csp_problem(nx=32, nparticles=_FAULT_N)
+    faulted = Simulation(cfg).run(
+        scheme, nworkers=2, schedule=ScheduleKind.DYNAMIC, chunk=5,
+        fault_plan=FaultPlan(tuple(faults)),
+    )
+    if scheme is Scheme.OVER_PARTICLES:
+        ids = [p.particle_id for p in faulted.particles]
+    else:
+        ids = [int(i) for i in faulted.store.particle_id]
+    assert len(ids) == _FAULT_N
+    assert ids == sorted(ids)
+    assert len(set(ids)) == _FAULT_N  # no shard merged twice
+    assert faulted.counters.nparticles == serial.counters.nparticles
+    assert sum(w.histories for w in faulted.pool.workers) == _FAULT_N
+    assert faulted.counters.snapshot() == pytest.approx(
+        serial.counters.snapshot(), rel=1e-12
+    )
+
+
+# ---------------------------------------------------------------------------
+# Counter merging: any disjoint partition reduces to the serial totals
+# ---------------------------------------------------------------------------
+
+def _partitioned_counters(cuts, scheme):
+    """Run one problem partitioned at ``cuts``, merging shard counters."""
+    cfg = csp_problem(nx=32, nparticles=_FAULT_N)
+    run_config = cfg.with_(materials=cfg.resolved_materials())
+    materials = run_config.materials
+    mesh = pool_mod.StructuredMesh(
+        cfg.nx, cfg.ny, cfg.width, cfg.height, cfg.density
+    )
+    sampler = (
+        pool_mod.sample_source_aos if scheme is Scheme.OVER_PARTICLES
+        else pool_mod.sample_source_soa
+    )
+    population = sampler(
+        mesh, cfg.source, cfg.nparticles, cfg.seed, cfg.dt,
+        scatter_table=materials[0].scatter,
+        capture_table=materials[0].capture,
+    )
+    bounds = [0, *sorted(cuts), _FAULT_N]
+    ranges = [(lo, hi) for lo, hi in zip(bounds, bounds[1:]) if hi > lo]
+    merged = Counters()
+    for lo, hi in ranges:
+        shard = pool_mod._run_ranges(run_config, scheme, population, [(lo, hi)])
+        merged.merge_disjoint(shard["counters"])
+    return merged
+
+
+@given(
+    cuts=st.lists(
+        st.integers(min_value=1, max_value=_FAULT_N - 1),
+        unique=True,
+        min_size=0,
+        max_size=6,
+    ),
+    scheme=st.sampled_from([Scheme.OVER_PARTICLES, Scheme.OVER_EVENTS]),
+)
+@settings(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+def test_merge_disjoint_partition_equals_serial(cuts, scheme):
+    """``Counters.merge_disjoint`` over *any* contiguous partition of the
+    histories reproduces the serial counters — the algebraic property the
+    shard-retry recovery leans on."""
+    serial = _fault_reference(scheme)
+    merged = _partitioned_counters(cuts, scheme)
+    assert merged.snapshot() == pytest.approx(
+        serial.counters.snapshot(), rel=1e-12
+    )
+    assert merged.nparticles == _FAULT_N
