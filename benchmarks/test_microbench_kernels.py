@@ -11,11 +11,11 @@ import numpy as np
 from repro.comparisons.flow import FlowSolver, sod_initial_state
 from repro.comparisons.hot import HotSolver
 from repro.core import Scheme, Simulation, csp_problem
+from repro.kernels import KernelDispatch
 from repro.mesh.structured import StructuredMesh
 from repro.particles.source import sample_source_soa, SourceRegion
 from repro.rng.threefry import threefry2x64_vec
 from repro.simexec import SimExecOptions, simulate_execution, synthetic_trace
-from repro.xs.lookup import binary_search_bin_vec
 from repro.xs.tables import make_capture_table
 
 
@@ -34,11 +34,33 @@ def test_source_sampling_throughput(benchmark):
     assert len(store) == 20_000
 
 
-def test_xs_bisection_throughput(benchmark):
+def test_xs_lookup_kernel_throughput(benchmark):
+    """Composite lookup kernel (bins + interpolation) through the table."""
+    dispatch = KernelDispatch()
     table = make_capture_table(25_000)
     e = np.random.default_rng(0).uniform(1e-3, 1e7, 50_000)
-    bins = benchmark(binary_search_bin_vec, table, e)
-    assert bins.shape == e.shape
+    bins, vals = benchmark(dispatch.run, "xs_lookup", e.size, table, e)
+    assert bins.shape == e.shape and vals.shape == e.shape
+    assert dispatch.stats["xs_lookup"].items >= e.size
+
+
+def test_collide_kernel_throughput(benchmark):
+    """The collision kernel over a 50k-lane batch, via the dispatch table."""
+    dispatch = KernelDispatch()
+    rng = np.random.default_rng(1)
+    n = 50_000
+    energy = rng.uniform(1.0, 1e6, n)
+    weight = rng.uniform(0.1, 1.0, n)
+    theta = rng.uniform(0.0, 2.0 * np.pi, n)
+    sigma_t = rng.uniform(1.0, 500.0, n)
+    sigma_a = sigma_t * rng.uniform(0.0, 1.0, n)
+    u1, u2, u3 = rng.random(n), rng.random(n), rng.random(n)
+    out = benchmark(
+        dispatch.run, "collide", n,
+        energy, weight, np.cos(theta), np.sin(theta), sigma_a, sigma_t,
+        1.0079, u1, u2, u3, 1e-2, 1e-3,
+    )
+    assert out[0].shape == (n,)
 
 
 def test_over_events_transport_rate(benchmark):

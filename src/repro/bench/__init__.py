@@ -10,8 +10,10 @@ each figure reports.
 from repro.bench.runner import (
     DEVICE_BASELINES,
     PAPER_SCALE,
+    KernelProfile,
     MeasuredSpeedup,
     RecoveryOverhead,
+    measured_kernel_profile,
     measured_recovery_overhead,
     measured_speedup,
     measured_workload,
@@ -24,8 +26,10 @@ from repro.bench.reporting import format_table, format_series, print_header
 __all__ = [
     "DEVICE_BASELINES",
     "PAPER_SCALE",
+    "KernelProfile",
     "MeasuredSpeedup",
     "RecoveryOverhead",
+    "measured_kernel_profile",
     "measured_recovery_overhead",
     "measured_speedup",
     "measured_workload",

@@ -38,6 +38,8 @@ __all__ = [
     "MEASUREMENT_PARTICLES",
     "DEVICE_BASELINES",
     "measured_workload",
+    "KernelProfile",
+    "measured_kernel_profile",
     "paper_workload",
     "standard_cpu_time",
     "standard_gpu_time",
@@ -86,6 +88,71 @@ def paper_workload(problem: str) -> Workload:
     """The measured workload rescaled to the paper's problem size."""
     nparticles, nx = PAPER_SCALE[problem]
     return measured_workload(problem).scaled(nparticles, nx)
+
+
+@dataclass(frozen=True)
+class KernelProfile:
+    """Measured per-kernel cost breakdown of one reduced-scale run.
+
+    The raw profile comes off the driver's dispatch table
+    (``Counters.kernel_profile``); this record adds the workspace-churn
+    and bin-reuse evidence that the kernel layer actually removed the
+    per-pass allocations and redundant searches it claims to.
+    """
+
+    problem: str
+    scheme: Scheme
+    wallclock_s: float
+    profile: dict
+    workspace_allocations: int
+    workspace_reuses: int
+    xs_lookups: int
+    xs_bin_reuses: int
+
+    def hot_ranking(self) -> list[str]:
+        """Kernel names ranked by total wall-clock, hottest first."""
+        return [
+            name
+            for name, _ in sorted(
+                self.profile.items(), key=lambda kv: kv[1][2], reverse=True
+            )
+        ]
+
+    @property
+    def buffer_reuse_fraction(self) -> float:
+        """Fraction of workspace requests served without allocating."""
+        total = self.workspace_allocations + self.workspace_reuses
+        return self.workspace_reuses / total if total else 0.0
+
+    def format(self) -> str:
+        """The ranked table ``repro run --profile-kernels`` prints."""
+        from repro.kernels import format_profile
+
+        return format_profile(self.profile)
+
+
+@lru_cache(maxsize=None)
+def measured_kernel_profile(
+    problem: str, scheme: Scheme = Scheme.OVER_EVENTS
+) -> KernelProfile:
+    """Run one reduced-scale problem and capture its kernel profile."""
+    if problem not in PROBLEM_FACTORIES:
+        raise KeyError(f"unknown problem {problem!r}")
+    cfg = PROBLEM_FACTORIES[problem](
+        nx=MEASUREMENT_NX, nparticles=MEASUREMENT_PARTICLES
+    )
+    result = Simulation(cfg).run(scheme)
+    c = result.counters
+    return KernelProfile(
+        problem=problem,
+        scheme=scheme,
+        wallclock_s=result.wallclock_s,
+        profile=dict(c.kernel_profile),
+        workspace_allocations=c.workspace_allocations,
+        workspace_reuses=c.workspace_reuses,
+        xs_lookups=c.xs_lookups,
+        xs_bin_reuses=c.xs_bin_reuses,
+    )
 
 
 def standard_cpu_time(

@@ -103,6 +103,11 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="render the deposition field as an ASCII heatmap (Fig 2)",
     )
+    run.add_argument(
+        "--profile-kernels",
+        action="store_true",
+        help="print the per-kernel call/wall-clock profile of the run",
+    )
 
     run3d = sub.add_parser("run3d", help="run the 3-D extension on this host")
     run3d.add_argument(
@@ -209,6 +214,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
             print(f"DEGRADED MODE: {pool.degraded_reason} — "
                   f"{pool.shards_drained_in_process} shards drained "
                   f"in-process by the parent")
+    if args.profile_kernels:
+        from repro.kernels import format_profile
+
+        print("kernel profile (ranked by wall-clock):")
+        print(format_profile(c.kernel_profile))
+        print(f"workspace buffers: {c.workspace_allocations} allocations, "
+              f"{c.workspace_reuses} reuses")
+        if c.xs_bin_reuses:
+            print(f"xs bin reuse: {c.xs_bin_reuses} of {c.xs_lookups} "
+                  f"lookups skipped the search")
     if args.show_tally:
         from repro.analysis.viz import render_heatmap
 

@@ -103,6 +103,12 @@ class SimulationConfig:
         Optional per-cell importances enabling geometry splitting/roulette
         at importance-changing facet crossings (§IV-E's variance-reduction
         family); ``None`` disables the technique.
+    op_block_size:
+        Histories advanced together by the Over Particles driver.  Block
+        size 1 reproduces the classic one-history-at-a-time depth-first
+        traversal; larger blocks vectorise the per-event work across the
+        block while the counter-based RNG keeps every history's draw
+        sequence — and therefore its final state — bit-identical.
     """
 
     name: str
@@ -127,10 +133,13 @@ class SimulationConfig:
     materials: tuple | None = None
     material_map: np.ndarray | None = None
     importance_map: np.ndarray | None = None
+    op_block_size: int = 64
 
     def __post_init__(self) -> None:
         if self.nparticles < 1:
             raise ValueError("need at least one particle")
+        if self.op_block_size < 1:
+            raise ValueError("op_block_size must be at least 1")
         if self.dt <= 0:
             raise ValueError("timestep must be positive")
         if self.ntimesteps < 1:

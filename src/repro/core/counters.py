@@ -97,9 +97,23 @@ class Counters:
     xs_lookups: int = 0
     xs_binary_probes: int = 0
     xs_linear_probes: int = 0
+    #: Lookups that skipped the bin search because the particle's energy
+    #: (and material) were unchanged since its last search (OE hoist).
+    #: Still counted in ``xs_lookups``; only the probes are saved.
+    xs_bin_reuses: int = 0
 
     # --- RNG -------------------------------------------------------------
     rng_draws: int = 0
+
+    # --- kernel-layer instrumentation (host-dependent, not in snapshot) ---
+    #: Per-kernel ``{name: [calls, items, seconds]}`` from the dispatch
+    #: table.  Wall-clock depends on the host, so this is excluded from
+    #: :attr:`_SCALAR_FIELDS` and shard-invariance checks.
+    kernel_profile: dict = field(default_factory=dict)
+    #: Workspace buffer churn: how many passes had to grow a buffer vs.
+    #: how many reused one already sized (allocation-avoidance evidence).
+    workspace_allocations: int = 0
+    workspace_reuses: int = 0
 
     # --- per-particle work distribution (load imbalance, §VI-C) ----------
     collisions_per_particle: np.ndarray = field(
@@ -183,7 +197,15 @@ class Counters:
         self.xs_lookups += other.xs_lookups
         self.xs_binary_probes += other.xs_binary_probes
         self.xs_linear_probes += other.xs_linear_probes
+        self.xs_bin_reuses += other.xs_bin_reuses
         self.rng_draws += other.rng_draws
+        self.workspace_allocations += other.workspace_allocations
+        self.workspace_reuses += other.workspace_reuses
+        for name, (calls, items, seconds) in other.kernel_profile.items():
+            acc = self.kernel_profile.setdefault(name, [0, 0, 0.0])
+            acc[0] += calls
+            acc[1] += items
+            acc[2] += seconds
         self.oe_passes.extend(other.oe_passes)
         # Keep the max conflict probability — conservative for contention.
         self.tally_conflict_probability = max(
@@ -217,7 +239,7 @@ class Counters:
         "roulette_gain_energy", "fissions", "secondaries_banked",
         "fission_injected_energy", "splits", "clones_banked",
         "tally_flushes", "density_reads", "xs_lookups", "xs_binary_probes",
-        "xs_linear_probes", "rng_draws",
+        "xs_linear_probes", "xs_bin_reuses", "rng_draws",
     )
 
     def snapshot(self) -> dict:

@@ -6,8 +6,9 @@ next event of each particle is determined, and the collision / facet /
 census kernels each process their subset.  The paper's observations map
 directly onto this implementation:
 
-* *tight vectorisable loops* — every kernel here is a numpy array
-  operation over the particle batch;
+* *tight vectorisable loops* — every kernel is a numpy array operation
+  over the particle batch, now housed in :mod:`repro.kernels` and invoked
+  through the timed dispatch table;
 * *no register caching* — cached state (microscopic cross sections, cached
   energy bins, local density, material index) must live in per-particle
   arrays and is streamed from memory every pass;
@@ -18,6 +19,14 @@ directly onto this implementation:
 * *batched atomics* — tally flushes happen together in one scatter-add per
   pass (``np.add.at``), the analogue of the separate tally loop the paper
   introduced to enable vectorisation (§VI-G).
+
+The pass loop allocates no per-pass temporaries: every intermediate array
+(distance budgets, macroscopic cross sections, event masks) lives in a
+:class:`repro.kernels.Workspace` buffer that is sized once and reused
+until the population grows.  Cross-section refreshes hoist the bin search
+out of the hot path — a particle whose energy is bitwise-unchanged since
+its last search in the same material reuses its cached bins, counted in
+``Counters.xs_bin_reuses``.
 
 The driver also supports the §IX extensions (vacuum boundaries, Russian
 roulette, multi-material meshes, fission).  Fission secondaries are
@@ -37,26 +46,18 @@ import numpy as np
 
 from repro.core.config import Scheme, SimulationConfig
 from repro.core.counters import Counters, EventPassStats
+from repro.kernels import EVENT_KERNELS, KernelDispatch, Workspace
+from repro.kernels.batch import EventKind, split_counts
 from repro.mesh.structured import StructuredMesh
 from repro.mesh.tally import EnergyDepositionTally
 from repro.particles.particle import Particle
 from repro.particles.soa import ParticleStore
 from repro.particles.source import sample_source_soa
-from repro.physics.collision import collide_vec
-from repro.physics.constants import speed_from_energy_ev_vec
-from repro.physics.events import (
-    EventKind,
-    distance_to_collision_vec,
-    distance_to_facet_vec,
-    select_event_vec,
-)
-from repro.physics.facet import cross_facet_vec
 from repro.physics.fission import sample_secondary_energy, secondary_id
-from repro.physics.importance import clone_id, split_count_vec
+from repro.physics.importance import clone_id
 from repro.rng.distributions import sample_isotropic_direction, sample_mean_free_paths
 from repro.rng.stream import ParticleRNG, VectorParticleRNG
-from repro.xs.lookup import binary_search_bin_vec
-from repro.xs.macroscopic import macroscopic_cross_section
+from repro.xs.macroscopic import AVOGADRO, BARNS_TO_M2
 
 __all__ = ["run_over_events"]
 
@@ -65,11 +66,14 @@ class _EventContext:
     """Run-wide state for the Over Events driver."""
 
     def __init__(self, config: SimulationConfig, mesh: StructuredMesh,
-                 tally: EnergyDepositionTally, store: ParticleStore):
+                 tally: EnergyDepositionTally, store: ParticleStore,
+                 dispatch: KernelDispatch, ws: Workspace):
         self.config = config
         self.mesh = mesh
         self.tally = tally
         self.store = store
+        self.dispatch = dispatch
+        self.ws = ws
         self.materials = config.resolved_materials()
         self.material_map = config.resolved_material_map()
         self.mat_a = np.array([m.a_ratio for m in self.materials])
@@ -87,45 +91,81 @@ class _EventContext:
         self.nbins_log2 = int(np.ceil(np.log2(max(config.xs_nentries, 2))))
         self.rng = VectorParticleRNG(config.seed, store.particle_id, store.rng_counter)
         self.pending_children: list[Particle] = []
+        # Bin-reuse hoist state: the energy (bitwise) and material at each
+        # particle's last bin search.  NaN / -1 mean "never searched".
+        self.last_e = np.full(n, np.nan)
+        self.last_mat = np.full(n, -1, dtype=np.int64)
 
     # ------------------------------------------------------------------
     def refresh_micro(self, idx: np.ndarray) -> None:
         """Re-gather microscopic cross sections for the given particles,
-        grouped by material (the vectorised bisection of §V-B)."""
+        grouped by material (the vectorised bisection of §V-B).
+
+        Particles whose energy is bitwise-unchanged since their last
+        search in the same material skip the search entirely: the cached
+        bins and interpolated values are still exact.  The lookup is still
+        counted (the data was still needed); only the probes are saved.
+        """
         if idx.size == 0:
             return
         store = self.store
         c = self.counters
+        run = self.dispatch.run
         for mi, mat in enumerate(self.materials):
             sel = idx[self.mat_idx[idx] == mi]
             if sel.size == 0:
                 continue
+            k = 3 if mat.fissile else 2
             e = store.energy[sel]
-            sb = binary_search_bin_vec(mat.scatter, e)
-            cb = binary_search_bin_vec(mat.capture, e)
-            self.micro_s[sel] = mat.scatter.interpolate_at_bin_vec(e, sb)
-            self.micro_c[sel] = mat.capture.interpolate_at_bin_vec(e, cb)
-            store.scatter_bin[sel] = sb
-            store.capture_bin[sel] = cb
-            if mat.fissile:
-                fb = binary_search_bin_vec(mat.fission, e)
-                self.micro_f[sel] = mat.fission.interpolate_at_bin_vec(e, fb)
-                store.fission_bin[sel] = fb
-                c.xs_lookups += 3 * sel.size
-                c.xs_binary_probes += 3 * sel.size * self.nbins_log2
-            else:
+            reuse = (self.last_mat[sel] == mi) & (e == self.last_e[sel])
+            fresh = sel[~reuse]
+            if fresh.size:
+                ef = store.energy[fresh]
+                sb, ms = run("xs_lookup", fresh.size, mat.scatter, ef)
+                cb, mc = run("xs_lookup", fresh.size, mat.capture, ef)
+                self.micro_s[fresh] = ms
+                self.micro_c[fresh] = mc
+                store.scatter_bin[fresh] = sb
+                store.capture_bin[fresh] = cb
+                if mat.fissile:
+                    fb, mf = run("xs_lookup", fresh.size, mat.fission, ef)
+                    self.micro_f[fresh] = mf
+                    store.fission_bin[fresh] = fb
+                c.xs_binary_probes += k * fresh.size * self.nbins_log2
+                self.last_e[fresh] = ef
+                self.last_mat[fresh] = mi
+            if not mat.fissile:
                 self.micro_f[sel] = 0.0
-                c.xs_lookups += 2 * sel.size
-                c.xs_binary_probes += 2 * sel.size * self.nbins_log2
+            c.xs_lookups += k * sel.size
+            c.xs_bin_reuses += k * int(reuse.sum())
 
-    def macroscopic(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """(Σ_s, Σ_a, Σ_f) arrays from the cached microscopic values."""
-        molar = self.mat_molar[self.mat_idx]
+    def macroscopic(self) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """(Σ_s, Σ_a, Σ_f, Σ_t) arrays from the cached microscopic values.
+
+        The arithmetic chain is exactly
+        :func:`repro.xs.macroscopic.macroscopic_cross_section`, computed
+        into workspace buffers so the pass loop allocates nothing.
+        """
+        ws = self.ws
+        n = len(self.store)
+        molar = np.take(self.mat_molar, self.mat_idx, out=ws.f64("molar", n))
         rho = self.store.local_density
-        sigma_s = macroscopic_cross_section(self.micro_s, rho, molar)
-        sigma_f = macroscopic_cross_section(self.micro_f, rho, molar)
-        sigma_a = macroscopic_cross_section(self.micro_c, rho, molar) + sigma_f
-        return sigma_s, sigma_a, sigma_f
+        nd = ws.f64("numdens", n)
+        np.multiply(rho, 1.0e3, out=nd)
+        np.divide(nd, molar, out=nd)
+        np.multiply(nd, AVOGADRO, out=nd)
+        sigma_s = ws.f64("sigma_s", n)
+        np.multiply(nd, self.micro_s, out=sigma_s)
+        np.multiply(sigma_s, BARNS_TO_M2, out=sigma_s)
+        sigma_f = ws.f64("sigma_f", n)
+        np.multiply(nd, self.micro_f, out=sigma_f)
+        np.multiply(sigma_f, BARNS_TO_M2, out=sigma_f)
+        sigma_a = ws.f64("sigma_a", n)
+        np.multiply(nd, self.micro_c, out=sigma_a)
+        np.multiply(sigma_a, BARNS_TO_M2, out=sigma_a)
+        np.add(sigma_a, sigma_f, out=sigma_a)
+        sigma_t = np.add(sigma_s, sigma_a, out=ws.f64("sigma_t", n))
+        return sigma_s, sigma_a, sigma_f, sigma_t
 
     # ------------------------------------------------------------------
     def bank_secondaries(
@@ -199,6 +239,10 @@ class _EventContext:
         self.facet_pp = np.concatenate(
             [self.facet_pp, np.zeros(n_new, dtype=np.int64)]
         )
+        self.last_e = np.concatenate([self.last_e, np.full(n_new, np.nan)])
+        self.last_mat = np.concatenate(
+            [self.last_mat, np.full(n_new, -1, dtype=np.int64)]
+        )
         # Extend the RNG with the live counters (the store's counter field
         # is only synchronised at the end of the run).
         self.rng = VectorParticleRNG(
@@ -209,6 +253,318 @@ class _EventContext:
         new_idx = np.arange(len(self.store) - n_new, len(self.store))
         self.refresh_micro(new_idx)
         self.pending_children = []
+
+    # ------------------------------------------------------------------
+    # Event handlers — one per entry in the shared EVENT_KERNELS mapping.
+    # All take the same signature so the pass loop can dispatch uniformly.
+
+    def handle_collisions(self, cmask, dist, sigma_a, sigma_f, sigma_t) -> None:
+        """foreach(colliding_particle): handle_collision()"""
+        store = self.store
+        config = self.config
+        counters = self.counters
+        tally = self.tally
+        c = np.nonzero(cmask)[0]
+        d = dist.d_collision[c]
+        sp = dist.speed[c]
+        store.x[c] = store.x[c] + store.omega_x[c] * d
+        store.y[c] = store.y[c] + store.omega_y[c] * d
+        store.dt_to_census[c] = np.maximum(
+            0.0, store.dt_to_census[c] - d / sp
+        )
+        weight_before = store.weight[c].copy()
+        counters_at_event = self.rng.counters[c].copy()
+        u_angle = self.rng.next_uniform(cmask)
+        u_sense = self.rng.next_uniform(cmask)
+        u_mfp = self.rng.next_uniform(cmask)
+        counters.rng_draws += 3 * c.size
+        a_ratio = self.mat_a[self.mat_idx[c]]
+        (e_new, w_new, ox_new, oy_new, mfp_new, dep, term, below) = self.dispatch.run(
+            "collide",
+            c.size,
+            store.energy[c],
+            store.weight[c],
+            store.omega_x[c],
+            store.omega_y[c],
+            sigma_a[c],
+            sigma_t[c],
+            a_ratio,
+            u_angle,
+            u_sense,
+            u_mfp,
+            config.energy_cutoff_ev,
+            config.weight_cutoff,
+            defer_weight_cutoff=config.use_russian_roulette,
+        )
+        store.energy[c] = e_new
+        store.weight[c] = w_new
+        store.omega_x[c] = ox_new
+        store.omega_y[c] = oy_new
+        store.mfp_to_collision[c] = mfp_new
+        store.deposit_buffer[c] += dep
+        counters.collisions += c.size
+        self.coll_pp[c] += 1
+
+        # ---- fission banking (extension) ------------------------------
+        fissile_here = self.mat_fissile[self.mat_idx[c]] & (sigma_t[c] > 0.0)
+        if fissile_here.any():
+            fis_mask = np.zeros(len(store), dtype=bool)
+            fis_mask[c[fissile_here]] = True
+            u_fission = self.rng.next_uniform(fis_mask)
+            counters.rng_draws += int(fissile_here.sum())
+            sel = c[fissile_here]
+            counts = self.dispatch.run(
+                "fission_bank",
+                sel.size,
+                weight_before[fissile_here],
+                self.mat_nu[self.mat_idx[sel]],
+                sigma_f[sel],
+                sigma_t[sel],
+                u_fission,
+            )
+            self.bank_secondaries(
+                sel,
+                counts,
+                counters_at_event[fissile_here],
+                weight_before[fissile_here],
+            )
+
+        dead = c[term]
+        if dead.size:
+            tally.flush_vec(
+                store.cellx[dead], store.celly[dead],
+                store.deposit_buffer[dead],
+            )
+            store.deposit_buffer[dead] = 0.0
+            store.alive[dead] = False
+            counters.tally_flushes += dead.size
+            counters.terminations += dead.size
+
+        # ---- Russian roulette (extension) ------------------------------
+        if config.use_russian_roulette and below.any():
+            r_mask = np.zeros(len(store), dtype=bool)
+            r_mask[c[below]] = True
+            u_roulette = self.rng.next_uniform(r_mask)
+            counters.rng_draws += int(below.sum())
+            sel = c[below]
+            w = store.weight[sel]
+            survive, restored = self.dispatch.run(
+                "roulette", sel.size, w, u_roulette, config.weight_cutoff
+            )
+            killed = sel[~survive]
+            if killed.size:
+                counters.roulette_kills += killed.size
+                counters.roulette_loss_energy += float(
+                    (store.weight[killed] * store.energy[killed]).sum()
+                )
+                store.weight[killed] = 0.0
+                tally.flush_vec(
+                    store.cellx[killed], store.celly[killed],
+                    store.deposit_buffer[killed],
+                )
+                store.deposit_buffer[killed] = 0.0
+                store.alive[killed] = False
+                counters.tally_flushes += killed.size
+                counters.terminations += killed.size
+            survivors = sel[survive]
+            if survivors.size:
+                counters.roulette_survivals += survivors.size
+                counters.roulette_gain_energy += float(
+                    (
+                        (restored - store.weight[survivors])
+                        * store.energy[survivors]
+                    ).sum()
+                )
+                store.weight[survivors] = restored
+
+        surv = c[store.alive[c]]
+        if surv.size:
+            self.refresh_micro(surv)
+
+    def handle_facets(self, fmask, dist, sigma_a, sigma_f, sigma_t) -> None:
+        """foreach(particle_encountering_facet): handle_facet()"""
+        store = self.store
+        config = self.config
+        counters = self.counters
+        tally = self.tally
+        f = np.nonzero(fmask)[0]
+        old_cx_f = store.cellx[f].copy()
+        old_cy_f = store.celly[f].copy()
+        d = dist.d_facet[f]
+        sp = dist.speed[f]
+        st = sigma_t[f]
+        store.x[f] = store.x[f] + store.omega_x[f] * d
+        store.y[f] = store.y[f] + store.omega_y[f] * d
+        store.dt_to_census[f] = np.maximum(
+            0.0, store.dt_to_census[f] - d / sp
+        )
+        store.mfp_to_collision[f] = np.maximum(
+            0.0, store.mfp_to_collision[f] - d * st
+        )
+        ax = dist.axis[f]
+        hit_x = ax == 0
+        fx = f[hit_x]
+        store.x[fx] = np.where(
+            store.omega_x[fx] > 0.0, dist.x_hi[fx], dist.x_lo[fx]
+        )
+        fy = f[~hit_x]
+        store.y[fy] = np.where(
+            store.omega_y[fy] > 0.0, dist.y_hi[fy], dist.y_lo[fy]
+        )
+        # Batched tally loop — the separate atomic pass of §VI-G.
+        tally.flush_vec(
+            store.cellx[f], store.celly[f], store.deposit_buffer[f]
+        )
+        store.deposit_buffer[f] = 0.0
+        counters.tally_flushes += f.size
+        new_cx, new_cy, new_ox, new_oy, reflected, escaped = self.dispatch.run(
+            "cross_facet",
+            f.size,
+            store.cellx[f], store.celly[f],
+            store.omega_x[f], store.omega_y[f], ax, self.mesh, config.boundary,
+        )
+        counters.facets += f.size
+        self.facet_pp[f] += 1
+        gone = f[escaped]
+        if gone.size:
+            counters.escapes += gone.size
+            counters.escaped_energy += float(
+                (store.weight[gone] * store.energy[gone]).sum()
+            )
+            store.alive[gone] = False
+        stay = ~escaped
+        store.cellx[f[stay]] = new_cx[stay]
+        store.celly[f[stay]] = new_cy[stay]
+        store.omega_x[f[stay]] = new_ox[stay]
+        store.omega_y[f[stay]] = new_oy[stay]
+        crossed = f[stay & ~reflected]
+        store.local_density[crossed] = self.mesh.density_at_vec(
+            store.cellx[crossed], store.celly[crossed]
+        )
+        counters.density_reads += crossed.size
+        counters.reflections += int(reflected.sum())
+        # Multi-material extension: particles entering a different
+        # material must refresh their cached microscopic values.
+        if crossed.size:
+            new_mat = self.material_map[
+                store.celly[crossed], store.cellx[crossed]
+            ]
+            changed = crossed[new_mat != self.mat_idx[crossed]]
+            self.mat_idx[crossed] = new_mat
+            if changed.size:
+                self.refresh_micro(changed)
+
+        # ---- importance splitting / roulette (VR extension) ------------
+        if config.importance_map is not None and crossed.size:
+            imap = config.importance_map
+            cross_in_f = stay & ~reflected
+            ratios = (
+                imap[store.celly[crossed], store.cellx[crossed]]
+                / imap[old_cy_f[cross_in_f], old_cx_f[cross_in_f]]
+            )
+            changed_r = ratios != 1.0
+            sel = crossed[changed_r]
+            if sel.size:
+                counters_before = self.rng.counters[sel].copy()
+                imp_mask = np.zeros(len(store), dtype=bool)
+                imp_mask[sel] = True
+                u_imp = self.rng.next_uniform(imp_mask)
+                counters.rng_draws += sel.size
+                r = ratios[changed_r]
+
+                # splits (entering higher importance)
+                up = r > 1.0
+                if up.any():
+                    n_after = split_counts(r[up], u_imp[up])
+                    for pi, n, ctr in zip(
+                        sel[up], n_after, counters_before[up]
+                    ):
+                        if n <= 1:
+                            continue
+                        counters.splits += 1
+                        w_each = float(store.weight[pi]) / int(n)
+                        for k in range(int(n) - 1):
+                            cid = clone_id(
+                                config.seed,
+                                int(store.particle_id[pi]),
+                                int(ctr),
+                                k,
+                            )
+                            child = Particle(
+                                x=float(store.x[pi]),
+                                y=float(store.y[pi]),
+                                omega_x=float(store.omega_x[pi]),
+                                omega_y=float(store.omega_y[pi]),
+                                energy=float(store.energy[pi]),
+                                weight=w_each,
+                                cellx=int(store.cellx[pi]),
+                                celly=int(store.celly[pi]),
+                                particle_id=cid,
+                                dt_to_census=float(store.dt_to_census[pi]),
+                                mfp_to_collision=float(
+                                    store.mfp_to_collision[pi]
+                                ),
+                                rng_counter=0,
+                            )
+                            child.local_density = float(store.local_density[pi])
+                            child.scatter_bin = int(store.scatter_bin[pi])
+                            child.capture_bin = int(store.capture_bin[pi])
+                            child.fission_bin = int(store.fission_bin[pi])
+                            counters.clones_banked += 1
+                            self.pending_children.append(child)
+                        store.weight[pi] = w_each
+
+                # roulette (entering lower importance)
+                down = ~up
+                if down.any():
+                    dsel = sel[down]
+                    survive = u_imp[down] < r[down]
+                    surv = dsel[survive]
+                    if surv.size:
+                        counters.roulette_survivals += surv.size
+                        boosted = store.weight[surv] / r[down][survive]
+                        counters.roulette_gain_energy += float(
+                            (
+                                (boosted - store.weight[surv])
+                                * store.energy[surv]
+                            ).sum()
+                        )
+                        store.weight[surv] = boosted
+                    dead_i = dsel[~survive]
+                    if dead_i.size:
+                        counters.roulette_kills += dead_i.size
+                        counters.roulette_loss_energy += float(
+                            (
+                                store.weight[dead_i] * store.energy[dead_i]
+                            ).sum()
+                        )
+                        store.weight[dead_i] = 0.0
+                        store.alive[dead_i] = False
+                        counters.terminations += dead_i.size
+
+    def handle_census(self, zmask, dist, sigma_a, sigma_f, sigma_t) -> None:
+        """handle_census(): fly remaining lanes to the end of the timestep."""
+        store = self.store
+        counters = self.counters
+        z = np.nonzero(zmask)[0]
+        new_x, new_y, new_mfp = self.dispatch.run(
+            "census",
+            z.size,
+            store.x[z], store.y[z],
+            store.omega_x[z], store.omega_y[z],
+            store.mfp_to_collision[z], sigma_t[z], dist.d_census[z],
+        )
+        store.x[z] = new_x
+        store.y[z] = new_y
+        store.mfp_to_collision[z] = new_mfp
+        store.dt_to_census[z] = 0.0
+        self.tally.flush_vec(
+            store.cellx[z], store.celly[z], store.deposit_buffer[z]
+        )
+        store.deposit_buffer[z] = 0.0
+        counters.tally_flushes += z.size
+        store.censused[z] = True
+        counters.census_events += z.size
 
 
 def run_over_events(
@@ -232,7 +588,10 @@ def run_over_events(
     -------
     TransportResult
         Tally, counters, the final particle store (including any fission
-        secondaries), and wall-clock time.
+        secondaries), and wall-clock time.  ``counters.kernel_profile``
+        carries the per-kernel call/item/time table from the dispatch
+        layer; ``counters.workspace_allocations`` / ``workspace_reuses``
+        record the buffer churn of the pass loop.
     """
     from repro.core.simulation import TransportResult
 
@@ -248,13 +607,21 @@ def run_over_events(
             capture_table=materials[0].capture,
         )
 
-    ctx = _EventContext(config, mesh, tally, store)
+    dispatch = KernelDispatch()
+    ws = Workspace()
+    ctx = _EventContext(config, mesh, tally, store, dispatch, ws)
     # Keep the already-built material set (avoids rebuilding the tables).
     ctx.materials = materials
     counters = ctx.counters
     counters.rng_draws += 4 * len(store)
-    vacuum = config.boundary
-    roulette_weight = None  # default 10 × cutoff, see physics.variance
+
+    # Satellite of the kernel refactor: both drivers share one
+    # EventKind → kernel mapping instead of private if/elif ladders.
+    handlers = {
+        "collide": ctx.handle_collisions,
+        "cross_facet": ctx.handle_facets,
+        "census": ctx.handle_census,
+    }
 
     for step in range(config.ntimesteps):
         if step > 0:
@@ -267,324 +634,65 @@ def run_over_events(
 
         # ---- loop until(all_particles_reach_census) ---------------------
         while True:
-            active = store.active_mask()
+            n = len(store)
+            active = ws.bool_("active", n)
+            np.logical_not(store.censused, out=active)
+            np.logical_and(store.alive, active, out=active)
             if not active.any():
                 break
 
             # foreach(particle): calculate_time_to_events()
-            sigma_s, sigma_a, sigma_f = ctx.macroscopic()
-            sigma_t = sigma_s + sigma_a
-            speed = speed_from_energy_ev_vec(store.energy)
-            d_coll = distance_to_collision_vec(store.mfp_to_collision, sigma_t)
-            x_lo = store.cellx * mesh.dx
-            x_hi = (store.cellx + 1) * mesh.dx
-            y_lo = store.celly * mesh.dy
-            y_hi = (store.celly + 1) * mesh.dy
-            d_facet, axis = distance_to_facet_vec(
-                store.x, store.y, store.omega_x, store.omega_y,
-                x_lo, x_hi, y_lo, y_hi,
+            sigma_s, sigma_a, sigma_f, sigma_t = ctx.macroscopic()
+            dist = dispatch.run(
+                "distances",
+                n,
+                ws,
+                store.energy,
+                store.mfp_to_collision,
+                sigma_t,
+                store.x,
+                store.y,
+                store.omega_x,
+                store.omega_y,
+                store.cellx,
+                store.celly,
+                mesh.dx,
+                mesh.dy,
+                store.dt_to_census,
             )
-            d_census = store.dt_to_census * speed
-            event = select_event_vec(d_coll, d_facet, d_census)
+            event = dispatch.run(
+                "select_events",
+                n,
+                dist.d_collision,
+                dist.d_facet,
+                dist.d_census,
+                out=ws.i64("event", n),
+                scratch=ws.bool_("ev_scratch", n),
+            )
 
-            cmask = active & (event == int(EventKind.COLLISION))
-            fmask = active & (event == int(EventKind.FACET))
-            zmask = active & (event == int(EventKind.CENSUS))
+            masks = {}
+            n_event = {}
+            for kind in EVENT_KERNELS:
+                m = ws.bool_("mask_" + kind.name, n)
+                np.equal(event, int(kind), out=m)
+                np.logical_and(m, active, out=m)
+                masks[kind] = m
+                n_event[kind] = int(m.sum())
             counters.oe_passes.append(
                 EventPassStats(
                     n_active=int(active.sum()),
-                    n_collision=int(cmask.sum()),
-                    n_facet=int(fmask.sum()),
-                    n_census=int(zmask.sum()),
+                    n_collision=n_event[EventKind.COLLISION],
+                    n_facet=n_event[EventKind.FACET],
+                    n_census=n_event[EventKind.CENSUS],
                 )
             )
 
-            # ---- foreach(colliding_particle): handle_collision() --------
-            if cmask.any():
-                c = np.nonzero(cmask)[0]
-                d = d_coll[c]
-                sp = speed[c]
-                store.x[c] = store.x[c] + store.omega_x[c] * d
-                store.y[c] = store.y[c] + store.omega_y[c] * d
-                store.dt_to_census[c] = np.maximum(
-                    0.0, store.dt_to_census[c] - d / sp
-                )
-                weight_before = store.weight[c].copy()
-                counters_at_event = ctx.rng.counters[c].copy()
-                u_angle = ctx.rng.next_uniform(cmask)
-                u_sense = ctx.rng.next_uniform(cmask)
-                u_mfp = ctx.rng.next_uniform(cmask)
-                counters.rng_draws += 3 * c.size
-                a_ratio = ctx.mat_a[ctx.mat_idx[c]]
-                (e_new, w_new, ox_new, oy_new, mfp_new, dep, term, below) = collide_vec(
-                    store.energy[c],
-                    store.weight[c],
-                    store.omega_x[c],
-                    store.omega_y[c],
-                    sigma_a[c],
-                    sigma_t[c],
-                    a_ratio,
-                    u_angle,
-                    u_sense,
-                    u_mfp,
-                    config.energy_cutoff_ev,
-                    config.weight_cutoff,
-                    defer_weight_cutoff=config.use_russian_roulette,
-                )
-                store.energy[c] = e_new
-                store.weight[c] = w_new
-                store.omega_x[c] = ox_new
-                store.omega_y[c] = oy_new
-                store.mfp_to_collision[c] = mfp_new
-                store.deposit_buffer[c] += dep
-                counters.collisions += c.size
-                ctx.coll_pp[c] += 1
-
-                # ---- fission banking (extension) ------------------------
-                fissile_here = ctx.mat_fissile[ctx.mat_idx[c]] & (sigma_t[c] > 0.0)
-                if fissile_here.any():
-                    fis_mask = np.zeros(len(store), dtype=bool)
-                    fis_mask[c[fissile_here]] = True
-                    u_fission = ctx.rng.next_uniform(fis_mask)
-                    counters.rng_draws += int(fissile_here.sum())
-                    sel = c[fissile_here]
-                    expected = (
-                        weight_before[fissile_here]
-                        * ctx.mat_nu[ctx.mat_idx[sel]]
-                        * sigma_f[sel]
-                        / sigma_t[sel]
+            # ---- one handler per event kind, via the shared mapping -----
+            for kind, kernel_name in EVENT_KERNELS.items():
+                if n_event[kind]:
+                    handlers[kernel_name](
+                        masks[kind], dist, sigma_a, sigma_f, sigma_t
                     )
-                    counts = np.floor(expected + u_fission).astype(np.int64)
-                    ctx.bank_secondaries(
-                        sel,
-                        counts,
-                        counters_at_event[fissile_here],
-                        weight_before[fissile_here],
-                    )
-
-                dead = c[term]
-                if dead.size:
-                    tally.flush_vec(
-                        store.cellx[dead], store.celly[dead],
-                        store.deposit_buffer[dead],
-                    )
-                    store.deposit_buffer[dead] = 0.0
-                    store.alive[dead] = False
-                    counters.tally_flushes += dead.size
-                    counters.terminations += dead.size
-
-                # ---- Russian roulette (extension) ------------------------
-                if config.use_russian_roulette and below.any():
-                    r_mask = np.zeros(len(store), dtype=bool)
-                    r_mask[c[below]] = True
-                    u_roulette = ctx.rng.next_uniform(r_mask)
-                    counters.rng_draws += int(below.sum())
-                    sel = c[below]
-                    w = store.weight[sel]
-                    restored = 10.0 * config.weight_cutoff
-                    survive = u_roulette < (w / restored)
-                    killed = sel[~survive]
-                    if killed.size:
-                        counters.roulette_kills += killed.size
-                        counters.roulette_loss_energy += float(
-                            (store.weight[killed] * store.energy[killed]).sum()
-                        )
-                        store.weight[killed] = 0.0
-                        tally.flush_vec(
-                            store.cellx[killed], store.celly[killed],
-                            store.deposit_buffer[killed],
-                        )
-                        store.deposit_buffer[killed] = 0.0
-                        store.alive[killed] = False
-                        counters.tally_flushes += killed.size
-                        counters.terminations += killed.size
-                    survivors = sel[survive]
-                    if survivors.size:
-                        counters.roulette_survivals += survivors.size
-                        counters.roulette_gain_energy += float(
-                            (
-                                (restored - store.weight[survivors])
-                                * store.energy[survivors]
-                            ).sum()
-                        )
-                        store.weight[survivors] = restored
-
-                surv = c[store.alive[c]]
-                if surv.size:
-                    ctx.refresh_micro(surv)
-
-            # ---- foreach(particle_encountering_facet): handle_facet() ---
-            if fmask.any():
-                f = np.nonzero(fmask)[0]
-                old_cx_f = store.cellx[f].copy()
-                old_cy_f = store.celly[f].copy()
-                d = d_facet[f]
-                sp = speed[f]
-                st = sigma_t[f]
-                store.x[f] = store.x[f] + store.omega_x[f] * d
-                store.y[f] = store.y[f] + store.omega_y[f] * d
-                store.dt_to_census[f] = np.maximum(
-                    0.0, store.dt_to_census[f] - d / sp
-                )
-                store.mfp_to_collision[f] = np.maximum(
-                    0.0, store.mfp_to_collision[f] - d * st
-                )
-                ax = axis[f]
-                hit_x = ax == 0
-                fx = f[hit_x]
-                store.x[fx] = np.where(
-                    store.omega_x[fx] > 0.0, x_hi[fx], x_lo[fx]
-                )
-                fy = f[~hit_x]
-                store.y[fy] = np.where(
-                    store.omega_y[fy] > 0.0, y_hi[fy], y_lo[fy]
-                )
-                # Batched tally loop — the separate atomic pass of §VI-G.
-                tally.flush_vec(
-                    store.cellx[f], store.celly[f], store.deposit_buffer[f]
-                )
-                store.deposit_buffer[f] = 0.0
-                counters.tally_flushes += f.size
-                new_cx, new_cy, new_ox, new_oy, reflected, escaped = cross_facet_vec(
-                    store.cellx[f], store.celly[f],
-                    store.omega_x[f], store.omega_y[f], ax, mesh, vacuum,
-                )
-                counters.facets += f.size
-                ctx.facet_pp[f] += 1
-                gone = f[escaped]
-                if gone.size:
-                    counters.escapes += gone.size
-                    counters.escaped_energy += float(
-                        (store.weight[gone] * store.energy[gone]).sum()
-                    )
-                    store.alive[gone] = False
-                stay = ~escaped
-                store.cellx[f[stay]] = new_cx[stay]
-                store.celly[f[stay]] = new_cy[stay]
-                store.omega_x[f[stay]] = new_ox[stay]
-                store.omega_y[f[stay]] = new_oy[stay]
-                crossed = f[stay & ~reflected]
-                store.local_density[crossed] = mesh.density_at_vec(
-                    store.cellx[crossed], store.celly[crossed]
-                )
-                counters.density_reads += crossed.size
-                counters.reflections += int(reflected.sum())
-                # Multi-material extension: particles entering a different
-                # material must refresh their cached microscopic values.
-                if crossed.size:
-                    new_mat = ctx.material_map[
-                        store.celly[crossed], store.cellx[crossed]
-                    ]
-                    changed = crossed[new_mat != ctx.mat_idx[crossed]]
-                    ctx.mat_idx[crossed] = new_mat
-                    if changed.size:
-                        ctx.refresh_micro(changed)
-
-                # ---- importance splitting / roulette (VR extension) ------
-                if config.importance_map is not None and crossed.size:
-                    imap = config.importance_map
-                    cross_in_f = stay & ~reflected
-                    ratios = (
-                        imap[store.celly[crossed], store.cellx[crossed]]
-                        / imap[old_cy_f[cross_in_f], old_cx_f[cross_in_f]]
-                    )
-                    changed_r = ratios != 1.0
-                    sel = crossed[changed_r]
-                    if sel.size:
-                        counters_before = ctx.rng.counters[sel].copy()
-                        imp_mask = np.zeros(len(store), dtype=bool)
-                        imp_mask[sel] = True
-                        u_imp = ctx.rng.next_uniform(imp_mask)
-                        counters.rng_draws += sel.size
-                        r = ratios[changed_r]
-
-                        # splits (entering higher importance)
-                        up = r > 1.0
-                        if up.any():
-                            n_after = split_count_vec(r[up], u_imp[up])
-                            for pi, n, ctr in zip(
-                                sel[up], n_after, counters_before[up]
-                            ):
-                                if n <= 1:
-                                    continue
-                                counters.splits += 1
-                                w_each = float(store.weight[pi]) / int(n)
-                                for k in range(int(n) - 1):
-                                    cid = clone_id(
-                                        config.seed,
-                                        int(store.particle_id[pi]),
-                                        int(ctr),
-                                        k,
-                                    )
-                                    c = Particle(
-                                        x=float(store.x[pi]),
-                                        y=float(store.y[pi]),
-                                        omega_x=float(store.omega_x[pi]),
-                                        omega_y=float(store.omega_y[pi]),
-                                        energy=float(store.energy[pi]),
-                                        weight=w_each,
-                                        cellx=int(store.cellx[pi]),
-                                        celly=int(store.celly[pi]),
-                                        particle_id=cid,
-                                        dt_to_census=float(store.dt_to_census[pi]),
-                                        mfp_to_collision=float(
-                                            store.mfp_to_collision[pi]
-                                        ),
-                                        rng_counter=0,
-                                    )
-                                    c.local_density = float(store.local_density[pi])
-                                    c.scatter_bin = int(store.scatter_bin[pi])
-                                    c.capture_bin = int(store.capture_bin[pi])
-                                    c.fission_bin = int(store.fission_bin[pi])
-                                    counters.clones_banked += 1
-                                    ctx.pending_children.append(c)
-                                store.weight[pi] = w_each
-
-                        # roulette (entering lower importance)
-                        down = ~up
-                        if down.any():
-                            dsel = sel[down]
-                            survive = u_imp[down] < r[down]
-                            surv = dsel[survive]
-                            if surv.size:
-                                counters.roulette_survivals += surv.size
-                                boosted = store.weight[surv] / r[down][survive]
-                                counters.roulette_gain_energy += float(
-                                    (
-                                        (boosted - store.weight[surv])
-                                        * store.energy[surv]
-                                    ).sum()
-                                )
-                                store.weight[surv] = boosted
-                            dead_i = dsel[~survive]
-                            if dead_i.size:
-                                counters.roulette_kills += dead_i.size
-                                counters.roulette_loss_energy += float(
-                                    (
-                                        store.weight[dead_i] * store.energy[dead_i]
-                                    ).sum()
-                                )
-                                store.weight[dead_i] = 0.0
-                                store.alive[dead_i] = False
-                                counters.terminations += dead_i.size
-
-            # ---- handle_census() ----------------------------------------
-            if zmask.any():
-                z = np.nonzero(zmask)[0]
-                d = d_census[z]
-                store.x[z] = store.x[z] + store.omega_x[z] * d
-                store.y[z] = store.y[z] + store.omega_y[z] * d
-                store.mfp_to_collision[z] = np.maximum(
-                    0.0, store.mfp_to_collision[z] - d * sigma_t[z]
-                )
-                store.dt_to_census[z] = 0.0
-                tally.flush_vec(
-                    store.cellx[z], store.celly[z], store.deposit_buffer[z]
-                )
-                store.deposit_buffer[z] = 0.0
-                counters.tally_flushes += z.size
-                store.censused[z] = True
-                counters.census_events += z.size
 
             # ---- fission secondaries join the population -----------------
             ctx.absorb_children()
@@ -595,6 +703,9 @@ def run_over_events(
     counters.collisions_per_particle = ctx.coll_pp
     counters.facets_per_particle = ctx.facet_pp
     counters.tally_conflict_probability = tally.conflict_probability()
+    counters.kernel_profile = dispatch.profile()
+    counters.workspace_allocations = ws.allocations
+    counters.workspace_reuses = ws.reuses
 
     return TransportResult(
         config=config,

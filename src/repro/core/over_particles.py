@@ -1,32 +1,43 @@
 """The Over Particles parallelisation scheme (paper §V-A, Listing 1).
 
-Depth-first traversal: one worker follows one particle history from birth
-(or census restore) to its next census or termination.  The defining
-performance properties the paper attributes to this scheme are visible in
-the code structure:
+Depth-first traversal: a worker follows particle histories from birth (or
+census restore) to their next census or termination.  The driver advances
+a *block* of histories together — ``config.op_block_size`` lanes march
+through their own event sequences in lock-step waves, one event per lane
+per wave, with the per-event work vectorised across the block through the
+shared kernel layer (:mod:`repro.kernels`).  Block size 1 reproduces the
+classic one-history-at-a-time traversal exactly; larger blocks change
+only the *interleaving* of histories, not any history's draw sequence —
+the counter-based RNG gives every history its own stream, so final
+particle states are bit-identical for every block size (the parity suite
+asserts this for block sizes 1, 7, 64 and N).
 
-* *register caching* — the microscopic cross sections, the macroscopic
-  cross sections, and the particle state live in **local variables** for
-  the whole history; the lookup tables are touched only when the energy
-  changes (i.e. at collisions) or the particle enters a different
-  material;
+The defining performance properties the paper attributes to this scheme
+remain visible in the code structure:
+
+* *register caching* — the microscopic cross sections and flight state
+  live in block-local arrays for the whole history; the lookup tables are
+  touched only when the energy changes (collisions) or the particle
+  enters a different material;
 * *deep branching* — the event dispatch plus the facet logic nest several
   levels;
-* *scattered atomics* — tally flushes happen wherever each history happens
-  to be, spread randomly in time and space;
-* *load imbalance* — histories have very different lengths; the per-history
-  work is recorded so the scheduling substrate can replay it under
-  different OpenMP-style schedules.
+* *scattered atomics* — tally flushes happen wherever each history
+  happens to be, spread randomly in time and space;
+* *load imbalance* — histories have very different lengths; the
+  per-history work is recorded so the scheduling substrate can replay it
+  under different OpenMP-style schedules.
 
 Beyond the paper's configuration, the driver supports its §IX extensions:
-vacuum boundaries, Russian roulette, multi-material meshes, and fission
-(secondaries are banked during the sweep and their histories processed
-until the bank drains, within the same timestep).
+vacuum boundaries, Russian roulette, multi-material meshes, and fission.
+Secondaries are banked during the sweep, sorted into the deterministic
+(parent, event, child) order the depth-first traversal would have
+produced, and their histories processed until the bank drains, within
+the same timestep.
 
-Executed serially here (Python), the traversal order is exactly the order a
-single OpenMP thread would process its chunk; the parallel substrate
-(:mod:`repro.parallel`) partitions the recorded per-history work across
-simulated threads.
+Cross-section search accounting is *exact*, not approximated: the
+cached-linear walk length and the bisection probe count of each lane are
+computed by the counting kernels in :mod:`repro.kernels.xs`, which the
+parity suite proves element-wise identical to the scalar searches.
 """
 
 from __future__ import annotations
@@ -37,71 +48,50 @@ import numpy as np
 
 from repro.core.config import SearchStrategy, Scheme, SimulationConfig
 from repro.core.counters import Counters
+from repro.kernels import EVENT_KERNELS, KernelDispatch, Workspace
+from repro.kernels import xs as kernel_xs
+from repro.kernels.batch import EventKind, split_counts
 from repro.mesh.structured import StructuredMesh
 from repro.mesh.tally import EnergyDepositionTally
 from repro.particles.particle import Particle
 from repro.particles.source import sample_source_aos
-from repro.physics.collision import collide
-from repro.physics.constants import speed_from_energy_ev
-from repro.physics.events import (
-    EventKind,
-    distance_to_collision,
-    distance_to_facet,
-    select_event,
-)
-from repro.physics.facet import cross_facet
-from repro.physics.fission import (
-    expected_secondaries,
-    realised_secondaries,
-    sample_secondary_energy,
-    secondary_id,
-)
-from repro.physics.importance import clone_id, split_count
-from repro.physics.variance import russian_roulette
+from repro.physics.fission import sample_secondary_energy, secondary_id
+from repro.physics.importance import clone_id
 from repro.rng.distributions import sample_isotropic_direction, sample_mean_free_paths
-from repro.rng.stream import ParticleRNG
-from repro.xs.lookup import (
-    LookupStats,
-    binary_search_bin,
-    cached_linear_search_bin,
-)
-from repro.xs.macroscopic import macroscopic_cross_section
-from repro.xs.tables import CrossSectionTable
+from repro.rng.stream import ParticleRNG, VectorParticleRNG
+from repro.xs.lookup import LookupStats, binary_search_bin
+from repro.xs.macroscopic import AVOGADRO, BARNS_TO_M2
 
 __all__ = ["run_over_particles"]
 
 
-def _lookup_micro(
-    table: CrossSectionTable,
-    energy: float,
-    cached_bin: int,
-    strategy: SearchStrategy,
-    stats: LookupStats,
-) -> tuple[float, int]:
-    """One microscopic lookup: bin search + linear interpolation."""
-    if strategy is SearchStrategy.CACHED_LINEAR:
-        b = cached_linear_search_bin(table, energy, cached_bin, stats)
-    else:
-        b = binary_search_bin(table, energy, stats)
-    return table.interpolate_at_bin(energy, b), b
-
-
-class _HistoryContext:
-    """Shared run state threaded through every history (one per run)."""
+class _SweepContext:
+    """Shared run state threaded through every block (one per run)."""
 
     def __init__(self, config: SimulationConfig, mesh: StructuredMesh,
-                 tally: EnergyDepositionTally):
+                 tally: EnergyDepositionTally, dispatch: KernelDispatch,
+                 ws: Workspace):
         self.config = config
         self.mesh = mesh
         self.tally = tally
+        self.dispatch = dispatch
+        self.ws = ws
         self.materials = config.resolved_materials()
         self.material_map = config.resolved_material_map()
         self.importance_map = config.importance_map
+        self.mat_a = np.array([m.a_ratio for m in self.materials])
+        self.mat_molar = np.array([m.molar_mass_g_mol for m in self.materials])
+        self.mat_nu = np.array([m.nu for m in self.materials])
+        self.mat_fissile = np.array([m.fissile for m in self.materials])
         self.counters = Counters()
         self.lookup_stats = LookupStats()
         self.coll_pp: list[int] = []
         self.facet_pp: list[int] = []
-        self.bank: list[Particle] = []
+        #: Banked offspring as ``(parent_index, parent_counter, child_index,
+        #: Particle)``.  Sorting by the first three fields before the bank
+        #: joins the population reproduces exactly the order in which a
+        #: one-history-at-a-time traversal would have appended them.
+        self.bank: list[tuple[int, int, int, Particle]] = []
         #: Optional event trace: (history_index, EventKind int, flat cell).
         #: Consumed by :mod:`repro.simexec` for discrete-event replay.
         self.trace: list[tuple[int, int, int]] | None = None
@@ -111,10 +101,15 @@ class _HistoryContext:
 
 
 def _spawn_secondary(
-    ctx: _HistoryContext,
-    parent: Particle,
+    ctx: _SweepContext,
+    parent_id: int,
     parent_counter: int,
     child_index: int,
+    x: float,
+    y: float,
+    cellx: int,
+    celly: int,
+    local_density: float,
     dt_remaining: float,
 ) -> Particle:
     """Create one fission secondary at the parent's position.
@@ -124,30 +119,28 @@ def _spawn_secondary(
     Birth consumes three draws from the child's own stream: direction,
     energy, first optical distance.
     """
-    cid = secondary_id(
-        ctx.config.seed, parent.particle_id, parent_counter, child_index
-    )
+    cid = secondary_id(ctx.config.seed, parent_id, parent_counter, child_index)
     rng = ParticleRNG(ctx.config.seed, cid)
     u_dir = rng.next_uniform()
     u_energy = rng.next_uniform()
     u_mfp = rng.next_uniform()
-    mat = ctx.materials[ctx.material_at(parent.cellx, parent.celly)]
+    mat = ctx.materials[ctx.material_at(cellx, celly)]
     ox, oy = sample_isotropic_direction(u_dir)
     child = Particle(
-        x=parent.x,
-        y=parent.y,
+        x=x,
+        y=y,
         omega_x=ox,
         omega_y=oy,
         energy=sample_secondary_energy(u_energy, mat.fission_energy_ev),
         weight=1.0,
-        cellx=parent.cellx,
-        celly=parent.celly,
+        cellx=cellx,
+        celly=celly,
         particle_id=cid,
         dt_to_census=dt_remaining,
         mfp_to_collision=sample_mean_free_paths(u_mfp),
         rng_counter=rng.counter,
     )
-    child.local_density = parent.local_density
+    child.local_density = local_density
     # Birth initialisation of the cached bins (like the source sampler's) —
     # the history's first counted lookup then walks from the right line.
     child.scatter_bin = binary_search_bin(mat.scatter, child.energy)
@@ -157,306 +150,521 @@ def _spawn_secondary(
     return child
 
 
-def _spawn_clone(
-    ctx: _HistoryContext,
-    parent: Particle,
-    parent_counter: int,
-    clone_index: int,
-    weight: float,
-) -> Particle:
-    """Create one importance-splitting clone of the parent.
+class _Block:
+    """One block of alive histories advanced in lock-step waves.
 
-    Clones inherit the parent's full flight state (position, direction,
-    energy, remaining optical distance and census time) with the split
-    weight; they diverge from the parent at their next random decision,
-    drawn from their own fresh stream.
+    State is gathered from the AoS particles into block-local arrays
+    ("registers"), every wave advances each still-active lane by exactly
+    one event through the shared kernel layer, and the final state is
+    scattered back into the same :class:`Particle` objects.  Each lane
+    draws from its own counter-based stream, so no lane's history depends
+    on which other lanes share the block.
     """
-    cid = clone_id(ctx.config.seed, parent.particle_id, parent_counter, clone_index)
-    c = Particle(
-        x=parent.x,
-        y=parent.y,
-        omega_x=parent.omega_x,
-        omega_y=parent.omega_y,
-        energy=parent.energy,
-        weight=weight,
-        cellx=parent.cellx,
-        celly=parent.celly,
-        particle_id=cid,
-        dt_to_census=parent.dt_to_census,
-        mfp_to_collision=parent.mfp_to_collision,
-        rng_counter=0,
-    )
-    c.local_density = parent.local_density
-    c.scatter_bin = parent.scatter_bin
-    c.capture_bin = parent.capture_bin
-    c.fission_bin = parent.fission_bin
-    return c
 
+    def __init__(self, ctx: _SweepContext, particles: list[Particle],
+                 idx: list[int]):
+        self.ctx = ctx
+        self.particles = particles
+        self.idx = np.asarray(idx, dtype=np.int64)
+        parts = [particles[i] for i in idx]
+        n = self.n = len(parts)
+        self.x = np.array([p.x for p in parts])
+        self.y = np.array([p.y for p in parts])
+        self.omega_x = np.array([p.omega_x for p in parts])
+        self.omega_y = np.array([p.omega_y for p in parts])
+        self.energy = np.array([p.energy for p in parts])
+        self.weight = np.array([p.weight for p in parts])
+        self.cellx = np.array([p.cellx for p in parts], dtype=np.int64)
+        self.celly = np.array([p.celly for p in parts], dtype=np.int64)
+        self.dt = np.array([p.dt_to_census for p in parts])
+        self.mfp = np.array([p.mfp_to_collision for p in parts])
+        self.deposit = np.array([p.deposit_buffer for p in parts])
+        self.local_density = np.array([p.local_density for p in parts])
+        self.sbin = np.array([p.scatter_bin for p in parts], dtype=np.int64)
+        self.cbin = np.array([p.capture_bin for p in parts], dtype=np.int64)
+        self.fbin = np.array([p.fission_bin for p in parts], dtype=np.int64)
+        self.pid = np.array([p.particle_id for p in parts], dtype=np.uint64)
+        counters = np.array([p.rng_counter for p in parts], dtype=np.uint64)
+        self.rng = VectorParticleRNG(ctx.config.seed, self.pid, counters)
+        self.alive = np.ones(n, dtype=bool)
+        self.active = np.ones(n, dtype=bool)
+        self.mat_idx = ctx.material_map[self.celly, self.cellx]
+        self.micro_s = np.zeros(n)
+        self.micro_c = np.zeros(n)
+        self.micro_f = np.zeros(n)
+        # History-start refresh of the cached microscopic values — counted,
+        # walking/bisecting from each lane's carried bins.
+        self.lookup_all(np.arange(n))
 
-def _track_history(ctx: _HistoryContext, p: Particle, index: int) -> None:
-    """Advance one history until census or termination (the Listing 1 body)."""
-    config = ctx.config
-    mesh = ctx.mesh
-    tally = ctx.tally
-    counters = ctx.counters
-    rng = ParticleRNG(config.seed, p.particle_id, p.rng_counter)
-
-    # Cache the material and microscopic cross sections in locals
-    # ("registers"): they change only at collisions (energy) and at
-    # material-crossing facets.
-    mat_idx = ctx.material_at(p.cellx, p.celly)
-    mat = ctx.materials[mat_idx]
-
-    def lookup_all() -> tuple[float, float, float]:
-        micro_s, p.scatter_bin = _lookup_micro(
-            mat.scatter, p.energy, p.scatter_bin, config.search, ctx.lookup_stats
-        )
-        micro_c, p.capture_bin = _lookup_micro(
-            mat.capture, p.energy, p.capture_bin, config.search, ctx.lookup_stats
-        )
-        micro_f = 0.0
-        if mat.fissile:
-            micro_f, p.fission_bin = _lookup_micro(
-                mat.fission, p.energy, p.fission_bin, config.search,
-                ctx.lookup_stats,
-            )
-        return micro_s, micro_c, micro_f
-
-    def macro(micro: float) -> float:
-        return float(
-            macroscopic_cross_section(micro, p.local_density, mat.molar_mass_g_mol)
-        )
-
-    micro_s, micro_c, micro_f = lookup_all()
-    sigma_s = macro(micro_s)
-    sigma_f = macro(micro_f)
-    sigma_a = macro(micro_c) + sigma_f
-    sigma_t = sigma_s + sigma_a
-    speed = speed_from_energy_ev(p.energy)
-
-    while True:
-        # --- calculate_time_to_events() --------------------------------
-        d_coll = distance_to_collision(p.mfp_to_collision, sigma_t)
-        x_lo, x_hi, y_lo, y_hi = mesh.cell_bounds(p.cellx, p.celly)
-        d_facet, axis = distance_to_facet(
-            p.x, p.y, p.omega_x, p.omega_y, x_lo, x_hi, y_lo, y_hi
-        )
-        d_census = p.dt_to_census * speed
-        event = select_event(d_coll, d_facet, d_census)
-
-        if event is EventKind.COLLISION:
-            # ---- handle_collision() -----------------------------------
-            p.x = p.x + p.omega_x * d_coll
-            p.y = p.y + p.omega_y * d_coll
-            p.dt_to_census = max(0.0, p.dt_to_census - d_coll / speed)
-            weight_before = p.weight
-            counter_at_event = rng.counter
-            u_angle = rng.next_uniform()
-            u_sense = rng.next_uniform()
-            u_mfp = rng.next_uniform()
-            counters.rng_draws += 3
-            out = collide(
-                p.energy,
-                p.weight,
-                p.omega_x,
-                p.omega_y,
-                sigma_a,
-                sigma_t,
-                mat.a_ratio,
-                u_angle,
-                u_sense,
-                u_mfp,
-                config.energy_cutoff_ev,
-                config.weight_cutoff,
-                defer_weight_cutoff=config.use_russian_roulette,
-            )
-            p.energy = out.energy
-            p.weight = out.weight
-            p.omega_x = out.omega_x
-            p.omega_y = out.omega_y
-            p.mfp_to_collision = out.mfp_to_collision
-            p.deposit_buffer += out.deposit
-            counters.collisions += 1
-            ctx.coll_pp[index] += 1
-            if ctx.trace is not None:
-                ctx.trace.append(
-                    (index, int(EventKind.COLLISION),
-                     p.celly * mesh.nx + p.cellx)
-                )
-
-            # ---- fission banking (multiplying media extension) --------
-            if mat.fissile and sigma_t > 0.0:
-                u_fission = rng.next_uniform()
-                counters.rng_draws += 1
-                expected = expected_secondaries(
-                    weight_before, mat.nu, sigma_f, sigma_t
-                )
-                n_children = realised_secondaries(expected, u_fission)
-                if n_children > 0:
-                    counters.fissions += 1
-                    for k in range(n_children):
-                        child = _spawn_secondary(
-                            ctx, p, counter_at_event, k, p.dt_to_census
-                        )
-                        counters.fission_injected_energy += (
-                            child.weight * child.energy
-                        )
-                        counters.secondaries_banked += 1
-                        counters.rng_draws += 3
-                        ctx.bank.append(child)
-
-            if out.terminated:
-                tally.flush(p.cellx, p.celly, p.deposit_buffer)
-                p.deposit_buffer = 0.0
-                counters.tally_flushes += 1
-                counters.terminations += 1
-                p.alive = False
-                break
-
-            # ---- Russian roulette (extension) --------------------------
-            if out.below_weight_cutoff:
-                u_roulette = rng.next_uniform()
-                counters.rng_draws += 1
-                new_weight, killed = russian_roulette(
-                    p.weight, u_roulette, config.weight_cutoff
-                )
-                if killed:
-                    counters.roulette_kills += 1
-                    counters.roulette_loss_energy += p.weight * p.energy
-                    p.weight = 0.0
-                    tally.flush(p.cellx, p.celly, p.deposit_buffer)
-                    p.deposit_buffer = 0.0
-                    counters.tally_flushes += 1
-                    counters.terminations += 1
-                    p.alive = False
-                    break
-                counters.roulette_survivals += 1
-                counters.roulette_gain_energy += (new_weight - p.weight) * p.energy
-                p.weight = new_weight
-
-            # The energy changed: refresh the cached microscopic values.
-            micro_s, micro_c, micro_f = lookup_all()
-            sigma_s = macro(micro_s)
-            sigma_f = macro(micro_f)
-            sigma_a = macro(micro_c) + sigma_f
-            sigma_t = sigma_s + sigma_a
-            speed = speed_from_energy_ev(p.energy)
-
-        elif event is EventKind.FACET:
-            # ---- handle_facet() ---------------------------------------
-            p.x = p.x + p.omega_x * d_facet
-            p.y = p.y + p.omega_y * d_facet
-            p.dt_to_census = max(0.0, p.dt_to_census - d_facet / speed)
-            p.mfp_to_collision = max(
-                0.0, p.mfp_to_collision - d_facet * sigma_t
-            )
-            # Snap the hit coordinate exactly onto the facet plane so
-            # rounding never strands a particle outside its cell.
-            if axis == 0:
-                p.x = x_hi if p.omega_x > 0.0 else x_lo
+    # ------------------------------------------------------------------
+    def lookup_all(self, lanes: np.ndarray) -> None:
+        """Refresh microscopic cross sections for the given lanes with
+        exact per-strategy search accounting."""
+        ctx = self.ctx
+        stats = ctx.lookup_stats
+        strategy = ctx.config.search
+        run = ctx.dispatch.run
+        for mi, mat in enumerate(ctx.materials):
+            sel = lanes[self.mat_idx[lanes] == mi]
+            if sel.size == 0:
+                continue
+            e = self.energy[sel]
+            specs = [
+                (mat.scatter, self.sbin, self.micro_s),
+                (mat.capture, self.cbin, self.micro_c),
+            ]
+            if mat.fissile:
+                specs.append((mat.fission, self.fbin, self.micro_f))
             else:
-                p.y = y_hi if p.omega_y > 0.0 else y_lo
-            # Flush the deposition register onto the tally mesh — the
-            # atomic read-modify-write of §VI-A, performed unconditionally.
-            tally.flush(p.cellx, p.celly, p.deposit_buffer)
-            p.deposit_buffer = 0.0
-            counters.tally_flushes += 1
-            old_cx, old_cy = p.cellx, p.celly
-            new_cx, new_cy, new_ox, new_oy, reflected, escaped = cross_facet(
-                p.cellx, p.celly, p.omega_x, p.omega_y, axis, mesh,
-                config.boundary,
-            )
-            counters.facets += 1
-            ctx.facet_pp[index] += 1
-            if ctx.trace is not None:
-                ctx.trace.append(
-                    (index, int(EventKind.FACET),
-                     old_cy * mesh.nx + old_cx)
-                )
-            if escaped:
-                counters.escapes += 1
-                counters.escaped_energy += p.weight * p.energy
-                p.alive = False
-                break
-            p.cellx, p.celly = new_cx, new_cy
-            p.omega_x, p.omega_y = new_ox, new_oy
-            if reflected:
-                counters.reflections += 1
-            else:
-                # Load the destination cell's density — the random read.
-                p.local_density = mesh.density_at(p.cellx, p.celly)
-                counters.density_reads += 1
-                new_mat_idx = ctx.material_at(p.cellx, p.celly)
-                if new_mat_idx != mat_idx:
-                    # Entered a different material: the cached microscopic
-                    # values are stale (multi-material extension).
-                    mat_idx = new_mat_idx
-                    mat = ctx.materials[mat_idx]
-                    micro_s, micro_c, micro_f = lookup_all()
-                sigma_s = macro(micro_s)
-                sigma_f = macro(micro_f)
-                sigma_a = macro(micro_c) + sigma_f
-                sigma_t = sigma_s + sigma_a
-                # ---- importance splitting / roulette (VR extension) ----
-                if ctx.importance_map is not None:
-                    ratio = float(
-                        ctx.importance_map[new_cy, new_cx]
-                        / ctx.importance_map[old_cy, old_cx]
+                self.micro_f[sel] = 0.0
+            for table, bins_arr, micro_arr in specs:
+                new_bins, vals = run("xs_lookup", sel.size, table, e)
+                if strategy is SearchStrategy.CACHED_LINEAR:
+                    stats.linear_probes += int(
+                        kernel_xs.linear_walk_probes(
+                            table, e, bins_arr[sel], new_bins
+                        ).sum()
                     )
-                    if ratio != 1.0:
-                        counter_before = rng.counter
-                        u_imp = rng.next_uniform()
-                        counters.rng_draws += 1
-                        if ratio > 1.0:
-                            n_after = split_count(ratio, u_imp)
-                            if n_after > 1:
-                                counters.splits += 1
-                                w_each = p.weight / n_after
-                                for k in range(n_after - 1):
-                                    clone = _spawn_clone(
-                                        ctx, p, counter_before, k, w_each
-                                    )
-                                    counters.clones_banked += 1
-                                    ctx.bank.append(clone)
-                                p.weight = w_each
-                        else:
-                            if u_imp < ratio:
-                                counters.roulette_survivals += 1
-                                boosted = p.weight / ratio
-                                counters.roulette_gain_energy += (
-                                    (boosted - p.weight) * p.energy
-                                )
-                                p.weight = boosted
-                            else:
-                                counters.roulette_kills += 1
-                                counters.roulette_loss_energy += (
-                                    p.weight * p.energy
-                                )
-                                p.weight = 0.0
-                                counters.terminations += 1
-                                p.alive = False
-                                break
+                else:
+                    stats.binary_probes += int(
+                        kernel_xs.bisection_probes(table, e).sum()
+                    )
+                bins_arr[sel] = new_bins
+                micro_arr[sel] = vals
+            stats.lookups += len(specs) * sel.size
 
-        else:
-            # ---- handle_census() --------------------------------------
-            p.x = p.x + p.omega_x * d_census
-            p.y = p.y + p.omega_y * d_census
-            p.mfp_to_collision = max(
-                0.0, p.mfp_to_collision - d_census * sigma_t
+    def macroscopic(self):
+        """(Σ_s, Σ_a, Σ_f, Σ_t) block arrays from the cached microscopics,
+        with the exact arithmetic chain of the scalar helper."""
+        ws = self.ctx.ws
+        n = self.n
+        molar = np.take(self.ctx.mat_molar, self.mat_idx, out=ws.f64("molar", n))
+        nd = ws.f64("numdens", n)
+        np.multiply(self.local_density, 1.0e3, out=nd)
+        np.divide(nd, molar, out=nd)
+        np.multiply(nd, AVOGADRO, out=nd)
+        sigma_s = ws.f64("sigma_s", n)
+        np.multiply(nd, self.micro_s, out=sigma_s)
+        np.multiply(sigma_s, BARNS_TO_M2, out=sigma_s)
+        sigma_f = ws.f64("sigma_f", n)
+        np.multiply(nd, self.micro_f, out=sigma_f)
+        np.multiply(sigma_f, BARNS_TO_M2, out=sigma_f)
+        sigma_a = ws.f64("sigma_a", n)
+        np.multiply(nd, self.micro_c, out=sigma_a)
+        np.multiply(sigma_a, BARNS_TO_M2, out=sigma_a)
+        np.add(sigma_a, sigma_f, out=sigma_a)
+        sigma_t = np.add(sigma_s, sigma_a, out=ws.f64("sigma_t", n))
+        return sigma_s, sigma_a, sigma_f, sigma_t
+
+    def trace_events(self, lanes: np.ndarray, kind: EventKind,
+                     cells_x: np.ndarray, cells_y: np.ndarray) -> None:
+        trace = self.ctx.trace
+        if trace is None:
+            return
+        nx = self.ctx.mesh.nx
+        for j, lane in enumerate(lanes):
+            trace.append(
+                (int(self.idx[lane]), int(kind),
+                 int(cells_y[j]) * nx + int(cells_x[j]))
             )
-            p.dt_to_census = 0.0
-            tally.flush(p.cellx, p.celly, p.deposit_buffer)
-            p.deposit_buffer = 0.0
-            counters.tally_flushes += 1
-            counters.census_events += 1
-            if ctx.trace is not None:
-                ctx.trace.append(
-                    (index, int(EventKind.CENSUS),
-                     p.celly * mesh.nx + p.cellx)
-                )
-            break
 
-    p.rng_counter = rng.counter
+    # ------------------------------------------------------------------
+    def run(self) -> None:
+        while self.active.any():
+            self.wave()
+        self.writeback()
+
+    def wave(self) -> None:
+        """Advance every active lane by exactly one event."""
+        ctx = self.ctx
+        dispatch = ctx.dispatch
+        ws = ctx.ws
+        n = self.n
+        sigma_s, sigma_a, sigma_f, sigma_t = self.macroscopic()
+        dist = dispatch.run(
+            "distances",
+            n,
+            ws,
+            self.energy,
+            self.mfp,
+            sigma_t,
+            self.x,
+            self.y,
+            self.omega_x,
+            self.omega_y,
+            self.cellx,
+            self.celly,
+            ctx.mesh.dx,
+            ctx.mesh.dy,
+            self.dt,
+        )
+        event = dispatch.run(
+            "select_events",
+            n,
+            dist.d_collision,
+            dist.d_facet,
+            dist.d_census,
+            out=ws.i64("event", n),
+            scratch=ws.bool_("ev_scratch", n),
+        )
+        handlers = {
+            "collide": self.handle_collisions,
+            "cross_facet": self.handle_facets,
+            "census": self.handle_census,
+        }
+        masks = {
+            kind: self.active & (event == int(kind)) for kind in EVENT_KERNELS
+        }
+        for kind, kernel_name in EVENT_KERNELS.items():
+            if masks[kind].any():
+                handlers[kernel_name](masks[kind], dist, sigma_a, sigma_f, sigma_t)
+
+    # ------------------------------------------------------------------
+    def handle_collisions(self, cmask, dist, sigma_a, sigma_f, sigma_t) -> None:
+        ctx = self.ctx
+        config = ctx.config
+        counters = ctx.counters
+        c = np.nonzero(cmask)[0]
+        d = dist.d_collision[c]
+        sp = dist.speed[c]
+        self.x[c] = self.x[c] + self.omega_x[c] * d
+        self.y[c] = self.y[c] + self.omega_y[c] * d
+        self.dt[c] = np.maximum(0.0, self.dt[c] - d / sp)
+        weight_before = self.weight[c].copy()
+        counters_at_event = self.rng.counters[c].copy()
+        u_angle = self.rng.next_uniform(cmask)
+        u_sense = self.rng.next_uniform(cmask)
+        u_mfp = self.rng.next_uniform(cmask)
+        counters.rng_draws += 3 * c.size
+        a_ratio = ctx.mat_a[self.mat_idx[c]]
+        (e_new, w_new, ox_new, oy_new, mfp_new, dep, term, below) = ctx.dispatch.run(
+            "collide",
+            c.size,
+            self.energy[c],
+            self.weight[c],
+            self.omega_x[c],
+            self.omega_y[c],
+            sigma_a[c],
+            sigma_t[c],
+            a_ratio,
+            u_angle,
+            u_sense,
+            u_mfp,
+            config.energy_cutoff_ev,
+            config.weight_cutoff,
+            defer_weight_cutoff=config.use_russian_roulette,
+        )
+        self.energy[c] = e_new
+        self.weight[c] = w_new
+        self.omega_x[c] = ox_new
+        self.omega_y[c] = oy_new
+        self.mfp[c] = mfp_new
+        self.deposit[c] += dep
+        counters.collisions += c.size
+        for lane in c:
+            ctx.coll_pp[self.idx[lane]] += 1
+        self.trace_events(c, EventKind.COLLISION, self.cellx[c], self.celly[c])
+
+        # ---- fission banking (multiplying media extension) -------------
+        fissile_here = ctx.mat_fissile[self.mat_idx[c]] & (sigma_t[c] > 0.0)
+        if fissile_here.any():
+            fis_mask = np.zeros(self.n, dtype=bool)
+            fis_mask[c[fissile_here]] = True
+            u_fission = self.rng.next_uniform(fis_mask)
+            counters.rng_draws += int(fissile_here.sum())
+            sel = c[fissile_here]
+            counts = ctx.dispatch.run(
+                "fission_bank",
+                sel.size,
+                weight_before[fissile_here],
+                ctx.mat_nu[self.mat_idx[sel]],
+                sigma_f[sel],
+                sigma_t[sel],
+                u_fission,
+            )
+            self.bank_secondaries(sel, counts, counters_at_event[fissile_here])
+
+        dead = c[term]
+        if dead.size:
+            ctx.tally.flush_vec(
+                self.cellx[dead], self.celly[dead], self.deposit[dead]
+            )
+            self.deposit[dead] = 0.0
+            self.alive[dead] = False
+            self.active[dead] = False
+            counters.tally_flushes += dead.size
+            counters.terminations += dead.size
+
+        # ---- Russian roulette (extension) ------------------------------
+        if config.use_russian_roulette and below.any():
+            r_mask = np.zeros(self.n, dtype=bool)
+            r_mask[c[below]] = True
+            u_roulette = self.rng.next_uniform(r_mask)
+            counters.rng_draws += int(below.sum())
+            sel = c[below]
+            w = self.weight[sel]
+            survive, restored = ctx.dispatch.run(
+                "roulette", sel.size, w, u_roulette, config.weight_cutoff
+            )
+            killed = sel[~survive]
+            if killed.size:
+                counters.roulette_kills += killed.size
+                counters.roulette_loss_energy += float(
+                    (self.weight[killed] * self.energy[killed]).sum()
+                )
+                self.weight[killed] = 0.0
+                ctx.tally.flush_vec(
+                    self.cellx[killed], self.celly[killed], self.deposit[killed]
+                )
+                self.deposit[killed] = 0.0
+                self.alive[killed] = False
+                self.active[killed] = False
+                counters.tally_flushes += killed.size
+                counters.terminations += killed.size
+            survivors = sel[survive]
+            if survivors.size:
+                counters.roulette_survivals += survivors.size
+                counters.roulette_gain_energy += float(
+                    (
+                        (restored - self.weight[survivors])
+                        * self.energy[survivors]
+                    ).sum()
+                )
+                self.weight[survivors] = restored
+
+        # The energy changed: refresh the cached microscopic values.
+        surv = c[self.alive[c]]
+        if surv.size:
+            self.lookup_all(surv)
+
+    def bank_secondaries(self, sel, counts, counters_at_event) -> None:
+        ctx = self.ctx
+        c = ctx.counters
+        for j, lane in enumerate(sel):
+            n_children = int(counts[j])
+            if n_children <= 0:
+                continue
+            c.fissions += 1
+            gi = int(self.idx[lane])
+            for k in range(n_children):
+                child = _spawn_secondary(
+                    ctx,
+                    int(self.pid[lane]),
+                    int(counters_at_event[j]),
+                    k,
+                    float(self.x[lane]),
+                    float(self.y[lane]),
+                    int(self.cellx[lane]),
+                    int(self.celly[lane]),
+                    float(self.local_density[lane]),
+                    float(self.dt[lane]),
+                )
+                c.fission_injected_energy += child.weight * child.energy
+                c.secondaries_banked += 1
+                c.rng_draws += 3
+                ctx.bank.append((gi, int(counters_at_event[j]), k, child))
+
+    def handle_facets(self, fmask, dist, sigma_a, sigma_f, sigma_t) -> None:
+        ctx = self.ctx
+        config = ctx.config
+        counters = ctx.counters
+        f = np.nonzero(fmask)[0]
+        old_cx_f = self.cellx[f].copy()
+        old_cy_f = self.celly[f].copy()
+        d = dist.d_facet[f]
+        sp = dist.speed[f]
+        st = sigma_t[f]
+        self.x[f] = self.x[f] + self.omega_x[f] * d
+        self.y[f] = self.y[f] + self.omega_y[f] * d
+        self.dt[f] = np.maximum(0.0, self.dt[f] - d / sp)
+        self.mfp[f] = np.maximum(0.0, self.mfp[f] - d * st)
+        # Snap the hit coordinate exactly onto the facet plane so rounding
+        # never strands a particle outside its cell.
+        ax = dist.axis[f]
+        hit_x = ax == 0
+        fx = f[hit_x]
+        self.x[fx] = np.where(
+            self.omega_x[fx] > 0.0, dist.x_hi[fx], dist.x_lo[fx]
+        )
+        fy = f[~hit_x]
+        self.y[fy] = np.where(
+            self.omega_y[fy] > 0.0, dist.y_hi[fy], dist.y_lo[fy]
+        )
+        # Flush the deposition register onto the tally mesh — the atomic
+        # read-modify-write of §VI-A, performed unconditionally.
+        ctx.tally.flush_vec(self.cellx[f], self.celly[f], self.deposit[f])
+        self.deposit[f] = 0.0
+        counters.tally_flushes += f.size
+        new_cx, new_cy, new_ox, new_oy, reflected, escaped = ctx.dispatch.run(
+            "cross_facet",
+            f.size,
+            self.cellx[f], self.celly[f],
+            self.omega_x[f], self.omega_y[f], ax, ctx.mesh, config.boundary,
+        )
+        counters.facets += f.size
+        for lane in f:
+            ctx.facet_pp[self.idx[lane]] += 1
+        self.trace_events(f, EventKind.FACET, old_cx_f, old_cy_f)
+        gone = f[escaped]
+        if gone.size:
+            counters.escapes += gone.size
+            counters.escaped_energy += float(
+                (self.weight[gone] * self.energy[gone]).sum()
+            )
+            self.alive[gone] = False
+            self.active[gone] = False
+        stay = ~escaped
+        self.cellx[f[stay]] = new_cx[stay]
+        self.celly[f[stay]] = new_cy[stay]
+        self.omega_x[f[stay]] = new_ox[stay]
+        self.omega_y[f[stay]] = new_oy[stay]
+        crossed = f[stay & ~reflected]
+        # Load the destination cell's density — the random read.
+        self.local_density[crossed] = ctx.mesh.density_at_vec(
+            self.cellx[crossed], self.celly[crossed]
+        )
+        counters.density_reads += crossed.size
+        counters.reflections += int(reflected.sum())
+        if crossed.size:
+            new_mat = ctx.material_map[
+                self.celly[crossed], self.cellx[crossed]
+            ]
+            changed = crossed[new_mat != self.mat_idx[crossed]]
+            self.mat_idx[crossed] = new_mat
+            if changed.size:
+                # Entered a different material: the cached microscopic
+                # values are stale (multi-material extension).
+                self.lookup_all(changed)
+
+        # ---- importance splitting / roulette (VR extension) ------------
+        if ctx.importance_map is not None and crossed.size:
+            imap = ctx.importance_map
+            cross_in_f = stay & ~reflected
+            ratios = (
+                imap[self.celly[crossed], self.cellx[crossed]]
+                / imap[old_cy_f[cross_in_f], old_cx_f[cross_in_f]]
+            )
+            changed_r = ratios != 1.0
+            sel = crossed[changed_r]
+            if sel.size:
+                counters_before = self.rng.counters[sel].copy()
+                imp_mask = np.zeros(self.n, dtype=bool)
+                imp_mask[sel] = True
+                u_imp = self.rng.next_uniform(imp_mask)
+                counters.rng_draws += sel.size
+                r = ratios[changed_r]
+
+                # splits (entering higher importance)
+                up = r > 1.0
+                if up.any():
+                    n_after = split_counts(r[up], u_imp[up])
+                    for pi, nsplit, ctr in zip(
+                        sel[up], n_after, counters_before[up]
+                    ):
+                        if nsplit <= 1:
+                            continue
+                        counters.splits += 1
+                        gi = int(self.idx[pi])
+                        w_each = float(self.weight[pi]) / int(nsplit)
+                        for k in range(int(nsplit) - 1):
+                            cid = clone_id(
+                                config.seed, int(self.pid[pi]), int(ctr), k
+                            )
+                            clone = Particle(
+                                x=float(self.x[pi]),
+                                y=float(self.y[pi]),
+                                omega_x=float(self.omega_x[pi]),
+                                omega_y=float(self.omega_y[pi]),
+                                energy=float(self.energy[pi]),
+                                weight=w_each,
+                                cellx=int(self.cellx[pi]),
+                                celly=int(self.celly[pi]),
+                                particle_id=cid,
+                                dt_to_census=float(self.dt[pi]),
+                                mfp_to_collision=float(self.mfp[pi]),
+                                rng_counter=0,
+                            )
+                            clone.local_density = float(self.local_density[pi])
+                            clone.scatter_bin = int(self.sbin[pi])
+                            clone.capture_bin = int(self.cbin[pi])
+                            clone.fission_bin = int(self.fbin[pi])
+                            counters.clones_banked += 1
+                            ctx.bank.append((gi, int(ctr), k, clone))
+                        self.weight[pi] = w_each
+
+                # roulette (entering lower importance)
+                down = ~up
+                if down.any():
+                    dsel = sel[down]
+                    survive = u_imp[down] < r[down]
+                    surv = dsel[survive]
+                    if surv.size:
+                        counters.roulette_survivals += surv.size
+                        boosted = self.weight[surv] / r[down][survive]
+                        counters.roulette_gain_energy += float(
+                            (
+                                (boosted - self.weight[surv])
+                                * self.energy[surv]
+                            ).sum()
+                        )
+                        self.weight[surv] = boosted
+                    dead_i = dsel[~survive]
+                    if dead_i.size:
+                        counters.roulette_kills += dead_i.size
+                        counters.roulette_loss_energy += float(
+                            (
+                                self.weight[dead_i] * self.energy[dead_i]
+                            ).sum()
+                        )
+                        self.weight[dead_i] = 0.0
+                        self.alive[dead_i] = False
+                        self.active[dead_i] = False
+                        counters.terminations += dead_i.size
+
+    def handle_census(self, zmask, dist, sigma_a, sigma_f, sigma_t) -> None:
+        ctx = self.ctx
+        counters = ctx.counters
+        z = np.nonzero(zmask)[0]
+        new_x, new_y, new_mfp = ctx.dispatch.run(
+            "census",
+            z.size,
+            self.x[z], self.y[z],
+            self.omega_x[z], self.omega_y[z],
+            self.mfp[z], sigma_t[z], dist.d_census[z],
+        )
+        self.x[z] = new_x
+        self.y[z] = new_y
+        self.mfp[z] = new_mfp
+        self.dt[z] = 0.0
+        ctx.tally.flush_vec(self.cellx[z], self.celly[z], self.deposit[z])
+        self.deposit[z] = 0.0
+        counters.tally_flushes += z.size
+        counters.census_events += z.size
+        self.trace_events(z, EventKind.CENSUS, self.cellx[z], self.celly[z])
+        self.active[z] = False
+
+    # ------------------------------------------------------------------
+    def writeback(self) -> None:
+        """Scatter final lane state back into the AoS particles."""
+        for lane in range(self.n):
+            p = self.particles[int(self.idx[lane])]
+            p.x = float(self.x[lane])
+            p.y = float(self.y[lane])
+            p.omega_x = float(self.omega_x[lane])
+            p.omega_y = float(self.omega_y[lane])
+            p.energy = float(self.energy[lane])
+            p.weight = float(self.weight[lane])
+            p.cellx = int(self.cellx[lane])
+            p.celly = int(self.celly[lane])
+            p.dt_to_census = float(self.dt[lane])
+            p.mfp_to_collision = float(self.mfp[lane])
+            p.deposit_buffer = float(self.deposit[lane])
+            p.local_density = float(self.local_density[lane])
+            p.scatter_bin = int(self.sbin[lane])
+            p.capture_bin = int(self.cbin[lane])
+            p.fission_bin = int(self.fbin[lane])
+            p.alive = bool(self.alive[lane])
+            p.rng_counter = int(self.rng.counters[lane])
 
 
 def run_over_particles(
@@ -470,7 +678,9 @@ def run_over_particles(
     Parameters
     ----------
     config:
-        The simulation specification.
+        The simulation specification; ``config.op_block_size`` sets how
+        many histories advance together (1 = classic depth-first order;
+        final particle states are bit-identical for every block size).
     particles:
         Pre-sampled particles (for scheme-equivalence tests); sampled from
         the config's source when omitted.
@@ -479,7 +689,10 @@ def run_over_particles(
     trace:
         Optional list to receive the event trace
         ``(history_index, event_kind, flat_cell)`` — the input of the
-        discrete-event parallel replay in :mod:`repro.simexec`.
+        discrete-event parallel replay in :mod:`repro.simexec`.  Entries
+        from different histories interleave when the block size exceeds
+        one, but each history's own events appear in its execution order,
+        which is all the trace consumer (it groups by history) requires.
 
     Returns
     -------
@@ -494,7 +707,9 @@ def run_over_particles(
     mesh = StructuredMesh(config.nx, config.ny, config.width, config.height, config.density)
     if tally is None:
         tally = EnergyDepositionTally(config.nx, config.ny)
-    ctx = _HistoryContext(config, mesh, tally)
+    dispatch = KernelDispatch()
+    ws = Workspace()
+    ctx = _SweepContext(config, mesh, tally, dispatch, ws)
     ctx.trace = trace
     primary = ctx.materials[0]
     if particles is None:
@@ -508,6 +723,8 @@ def run_over_particles(
     ctx.coll_pp = [0] * len(particles)
     ctx.facet_pp = [0] * len(particles)
 
+    block_size = config.op_block_size
+
     for step in range(config.ntimesteps):
         if step > 0:
             for p in particles:
@@ -515,17 +732,21 @@ def run_over_particles(
                     p.dt_to_census = config.dt
         cursor = 0
         while cursor < len(particles):
-            p = particles[cursor]
-            if p.alive:
-                _track_history(ctx, p, cursor)
-            cursor += 1
-            # Drain the fission bank within the timestep: secondaries are
-            # appended to the population and tracked in turn (their own
-            # fissions may bank further generations).
+            hi = min(cursor + block_size, len(particles))
+            idx = [i for i in range(cursor, hi) if particles[i].alive]
+            if idx:
+                _Block(ctx, particles, idx).run()
+            cursor = hi
+            # Drain the fission bank within the timestep: offspring join
+            # the population in the deterministic (parent, event, child)
+            # order and are tracked in turn (their own fissions may bank
+            # further generations).
             if cursor == len(particles) and ctx.bank:
-                particles.extend(ctx.bank)
-                ctx.coll_pp.extend([0] * len(ctx.bank))
-                ctx.facet_pp.extend([0] * len(ctx.bank))
+                ctx.bank.sort(key=lambda entry: entry[:3])
+                children = [entry[3] for entry in ctx.bank]
+                particles.extend(children)
+                ctx.coll_pp.extend([0] * len(children))
+                ctx.facet_pp.extend([0] * len(children))
                 ctx.bank = []
 
     counters = ctx.counters
@@ -536,6 +757,9 @@ def run_over_particles(
     counters.collisions_per_particle = np.asarray(ctx.coll_pp, dtype=np.int64)
     counters.facets_per_particle = np.asarray(ctx.facet_pp, dtype=np.int64)
     counters.tally_conflict_probability = tally.conflict_probability()
+    counters.kernel_profile = dispatch.profile()
+    counters.workspace_allocations = ws.allocations
+    counters.workspace_reuses = ws.reuses
 
     return TransportResult(
         config=config,

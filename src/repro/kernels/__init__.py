@@ -1,0 +1,46 @@
+"""The batch kernel layer: one implementation of the transport physics.
+
+Both execution schemes (Over Particles in blocks, Over Events over the
+whole population) drive the same batch kernels through a dispatch table
+with per-kernel call/wall-clock accounting:
+
+    drivers (core/over_particles, core/over_events, volume/driver3)
+        │
+        ▼
+    KernelDispatch  — name→kernel table, per-kernel counters/timers
+        │
+        ▼
+    kernels.batch / kernels.xs / kernels.batch3   — the physics
+        │
+        ▼
+    Workspace  — named preallocated buffers (no per-pass allocations)
+
+``python -m repro.kernels --check`` audits that no ``*_vec`` physics
+implementation exists outside this package.
+"""
+
+from repro.kernels import batch, batch3, xs
+from repro.kernels.batch import EventKind, HUGE_DISTANCE, PARALLEL_EPS
+from repro.kernels.dispatch import (
+    EVENT_KERNELS,
+    KERNEL_TABLE,
+    KernelDispatch,
+    KernelStat,
+    format_profile,
+)
+from repro.kernels.workspace import Workspace
+
+__all__ = [
+    "batch",
+    "batch3",
+    "xs",
+    "EventKind",
+    "HUGE_DISTANCE",
+    "PARALLEL_EPS",
+    "EVENT_KERNELS",
+    "KERNEL_TABLE",
+    "KernelDispatch",
+    "KernelStat",
+    "format_profile",
+    "Workspace",
+]

@@ -1,0 +1,37 @@
+"""``python -m repro.kernels --check``: run the duplication self-audit."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.kernels.audit import AUDITED_PACKAGES, audit_vec_definitions
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.kernels",
+        description="Kernel-layer self-audit.",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="fail if any *_vec physics implementation exists outside repro/kernels",
+    )
+    args = parser.parse_args(argv)
+    if not args.check:
+        parser.print_help()
+        return 2
+    violations = audit_vec_definitions()
+    if violations:
+        for v in violations:
+            print(v, file=sys.stderr)
+        print(f"FAILED: {len(violations)} duplicate kernel definition(s)", file=sys.stderr)
+        return 1
+    pkgs = ", ".join(AUDITED_PACKAGES)
+    print(f"OK: no *_vec physics implementations outside repro/kernels ({pkgs} audited)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,77 @@
+"""Self-audit: no duplicate ``*_vec`` physics implementations outside here.
+
+``python -m repro.kernels --check`` scans ``repro/physics``, ``repro/xs``
+and ``repro/rng`` for function definitions (module- or class-level) whose
+name ends in ``_vec``.  Those used to be the hand-maintained vectorised
+twins of the scalar physics; they are now deprecated aliases of the batch
+kernels in this package.  The audit fails CI if a real implementation
+creeps back.
+
+Permitted:
+
+* plain name aliases (``collide_vec = kernels.collide`` — no ``def``);
+* thin delegating wrappers whose body is a single ``return <call>`` (plus
+  an optional docstring) — public-API shims that cannot drift;
+* an explicit allowlist for genuine batch primitives that predate the
+  kernel layer and live with their scalar reference for cipher-level
+  test symmetry (``threefry2x64_vec``).
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+__all__ = ["audit_vec_definitions", "AUDITED_PACKAGES", "ALLOWED_VEC_DEFS"]
+
+#: Packages that must not define ``*_vec`` implementations.
+AUDITED_PACKAGES = ("physics", "xs", "rng")
+
+#: (relative path, function name) pairs exempt from the wrapper rule.
+ALLOWED_VEC_DEFS = {
+    ("rng/threefry.py", "threefry2x64_vec"),
+}
+
+
+def _is_thin_wrapper(node: ast.FunctionDef) -> bool:
+    """True when the body is (docstring +) a single ``return <call>``."""
+    body = list(node.body)
+    if body and isinstance(body[0], ast.Expr) and isinstance(
+        body[0].value, ast.Constant
+    ) and isinstance(body[0].value.value, str):
+        body = body[1:]
+    return (
+        len(body) == 1
+        and isinstance(body[0], ast.Return)
+        and isinstance(body[0].value, ast.Call)
+    )
+
+
+def _vec_defs(tree: ast.AST):
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if node.name.endswith("_vec"):
+                yield node
+
+
+def audit_vec_definitions(package_root: str | Path | None = None) -> list[str]:
+    """Return violation messages (empty list means the audit passes)."""
+    if package_root is None:
+        package_root = Path(__file__).resolve().parent.parent
+    package_root = Path(package_root)
+    violations: list[str] = []
+    for pkg in AUDITED_PACKAGES:
+        for path in sorted((package_root / pkg).rglob("*.py")):
+            rel = path.relative_to(package_root).as_posix()
+            tree = ast.parse(path.read_text(), filename=str(path))
+            for node in _vec_defs(tree):
+                if (rel, node.name) in ALLOWED_VEC_DEFS:
+                    continue
+                if _is_thin_wrapper(node):
+                    continue
+                violations.append(
+                    f"{rel}:{node.lineno}: def {node.name} — vectorised "
+                    "physics must live in repro/kernels (alias or thin "
+                    "wrapper only)"
+                )
+    return violations

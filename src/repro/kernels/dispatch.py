@@ -1,0 +1,151 @@
+"""Kernel dispatch table with per-kernel call/wall-clock accounting.
+
+Every kernel invocation in the drivers goes through a
+:class:`KernelDispatch`: a name→callable table plus per-kernel
+accumulators (calls, lanes processed, seconds).  The profile is attached
+to ``Counters.kernel_profile`` at the end of a run, printed by
+``repro run --profile-kernels`` and consumed by
+``bench.measured_kernel_profile`` so the measured hot-kernel ranking can
+be compared against the paper's §VII characterisation.
+
+:data:`EVENT_KERNELS` is the single kind→kernel mapping both drivers use
+to dispatch event handlers — adding an event type means adding one entry
+here and one handler per driver, with no if/elif ladders to keep in sync.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+from repro.kernels import batch, batch3
+from repro.kernels import xs as kxs
+from repro.kernels.batch import EventKind
+
+__all__ = [
+    "KernelStat",
+    "KernelDispatch",
+    "KERNEL_TABLE",
+    "KERNEL_TABLE_3D",
+    "EVENT_KERNELS",
+    "format_profile",
+]
+
+
+#: The canonical kernel surface: name → batch callable.
+KERNEL_TABLE = {
+    "distances": batch.distances,
+    "select_events": batch.select_events,
+    "collide": batch.collide,
+    "cross_facet": batch.cross_facet,
+    "census": batch.census,
+    "roulette": batch.roulette,
+    "fission_bank": batch.fission_yield,
+    "xs_lookup": kxs.xs_lookup,
+}
+
+#: The 3-D drivers share the dimension-independent kernels (event
+#: selection, cross-section lookup) and swap in the 3-D geometry/physics.
+KERNEL_TABLE_3D = {
+    **KERNEL_TABLE,
+    "facet_distances_3d": batch3.distance_to_facet_3d,
+    "collide_3d": batch3.collide3,
+    "cross_facet_3d": batch3.cross_facet_3d,
+}
+
+#: Event kind → kernel name, shared by both drivers (satellite: one place
+#: to extend when an event type is added).
+EVENT_KERNELS = {
+    EventKind.COLLISION: "collide",
+    EventKind.FACET: "cross_facet",
+    EventKind.CENSUS: "census",
+}
+
+
+@dataclass
+class KernelStat:
+    """Accumulated cost of one kernel across a run."""
+
+    calls: int = 0
+    items: int = 0
+    seconds: float = 0.0
+
+
+class KernelDispatch:
+    """Runs kernels by name, accumulating per-kernel statistics.
+
+    One instance lives per transport run; its profile is merged into the
+    run's :class:`repro.core.counters.Counters`.  Timings are host facts,
+    not algorithm facts — they stay out of ``Counters.snapshot()``.
+    """
+
+    __slots__ = ("table", "stats")
+
+    def __init__(self, table=None) -> None:
+        self.table = KERNEL_TABLE if table is None else table
+        self.stats: dict[str, KernelStat] = {}
+
+    def run(self, name: str, nitems: int, *args, **kwargs):
+        """Invoke kernel ``name`` on ``nitems`` lanes and time it."""
+        fn = self.table[name]
+        t0 = time.perf_counter()
+        out = fn(*args, **kwargs)
+        elapsed = time.perf_counter() - t0
+        stat = self.stats.get(name)
+        if stat is None:
+            stat = self.stats[name] = KernelStat()
+        stat.calls += 1
+        stat.items += int(nitems)
+        stat.seconds += elapsed
+        return out
+
+    @contextmanager
+    def timed(self, name: str, nitems: int):
+        """Attribute a driver-side composite section to kernel ``name``.
+
+        Used where the kernel's work is interleaved with driver state
+        writes (banking fission secondaries, flushing tallies) and a
+        single callable would have to take the whole driver as argument.
+        """
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - t0
+            stat = self.stats.get(name)
+            if stat is None:
+                stat = self.stats[name] = KernelStat()
+            stat.calls += 1
+            stat.items += int(nitems)
+            stat.seconds += elapsed
+
+    def profile(self) -> dict[str, list]:
+        """The accumulated profile as ``{name: [calls, items, seconds]}``.
+
+        This is the serialisable form stored on
+        ``Counters.kernel_profile`` (and merged across pool workers).
+        """
+        return {
+            name: [s.calls, s.items, s.seconds] for name, s in self.stats.items()
+        }
+
+
+def format_profile(profile: dict[str, list]) -> str:
+    """Render a kernel profile as the table ``--profile-kernels`` prints.
+
+    Rows are ranked by total seconds (the measured hot-kernel ranking).
+    """
+    lines = [
+        f"{'kernel':<14} {'calls':>8} {'items':>12} {'seconds':>10} "
+        f"{'us/call':>9} {'share':>7}"
+    ]
+    total = sum(row[2] for row in profile.values()) or 1.0
+    ranked = sorted(profile.items(), key=lambda kv: kv[1][2], reverse=True)
+    for name, (calls, items, seconds) in ranked:
+        per_call = 1e6 * seconds / calls if calls else 0.0
+        lines.append(
+            f"{name:<14} {calls:>8d} {items:>12d} {seconds:>10.6f} "
+            f"{per_call:>9.1f} {100.0 * seconds / total:>6.1f}%"
+        )
+    return "\n".join(lines)

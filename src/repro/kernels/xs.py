@@ -1,0 +1,112 @@
+"""Batch cross-section lookup kernels.
+
+The energy-bin search is the hot inner operation of every cross-section
+lookup (paper §VI-A).  This module is the single batch implementation:
+
+* :func:`search_bins` — bisection for a whole batch via
+  ``numpy.searchsorted`` (value-identical to the scalar searches in
+  :mod:`repro.xs.lookup`, which remain as the reference implementations);
+* :func:`interpolate_at_bins` — linear interpolation within known bins;
+* :func:`xs_lookup` — the composite search+interpolate kernel the drivers
+  dispatch;
+* :func:`bisection_probes` / :func:`linear_walk_probes` — *exact* probe
+  counts of the scalar strategies, computed batch-wise, so the blocked
+  Over Particles driver reproduces the seed's per-strategy lookup
+  statistics bit-for-bit (binary-search probe counts are data-dependent:
+  the bisection path length varies with the target bin).
+
+Tables are duck-typed (anything with ``energy``/``value`` arrays) to keep
+this module import-cycle-free; in practice they are
+:class:`repro.xs.tables.CrossSectionTable`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "search_bins",
+    "interpolate_at_bins",
+    "xs_lookup",
+    "clamped_mask",
+    "bisection_probes",
+    "linear_walk_probes",
+]
+
+
+def search_bins(table, e: np.ndarray) -> np.ndarray:
+    """Find ``bin`` with ``energy[bin] <= e < energy[bin+1]`` per lane.
+
+    ``numpy.searchsorted`` performs the same bisection as the scalar
+    search; out-of-grid energies clamp to the first/last bin identically.
+    """
+    e = np.asarray(e, dtype=np.float64)
+    bins = np.searchsorted(table.energy, e, side="right") - 1
+    return np.clip(bins, 0, table.energy.shape[0] - 2)
+
+
+def interpolate_at_bins(table, e: np.ndarray, bins: np.ndarray) -> np.ndarray:
+    """Linearly interpolate table values at ``e`` within known ``bins``."""
+    e0 = table.energy[bins]
+    e1 = table.energy[bins + 1]
+    v0 = table.value[bins]
+    v1 = table.value[bins + 1]
+    t = (e - e0) / (e1 - e0)
+    return v0 + t * (v1 - v0)
+
+
+def xs_lookup(table, e: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Composite lookup kernel: ``(bins, microscopic values)`` per lane."""
+    bins = search_bins(table, e)
+    return bins, interpolate_at_bins(table, e, bins)
+
+
+def clamped_mask(table, e: np.ndarray) -> np.ndarray:
+    """Lanes whose energy clamps outside the grid (zero search probes)."""
+    energy = table.energy
+    return (e <= energy[0]) | (e >= energy[-1])
+
+
+def bisection_probes(table, e: np.ndarray) -> np.ndarray:
+    """Exact per-lane probe counts of the scalar binary search.
+
+    Simulates ``lo=0, hi=len-1; while hi-lo>1: probe mid`` for every lane
+    at once.  The count is data-dependent for non-power-of-two tables
+    (lanes resolve in different iteration counts), so a closed form would
+    drift from the scalar accounting.  Clamped lanes probe zero times.
+    """
+    energy = table.energy
+    n = e.shape[0]
+    probes = np.zeros(n, dtype=np.int64)
+    lo = np.zeros(n, dtype=np.int64)
+    hi = np.full(n, energy.shape[0] - 1, dtype=np.int64)
+    interior = ~clamped_mask(table, e)
+    # Collapse clamped lanes so they never iterate.
+    hi[~interior] = 0
+    active = (hi - lo) > 1
+    while active.any():
+        mid = (lo + hi) // 2
+        probes[active] += 1
+        below = energy[mid] <= e
+        go_lo = active & below
+        go_hi = active & ~below
+        lo[go_lo] = mid[go_lo]
+        hi[go_hi] = mid[go_hi]
+        active = (hi - lo) > 1
+    return probes
+
+
+def linear_walk_probes(
+    table, e: np.ndarray, cached_bins: np.ndarray, bins: np.ndarray
+) -> np.ndarray:
+    """Exact per-lane probe counts of the scalar cached linear search.
+
+    The scalar walk starts from the clamped cached bin and steps one bin
+    at a time to the bracketing bin, so its probe count is exactly the
+    walk distance ``|target - clip(cached, 0, nbins-1)|``; clamped lanes
+    probe zero times.  ``bins`` is the target from :func:`search_bins`.
+    """
+    nbins = table.energy.shape[0] - 1
+    start = np.clip(cached_bins, 0, nbins - 1)
+    probes = np.abs(bins - start)
+    return np.where(clamped_mask(table, e), 0, probes)

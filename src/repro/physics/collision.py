@@ -33,8 +33,10 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.kernels import batch as _batch
+
 __all__ = ["CollisionOutcome", "elastic_scatter_kinematics",
-           "elastic_scatter_kinematics_vec", "collide"]
+           "elastic_scatter_kinematics_vec", "collide", "collide_vec"]
 
 
 @dataclass(frozen=True)
@@ -90,19 +92,8 @@ def elastic_scatter_kinematics(
     return e_frac, mu_lab, sin_lab
 
 
-def elastic_scatter_kinematics_vec(
-    mu_cm: np.ndarray, a_ratio: float
-) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-    """Vectorised :func:`elastic_scatter_kinematics`."""
-    denom_sq = a_ratio * a_ratio + 2.0 * a_ratio * mu_cm + 1.0
-    e_frac = denom_sq / ((a_ratio + 1.0) * (a_ratio + 1.0))
-    degenerate = (denom_sq <= 0.0) | (e_frac < 1.0e-300)
-    safe = np.where(degenerate, 1.0, denom_sq)
-    mu_lab = (1.0 + a_ratio * mu_cm) / np.sqrt(safe)
-    mu_lab = np.clip(np.where(degenerate, 0.0, mu_lab), -1.0, 1.0)
-    sin_lab = np.sqrt(1.0 - mu_lab * mu_lab)
-    e_frac = np.where(degenerate, 0.0, e_frac)
-    return e_frac, mu_lab, sin_lab
+# Deprecated alias of the batch kernel.
+elastic_scatter_kinematics_vec = _batch.elastic_scatter_kinematics
 
 
 def collide(
@@ -176,47 +167,6 @@ def collide(
     )
 
 
-def collide_vec(
-    energy: np.ndarray,
-    weight: np.ndarray,
-    omega_x: np.ndarray,
-    omega_y: np.ndarray,
-    sigma_a: np.ndarray,
-    sigma_t: np.ndarray,
-    a_ratio: float,
-    u_angle: np.ndarray,
-    u_sense: np.ndarray,
-    u_mfp: np.ndarray,
-    energy_cutoff_ev: float,
-    weight_cutoff: float,
-    defer_weight_cutoff: bool = False,
-) -> tuple[np.ndarray, ...]:
-    """Vectorised :func:`collide`; returns
-    ``(energy, weight, ox, oy, mfp, deposit, terminated, below_weight)``
-    arrays.
-    """
-    p_absorb = np.where(sigma_t > 0.0, sigma_a / np.where(sigma_t > 0.0, sigma_t, 1.0), 0.0)
-    deposit = weight * energy * p_absorb
-    weight = weight * (1.0 - p_absorb)
-
-    mu_cm = 2.0 * u_angle - 1.0
-    e_frac, mu_lab, sin_lab = elastic_scatter_kinematics_vec(mu_cm, a_ratio)
-    new_energy = energy * e_frac
-    deposit = deposit + weight * (energy - new_energy)
-    sense = np.where(u_sense < 0.5, 1.0, -1.0)
-    new_ox = omega_x * mu_lab - omega_y * sin_lab * sense
-    new_oy = omega_y * mu_lab + omega_x * sin_lab * sense
-
-    mfp = -np.log(1.0 - u_mfp)
-
-    below_weight = weight < weight_cutoff
-    if defer_weight_cutoff:
-        terminated = new_energy < energy_cutoff_ev
-        below_weight = below_weight & ~terminated
-    else:
-        terminated = (new_energy < energy_cutoff_ev) | below_weight
-        below_weight = np.zeros_like(terminated)
-    deposit = deposit + np.where(terminated, weight * new_energy, 0.0)
-    weight = np.where(terminated, 0.0, weight)
-
-    return new_energy, weight, new_ox, new_oy, mfp, deposit, terminated, below_weight
+# Deprecated alias of the batch kernel; returns
+# (energy, weight, ox, oy, mfp, deposit, terminated, below_weight) arrays.
+collide_vec = _batch.collide

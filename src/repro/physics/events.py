@@ -10,13 +10,21 @@ collision < facet < census, identically in both schemes.
 
 The facet calculation is the "simple intersection in Cartesian space" of
 §IV-C: the structured grid reduces it to two divisions and a compare.
+
+The scalar functions here are the *reference implementations* the parity
+suite pins the batch kernels against; the batch forms live in
+:mod:`repro.kernels.batch` and the old ``*_vec`` names are deprecated
+aliases of them.
 """
 
 from __future__ import annotations
 
-from enum import IntEnum
-
-import numpy as np
+from repro.kernels.batch import (  # noqa: F401  (re-exported constants)
+    EventKind,
+    HUGE_DISTANCE,
+    PARALLEL_EPS,
+)
+from repro.kernels import batch as _batch
 
 __all__ = [
     "EventKind",
@@ -28,24 +36,8 @@ __all__ = [
     "select_event",
     "select_event_vec",
     "HUGE_DISTANCE",
+    "PARALLEL_EPS",
 ]
-
-#: Stand-in for "never": larger than any reachable flight distance.
-HUGE_DISTANCE = 1.0e300
-
-#: Direction components smaller than this never hit their facet: the ray is
-#: numerically parallel to it.  Avoids overflowing divisions by denormals;
-#: any legitimate distance produced near the threshold loses to census
-#: anyway (flight distances are bounded by speed × dt « 1e12 m).
-PARALLEL_EPS = 1.0e-12
-
-
-class EventKind(IntEnum):
-    """The three events of the tracking loop, ordered by tie-break priority."""
-
-    COLLISION = 0
-    FACET = 1
-    CENSUS = 2
 
 
 def distance_to_facet(
@@ -62,8 +54,8 @@ def distance_to_facet(
 
     Returns ``(distance, axis)`` where ``axis`` is 0 if the x-facing facet
     is hit first and 1 for the y-facing facet.  A zero direction component
-    never hits its facet.  Ties pick the x facet, matching the vectorised
-    path.
+    never hits its facet.  Ties pick the x facet, matching the batch
+    kernel.
     """
     if omega_x > PARALLEL_EPS:
         dist_x = (x_hi - x) / omega_x
@@ -82,31 +74,6 @@ def distance_to_facet(
     return dist_y, 1
 
 
-def distance_to_facet_vec(
-    x: np.ndarray,
-    y: np.ndarray,
-    omega_x: np.ndarray,
-    omega_y: np.ndarray,
-    x_lo: np.ndarray,
-    x_hi: np.ndarray,
-    y_lo: np.ndarray,
-    y_hi: np.ndarray,
-) -> tuple[np.ndarray, np.ndarray]:
-    """Vectorised :func:`distance_to_facet` over particle arrays."""
-    dist_x = np.full_like(x, HUGE_DISTANCE)
-    dist_y = np.full_like(y, HUGE_DISTANCE)
-    pos = omega_x > PARALLEL_EPS
-    neg = omega_x < -PARALLEL_EPS
-    dist_x[pos] = (x_hi[pos] - x[pos]) / omega_x[pos]
-    dist_x[neg] = (x_lo[neg] - x[neg]) / omega_x[neg]
-    pos = omega_y > PARALLEL_EPS
-    neg = omega_y < -PARALLEL_EPS
-    dist_y[pos] = (y_hi[pos] - y[pos]) / omega_y[pos]
-    dist_y[neg] = (y_lo[neg] - y[neg]) / omega_y[neg]
-    axis = (dist_y < dist_x).astype(np.int64)
-    return np.minimum(dist_x, dist_y), axis
-
-
 def distance_to_collision(mfp_remaining: float, sigma_t: float) -> float:
     """Distance to the next collision from the remaining optical distance.
 
@@ -116,16 +83,6 @@ def distance_to_collision(mfp_remaining: float, sigma_t: float) -> float:
     if sigma_t <= 0.0:
         return HUGE_DISTANCE
     return mfp_remaining / sigma_t
-
-
-def distance_to_collision_vec(
-    mfp_remaining: np.ndarray, sigma_t: np.ndarray
-) -> np.ndarray:
-    """Vectorised :func:`distance_to_collision`."""
-    out = np.full_like(mfp_remaining, HUGE_DISTANCE)
-    ok = sigma_t > 0.0
-    out[ok] = mfp_remaining[ok] / sigma_t[ok]
-    return out
 
 
 def distance_to_census(dt_remaining: float, speed: float) -> float:
@@ -142,13 +99,7 @@ def select_event(d_collision: float, d_facet: float, d_census: float) -> EventKi
     return EventKind.CENSUS
 
 
-def select_event_vec(
-    d_collision: np.ndarray, d_facet: np.ndarray, d_census: np.ndarray
-) -> np.ndarray:
-    """Vectorised :func:`select_event`; returns an int array of EventKind."""
-    event = np.full(d_collision.shape, int(EventKind.CENSUS), dtype=np.int64)
-    facet_first = d_facet <= d_census
-    event[facet_first] = int(EventKind.FACET)
-    coll_first = (d_collision <= d_facet) & (d_collision <= d_census)
-    event[coll_first] = int(EventKind.COLLISION)
-    return event
+# Deprecated aliases: the batch kernels are the single implementation.
+distance_to_facet_vec = _batch.distance_to_facet
+distance_to_collision_vec = _batch.distance_to_collision
+select_event_vec = _batch.select_events

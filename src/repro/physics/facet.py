@@ -11,8 +11,7 @@ arithmetic.
 
 from __future__ import annotations
 
-import numpy as np
-
+from repro.kernels import batch as _batch
 from repro.mesh.boundary import BoundaryCondition
 from repro.mesh.structured import StructuredMesh
 
@@ -80,53 +79,6 @@ def cross_facet(
             return cellx, celly - 1, omega_x, omega_y, False, False
 
 
-def cross_facet_vec(
-    cellx: np.ndarray,
-    celly: np.ndarray,
-    omega_x: np.ndarray,
-    omega_y: np.ndarray,
-    axis: np.ndarray,
-    mesh: StructuredMesh,
-    bc: BoundaryCondition = BoundaryCondition.REFLECTIVE,
-) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
-    """Vectorised :func:`cross_facet` over particle arrays.
-
-    Returns new cell indices, directions, the reflected mask and the
-    escaped mask; inputs are not modified.
-    """
-    new_cx = cellx.copy()
-    new_cy = celly.copy()
-    new_ox = omega_x.copy()
-    new_oy = omega_y.copy()
-
-    x_facet = axis == 0
-    y_facet = ~x_facet
-
-    going_px = x_facet & (omega_x > 0.0)
-    going_nx = x_facet & (omega_x <= 0.0)
-    going_py = y_facet & (omega_y > 0.0)
-    going_ny = y_facet & (omega_y <= 0.0)
-
-    bnd_px = going_px & (cellx == mesh.nx - 1)
-    bnd_nx = going_nx & (cellx == 0)
-    bnd_py = going_py & (celly == mesh.ny - 1)
-    bnd_ny = going_ny & (celly == 0)
-    at_boundary = bnd_px | bnd_nx | bnd_py | bnd_ny
-
-    if bc is BoundaryCondition.VACUUM:
-        escaped = at_boundary
-        reflected = np.zeros_like(at_boundary)
-    else:
-        escaped = np.zeros_like(at_boundary)
-        reflected = at_boundary
-        flip_x = bnd_px | bnd_nx
-        flip_y = bnd_py | bnd_ny
-        new_ox[flip_x] = -new_ox[flip_x]
-        new_oy[flip_y] = -new_oy[flip_y]
-
-    new_cx[going_px & ~bnd_px] += 1
-    new_cx[going_nx & ~bnd_nx] -= 1
-    new_cy[going_py & ~bnd_py] += 1
-    new_cy[going_ny & ~bnd_ny] -= 1
-
-    return new_cx, new_cy, new_ox, new_oy, reflected, escaped
+# Deprecated alias of the batch kernel; returns new cell indices,
+# directions, the reflected mask and the escaped mask.
+cross_facet_vec = _batch.cross_facet

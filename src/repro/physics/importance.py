@@ -24,10 +24,13 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.kernels import batch as _batch
+from repro.kernels.batch import MAX_SPLIT  # noqa: F401  (re-exported)
 from repro.rng.threefry import threefry2x64
 
 __all__ = [
     "SPLIT_ID_DOMAIN",
+    "MAX_SPLIT",
     "split_count",
     "split_count_vec",
     "clone_id",
@@ -35,9 +38,6 @@ __all__ = [
 
 #: Key-domain separator for split-clone ids (distinct from fission's).
 SPLIT_ID_DOMAIN = 0x5B711
-
-#: Hard cap on the clones of one crossing — guards against runaway maps.
-MAX_SPLIT = 20
 
 
 def split_count(ratio: float, u: float) -> int:
@@ -52,11 +52,8 @@ def split_count(ratio: float, u: float) -> int:
     return int(min(np.floor(ratio + u), MAX_SPLIT))
 
 
-def split_count_vec(ratio: np.ndarray, u: np.ndarray) -> np.ndarray:
-    """Vectorised :func:`split_count`."""
-    n = np.floor(ratio + u)
-    n = np.clip(n, 1, MAX_SPLIT)
-    return np.where(ratio <= 1.0, 1, n).astype(np.int64)
+# Deprecated alias of the batch kernel.
+split_count_vec = _batch.split_counts
 
 
 def clone_id(seed: int, parent_id: int, parent_counter: int, clone_index: int) -> int:

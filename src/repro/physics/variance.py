@@ -18,6 +18,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.kernels import batch as _batch
+
 __all__ = [
     "should_terminate",
     "should_terminate_vec",
@@ -49,8 +51,8 @@ def should_terminate_vec(
     energy_cutoff_ev: float = DEFAULT_ENERGY_CUTOFF_EV,
     weight_cutoff: float = DEFAULT_WEIGHT_CUTOFF,
 ) -> np.ndarray:
-    """Vectorised :func:`should_terminate`."""
-    return (energy_ev < energy_cutoff_ev) | (weight < weight_cutoff)
+    """Deprecated wrapper over the batch kernel (keeps the defaults)."""
+    return _batch.should_terminate(energy_ev, weight, energy_cutoff_ev, weight_cutoff)
 
 
 def russian_roulette(

@@ -18,6 +18,8 @@ import math
 
 import numpy as np
 
+from repro.kernels import batch as _batch
+
 __all__ = [
     "sample_position_in_box",
     "sample_position_in_box_vec",
@@ -35,11 +37,8 @@ def sample_position_in_box(
     return x0 + u1 * (x1 - x0), y0 + u2 * (y1 - y0)
 
 
-def sample_position_in_box_vec(
-    u1: np.ndarray, u2: np.ndarray, x0: float, x1: float, y0: float, y1: float
-) -> tuple[np.ndarray, np.ndarray]:
-    """Vectorised :func:`sample_position_in_box`."""
-    return x0 + u1 * (x1 - x0), y0 + u2 * (y1 - y0)
+# Deprecated alias of the batch kernel.
+sample_position_in_box_vec = _batch.sample_position_in_box
 
 
 def sample_isotropic_direction(u: float) -> tuple[float, float]:
@@ -53,10 +52,8 @@ def sample_isotropic_direction(u: float) -> tuple[float, float]:
     return float(np.cos(theta)), float(np.sin(theta))
 
 
-def sample_isotropic_direction_vec(u: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-    """Vectorised :func:`sample_isotropic_direction`."""
-    theta = 2.0 * np.pi * u
-    return np.cos(theta), np.sin(theta)
+# Deprecated alias of the batch kernel.
+sample_isotropic_direction_vec = _batch.sample_isotropic_direction
 
 
 def sample_mean_free_paths(u: float) -> float:
@@ -71,6 +68,5 @@ def sample_mean_free_paths(u: float) -> float:
     return float(-np.log(1.0 - u))
 
 
-def sample_mean_free_paths_vec(u: np.ndarray) -> np.ndarray:
-    """Vectorised :func:`sample_mean_free_paths`."""
-    return -np.log(1.0 - u)
+# Deprecated alias of the batch kernel.
+sample_mean_free_paths_vec = _batch.sample_mean_free_paths

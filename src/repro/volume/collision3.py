@@ -17,11 +17,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.physics.collision import (
-    elastic_scatter_kinematics,
-    elastic_scatter_kinematics_vec,
-)
-from repro.volume.kinematics3 import rotate_direction, rotate_direction_vec
+from repro.kernels import batch3 as _batch3
+from repro.physics.collision import elastic_scatter_kinematics
+from repro.volume.kinematics3 import rotate_direction
 
 __all__ = ["Collision3Outcome", "collide3", "collide3_vec"]
 
@@ -86,40 +84,6 @@ def collide3(
     )
 
 
-def collide3_vec(
-    energy,
-    weight,
-    ox,
-    oy,
-    oz,
-    sigma_a,
-    sigma_t,
-    a_ratio: float,
-    u_angle,
-    u_azimuth,
-    u_mfp,
-    energy_cutoff_ev: float,
-    weight_cutoff: float,
-):
-    """Vectorised :func:`collide3`; returns
-    ``(energy, weight, ox, oy, oz, mfp, deposit, terminated)`` arrays."""
-    p_absorb = np.where(
-        sigma_t > 0.0, sigma_a / np.where(sigma_t > 0.0, sigma_t, 1.0), 0.0
-    )
-    deposit = weight * energy * p_absorb
-    weight = weight * (1.0 - p_absorb)
-
-    mu_cm = 2.0 * u_angle - 1.0
-    e_frac, mu_lab, _ = elastic_scatter_kinematics_vec(mu_cm, a_ratio)
-    new_energy = energy * e_frac
-    deposit = deposit + weight * (energy - new_energy)
-    phi = 2.0 * np.pi * u_azimuth
-    nox, noy, noz = rotate_direction_vec(ox, oy, oz, mu_lab, phi)
-
-    mfp = -np.log(1.0 - u_mfp)
-
-    terminated = (new_energy < energy_cutoff_ev) | (weight < weight_cutoff)
-    deposit = deposit + np.where(terminated, weight * new_energy, 0.0)
-    weight = np.where(terminated, 0.0, weight)
-
-    return new_energy, weight, nox, noy, noz, mfp, deposit, terminated
+# Deprecated alias of the batch kernel; returns
+# (energy, weight, ox, oy, oz, mfp, deposit, terminated) arrays.
+collide3_vec = _batch3.collide3

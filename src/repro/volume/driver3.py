@@ -20,25 +20,26 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.counters import Counters
+from repro.kernels import KernelDispatch
+from repro.kernels.dispatch import KERNEL_TABLE_3D
 from repro.physics.constants import speed_from_energy_ev, speed_from_energy_ev_vec
 from repro.physics.events import (
     EventKind,
     distance_to_collision,
     distance_to_collision_vec,
     select_event,
-    select_event_vec,
 )
 from repro.rng.stream import ParticleRNG, VectorParticleRNG
-from repro.volume.collision3 import collide3, collide3_vec
-from repro.volume.events3 import distance_to_facet_3d, distance_to_facet_3d_vec
-from repro.volume.facet3 import cross_facet_3d, cross_facet_3d_vec
+from repro.volume.collision3 import collide3
+from repro.volume.events3 import distance_to_facet_3d
+from repro.volume.facet3 import cross_facet_3d
 from repro.volume.kinematics3 import (
     sample_isotropic_direction_3d,
     sample_isotropic_direction_3d_vec,
 )
 from repro.volume.mesh3 import StructuredMesh3D, Tally3D
 from repro.volume.problems3 import Volume3DConfig
-from repro.xs.lookup import binary_search_bin, binary_search_bin_vec
+from repro.xs.lookup import binary_search_bin
 from repro.xs.macroscopic import macroscopic_cross_section
 from repro.xs.tables import make_capture_table, make_scatter_table
 
@@ -328,6 +329,7 @@ def run_over_events_3d(config: Volume3DConfig) -> Transport3DResult:
     coll_pp = np.zeros(n, dtype=np.int64)
     facet_pp = np.zeros(n, dtype=np.int64)
     molar = config.molar_mass_g_mol
+    dispatch = KernelDispatch(KERNEL_TABLE_3D)
 
     micro_s = np.zeros(n)
     micro_c = np.zeros(n)
@@ -336,10 +338,8 @@ def run_over_events_3d(config: Volume3DConfig) -> Transport3DResult:
         if idx.size == 0:
             return
         e = a["energy"][idx]
-        sb = binary_search_bin_vec(scatter_table, e)
-        cb = binary_search_bin_vec(capture_table, e)
-        micro_s[idx] = scatter_table.interpolate_at_bin_vec(e, sb)
-        micro_c[idx] = capture_table.interpolate_at_bin_vec(e, cb)
+        _, micro_s[idx] = dispatch.run("xs_lookup", idx.size, scatter_table, e)
+        _, micro_c[idx] = dispatch.run("xs_lookup", idx.size, capture_table, e)
         counters.xs_lookups += 2 * idx.size
 
     for step in range(config.ntimesteps):
@@ -363,12 +363,13 @@ def run_over_events_3d(config: Volume3DConfig) -> Transport3DResult:
             y_hi = (a["celly"] + 1) * mesh.dy
             z_lo = a["cellz"] * mesh.dz
             z_hi = (a["cellz"] + 1) * mesh.dz
-            d_facet, axis = distance_to_facet_3d_vec(
+            d_facet, axis = dispatch.run(
+                "facet_distances_3d", n,
                 a["x"], a["y"], a["z"], a["ox"], a["oy"], a["oz"],
                 x_lo, x_hi, y_lo, y_hi, z_lo, z_hi,
             )
             d_census = a["dt"] * speed
-            event = select_event_vec(d_coll, d_facet, d_census)
+            event = dispatch.run("select_events", n, d_coll, d_facet, d_census)
 
             cmask = active & (event == int(EventKind.COLLISION))
             fmask = active & (event == int(EventKind.FACET))
@@ -385,7 +386,8 @@ def run_over_events_3d(config: Volume3DConfig) -> Transport3DResult:
                 u2 = rng.next_uniform(cmask)
                 u3 = rng.next_uniform(cmask)
                 counters.rng_draws += 3 * c.size
-                (e_new, w_new, nox, noy, noz, mfp_new, dep, term) = collide3_vec(
+                (e_new, w_new, nox, noy, noz, mfp_new, dep, term) = dispatch.run(
+                    "collide_3d", c.size,
                     a["energy"][c], a["weight"][c],
                     a["ox"][c], a["oy"][c], a["oz"][c],
                     sigma_a[c], sigma_t[c], config.a_ratio,
@@ -433,7 +435,8 @@ def run_over_events_3d(config: Volume3DConfig) -> Transport3DResult:
                 )
                 a["deposit"][f] = 0.0
                 counters.tally_flushes += f.size
-                (ncx, ncy, ncz, nox, noy, noz, reflected, escaped) = cross_facet_3d_vec(
+                (ncx, ncy, ncz, nox, noy, noz, reflected, escaped) = dispatch.run(
+                    "cross_facet_3d", f.size,
                     a["cellx"][f], a["celly"][f], a["cellz"][f],
                     a["ox"][f], a["oy"][f], a["oz"][f], ax, mesh,
                     config.boundary,
@@ -479,6 +482,7 @@ def run_over_events_3d(config: Volume3DConfig) -> Transport3DResult:
 
     counters.collisions_per_particle = coll_pp
     counters.facets_per_particle = facet_pp
+    counters.kernel_profile = dispatch.profile()
     a["rng_counter"] = rng.counters
     return Transport3DResult(
         config=config, tally=tally, counters=counters,

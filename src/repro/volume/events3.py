@@ -8,9 +8,8 @@ the event structure does not change with dimensionality.
 
 from __future__ import annotations
 
-import numpy as np
-
-from repro.physics.events import HUGE_DISTANCE, PARALLEL_EPS
+from repro.kernels import batch3 as _batch3
+from repro.kernels.batch import HUGE_DISTANCE, PARALLEL_EPS
 
 __all__ = ["distance_to_facet_3d", "distance_to_facet_3d_vec"]
 
@@ -51,24 +50,5 @@ def distance_to_facet_3d(
     return dist_z, 2
 
 
-def distance_to_facet_3d_vec(
-    x, y, z, ox, oy, oz, x_lo, x_hi, y_lo, y_hi, z_lo, z_hi
-):
-    """Vectorised :func:`distance_to_facet_3d`."""
-    def axis_dist(p, o, lo, hi):
-        d = np.full_like(p, HUGE_DISTANCE)
-        pos = o > PARALLEL_EPS
-        neg = o < -PARALLEL_EPS
-        d[pos] = (hi[pos] - p[pos]) / o[pos]
-        d[neg] = (lo[neg] - p[neg]) / o[neg]
-        return d
-
-    dist_x = axis_dist(x, ox, x_lo, x_hi)
-    dist_y = axis_dist(y, oy, y_lo, y_hi)
-    dist_z = axis_dist(z, oz, z_lo, z_hi)
-
-    d = np.minimum(np.minimum(dist_x, dist_y), dist_z)
-    axis = np.full(x.shape, 2, dtype=np.int64)
-    axis[dist_y <= dist_z] = 1
-    axis[(dist_x <= dist_y) & (dist_x <= dist_z)] = 0
-    return d, axis
+# Deprecated alias of the batch kernel.
+distance_to_facet_3d_vec = _batch3.distance_to_facet_3d

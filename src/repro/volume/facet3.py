@@ -7,8 +7,7 @@ stays at one or two operations.
 
 from __future__ import annotations
 
-import numpy as np
-
+from repro.kernels import batch3 as _batch3
 from repro.mesh.boundary import BoundaryCondition
 from repro.volume.mesh3 import StructuredMesh3D
 
@@ -48,31 +47,5 @@ def cross_facet_3d(
     return (*new_cells, ox, oy, oz, False, False)
 
 
-def cross_facet_3d_vec(
-    cx, cy, cz, ox, oy, oz, axis, mesh: StructuredMesh3D,
-    bc: BoundaryCondition = BoundaryCondition.REFLECTIVE,
-):
-    """Vectorised :func:`cross_facet_3d` over particle arrays."""
-    new_c = [cx.copy(), cy.copy(), cz.copy()]
-    new_o = [ox.copy(), oy.copy(), oz.copy()]
-    omegas = (ox, oy, oz)
-    limits = (mesh.nx - 1, mesh.ny - 1, mesh.nz - 1)
-
-    reflected = np.zeros(cx.shape, dtype=bool)
-    escaped = np.zeros(cx.shape, dtype=bool)
-    vacuum = bc is BoundaryCondition.VACUUM
-
-    for ax in range(3):
-        on_axis = axis == ax
-        fwd = on_axis & (omegas[ax] > 0.0)
-        bwd = on_axis & (omegas[ax] <= 0.0)
-        bnd = (fwd & (new_c[ax] == limits[ax])) | (bwd & (new_c[ax] == 0))
-        if vacuum:
-            escaped |= bnd
-        else:
-            reflected |= bnd
-            new_o[ax][bnd] = -new_o[ax][bnd]
-        new_c[ax][fwd & ~bnd] += 1
-        new_c[ax][bwd & ~bnd] -= 1
-
-    return (*new_c, *new_o, reflected, escaped)
+# Deprecated alias of the batch kernel.
+cross_facet_3d_vec = _batch3.cross_facet_3d

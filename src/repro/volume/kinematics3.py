@@ -16,6 +16,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.kernels import batch3 as _batch3
+
 __all__ = [
     "sample_isotropic_direction_3d",
     "sample_isotropic_direction_3d_vec",
@@ -38,12 +40,8 @@ def sample_isotropic_direction_3d(u1: float, u2: float) -> tuple[float, float, f
     return float(s * np.cos(phi)), float(s * np.sin(phi)), w
 
 
-def sample_isotropic_direction_3d_vec(u1, u2):
-    """Vectorised :func:`sample_isotropic_direction_3d`."""
-    w = 2.0 * u1 - 1.0
-    s = np.sqrt(np.maximum(0.0, 1.0 - w * w))
-    phi = 2.0 * np.pi * u2
-    return s * np.cos(phi), s * np.sin(phi), w
+# Deprecated alias of the batch kernel.
+sample_isotropic_direction_3d_vec = _batch3.sample_isotropic_direction_3d
 
 
 def rotate_direction(
@@ -66,19 +64,5 @@ def rotate_direction(
     return nu, nv, nw
 
 
-def rotate_direction_vec(u, v, w, mu, phi):
-    """Vectorised :func:`rotate_direction` (same pole special-case)."""
-    s = np.sqrt(np.maximum(0.0, 1.0 - mu * mu))
-    cosp = np.cos(phi)
-    sinp = np.sin(phi)
-    denom_sq = 1.0 - w * w
-    polar = denom_sq < _POLE_EPS
-    denom = np.sqrt(np.where(polar, 1.0, denom_sq))
-    nu = mu * u + s * (u * w * cosp - v * sinp) / denom
-    nv = mu * v + s * (v * w * cosp + u * sinp) / denom
-    nw = mu * w - s * denom * cosp
-    sign = np.where(w > 0.0, 1.0, -1.0)
-    nu = np.where(polar, s * cosp, nu)
-    nv = np.where(polar, s * sinp, nv)
-    nw = np.where(polar, mu * sign, nw)
-    return nu, nv, nw
+# Deprecated alias of the batch kernel (same pole special-case).
+rotate_direction_vec = _batch3.rotate_direction

@@ -21,8 +21,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
+from repro.kernels import xs as _kernel_xs
 from repro.xs.tables import CrossSectionTable
 
 __all__ = ["LookupStats", "binary_search_bin", "cached_linear_search_bin",
@@ -132,12 +131,6 @@ def cached_linear_search_bin(
     return b
 
 
-def binary_search_bin_vec(table: CrossSectionTable, e: np.ndarray) -> np.ndarray:
-    """Vectorised bin search used by the Over Events scheme.
-
-    ``numpy.searchsorted`` performs the same bisection for a whole particle
-    batch; results are clamped identically to :func:`binary_search_bin`.
-    """
-    e = np.asarray(e, dtype=np.float64)
-    bins = np.searchsorted(table.energy, e, side="right") - 1
-    return np.clip(bins, 0, len(table) - 2)
+# Deprecated alias of the batch kernel (same bisection via searchsorted,
+# identical clamping).
+binary_search_bin_vec = _kernel_xs.search_bins

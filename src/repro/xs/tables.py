@@ -18,6 +18,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.kernels import xs as _kernel_xs
+
 __all__ = [
     "CrossSectionTable",
     "make_capture_table",
@@ -91,13 +93,8 @@ class CrossSectionTable:
         return float(v0 + t * (v1 - v0))
 
     def interpolate_at_bin_vec(self, e: np.ndarray, bins: np.ndarray) -> np.ndarray:
-        """Vectorised :meth:`interpolate_at_bin`."""
-        e0 = self.energy[bins]
-        e1 = self.energy[bins + 1]
-        v0 = self.value[bins]
-        v1 = self.value[bins + 1]
-        t = (e - e0) / (e1 - e0)
-        return v0 + t * (v1 - v0)
+        """Deprecated wrapper over the batch kernel."""
+        return _kernel_xs.interpolate_at_bins(self, e, bins)
 
     def nbytes(self) -> int:
         """Approximate memory footprint of the table in bytes."""

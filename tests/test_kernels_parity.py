@@ -1,0 +1,296 @@
+"""Kernel-layer parity: batch kernels ≡ legacy scalar physics, and the
+blocked Over Particles driver ≡ the classic depth-first traversal.
+
+Two families of guarantees:
+
+* every batch kernel in :mod:`repro.kernels` is *element-wise bit-equal*
+  to the scalar function it replaced (same floats, same ints, same
+  booleans — not merely close);
+* the blocked Over Particles driver produces bit-identical final particle
+  states and counters for every block size (1 reproduces the classic
+  one-history-at-a-time order; tallies agree to accumulation-order
+  rounding because flushes batch differently).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import csp_problem, scatter_problem, stream_problem
+from repro.core.config import SearchStrategy
+from repro.core.over_particles import run_over_particles
+from repro.kernels import batch
+from repro.kernels import xs as kxs
+from repro.mesh.boundary import BoundaryCondition
+from repro.mesh.structured import StructuredMesh
+from repro.physics.collision import collide as collide_scalar
+from repro.physics.events import select_event
+from repro.physics.facet import cross_facet as cross_facet_scalar
+from repro.physics.fission import expected_secondaries, realised_secondaries
+from repro.physics.importance import split_count
+from repro.physics.variance import russian_roulette
+from repro.xs.lookup import (
+    LookupStats,
+    binary_search_bin,
+    cached_linear_search_bin,
+)
+from repro.xs.tables import make_capture_table, make_scatter_table
+
+RNG = np.random.default_rng(20170905)  # CLUSTER'17
+N = 257  # odd, larger than any vector width
+
+
+# ---------------------------------------------------------------------------
+# Batch kernels vs. the scalar physics they replaced
+# ---------------------------------------------------------------------------
+
+def _directions(n):
+    theta = RNG.uniform(0.0, 2.0 * np.pi, n)
+    return np.cos(theta), np.sin(theta)
+
+
+def test_collide_matches_scalar():
+    energy = RNG.uniform(1e-4, 1e6, N)
+    weight = RNG.uniform(1e-6, 2.0, N)
+    ox, oy = _directions(N)
+    sigma_t = RNG.uniform(0.0, 500.0, N)
+    sigma_t[:5] = 0.0  # void lanes
+    sigma_a = sigma_t * RNG.uniform(0.0, 1.0, N)
+    u1, u2, u3 = RNG.random(N), RNG.random(N), RNG.random(N)
+    for defer in (False, True):
+        out = batch.collide(
+            energy, weight, ox, oy, sigma_a, sigma_t, 1.0079,
+            u1, u2, u3, 1e-2, 1e-3, defer_weight_cutoff=defer,
+        )
+        for i in range(N):
+            ref = collide_scalar(
+                energy[i], weight[i], ox[i], oy[i], sigma_a[i], sigma_t[i],
+                1.0079, u1[i], u2[i], u3[i], 1e-2, 1e-3,
+                defer_weight_cutoff=defer,
+            )
+            got = (
+                ref.energy, ref.weight, ref.omega_x, ref.omega_y,
+                ref.mfp_to_collision, ref.deposit, ref.terminated,
+                ref.below_weight_cutoff,
+            )
+            for field, (b, s) in enumerate(zip(out, got)):
+                assert b[i] == s, (i, field, defer)
+
+
+def test_cross_facet_matches_scalar():
+    mesh = StructuredMesh(7, 5, 1.0, 1.0, np.full((5, 7), 10.0))
+    cellx = RNG.integers(0, 7, N)
+    celly = RNG.integers(0, 5, N)
+    ox, oy = _directions(N)
+    axis = RNG.integers(0, 2, N)
+    for bc in (BoundaryCondition.REFLECTIVE, BoundaryCondition.VACUUM):
+        out = batch.cross_facet(cellx, celly, ox, oy, axis, mesh, bc)
+        for i in range(N):
+            ref = cross_facet_scalar(
+                int(cellx[i]), int(celly[i]), float(ox[i]), float(oy[i]),
+                int(axis[i]), mesh, bc,
+            )
+            for field, (b, s) in enumerate(zip(out, ref)):
+                assert b[i] == s, (i, field, bc)
+
+
+def test_select_events_matches_scalar():
+    d_coll = RNG.uniform(0.0, 1.0, N)
+    d_facet = RNG.uniform(0.0, 1.0, N)
+    d_census = RNG.uniform(0.0, 1.0, N)
+    # Exercise the tie-breaks explicitly.
+    d_facet[:10] = d_coll[:10]
+    d_census[10:20] = d_facet[10:20]
+    d_census[20:30] = d_coll[20:30]
+    event = batch.select_events(d_coll, d_facet, d_census)
+    for i in range(N):
+        assert event[i] == int(
+            select_event(d_coll[i], d_facet[i], d_census[i])
+        ), i
+
+
+def test_census_matches_scalar():
+    x = RNG.uniform(0.0, 1.0, N)
+    y = RNG.uniform(0.0, 1.0, N)
+    ox, oy = _directions(N)
+    mfp = RNG.uniform(0.0, 5.0, N)
+    sigma_t = RNG.uniform(0.0, 500.0, N)
+    d = RNG.uniform(0.0, 0.1, N)
+    new_x, new_y, new_mfp = batch.census(x, y, ox, oy, mfp, sigma_t, d)
+    for i in range(N):
+        assert new_x[i] == x[i] + d[i] * ox[i]
+        assert new_y[i] == y[i] + d[i] * oy[i]
+        assert new_mfp[i] == max(0.0, mfp[i] - d[i] * sigma_t[i])
+
+
+def test_roulette_matches_scalar():
+    cutoff = 1e-3
+    weight = RNG.uniform(0.0, cutoff, N)
+    u = RNG.random(N)
+    survive, restored = batch.roulette(weight, u, cutoff)
+    for i in range(N):
+        new_weight, killed = russian_roulette(weight[i], u[i], cutoff)
+        assert survive[i] == (not killed), i
+        if not killed:
+            assert restored == new_weight, i
+
+
+def test_fission_yield_matches_scalar():
+    weight = RNG.uniform(0.0, 2.0, N)
+    nu = np.full(N, 2.43)
+    sigma_t = RNG.uniform(1.0, 500.0, N)
+    sigma_f = sigma_t * RNG.uniform(0.0, 0.5, N)
+    u = RNG.random(N)
+    counts = batch.fission_yield(weight, nu, sigma_f, sigma_t, u)
+    for i in range(N):
+        expected = expected_secondaries(weight[i], nu[i], sigma_f[i], sigma_t[i])
+        assert counts[i] == realised_secondaries(expected, u[i]), i
+
+
+def test_split_counts_matches_scalar():
+    ratio = RNG.uniform(0.1, 12.0, N)
+    ratio[:20] = RNG.uniform(0.1, 1.0, 20)  # no-split lanes
+    u = RNG.random(N)
+    counts = batch.split_counts(ratio, u)
+    for i in range(N):
+        assert counts[i] == split_count(ratio[i], u[i]), i
+
+
+# ---------------------------------------------------------------------------
+# Cross-section search kernels: bins, values, and exact probe accounting
+# ---------------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def table():
+    return make_scatter_table(404)  # non-power-of-two: data-dependent probes
+
+
+def _energies(table, n):
+    lo, hi = table.energy[0], table.energy[-1]
+    e = np.exp(RNG.uniform(np.log(lo), np.log(hi), n))
+    e[:4] = [lo / 10.0, lo, hi, hi * 10.0]  # clamped lanes
+    return e
+
+
+def test_search_bins_matches_scalar_binary(table):
+    e = _energies(table, N)
+    bins = kxs.search_bins(table, e)
+    for i in range(N):
+        assert bins[i] == binary_search_bin(table, e[i]), i
+
+
+def test_search_bins_matches_scalar_cached_linear(table):
+    e = _energies(table, N)
+    cached = RNG.integers(-3, len(table) + 3, N)
+    bins = kxs.search_bins(table, e)
+    for i in range(N):
+        assert bins[i] == cached_linear_search_bin(
+            table, e[i], int(cached[i])
+        ), i
+
+
+def test_xs_lookup_values_match_scalar(table):
+    e = _energies(table, N)
+    bins, vals = kxs.xs_lookup(table, e)
+    for i in range(N):
+        b = binary_search_bin(table, e[i])
+        assert vals[i] == table.interpolate_at_bin(e[i], b), i
+
+
+def test_bisection_probes_match_scalar(table):
+    e = _energies(table, N)
+    probes = kxs.bisection_probes(table, e)
+    for i in range(N):
+        stats = LookupStats()
+        binary_search_bin(table, e[i], stats)
+        assert probes[i] == stats.binary_probes, i
+
+
+def test_linear_walk_probes_match_scalar(table):
+    e = _energies(table, N)
+    cached = RNG.integers(-3, len(table) + 3, N)
+    bins = kxs.search_bins(table, e)
+    probes = kxs.linear_walk_probes(table, e, cached, bins)
+    for i in range(N):
+        stats = LookupStats()
+        cached_linear_search_bin(table, e[i], int(cached[i]), stats)
+        assert probes[i] == stats.linear_probes, i
+
+
+def test_capture_table_parity_too():
+    t = make_capture_table(404)
+    e = _energies(t, 64)
+    bins, vals = kxs.xs_lookup(t, e)
+    for i in range(64):
+        b = binary_search_bin(t, e[i])
+        assert bins[i] == b and vals[i] == t.interpolate_at_bin(e[i], b)
+
+
+# ---------------------------------------------------------------------------
+# Blocked Over Particles: block size changes nothing but the interleaving
+# ---------------------------------------------------------------------------
+
+_PROBLEMS = {
+    "stream": stream_problem,
+    "scatter": scatter_problem,
+    "csp": csp_problem,
+}
+
+
+def _final_state(result):
+    return [
+        (p.particle_id, p.x, p.y, p.omega_x, p.omega_y, p.energy, p.weight,
+         p.cellx, p.celly, p.dt_to_census, p.mfp_to_collision,
+         p.rng_counter, p.alive)
+        for p in result.particles
+    ]
+
+
+@pytest.mark.parametrize("problem", sorted(_PROBLEMS))
+def test_op_block_size_invariance(problem):
+    cfg = _PROBLEMS[problem](nx=48, nparticles=25)
+    reference = None
+    for block in (1, 7, 64, cfg.nparticles + 3):
+        result = run_over_particles(cfg.with_(op_block_size=block))
+        state = _final_state(result)
+        snapshot = result.counters.snapshot()
+        deposition = result.tally.deposition
+        if reference is None:
+            reference = (state, snapshot, deposition.copy())
+            continue
+        assert state == reference[0], f"{problem} block={block}"
+        assert snapshot == reference[1], f"{problem} block={block}"
+        # Flush batching changes only the accumulation order.
+        np.testing.assert_allclose(
+            deposition, reference[2], rtol=1e-10, atol=0.0
+        )
+
+
+def test_op_block_size_invariance_binary_search():
+    cfg = scatter_problem(nx=48, nparticles=25).with_(
+        search=SearchStrategy.BINARY
+    )
+    runs = [
+        run_over_particles(cfg.with_(op_block_size=block))
+        for block in (1, 64)
+    ]
+    assert _final_state(runs[0]) == _final_state(runs[1])
+    assert runs[0].counters.snapshot() == runs[1].counters.snapshot()
+    assert runs[0].counters.xs_binary_probes > 0
+    assert runs[0].counters.xs_linear_probes == 0
+
+
+def test_op_multi_timestep_block_invariance():
+    cfg = stream_problem(nx=48, nparticles=25).with_(ntimesteps=3)
+    a = run_over_particles(cfg.with_(op_block_size=1))
+    b = run_over_particles(cfg.with_(op_block_size=64))
+    assert _final_state(a) == _final_state(b)
+    assert a.counters.snapshot() == b.counters.snapshot()
+
+
+def test_op_kernel_profile_attached():
+    cfg = scatter_problem(nx=48, nparticles=25)
+    result = run_over_particles(cfg)
+    profile = result.counters.kernel_profile
+    assert {"distances", "select_events", "collide", "xs_lookup"} <= set(profile)
+    for calls, items, seconds in profile.values():
+        assert calls > 0 and items > 0 and seconds >= 0.0
