@@ -52,7 +52,7 @@ def main() -> None:
         absorbed = dep.sum() / injected
 
         # "Flux" proxy: energy still in flight in the region behind the wall.
-        store = result.store
+        store = result.arena
         wall_end = (int(0.45 * config.nx) + wall_cells) / config.nx
         behind = store.alive & (store.x > wall_end)
         flux = float((store.weight[behind] * store.energy[behind]).sum()) / injected

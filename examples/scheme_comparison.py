@@ -28,14 +28,12 @@ def main() -> None:
     )
     print(f"tallies agree to accumulation-order rounding: {same_tally}")
 
-    exact = sum(
-        1
-        for p, i in zip(op.particles, range(len(oe.store)))
-        if p.x == oe.store.x[i]
-        and p.energy == oe.store.energy[i]
-        and p.rng_counter == int(oe.store.rng_counter[i])
-    )
-    print(f"bit-identical final particle states: {exact}/{len(op.particles)}")
+    exact = int(np.sum(
+        (op.arena.x == oe.arena.x)
+        & (op.arena.energy == oe.arena.energy)
+        & (op.arena.rng_counter == oe.arena.rng_counter)
+    ))
+    print(f"bit-identical final particle states: {exact}/{len(op.arena)}")
 
     print(f"\nhost wall-clock: OP={op.wallclock_s:.2f}s (scalar Python loop), "
           f"OE={oe.wallclock_s:.2f}s (numpy kernels)")

@@ -76,13 +76,9 @@ def lethargy_spectrum(
         if reference_energy_ev is None
         else reference_energy_ev
     )
-    if result.store is not None:
-        alive = result.store.alive
-        energies = result.store.energy[alive]
-        weights = result.store.weight[alive]
-    else:
-        energies = np.array([p.energy for p in result.particles if p.alive])
-        weights = np.array([p.weight for p in result.particles if p.alive])
+    alive = result.arena.alive
+    energies = result.arena.energy[alive]
+    weights = result.arena.weight[alive]
 
     edges = np.linspace(0.0, max_lethargy, nbins + 1)
     if energies.size == 0:

@@ -13,8 +13,10 @@ from repro.bench.runner import (
     KernelProfile,
     MeasuredSpeedup,
     RecoveryOverhead,
+    ShardHandoff,
     measured_kernel_profile,
     measured_recovery_overhead,
+    measured_shard_handoff,
     measured_speedup,
     measured_workload,
     paper_workload,
@@ -29,8 +31,10 @@ __all__ = [
     "KernelProfile",
     "MeasuredSpeedup",
     "RecoveryOverhead",
+    "ShardHandoff",
     "measured_kernel_profile",
     "measured_recovery_overhead",
+    "measured_shard_handoff",
     "measured_speedup",
     "measured_workload",
     "paper_workload",

@@ -47,6 +47,8 @@ __all__ = [
     "measured_speedup",
     "RecoveryOverhead",
     "measured_recovery_overhead",
+    "ShardHandoff",
+    "measured_shard_handoff",
 ]
 
 #: Paper-scale targets per problem: (nparticles, mesh_nx) — §IV-B.
@@ -308,19 +310,12 @@ def measured_recovery_overhead(
         scheme, nworkers=nworkers, schedule=schedule, chunk=chunk,
         fault_plan=FaultPlan((KillWorker(worker=0, after_chunks=1),)),
     )
-    if scheme is Scheme.OVER_PARTICLES:
-        identical = len(clean.particles) == len(faulted.particles) and all(
-            a.particle_id == b.particle_id and a.x == b.x and a.y == b.y
-            and a.energy == b.energy and a.rng_counter == b.rng_counter
-            for a, b in zip(clean.particles, faulted.particles)
-        )
-    else:
-        import numpy as np
+    import numpy as np
 
-        identical = all(
-            np.array_equal(getattr(clean.store, f), getattr(faulted.store, f))
-            for f in ("particle_id", "x", "y", "energy", "rng_counter")
-        )
+    identical = len(clean.arena) == len(faulted.arena) and all(
+        np.array_equal(getattr(clean.arena, f), getattr(faulted.arena, f))
+        for f in ("particle_id", "x", "y", "energy", "rng_counter")
+    )
     return RecoveryOverhead(
         problem=problem,
         scheme=scheme,
@@ -332,6 +327,117 @@ def measured_recovery_overhead(
         respawns=faulted.pool.respawns,
         degraded=faulted.pool.degraded,
         states_identical=identical,
+    )
+
+
+@dataclass(frozen=True)
+class ShardHandoff:
+    """Cost of handing one shard of the population to a worker process.
+
+    Three mechanisms for the same ``[lo, hi)`` slice of histories:
+
+    * pickling the detached AoS records (the pre-arena hand-off);
+    * pickling the SoA arena slice (per-field arrays, still a copy);
+    * the zero-copy path — ship only the ``(shm_name, n_total, lo, hi)``
+      handle and let the worker map the parent's shared-memory buffer.
+
+    Payload bytes measure serialisation traffic through the task queue;
+    the timings measure the receiving side (unpickle vs. shm attach).
+    """
+
+    problem: str
+    nparticles: int
+    shard_lo: int
+    shard_hi: int
+    #: ``pickle.dumps`` size of the shard as ``list[Particle]``.
+    pickled_particles_bytes: int
+    #: ``pickle.dumps`` size of the shard as an arena slice copy.
+    pickled_arena_bytes: int
+    #: ``pickle.dumps`` size of the shared-memory shard handle.
+    handle_bytes: int
+    unpickle_particles_s: float
+    unpickle_arena_s: float
+    attach_s: float
+
+    @property
+    def payload_reduction(self) -> float:
+        """AoS-pickle bytes over handle bytes (the zero-copy win)."""
+        if self.handle_bytes == 0:
+            return 1.0
+        return self.pickled_particles_bytes / self.handle_bytes
+
+
+def measured_shard_handoff(
+    problem: str = "csp",
+    nparticles: int = 4 * MEASUREMENT_PARTICLES,
+    nshards: int = 4,
+    nx: int = MEASUREMENT_NX,
+    repeats: int = 5,
+) -> ShardHandoff:
+    """Microbenchmark the shard hand-off payload and receive cost.
+
+    Samples the real source population, takes the first of ``nshards``
+    contiguous shards, and measures the three hand-off mechanisms on this
+    host (best of ``repeats`` for the timings).
+    """
+    import pickle
+    import time
+
+    from repro.particles.arena import ParticleArena, shard_handle_nbytes
+    from repro.particles.source import sample_source
+
+    if problem not in PROBLEM_FACTORIES:
+        raise KeyError(f"unknown problem {problem!r}")
+    from repro.mesh.structured import StructuredMesh
+
+    cfg = PROBLEM_FACTORIES[problem](nx=nx, nparticles=nparticles)
+    materials = cfg.resolved_materials()
+    mesh = StructuredMesh(cfg.nx, cfg.ny, cfg.width, cfg.height, cfg.density)
+    population = sample_source(
+        mesh, cfg.source, cfg.nparticles, cfg.seed, cfg.dt,
+        scatter_table=materials[0].scatter, capture_table=materials[0].capture,
+    )
+    lo, hi = 0, max(1, len(population) // max(1, nshards))
+
+    aos_payload = pickle.dumps(population.view(lo, hi).as_particles())
+    arena_payload = pickle.dumps(population.view(lo, hi).copy())
+
+    def _best(fn) -> float:
+        best = None
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            fn()
+            dt = time.perf_counter() - t0
+            best = dt if best is None else min(best, dt)
+        return best
+
+    unpickle_particles_s = _best(lambda: pickle.loads(aos_payload))
+    unpickle_arena_s = _best(lambda: pickle.loads(arena_payload))
+
+    shared = population.to_shared()
+    try:
+        handle = (shared.shm_name, len(shared), lo, hi)
+
+        def _attach():
+            view = ParticleArena.attach(shared.shm_name, len(shared), lo, hi)
+            view.close()
+
+        attach_s = _best(_attach)
+        handle_bytes = shard_handle_nbytes(handle)
+    finally:
+        shared.close(unlink=True)
+
+    return ShardHandoff(
+        problem=problem,
+        nparticles=nparticles,
+        shard_lo=lo,
+        shard_hi=hi,
+        pickled_particles_bytes=len(aos_payload),
+        pickled_arena_bytes=len(arena_payload),
+        handle_bytes=handle_bytes,
+        unpickle_particles_s=unpickle_particles_s,
+        unpickle_arena_s=unpickle_arena_s,
+        attach_s=attach_s,
     )
 
 

@@ -221,6 +221,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(format_profile(c.kernel_profile))
         print(f"workspace buffers: {c.workspace_allocations} allocations, "
               f"{c.workspace_reuses} reuses")
+        arena = result.arena
+        print(f"arena storage: {c.arena_nbytes} B for {len(arena)} "
+              f"particles ({type(arena).bytes_per_particle()} B/particle "
+              f"SoA vs {type(arena).bytes_per_particle_aos()} B AoS record)")
         if c.xs_bin_reuses:
             print(f"xs bin reuse: {c.xs_bin_reuses} of {c.xs_lookups} "
                   f"lookups skipped the search")

@@ -114,6 +114,12 @@ class Counters:
     #: how many reused one already sized (allocation-avoidance evidence).
     workspace_allocations: int = 0
     workspace_reuses: int = 0
+    #: Final-population arena footprint in bytes (storage-layer accounting,
+    #: §VI-D).  Alignment padding makes shard footprints non-additive, so —
+    #: like :attr:`kernel_profile` — this is excluded from
+    #: :attr:`_SCALAR_FIELDS`; the pool reduction overwrites it with the
+    #: merged population's footprint.
+    arena_nbytes: int = 0
 
     # --- per-particle work distribution (load imbalance, §VI-C) ----------
     collisions_per_particle: np.ndarray = field(
@@ -211,6 +217,9 @@ class Counters:
         self.tally_conflict_probability = max(
             self.tally_conflict_probability, other.tally_conflict_probability
         )
+        # Peak footprint across the merged runs (overwritten with the merged
+        # population's own footprint where one exists, e.g. pool reduction).
+        self.arena_nbytes = max(self.arena_nbytes, other.arena_nbytes)
 
     def merge(self, other: "Counters") -> None:
         """Accumulate another run of the *same* population

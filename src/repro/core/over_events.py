@@ -28,9 +28,12 @@ out of the hot path — a particle whose energy is bitwise-unchanged since
 its last search in the same material reuses its cached bins, counted in
 ``Counters.xs_bin_reuses``.
 
-The driver also supports the §IX extensions (vacuum boundaries, Russian
-roulette, multi-material meshes, fission).  Fission secondaries are
-appended to the store between passes and advance with the population.
+The population lives in one :class:`~repro.particles.arena.ParticleArena`
+that every kernel views in place.  The driver also supports the §IX
+extensions (vacuum boundaries, Russian roulette, multi-material meshes,
+fission).  Fission secondaries are banked as field records and appended
+to the arena between passes, advancing with the population — no
+per-particle object is ever constructed (the kernel audit enforces that).
 
 The physics — including per-particle RNG streams and the deterministic
 derivation of secondary identities — is identical to the Over Particles
@@ -50,9 +53,8 @@ from repro.kernels import EVENT_KERNELS, KernelDispatch, Workspace
 from repro.kernels.batch import EventKind, split_counts
 from repro.mesh.structured import StructuredMesh
 from repro.mesh.tally import EnergyDepositionTally
-from repro.particles.particle import Particle
-from repro.particles.soa import ParticleStore
-from repro.particles.source import sample_source_soa
+from repro.particles.arena import ParticleArena, ParticleRecord
+from repro.particles.source import sample_source
 from repro.physics.fission import sample_secondary_energy, secondary_id
 from repro.physics.importance import clone_id
 from repro.rng.distributions import sample_isotropic_direction, sample_mean_free_paths
@@ -66,7 +68,7 @@ class _EventContext:
     """Run-wide state for the Over Events driver."""
 
     def __init__(self, config: SimulationConfig, mesh: StructuredMesh,
-                 tally: EnergyDepositionTally, store: ParticleStore,
+                 tally: EnergyDepositionTally, store: ParticleArena,
                  dispatch: KernelDispatch, ws: Workspace):
         self.config = config
         self.mesh = mesh
@@ -90,7 +92,7 @@ class _EventContext:
         self.facet_pp = np.zeros(n, dtype=np.int64)
         self.nbins_log2 = int(np.ceil(np.log2(max(config.xs_nentries, 2))))
         self.rng = VectorParticleRNG(config.seed, store.particle_id, store.rng_counter)
-        self.pending_children: list[Particle] = []
+        self.pending_children: list[ParticleRecord] = []
         # Bin-reuse hoist state: the energy (bitwise) and material at each
         # particle's last bin search.  NaN / -1 mean "never searched".
         self.last_e = np.full(n, np.nan)
@@ -200,12 +202,13 @@ class _EventContext:
                 u_mfp = rng.next_uniform()
                 mat = self.materials[int(self.mat_idx[pi])]
                 ox, oy = sample_isotropic_direction(u_dir)
-                child = Particle(
+                energy = sample_secondary_energy(u_energy, mat.fission_energy_ev)
+                child = ParticleRecord(
                     x=float(store.x[pi]),
                     y=float(store.y[pi]),
                     omega_x=ox,
                     omega_y=oy,
-                    energy=sample_secondary_energy(u_energy, mat.fission_energy_ev),
+                    energy=energy,
                     weight=1.0,
                     cellx=int(store.cellx[pi]),
                     celly=int(store.celly[pi]),
@@ -213,9 +216,9 @@ class _EventContext:
                     dt_to_census=float(store.dt_to_census[pi]),
                     mfp_to_collision=sample_mean_free_paths(u_mfp),
                     rng_counter=rng.counter,
+                    local_density=float(store.local_density[pi]),
                 )
-                child.local_density = float(store.local_density[pi])
-                c.fission_injected_energy += child.weight * child.energy
+                c.fission_injected_energy += 1.0 * energy
                 c.secondaries_banked += 1
                 c.rng_draws += 3
                 self.pending_children.append(child)
@@ -224,7 +227,7 @@ class _EventContext:
         """Append banked secondaries to the population between passes."""
         if not self.pending_children:
             return
-        chunk = ParticleStore.from_particles(self.pending_children)
+        chunk = type(self.store).from_records(self.pending_children)
         n_new = len(chunk)
         self.store.extend(chunk)
         self.micro_s = np.concatenate([self.micro_s, np.zeros(n_new)])
@@ -490,7 +493,7 @@ class _EventContext:
                                 int(ctr),
                                 k,
                             )
-                            child = Particle(
+                            child = ParticleRecord(
                                 x=float(store.x[pi]),
                                 y=float(store.y[pi]),
                                 omega_x=float(store.omega_x[pi]),
@@ -505,11 +508,11 @@ class _EventContext:
                                     store.mfp_to_collision[pi]
                                 ),
                                 rng_counter=0,
+                                local_density=float(store.local_density[pi]),
+                                scatter_bin=int(store.scatter_bin[pi]),
+                                capture_bin=int(store.capture_bin[pi]),
+                                fission_bin=int(store.fission_bin[pi]),
                             )
-                            child.local_density = float(store.local_density[pi])
-                            child.scatter_bin = int(store.scatter_bin[pi])
-                            child.capture_bin = int(store.capture_bin[pi])
-                            child.fission_bin = int(store.fission_bin[pi])
                             counters.clones_banked += 1
                             self.pending_children.append(child)
                         store.weight[pi] = w_each
@@ -569,7 +572,7 @@ class _EventContext:
 
 def run_over_events(
     config: SimulationConfig,
-    store: ParticleStore | None = None,
+    arena: ParticleArena | None = None,
     tally: EnergyDepositionTally | None = None,
 ):
     """Run the full calculation with the Over Events scheme.
@@ -578,16 +581,17 @@ def run_over_events(
     ----------
     config:
         The simulation specification.
-    store:
-        A pre-sampled SoA particle store (for scheme-equivalence tests);
-        sampled from the config's source when omitted.
+    arena:
+        A pre-sampled :class:`ParticleArena` (shard views from the worker
+        pool, scheme-equivalence tests); sampled from the config's source
+        when omitted.  Advanced in place.
     tally:
         An existing tally to accumulate into; a fresh one when omitted.
 
     Returns
     -------
     TransportResult
-        Tally, counters, the final particle store (including any fission
+        Tally, counters, the final arena (including any fission
         secondaries), and wall-clock time.  ``counters.kernel_profile``
         carries the per-kernel call/item/time table from the dispatch
         layer; ``counters.workspace_allocations`` / ``workspace_reuses``
@@ -600,8 +604,9 @@ def run_over_events(
     if tally is None:
         tally = EnergyDepositionTally(config.nx, config.ny)
     materials = config.resolved_materials()
+    store = arena
     if store is None:
-        store = sample_source_soa(
+        store = sample_source(
             mesh, config.source, config.nparticles, config.seed, config.dt,
             scatter_table=materials[0].scatter,
             capture_table=materials[0].capture,
@@ -698,7 +703,9 @@ def run_over_events(
             ctx.absorb_children()
             store = ctx.store
 
-    store.rng_counter = ctx.rng.counters
+    # In-place write — the arena's fields are views of one shared buffer
+    # and must never be rebound.
+    store.rng_counter[...] = ctx.rng.counters
     counters.nparticles = len(store)
     counters.collisions_per_particle = ctx.coll_pp
     counters.facets_per_particle = ctx.facet_pp
@@ -706,13 +713,13 @@ def run_over_events(
     counters.kernel_profile = dispatch.profile()
     counters.workspace_allocations = ws.allocations
     counters.workspace_reuses = ws.reuses
+    counters.arena_nbytes = store.nbytes()
 
     return TransportResult(
         config=config,
         scheme=Scheme.OVER_EVENTS,
         tally=tally,
         counters=counters,
-        particles=None,
-        store=store,
+        arena=store,
         wallclock_s=time.perf_counter() - t0,
     )

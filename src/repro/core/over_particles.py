@@ -12,6 +12,13 @@ the counter-based RNG gives every history its own stream, so final
 particle states are bit-identical for every block size (the parity suite
 asserts this for block sizes 1, 7, 64 and N).
 
+The population lives in one :class:`~repro.particles.arena.ParticleArena`:
+blocks gather their lanes from the arena's SoA fields and scatter final
+state back with vector fancy-indexing; fission secondaries and VR clones
+are banked as field records and appended to the arena in deterministic
+(parent, event, child) order — no per-particle object is ever constructed
+on this path (the kernel audit enforces that).
+
 The defining performance properties the paper attributes to this scheme
 remain visible in the code structure:
 
@@ -53,8 +60,8 @@ from repro.kernels import xs as kernel_xs
 from repro.kernels.batch import EventKind, split_counts
 from repro.mesh.structured import StructuredMesh
 from repro.mesh.tally import EnergyDepositionTally
-from repro.particles.particle import Particle
-from repro.particles.source import sample_source_aos
+from repro.particles.arena import ParticleArena, ParticleRecord
+from repro.particles.source import sample_source
 from repro.physics.fission import sample_secondary_energy, secondary_id
 from repro.physics.importance import clone_id
 from repro.rng.distributions import sample_isotropic_direction, sample_mean_free_paths
@@ -88,10 +95,10 @@ class _SweepContext:
         self.coll_pp: list[int] = []
         self.facet_pp: list[int] = []
         #: Banked offspring as ``(parent_index, parent_counter, child_index,
-        #: Particle)``.  Sorting by the first three fields before the bank
-        #: joins the population reproduces exactly the order in which a
+        #: ParticleRecord)``.  Sorting by the first three fields before the
+        #: bank joins the arena reproduces exactly the order in which a
         #: one-history-at-a-time traversal would have appended them.
-        self.bank: list[tuple[int, int, int, Particle]] = []
+        self.bank: list[tuple[int, int, int, ParticleRecord]] = []
         #: Optional event trace: (history_index, EventKind int, flat cell).
         #: Consumed by :mod:`repro.simexec` for discrete-event replay.
         self.trace: list[tuple[int, int, int]] | None = None
@@ -111,8 +118,8 @@ def _spawn_secondary(
     celly: int,
     local_density: float,
     dt_remaining: float,
-) -> Particle:
-    """Create one fission secondary at the parent's position.
+) -> ParticleRecord:
+    """Bank-record for one fission secondary at the parent's position.
 
     The child's identity derives deterministically from the parent's state
     (id and event counter), so both schemes bank bit-identical children.
@@ -126,12 +133,15 @@ def _spawn_secondary(
     u_mfp = rng.next_uniform()
     mat = ctx.materials[ctx.material_at(cellx, celly)]
     ox, oy = sample_isotropic_direction(u_dir)
-    child = Particle(
+    energy = sample_secondary_energy(u_energy, mat.fission_energy_ev)
+    # Birth initialisation of the cached bins (like the source sampler's) —
+    # the history's first counted lookup then walks from the right line.
+    return ParticleRecord(
         x=x,
         y=y,
         omega_x=ox,
         omega_y=oy,
-        energy=sample_secondary_energy(u_energy, mat.fission_energy_ev),
+        energy=energy,
         weight=1.0,
         cellx=cellx,
         celly=celly,
@@ -139,53 +149,52 @@ def _spawn_secondary(
         dt_to_census=dt_remaining,
         mfp_to_collision=sample_mean_free_paths(u_mfp),
         rng_counter=rng.counter,
+        local_density=local_density,
+        scatter_bin=binary_search_bin(mat.scatter, energy),
+        capture_bin=binary_search_bin(mat.capture, energy),
+        fission_bin=(
+            binary_search_bin(mat.fission, energy) if mat.fissile else 0
+        ),
     )
-    child.local_density = local_density
-    # Birth initialisation of the cached bins (like the source sampler's) —
-    # the history's first counted lookup then walks from the right line.
-    child.scatter_bin = binary_search_bin(mat.scatter, child.energy)
-    child.capture_bin = binary_search_bin(mat.capture, child.energy)
-    if mat.fissile:
-        child.fission_bin = binary_search_bin(mat.fission, child.energy)
-    return child
 
 
 class _Block:
     """One block of alive histories advanced in lock-step waves.
 
-    State is gathered from the AoS particles into block-local arrays
+    State is gathered from the arena's SoA fields into block-local arrays
     ("registers"), every wave advances each still-active lane by exactly
     one event through the shared kernel layer, and the final state is
-    scattered back into the same :class:`Particle` objects.  Each lane
-    draws from its own counter-based stream, so no lane's history depends
-    on which other lanes share the block.
+    scattered back into the same arena slots.  Each lane draws from its
+    own counter-based stream, so no lane's history depends on which other
+    lanes share the block.
     """
 
-    def __init__(self, ctx: _SweepContext, particles: list[Particle],
-                 idx: list[int]):
+    def __init__(self, ctx: _SweepContext, arena: ParticleArena,
+                 idx: np.ndarray):
         self.ctx = ctx
-        self.particles = particles
+        self.arena = arena
         self.idx = np.asarray(idx, dtype=np.int64)
-        parts = [particles[i] for i in idx]
-        n = self.n = len(parts)
-        self.x = np.array([p.x for p in parts])
-        self.y = np.array([p.y for p in parts])
-        self.omega_x = np.array([p.omega_x for p in parts])
-        self.omega_y = np.array([p.omega_y for p in parts])
-        self.energy = np.array([p.energy for p in parts])
-        self.weight = np.array([p.weight for p in parts])
-        self.cellx = np.array([p.cellx for p in parts], dtype=np.int64)
-        self.celly = np.array([p.celly for p in parts], dtype=np.int64)
-        self.dt = np.array([p.dt_to_census for p in parts])
-        self.mfp = np.array([p.mfp_to_collision for p in parts])
-        self.deposit = np.array([p.deposit_buffer for p in parts])
-        self.local_density = np.array([p.local_density for p in parts])
-        self.sbin = np.array([p.scatter_bin for p in parts], dtype=np.int64)
-        self.cbin = np.array([p.capture_bin for p in parts], dtype=np.int64)
-        self.fbin = np.array([p.fission_bin for p in parts], dtype=np.int64)
-        self.pid = np.array([p.particle_id for p in parts], dtype=np.uint64)
-        counters = np.array([p.rng_counter for p in parts], dtype=np.uint64)
-        self.rng = VectorParticleRNG(ctx.config.seed, self.pid, counters)
+        n = self.n = self.idx.size
+        gather = self.idx
+        self.x = arena.x[gather]
+        self.y = arena.y[gather]
+        self.omega_x = arena.omega_x[gather]
+        self.omega_y = arena.omega_y[gather]
+        self.energy = arena.energy[gather]
+        self.weight = arena.weight[gather]
+        self.cellx = arena.cellx[gather]
+        self.celly = arena.celly[gather]
+        self.dt = arena.dt_to_census[gather]
+        self.mfp = arena.mfp_to_collision[gather]
+        self.deposit = arena.deposit_buffer[gather]
+        self.local_density = arena.local_density[gather]
+        self.sbin = arena.scatter_bin[gather]
+        self.cbin = arena.capture_bin[gather]
+        self.fbin = arena.fission_bin[gather]
+        self.pid = arena.particle_id[gather]
+        self.rng = VectorParticleRNG(
+            ctx.config.seed, self.pid, arena.rng_counter[gather]
+        )
         self.alive = np.ones(n, dtype=bool)
         self.active = np.ones(n, dtype=bool)
         self.mat_idx = ctx.material_map[self.celly, self.cellx]
@@ -459,7 +468,8 @@ class _Block:
                     float(self.local_density[lane]),
                     float(self.dt[lane]),
                 )
-                c.fission_injected_energy += child.weight * child.energy
+                c_energy, c_weight = child.energy_weight
+                c.fission_injected_energy += c_weight * c_energy
                 c.secondaries_banked += 1
                 c.rng_draws += 3
                 ctx.bank.append((gi, int(counters_at_event[j]), k, child))
@@ -570,7 +580,7 @@ class _Block:
                             cid = clone_id(
                                 config.seed, int(self.pid[pi]), int(ctr), k
                             )
-                            clone = Particle(
+                            clone = ParticleRecord(
                                 x=float(self.x[pi]),
                                 y=float(self.y[pi]),
                                 omega_x=float(self.omega_x[pi]),
@@ -583,11 +593,11 @@ class _Block:
                                 dt_to_census=float(self.dt[pi]),
                                 mfp_to_collision=float(self.mfp[pi]),
                                 rng_counter=0,
+                                local_density=float(self.local_density[pi]),
+                                scatter_bin=int(self.sbin[pi]),
+                                capture_bin=int(self.cbin[pi]),
+                                fission_bin=int(self.fbin[pi]),
                             )
-                            clone.local_density = float(self.local_density[pi])
-                            clone.scatter_bin = int(self.sbin[pi])
-                            clone.capture_bin = int(self.cbin[pi])
-                            clone.fission_bin = int(self.fbin[pi])
                             counters.clones_banked += 1
                             ctx.bank.append((gi, int(ctr), k, clone))
                         self.weight[pi] = w_each
@@ -645,31 +655,31 @@ class _Block:
 
     # ------------------------------------------------------------------
     def writeback(self) -> None:
-        """Scatter final lane state back into the AoS particles."""
-        for lane in range(self.n):
-            p = self.particles[int(self.idx[lane])]
-            p.x = float(self.x[lane])
-            p.y = float(self.y[lane])
-            p.omega_x = float(self.omega_x[lane])
-            p.omega_y = float(self.omega_y[lane])
-            p.energy = float(self.energy[lane])
-            p.weight = float(self.weight[lane])
-            p.cellx = int(self.cellx[lane])
-            p.celly = int(self.celly[lane])
-            p.dt_to_census = float(self.dt[lane])
-            p.mfp_to_collision = float(self.mfp[lane])
-            p.deposit_buffer = float(self.deposit[lane])
-            p.local_density = float(self.local_density[lane])
-            p.scatter_bin = int(self.sbin[lane])
-            p.capture_bin = int(self.cbin[lane])
-            p.fission_bin = int(self.fbin[lane])
-            p.alive = bool(self.alive[lane])
-            p.rng_counter = int(self.rng.counters[lane])
+        """Scatter final lane state back into the arena (vectorised)."""
+        arena = self.arena
+        idx = self.idx
+        arena.x[idx] = self.x
+        arena.y[idx] = self.y
+        arena.omega_x[idx] = self.omega_x
+        arena.omega_y[idx] = self.omega_y
+        arena.energy[idx] = self.energy
+        arena.weight[idx] = self.weight
+        arena.cellx[idx] = self.cellx
+        arena.celly[idx] = self.celly
+        arena.dt_to_census[idx] = self.dt
+        arena.mfp_to_collision[idx] = self.mfp
+        arena.deposit_buffer[idx] = self.deposit
+        arena.local_density[idx] = self.local_density
+        arena.scatter_bin[idx] = self.sbin
+        arena.capture_bin[idx] = self.cbin
+        arena.fission_bin[idx] = self.fbin
+        arena.alive[idx] = self.alive
+        arena.rng_counter[idx] = self.rng.counters
 
 
 def run_over_particles(
     config: SimulationConfig,
-    particles: list[Particle] | None = None,
+    arena: ParticleArena | None = None,
     tally: EnergyDepositionTally | None = None,
     trace: list | None = None,
 ):
@@ -681,9 +691,10 @@ def run_over_particles(
         The simulation specification; ``config.op_block_size`` sets how
         many histories advance together (1 = classic depth-first order;
         final particle states are bit-identical for every block size).
-    particles:
-        Pre-sampled particles (for scheme-equivalence tests); sampled from
-        the config's source when omitted.
+    arena:
+        A pre-sampled :class:`ParticleArena` (shard views from the worker
+        pool, scheme-equivalence tests); sampled from the config's source
+        when omitted.  Advanced in place.
     tally:
         An existing tally to accumulate into; a fresh one when omitted.
     trace:
@@ -697,7 +708,7 @@ def run_over_particles(
     Returns
     -------
     TransportResult
-        Tally, counters, final particle states (including any fission
+        Tally, counters, the final arena (including any fission
         secondaries), and wall-clock time.
     """
     # Imported here to avoid a circular import with simulation.py.
@@ -712,45 +723,43 @@ def run_over_particles(
     ctx = _SweepContext(config, mesh, tally, dispatch, ws)
     ctx.trace = trace
     primary = ctx.materials[0]
-    if particles is None:
-        particles = sample_source_aos(
+    if arena is None:
+        arena = sample_source(
             mesh, config.source, config.nparticles, config.seed, config.dt,
             scatter_table=primary.scatter, capture_table=primary.capture,
         )
 
-    ctx.counters.nparticles = len(particles)
-    ctx.counters.rng_draws += 4 * len(particles)  # birth draws
-    ctx.coll_pp = [0] * len(particles)
-    ctx.facet_pp = [0] * len(particles)
+    ctx.counters.nparticles = len(arena)
+    ctx.counters.rng_draws += 4 * len(arena)  # birth draws
+    ctx.coll_pp = [0] * len(arena)
+    ctx.facet_pp = [0] * len(arena)
 
     block_size = config.op_block_size
 
     for step in range(config.ntimesteps):
         if step > 0:
-            for p in particles:
-                if p.alive:
-                    p.dt_to_census = config.dt
+            arena.dt_to_census[arena.alive] = config.dt
         cursor = 0
-        while cursor < len(particles):
-            hi = min(cursor + block_size, len(particles))
-            idx = [i for i in range(cursor, hi) if particles[i].alive]
-            if idx:
-                _Block(ctx, particles, idx).run()
+        while cursor < len(arena):
+            hi = min(cursor + block_size, len(arena))
+            idx = cursor + np.nonzero(arena.alive[cursor:hi])[0]
+            if idx.size:
+                _Block(ctx, arena, idx).run()
             cursor = hi
             # Drain the fission bank within the timestep: offspring join
             # the population in the deterministic (parent, event, child)
             # order and are tracked in turn (their own fissions may bank
             # further generations).
-            if cursor == len(particles) and ctx.bank:
+            if cursor == len(arena) and ctx.bank:
                 ctx.bank.sort(key=lambda entry: entry[:3])
                 children = [entry[3] for entry in ctx.bank]
-                particles.extend(children)
+                arena.append_records(children)
                 ctx.coll_pp.extend([0] * len(children))
                 ctx.facet_pp.extend([0] * len(children))
                 ctx.bank = []
 
     counters = ctx.counters
-    counters.nparticles = len(particles)
+    counters.nparticles = len(arena)
     counters.xs_lookups = ctx.lookup_stats.lookups
     counters.xs_binary_probes = ctx.lookup_stats.binary_probes
     counters.xs_linear_probes = ctx.lookup_stats.linear_probes
@@ -760,13 +769,13 @@ def run_over_particles(
     counters.kernel_profile = dispatch.profile()
     counters.workspace_allocations = ws.allocations
     counters.workspace_reuses = ws.reuses
+    counters.arena_nbytes = arena.nbytes()
 
     return TransportResult(
         config=config,
         scheme=Scheme.OVER_PARTICLES,
         tally=tally,
         counters=counters,
-        particles=particles,
-        store=None,
+        arena=arena,
         wallclock_s=time.perf_counter() - t0,
     )

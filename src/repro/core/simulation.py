@@ -11,7 +11,7 @@
 Both schemes are exposed behind the same interface and produce identical
 physics; :class:`TransportResult` carries everything downstream layers need
 — the tally for validation, the counters for the machine models, and the
-final particle population for multi-timestep coupling.
+final particle arena for multi-timestep coupling.
 """
 
 from __future__ import annotations
@@ -23,8 +23,7 @@ import numpy as np
 from repro.core.config import Scheme, SimulationConfig
 from repro.core.counters import Counters
 from repro.mesh.tally import EnergyDepositionTally
-from repro.particles.particle import Particle
-from repro.particles.soa import ParticleStore
+from repro.particles.arena import ParticleArena
 
 __all__ = ["TransportResult", "Simulation"]
 
@@ -44,10 +43,12 @@ class TransportResult:
     counters:
         Algorithm instrumentation (events, memory touches, work
         distribution) for the performance model.
-    particles:
-        Final AoS particle list (Over Particles runs).
-    store:
-        Final SoA store (Over Events runs).
+    arena:
+        The final particle population as one SoA
+        :class:`~repro.particles.arena.ParticleArena` (both schemes;
+        includes any fission secondaries/clones).  Use
+        ``arena.as_particles()`` for detached AoS records, or
+        ``arena.proxy(i)`` for a mutable per-index view.
     wallclock_s:
         Host wall-clock time of the Python run.  *Not* used by any paper
         figure — those come from the machine models — but reported for the
@@ -58,23 +59,40 @@ class TransportResult:
     scheme: Scheme
     tally: EnergyDepositionTally
     counters: Counters
-    particles: list[Particle] | None
-    store: ParticleStore | None
+    arena: ParticleArena
     wallclock_s: float
     #: Per-worker accounting when the run executed on the worker pool
     #: (:mod:`repro.parallel.pool`); ``None`` for serial runs.
     pool: "PoolRunInfo | None" = None
 
     # ------------------------------------------------------------------
+    @property
+    def particles(self):
+        """Removed — the ``particles | store`` union collapsed into
+        :attr:`arena`."""
+        raise AttributeError(
+            "TransportResult.particles was removed: the population now "
+            "lives in result.arena (ParticleArena). Use "
+            "result.arena.as_particles() for a detached AoS list, or "
+            "result.arena.proxy(i) for a per-index view."
+        )
+
+    @property
+    def store(self):
+        """Removed — the ``particles | store`` union collapsed into
+        :attr:`arena`."""
+        raise AttributeError(
+            "TransportResult.store was removed: the population now lives "
+            "in result.arena (ParticleArena), which is a ParticleStore "
+            "subclass — use result.arena directly."
+        )
+
     def in_flight_energy_ev(self) -> float:
         """Weighted energy still carried by live particles."""
-        if self.store is not None:
-            alive = self.store.alive
-            return float(
-                np.sum(self.store.weight[alive] * self.store.energy[alive])
-            )
-        assert self.particles is not None
-        return sum(p.weight * p.energy for p in self.particles if p.alive)
+        alive = self.arena.alive
+        return float(
+            np.sum(self.arena.weight[alive] * self.arena.energy[alive])
+        )
 
     def deposited_energy_ev(self) -> float:
         """Total energy deposited on the tally mesh."""
@@ -82,10 +100,7 @@ class TransportResult:
 
     def alive_count(self) -> int:
         """Histories still alive (censused, not terminated)."""
-        if self.store is not None:
-            return int(self.store.alive.sum())
-        assert self.particles is not None
-        return sum(1 for p in self.particles if p.alive)
+        return int(self.arena.alive.sum())
 
 
 class Simulation:

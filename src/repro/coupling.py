@@ -107,20 +107,18 @@ def run_coupled(
 
     depositions = []
     iterations = []
-    population = None  # particles list or store, carried between steps
+    population = None  # ParticleArena, carried between steps
     total = 0.0
 
+    driver = (
+        run_over_particles
+        if scheme is Scheme.OVER_PARTICLES
+        else run_over_events
+    )
     for step in range(nsteps):
-        if scheme is Scheme.OVER_PARTICLES:
-            result = run_over_particles(step_cfg, particles=population)
-            population = result.particles
-            for p in population:
-                if p.alive:
-                    p.dt_to_census = step_cfg.dt
-        else:
-            result = run_over_events(step_cfg, store=population)
-            population = result.store
-            population.dt_to_census[population.alive] = step_cfg.dt
+        result = driver(step_cfg, arena=population)
+        population = result.arena
+        population.dt_to_census[population.alive] = step_cfg.dt
 
         dep = result.tally.deposition.copy()
         depositions.append(dep)

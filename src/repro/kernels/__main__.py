@@ -5,7 +5,12 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.kernels.audit import AUDITED_PACKAGES, audit_vec_definitions
+from repro.kernels.audit import (
+    ARENA_AUDITED_PACKAGES,
+    AUDITED_PACKAGES,
+    audit_particle_construction,
+    audit_vec_definitions,
+)
 
 
 def main(argv=None) -> int:
@@ -16,20 +21,26 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--check",
         action="store_true",
-        help="fail if any *_vec physics implementation exists outside repro/kernels",
+        help="fail if any *_vec physics implementation exists outside "
+        "repro/kernels, or any hot path constructs AoS particle records",
     )
     args = parser.parse_args(argv)
     if not args.check:
         parser.print_help()
         return 2
-    violations = audit_vec_definitions()
+    violations = audit_vec_definitions() + audit_particle_construction()
     if violations:
         for v in violations:
             print(v, file=sys.stderr)
-        print(f"FAILED: {len(violations)} duplicate kernel definition(s)", file=sys.stderr)
+        print(f"FAILED: {len(violations)} kernel/storage violation(s)",
+              file=sys.stderr)
         return 1
     pkgs = ", ".join(AUDITED_PACKAGES)
-    print(f"OK: no *_vec physics implementations outside repro/kernels ({pkgs} audited)")
+    arena_pkgs = ", ".join(ARENA_AUDITED_PACKAGES)
+    print(f"OK: no *_vec physics implementations outside repro/kernels "
+          f"({pkgs} audited)")
+    print(f"OK: no AoS particle construction in hot paths "
+          f"({arena_pkgs} audited)")
     return 0
 
 

@@ -15,6 +15,13 @@ Permitted:
 * an explicit allowlist for genuine batch primitives that predate the
   kernel layer and live with their scalar reference for cipher-level
   test symmetry (``threefry2x64_vec``).
+
+A second audit guards the storage layer: the hot driver packages
+(``repro/core``, ``repro/parallel``, ``repro/volume``) must not construct
+AoS particle records — ``Particle(...)``/``Particle3(...)`` calls are
+rejected so the population stays in the SoA
+:class:`~repro.particles.arena.ParticleArena` (secondaries are banked as
+:class:`~repro.particles.arena.ParticleRecord` tuples instead).
 """
 
 from __future__ import annotations
@@ -22,7 +29,15 @@ from __future__ import annotations
 import ast
 from pathlib import Path
 
-__all__ = ["audit_vec_definitions", "AUDITED_PACKAGES", "ALLOWED_VEC_DEFS"]
+__all__ = [
+    "audit_vec_definitions",
+    "audit_particle_construction",
+    "AUDITED_PACKAGES",
+    "ALLOWED_VEC_DEFS",
+    "ARENA_AUDITED_PACKAGES",
+    "FORBIDDEN_PARTICLE_CTORS",
+    "ALLOWED_PARTICLE_CTORS",
+]
 
 #: Packages that must not define ``*_vec`` implementations.
 AUDITED_PACKAGES = ("physics", "xs", "rng")
@@ -31,6 +46,17 @@ AUDITED_PACKAGES = ("physics", "xs", "rng")
 ALLOWED_VEC_DEFS = {
     ("rng/threefry.py", "threefry2x64_vec"),
 }
+
+#: Packages whose hot paths must not construct AoS particle records.
+ARENA_AUDITED_PACKAGES = ("core", "parallel", "volume")
+
+#: Callable names that count as AoS particle construction.
+FORBIDDEN_PARTICLE_CTORS = ("Particle", "Particle3")
+
+#: (relative path, line) pairs exempt from the construction rule — empty:
+#: the refactor removed every hot-path constructor call, and this audit
+#: keeps it that way.
+ALLOWED_PARTICLE_CTORS: set[tuple[str, int]] = set()
 
 
 def _is_thin_wrapper(node: ast.FunctionDef) -> bool:
@@ -73,5 +99,49 @@ def audit_vec_definitions(package_root: str | Path | None = None) -> list[str]:
                     f"{rel}:{node.lineno}: def {node.name} — vectorised "
                     "physics must live in repro/kernels (alias or thin "
                     "wrapper only)"
+                )
+    return violations
+
+
+def _call_name(node: ast.Call) -> str | None:
+    """The bare callable name of ``f(...)`` or ``mod.f(...)``."""
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def audit_particle_construction(
+    package_root: str | Path | None = None,
+) -> list[str]:
+    """Reject AoS particle construction in the hot driver packages.
+
+    Scans :data:`ARENA_AUDITED_PACKAGES` for calls to any name in
+    :data:`FORBIDDEN_PARTICLE_CTORS`; returns violation messages (empty
+    list means the audit passes).  New population entries must be banked
+    as ``ParticleRecord`` tuples and appended to the arena.
+    """
+    if package_root is None:
+        package_root = Path(__file__).resolve().parent.parent
+    package_root = Path(package_root)
+    violations: list[str] = []
+    for pkg in ARENA_AUDITED_PACKAGES:
+        for path in sorted((package_root / pkg).rglob("*.py")):
+            rel = path.relative_to(package_root).as_posix()
+            tree = ast.parse(path.read_text(), filename=str(path))
+            for node in ast.walk(tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                name = _call_name(node)
+                if name not in FORBIDDEN_PARTICLE_CTORS:
+                    continue
+                if (rel, node.lineno) in ALLOWED_PARTICLE_CTORS:
+                    continue
+                violations.append(
+                    f"{rel}:{node.lineno}: {name}(...) — hot paths must "
+                    "not build AoS particle records; bank a "
+                    "ParticleRecord and append it to the arena"
                 )
     return violations

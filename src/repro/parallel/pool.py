@@ -15,6 +15,18 @@ loop:
   private :class:`Counters` per shard, reduced by the parent in shard-id
   order — the §VI-F tally-privatisation pattern, for real this time.
 
+Zero-copy shard hand-off.  The parent samples the population into one
+:class:`~repro.particles.arena.ParticleArena` and re-homes it into a
+``multiprocessing.shared_memory`` block; each worker receives only the
+tiny ``(name, n_total)`` handle and attaches a zero-copy view — shard
+tasks stay ``(shard_id, attempt, lo, hi)`` tuples, so the per-shard
+payload shipped to a worker is a few dozen bytes instead of a pickled
+``list[Particle]``.  A worker *copies* its ``[lo, hi)`` slice before
+running the driver (drivers advance state in place), which keeps the
+shared slice pristine: a retried shard re-attaches the very same bytes
+and re-executes bit-identically.  The parent owns the segment's lifetime
+and unlinks it after the reduction.
+
 Fault tolerance.  A long campaign must survive partial executor failure
 (cf. DESIGN.md §4c "Failure model and recovery").  The parent runs a
 watchdog loop that detects
@@ -65,9 +77,8 @@ from repro.mesh.structured import StructuredMesh
 from repro.mesh.tally import EnergyDepositionTally
 from repro.parallel.faults import KILLED_EXIT_CODE, FaultInjected, FaultPlan
 from repro.parallel.schedule import ScheduleKind
-from repro.particles.particle import Particle
-from repro.particles.soa import ParticleStore
-from repro.particles.source import sample_source_aos, sample_source_soa
+from repro.particles.arena import ParticleArena
+from repro.particles.source import sample_source
 
 __all__ = ["PoolOptions", "WorkerReport", "PoolRunInfo", "run_pool"]
 
@@ -280,42 +291,40 @@ class PoolRunInfo:
 def _run_ranges(config, scheme, population, ranges):
     """Run the scheme driver over each ``(lo, hi)`` history range.
 
+    ``population`` is a :class:`ParticleArena` — private or shared-memory
+    backed; each range is materialised as a *copy* of the zero-copy view
+    before the driver advances it, so the population itself is never
+    mutated and a retried range re-executes from identical bytes.
     Accumulates into one private tally and one private counter set, in
     range order; returns everything the parent needs for the reduction.
     """
     from repro.core.over_events import run_over_events
     from repro.core.over_particles import run_over_particles
 
+    driver = (
+        run_over_particles if scheme is Scheme.OVER_PARTICLES
+        else run_over_events
+    )
     tally = EnergyDepositionTally(config.nx, config.ny)
     counters = Counters()
-    parts: list[Particle] = []
-    store: ParticleStore | None = None
+    arena: ParticleArena | None = None
     busy = 0.0
     histories = 0
     chunks = 0
     for lo, hi in ranges:
         chunks += 1
         histories += hi - lo
-        if scheme is Scheme.OVER_PARTICLES:
-            r = run_over_particles(
-                config, particles=population[lo:hi], tally=tally
-            )
-            parts.extend(r.particles)
+        r = driver(config, population.view(lo, hi).copy(), tally=tally)
+        if arena is None:
+            arena = r.arena
         else:
-            r = run_over_events(
-                config, store=population.subset(np.arange(lo, hi)), tally=tally
-            )
-            if store is None:
-                store = r.store
-            else:
-                store.extend(r.store)
+            arena.extend(r.arena)
         counters.merge_disjoint(r.counters)
         busy += r.wallclock_s
     return {
         "tally": tally,
         "counters": counters,
-        "particles": parts if scheme is Scheme.OVER_PARTICLES else None,
-        "store": store,
+        "arena": arena,
         "busy_s": busy,
         "histories": histories,
         "chunks": chunks,
@@ -335,9 +344,17 @@ def _hard_exit(result_queue):
     os._exit(KILLED_EXIT_CODE)
 
 
-def _worker_main(worker_id, incarnation, config, scheme, population,
+def _worker_main(worker_id, incarnation, config, scheme, handle,
                  task_queue, result_queue, heartbeats, plan, hb_interval):
     """Worker process entry point: pull shards, announce, run, ship.
+
+    ``handle`` is the population hand-off — the ``(shm_name, n_total)``
+    tuple naming the parent's shared-memory arena.  The worker attaches a
+    zero-copy view once (a few dozen bytes crossed the process boundary,
+    not a pickled particle list) and every shard task addresses a
+    ``[lo, hi)`` slice of it.  The attached bytes are never written —
+    :func:`_run_ranges` copies each slice before running — so a retried
+    shard, on this worker or a respawned one, re-reads identical state.
 
     Must stay importable at module level for ``spawn``.  Consults the
     fault plan at its deterministic injection points: clean/mid-shard
@@ -353,6 +370,8 @@ def _worker_main(worker_id, incarnation, config, scheme, population,
             daemon=True,
         ).start()
     kill = plan.kill_for(worker_id, incarnation)
+    shm_name, n_total = handle
+    population = ParticleArena.attach(shm_name, n_total)
     chunks_done = 0
     try:
         while True:
@@ -394,6 +413,7 @@ def _worker_main(worker_id, incarnation, config, scheme, population,
             chunks_done += 1
     finally:
         stop.set()
+        population.close()
 
 
 # ---------------------------------------------------------------------------
@@ -456,7 +476,10 @@ class _Dispatcher:
     def __init__(self, config, scheme, population, shards, options, ctx):
         self.config = config
         self.scheme = scheme
+        #: Shared-memory arena (created by run_pool, unlinked by it too).
         self.population = population
+        #: The whole hand-off a worker needs: attach-by-name + size.
+        self.handle = (population.shm_name, len(population))
         self.shards = shards
         self.options = options
         self.ctx = ctx
@@ -507,7 +530,7 @@ class _Dispatcher:
             target=_worker_main,
             args=(
                 slot.worker_id, slot.incarnation, self.config, self.scheme,
-                self.population, slot.queue, self.result_queue,
+                self.handle, slot.queue, self.result_queue,
                 self.heartbeats, self.plan, self.options.heartbeat_interval,
             ),
             daemon=True,
@@ -738,8 +761,7 @@ def _reduce(config, scheme, options, shards, results, dispatcher, t0,
 
     tally = EnergyDepositionTally(config.nx, config.ny)
     merged = Counters()
-    all_parts: list[Particle] = []
-    all_store: ParticleStore | None = None
+    all_arena: ParticleArena | None = None
     per_worker: dict[int, dict] = {}
     for sid in range(len(shards)):
         r = results[sid]
@@ -748,15 +770,12 @@ def _reduce(config, scheme, options, shards, results, dispatcher, t0,
         tally.flushes += r["tally"].flushes
         merged.merge_disjoint(r["counters"])
         final = 0
-        if scheme is Scheme.OVER_PARTICLES:
-            all_parts.extend(r["particles"])
-            final = len(r["particles"])
-        elif r["store"] is not None:
-            final = len(r["store"])
-            if all_store is None:
-                all_store = r["store"]
+        if r["arena"] is not None:
+            final = len(r["arena"])
+            if all_arena is None:
+                all_arena = r["arena"]
             else:
-                all_store.extend(r["store"])
+                all_arena.extend(r["arena"])
         w = per_worker.setdefault(r["worker_id"], {
             "histories": 0, "final": 0, "events": 0, "chunks": 0,
             "busy_s": 0.0, "total_s": 0.0,
@@ -793,25 +812,17 @@ def _reduce(config, scheme, options, shards, results, dispatcher, t0,
     # Primaries carry ids 0..n-1 (birth order); secondaries/clones carry
     # hashed ids.  Sorting by id therefore yields the same ordering for any
     # worker count, schedule, and recovery history.
-    if scheme is Scheme.OVER_PARTICLES:
-        ids = np.array([p.particle_id for p in all_parts], dtype=np.uint64)
-    else:
-        if all_store is None:
-            all_store = ParticleStore(0)
-        ids = all_store.particle_id
-    order = np.argsort(ids, kind="stable")
-    if scheme is Scheme.OVER_PARTICLES:
-        particles = [all_parts[i] for i in order]
-        store = None
-    else:
-        particles = None
-        store = all_store.subset(order)
+    if all_arena is None:
+        all_arena = ParticleArena(0)
+    order = all_arena.sort_by("particle_id")
     merged.collisions_per_particle = merged.collisions_per_particle[order]
     merged.facets_per_particle = merged.facets_per_particle[order]
-    merged.nparticles = int(ids.size)
+    merged.nparticles = len(all_arena)
     # Recomputed from the reduced flush histogram — identical to the value
     # a serial run reports, unlike the per-shard maxima merged above.
     merged.tally_conflict_probability = tally.conflict_probability()
+    # Footprint of the merged population, not the max over shards.
+    merged.arena_nbytes = all_arena.nbytes()
 
     info = PoolRunInfo(
         nworkers=options.nworkers,
@@ -835,8 +846,7 @@ def _reduce(config, scheme, options, shards, results, dispatcher, t0,
         scheme=scheme,
         tally=tally,
         counters=merged,
-        particles=particles,
-        store=store,
+        arena=all_arena,
         wallclock_s=time.perf_counter() - t0,
         pool=info,
     )
@@ -866,11 +876,7 @@ def run_pool(
     mesh = StructuredMesh(
         config.nx, config.ny, config.width, config.height, config.density
     )
-    sampler = (
-        sample_source_aos if scheme is Scheme.OVER_PARTICLES
-        else sample_source_soa
-    )
-    population = sampler(
+    population = sample_source(
         mesh, config.source, config.nparticles, config.seed, config.dt,
         scatter_table=materials[0].scatter, capture_table=materials[0].capture,
     )
@@ -889,9 +895,12 @@ def run_pool(
             None, t0, "inline",
         )
 
+    # Re-home the population into shared memory: workers attach zero-copy
+    # shard views by (name, n_total, lo, hi) instead of unpickling it.
+    shared_pop = population.to_shared()
     ctx = _pick_context(options)
     dispatcher = _Dispatcher(
-        run_config, scheme, population, shards, options, ctx
+        run_config, scheme, shared_pop, shards, options, ctx
     )
     try:
         results = dispatcher.run()
@@ -906,3 +915,6 @@ def run_pool(
             if slot.proc is not None and slot.proc.is_alive():
                 slot.proc.terminate()
                 slot.proc.join(5.0)
+        # The parent owns the segment: release and unlink it only after
+        # every worker is gone.
+        shared_pop.close(unlink=True)

@@ -6,20 +6,50 @@ Structures (AoS) layout — each history loads its particle once into
 registers and works on it to census — while the GPU and the Over Events
 scheme require Structure of Arrays (SoA) for coalescing/vectorisation.
 
-* :class:`repro.particles.particle.Particle` — the AoS record;
-* :class:`repro.particles.soa.ParticleStore` — the SoA store (numpy arrays)
-  with lossless conversions to/from AoS;
-* :mod:`repro.particles.source` — bounded-region source sampling (§IV-F).
+This reproduction commits to one canonical SoA representation:
+
+* :class:`repro.particles.arena.ParticleArena` — the single-buffer SoA
+  arena every stage views in place, with zero-copy shared-memory
+  sharding, record appends, compaction and sort hooks;
+* :class:`repro.particles.arena.ParticleView` — thin per-index AoS proxy
+  for tests and trace tooling;
+* :class:`repro.particles.particle.Particle` — the detached AoS record
+  (the scalar reference representation, produced by
+  :meth:`ParticleArena.as_particles`);
+* :class:`repro.particles.soa.ParticleStore` — the plain SoA base the
+  arena extends;
+* :mod:`repro.particles.source` — bounded-region source sampling (§IV-F)
+  emitting vectorised straight into an arena.
 """
 
+from repro.particles.arena import (
+    ParticleArena,
+    ParticleArena3,
+    ParticleRecord,
+    ParticleRecord3,
+    ParticleView,
+    Particle3View,
+)
 from repro.particles.particle import Particle
 from repro.particles.soa import ParticleStore
-from repro.particles.source import SourceRegion, sample_source_aos, sample_source_soa
+from repro.particles.source import (
+    SourceRegion,
+    sample_source,
+    sample_source_aos,
+    sample_source_soa,
+)
 
 __all__ = [
     "Particle",
+    "ParticleArena",
+    "ParticleArena3",
+    "ParticleRecord",
+    "ParticleRecord3",
     "ParticleStore",
+    "ParticleView",
+    "Particle3View",
     "SourceRegion",
+    "sample_source",
     "sample_source_aos",
     "sample_source_soa",
 ]

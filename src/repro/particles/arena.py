@@ -1,0 +1,599 @@
+"""The canonical SoA particle arena.
+
+The paper's storage finding (§VI-D) is that layout — SoA vs AoS — is a
+first-order performance lever for both traversal schemes.  This module
+commits the reproduction to a *single* Structure-of-Arrays representation
+that every stage views in place, the way modern event-based transport
+codes (MC/DC's on-GPU event processing, the performance-portable Neutral
+ports) keep one device-resident store:
+
+* every field of every particle lives in **one contiguous byte buffer**,
+  field-major (all ``x``, then all ``y``, …), so a population is one
+  allocation and one ``memcpy``-shaped hand-off;
+* the buffer can be re-homed into a :class:`multiprocessing.shared_memory`
+  block, after which a worker process attaches a **zero-copy shard view**
+  by ``(name, total, lo, hi)`` — no particle is ever pickled across the
+  process boundary (see :meth:`ParticleArena.to_shared` /
+  :meth:`ParticleArena.attach`);
+* the AoS record survives only as a *per-index proxy view*
+  (:class:`ParticleView`) for tests and trace tooling, plus the lossless
+  :meth:`~ParticleArena.as_particles` escape hatch;
+* population changes — fission secondaries, VR clones, alive-mask
+  compaction, the energy/cell sorts the Over Events optimisation
+  literature uses to keep event batches coherent — are arena methods
+  (:meth:`append_records`, :meth:`compact`, :meth:`sort_by`).
+
+:class:`ParticleArena` extends :class:`repro.particles.soa.ParticleStore`
+(same field names and dtypes), so everything written against the store API
+keeps working; :class:`ParticleArena3` carries the 3-D volume extension's
+field set on the same machinery.
+"""
+
+from __future__ import annotations
+
+from multiprocessing import resource_tracker, shared_memory
+
+import numpy as np
+
+from repro.particles.particle import Particle
+from repro.particles.soa import _FLOAT_FIELDS, _INT_FIELDS, ParticleStore
+
+__all__ = [
+    "ParticleArena",
+    "ParticleArena3",
+    "ParticleRecord",
+    "ParticleRecord3",
+    "ParticleView",
+    "Particle3View",
+    "shard_handle_nbytes",
+]
+
+_ALIGN = 8
+
+
+def _untracked_attach(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing shared-memory block without letting this
+    process's resource tracker adopt (and later unlink) it.
+
+    The creating process owns the segment's lifetime; attachers must not
+    unlink it when they exit (bpo-39959).  Python 3.13 grew a ``track=``
+    parameter for exactly this; on older interpreters we unregister the
+    name right after the constructor registered it.
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:
+        shm = shared_memory.SharedMemory(name=name)
+        try:
+            resource_tracker.unregister(shm._name, "shared_memory")
+        except Exception:  # pragma: no cover - tracker API drift
+            pass
+        return shm
+
+
+class _FieldArena:
+    """Field-major SoA storage over one contiguous buffer.
+
+    Subclasses declare ``FIELDS`` — an ordered ``(name, dtype)`` tuple —
+    and the layout (per-field byte offsets, 8-byte aligned) is a pure
+    function of the particle count, so any process that knows ``(n, lo,
+    hi)`` can rebuild the exact same views over an attached buffer.
+    """
+
+    FIELDS: tuple[tuple[str, object], ...] = ()
+
+    def __init__(self, n: int):
+        if n < 0:
+            raise ValueError("particle count must be non-negative")
+        self._allocate(int(n))
+        self._init_defaults()
+
+    # ------------------------------------------------------------------
+    # Layout and binding
+    # ------------------------------------------------------------------
+    @classmethod
+    def layout(cls, n: int) -> tuple[dict, int]:
+        """``({field: byte offset}, total bytes)`` for an ``n``-particle
+        arena — deterministic, so shard attachment needs no metadata
+        beyond the population size."""
+        offsets = {}
+        off = 0
+        for name, dtype in cls.FIELDS:
+            off = (off + _ALIGN - 1) & ~(_ALIGN - 1)
+            offsets[name] = off
+            off += n * np.dtype(dtype).itemsize
+        return offsets, (off + _ALIGN - 1) & ~(_ALIGN - 1)
+
+    def _bind(self, buf, n_total: int, lo: int, hi: int, shm=None) -> None:
+        """Point this instance's field arrays at ``buf[lo:hi]`` slices."""
+        offsets, _ = self.layout(n_total)
+        self._buf = buf
+        self._shm = shm
+        self.n = hi - lo
+        for name, dtype in self.FIELDS:
+            dt = np.dtype(dtype)
+            view = np.frombuffer(
+                buf, dtype=dt, count=hi - lo,
+                offset=offsets[name] + lo * dt.itemsize,
+            )
+            setattr(self, name, view)
+
+    def _allocate(self, n: int) -> None:
+        _, total = self.layout(n)
+        self._bind(np.zeros(total, dtype=np.uint8), n, 0, n)
+
+    def _init_defaults(self) -> None:
+        """Field defaults for a freshly allocated arena (subclass hook)."""
+
+    def _adopt(self, other: "_FieldArena") -> None:
+        """Re-home this instance onto ``other``'s storage, in place, so
+        every existing reference to *this* arena object sees the new
+        population.  Slice views handed out before the adoption keep
+        pointing at the old buffer."""
+        self._buf = other._buf
+        self._shm = other._shm
+        self.n = other.n
+        for name, _ in self.FIELDS:
+            setattr(self, name, getattr(other, name))
+
+    def __len__(self) -> int:
+        return self.n
+
+    # ------------------------------------------------------------------
+    # Views, copies, gathers
+    # ------------------------------------------------------------------
+    def view(self, lo: int, hi: int) -> "_FieldArena":
+        """A zero-copy window onto particles ``[lo, hi)`` of this arena —
+        every field array is a slice sharing this arena's memory."""
+        if not 0 <= lo <= hi <= self.n:
+            raise ValueError(f"invalid view [{lo}, {hi}) of {self.n}")
+        out = object.__new__(type(self))
+        out._buf = self._buf
+        out._shm = self._shm
+        out.n = hi - lo
+        for name, _ in self.FIELDS:
+            setattr(out, name, getattr(self, name)[lo:hi])
+        return out
+
+    def copy(self) -> "_FieldArena":
+        """A materialised private copy (own buffer)."""
+        out = type(self)(self.n)
+        for name, _ in self.FIELDS:
+            np.copyto(getattr(out, name), getattr(self, name))
+        return out
+
+    def subset(self, indices: np.ndarray) -> "_FieldArena":
+        """A new arena holding copies of the selected particles, in the
+        given order (shard carving and deterministic reassembly)."""
+        indices = np.asarray(indices)
+        out = type(self)(int(indices.size))
+        for name, _ in self.FIELDS:
+            getattr(out, name)[...] = getattr(self, name)[indices]
+        return out
+
+    def extend(self, other: "_FieldArena") -> None:
+        """Append another arena's particles in place (the population
+        grows into a fresh private buffer; shared-memory backing, if any,
+        is left behind untouched)."""
+        if len(other) == 0:
+            return
+        merged = type(self)(self.n + other.n)
+        for name, _ in self.FIELDS:
+            dst = getattr(merged, name)
+            dst[: self.n] = getattr(self, name)
+            dst[self.n:] = getattr(other, name)
+        self._adopt(merged)
+
+    # ------------------------------------------------------------------
+    # Records (secondary emission without AoS objects)
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_records(cls, records) -> "_FieldArena":
+        """Build an arena from field-tuple records (see
+        :class:`ParticleRecord`) — the banked-secondary path."""
+        arena = cls(len(records))
+        for j, (name, _) in enumerate(cls.FIELDS):
+            getattr(arena, name)[...] = [r[j] for r in records]
+        return arena
+
+    def append_records(self, records) -> None:
+        """Append banked records (fission secondaries, VR clones)."""
+        if records:
+            self.extend(self.from_records(records))
+
+    # ------------------------------------------------------------------
+    # Compaction and sorting hooks
+    # ------------------------------------------------------------------
+    def compact(self) -> int:
+        """Drop dead histories in place; returns how many were removed.
+
+        The OE gather loops visit the whole population every pass, so a
+        mostly-dead arena streams mostly-wasted lanes; compaction trades
+        one gather for full occupancy afterwards.
+        """
+        alive_idx = np.nonzero(self.alive)[0]
+        removed = self.n - int(alive_idx.size)
+        if removed:
+            self._adopt(self.subset(alive_idx))
+        return removed
+
+    def sort_by(self, key: str = "energy") -> np.ndarray:
+        """Reorder the population in place; returns the permutation used.
+
+        ``energy`` groups particles into coherent cross-section-table
+        regions (the OE sort optimisation the paper discusses); ``cell``
+        groups tally/density locality; ``particle_id`` restores the
+        canonical birth order.  Per-history physics is invariant under any
+        reordering — each history owns its counter-based RNG stream — so
+        sorting changes batching only, never results.
+        """
+        if key == "energy":
+            order = np.argsort(self.energy, kind="stable")
+        elif key == "cell":
+            order = np.lexsort((self.cellx, self.celly))
+        elif key == "particle_id":
+            order = np.argsort(self.particle_id, kind="stable")
+        else:
+            raise ValueError(
+                f"unknown sort key {key!r}; use energy, cell or particle_id"
+            )
+        self._adopt(self.subset(order))
+        return order
+
+    # ------------------------------------------------------------------
+    # Shared-memory sharding
+    # ------------------------------------------------------------------
+    def to_shared(self) -> "_FieldArena":
+        """Copy this population into a fresh shared-memory block.
+
+        Returns an arena viewing the block; the caller owns the segment
+        and must call :meth:`close` (with ``unlink=True``) when every
+        worker is done.  Workers attach shards of it with :meth:`attach`.
+        """
+        _, total = self.layout(self.n)
+        shm = shared_memory.SharedMemory(create=True, size=max(total, 1))
+        out = object.__new__(type(self))
+        out._bind(shm.buf, self.n, 0, self.n, shm=shm)
+        for name, _ in self.FIELDS:
+            np.copyto(getattr(out, name), getattr(self, name))
+        return out
+
+    @classmethod
+    def attach(
+        cls, name: str, n_total: int, lo: int = 0, hi: int | None = None
+    ) -> "_FieldArena":
+        """Attach a zero-copy view of particles ``[lo, hi)`` of the
+        shared arena ``name`` holding ``n_total`` particles.
+
+        This is the worker-pool hand-off: the parent ships the tuple
+        ``(name, n_total, lo, hi)`` (a few dozen bytes) instead of a
+        pickled particle list, and a retried shard re-attaches the same
+        pristine slice for bit-identical re-execution.
+        """
+        hi = n_total if hi is None else hi
+        if not 0 <= lo <= hi <= n_total:
+            raise ValueError(f"invalid shard [{lo}, {hi}) of {n_total}")
+        shm = _untracked_attach(name)
+        out = object.__new__(cls)
+        out._bind(shm.buf, n_total, lo, hi, shm=shm)
+        return out
+
+    @property
+    def shm_name(self) -> str | None:
+        """Shared-memory block name, or ``None`` for private arenas."""
+        return self._shm.name if self._shm is not None else None
+
+    def close(self, unlink: bool = False) -> None:
+        """Release the shared-memory mapping (owner passes ``unlink``)."""
+        shm = self._shm
+        if shm is None:
+            return
+        # Field views must drop their buffer references before the
+        # mapping can be closed.
+        for name, _ in self.FIELDS:
+            setattr(self, name, np.zeros(0, dtype=np.dtype(dict(self.FIELDS)[name])))
+        self._buf = None
+        self._shm = None
+        self.n = 0
+        shm.close()
+        if unlink:
+            # An attacher in this same process may have unregistered the
+            # name (see _untracked_attach); re-register so the tracker's
+            # books balance when unlink() unregisters it again.
+            try:
+                resource_tracker.register(shm._name, "shared_memory")
+            except Exception:  # pragma: no cover - tracker API drift
+                pass
+            shm.unlink()
+
+    # ------------------------------------------------------------------
+    # Accounting and serialisation
+    # ------------------------------------------------------------------
+    def nbytes(self) -> int:
+        """Total memory footprint of the particle fields in bytes."""
+        return int(sum(getattr(self, name).nbytes for name, _ in self.FIELDS))
+
+    @classmethod
+    def bytes_per_particle(cls) -> int:
+        """Bytes one particle occupies across all SoA field segments."""
+        return int(sum(np.dtype(dt).itemsize for _, dt in cls.FIELDS))
+
+    def backed_by_single_buffer(self) -> bool:
+        """True when every field still views the arena's own buffer (the
+        invariant that keeps :meth:`to_shared` a single copy)."""
+        if self._buf is None:
+            return False
+        return all(
+            np.shares_memory(getattr(self, name), self._buf)
+            for name, _ in self.FIELDS
+            if getattr(self, name).size
+        )
+
+    def __getstate__(self) -> dict:
+        """Pickle as plain field arrays (never the shm mapping)."""
+        return {
+            "n": self.n,
+            "fields": {
+                name: np.ascontiguousarray(getattr(self, name))
+                for name, _ in self.FIELDS
+            },
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        self._allocate(state["n"])
+        for name, _ in self.FIELDS:
+            np.copyto(getattr(self, name), state["fields"][name])
+
+
+def shard_handle_nbytes(handle) -> int:
+    """Serialised size of a shard hand-off handle ``(name, n, lo, hi)``
+    — the payload that replaces a pickled particle list."""
+    import pickle
+
+    return len(pickle.dumps(handle, protocol=pickle.HIGHEST_PROTOCOL))
+
+
+# ---------------------------------------------------------------------------
+# The 2-D transport arena (the ParticleStore field set)
+# ---------------------------------------------------------------------------
+
+class ParticleArena(_FieldArena, ParticleStore):
+    """The canonical 2-D particle population.
+
+    Field names and dtypes are exactly :class:`ParticleStore`'s, so the
+    arena is a drop-in store; on top it adds the single-buffer layout,
+    shared-memory sharding, record appends, compaction/sort hooks, and
+    the per-index :class:`ParticleView` proxy.
+    """
+
+    FIELDS = (
+        tuple((name, np.float64) for name in _FLOAT_FIELDS)
+        + tuple((name, np.int64) for name in _INT_FIELDS)
+        + (
+            ("alive", np.bool_),
+            ("censused", np.bool_),
+            ("particle_id", np.uint64),
+            ("rng_counter", np.uint64),
+        )
+    )
+
+    def __init__(self, n: int):
+        _FieldArena.__init__(self, n)
+
+    def _init_defaults(self) -> None:
+        self.alive[...] = True
+        self.particle_id[...] = np.arange(self.n, dtype=np.uint64)
+
+    # -- AoS escape hatches -------------------------------------------
+    def proxy(self, index: int) -> "ParticleView":
+        """A thin mutable AoS proxy of one slot (tests, trace tooling)."""
+        if not -self.n <= index < self.n:
+            raise IndexError(f"particle {index} of {self.n}")
+        return ParticleView(self, index % self.n if index < 0 else index)
+
+    def proxies(self):
+        """Iterate :class:`ParticleView` proxies over the population."""
+        return (ParticleView(self, i) for i in range(self.n))
+
+    def as_particles(self) -> list[Particle]:
+        """Materialise AoS :class:`Particle` copies (lossless; mutating
+        them does not write back — use :meth:`proxy` for that)."""
+        return self.to_particles()
+
+
+class ParticleView:
+    """Mutable per-index AoS view of one arena slot.
+
+    Attribute-compatible with :class:`repro.particles.particle.Particle`;
+    reads and writes go straight to the arena's field arrays.
+    """
+
+    __slots__ = ("_arena", "_index")
+
+    def __init__(self, arena: ParticleArena, index: int):
+        object.__setattr__(self, "_arena", arena)
+        object.__setattr__(self, "_index", index)
+
+    @property
+    def index(self) -> int:
+        """The arena slot this proxy views."""
+        return self._index
+
+    def direction_norm_error(self) -> float:
+        """|‖Ω‖² − 1| — mirrors :meth:`Particle.direction_norm_error`."""
+        return abs(
+            self.omega_x * self.omega_x + self.omega_y * self.omega_y - 1.0
+        )
+
+    def to_particle(self) -> Particle:
+        """A detached AoS copy of this slot."""
+        return self._arena.view(self._index, self._index + 1).to_particles()[0]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ParticleView(i={self._index}, id={self.particle_id}, "
+            f"pos=({self.x:.6g}, {self.y:.6g}), E={self.energy:.6g} eV, "
+            f"alive={self.alive})"
+        )
+
+
+def _view_property(name: str) -> property:
+    def _get(self):
+        return getattr(self._arena, name)[self._index].item()
+
+    def _set(self, value):
+        getattr(self._arena, name)[self._index] = value
+
+    return property(_get, _set)
+
+
+for _name, _ in ParticleArena.FIELDS:
+    setattr(ParticleView, _name, _view_property(_name))
+
+
+class ParticleRecord(tuple):
+    """One particle's full field tuple, in arena field order — the
+    record type banked secondaries/clones are expressed in (no AoS object
+    construction in hot paths; the kernel audit enforces that)."""
+
+    __slots__ = ()
+
+    def __new__(
+        cls,
+        *,
+        x: float,
+        y: float,
+        omega_x: float,
+        omega_y: float,
+        energy: float,
+        weight: float,
+        cellx: int,
+        celly: int,
+        particle_id: int,
+        dt_to_census: float,
+        mfp_to_collision: float = 0.0,
+        rng_counter: int = 0,
+        local_density: float = 0.0,
+        deposit_buffer: float = 0.0,
+        scatter_bin: int = 0,
+        capture_bin: int = 0,
+        fission_bin: int = 0,
+        alive: bool = True,
+        censused: bool = False,
+    ):
+        values = dict(
+            x=x, y=y, omega_x=omega_x, omega_y=omega_y, energy=energy,
+            weight=weight, mfp_to_collision=mfp_to_collision,
+            dt_to_census=dt_to_census, local_density=local_density,
+            deposit_buffer=deposit_buffer, cellx=cellx, celly=celly,
+            scatter_bin=scatter_bin, capture_bin=capture_bin,
+            fission_bin=fission_bin, alive=alive, censused=censused,
+            particle_id=particle_id, rng_counter=rng_counter,
+        )
+        return super().__new__(
+            cls, (values[name] for name, _ in ParticleArena.FIELDS)
+        )
+
+    @property
+    def energy_weight(self) -> tuple[float, float]:
+        names = [name for name, _ in ParticleArena.FIELDS]
+        return self[names.index("energy")], self[names.index("weight")]
+
+
+# ---------------------------------------------------------------------------
+# The 3-D volume-extension arena
+# ---------------------------------------------------------------------------
+
+_FIELDS_3D = (
+    ("x", np.float64), ("y", np.float64), ("z", np.float64),
+    ("ox", np.float64), ("oy", np.float64), ("oz", np.float64),
+    ("energy", np.float64), ("weight", np.float64),
+    ("mfp", np.float64), ("dt", np.float64),
+    ("density", np.float64), ("deposit", np.float64),
+    ("cellx", np.int64), ("celly", np.int64), ("cellz", np.int64),
+    ("alive", np.bool_), ("censused", np.bool_),
+    ("particle_id", np.uint64), ("rng_counter", np.uint64),
+)
+
+
+class ParticleArena3(_FieldArena):
+    """SoA arena for the 3-D volume drivers (one more axis, same
+    machinery).  Supports item access (``arena["x"]``) because the 3-D
+    Over Events kernels address fields by name."""
+
+    FIELDS = _FIELDS_3D
+
+    def _init_defaults(self) -> None:
+        self.alive[...] = True
+        self.particle_id[...] = np.arange(self.n, dtype=np.uint64)
+
+    def __getitem__(self, name: str) -> np.ndarray:
+        return getattr(self, name)
+
+    def __setitem__(self, name: str, value) -> None:
+        getattr(self, name)[...] = value
+
+    def proxy(self, index: int) -> "Particle3View":
+        """Per-index AoS proxy (the 3-D depth-first driver's record)."""
+        if not 0 <= index < self.n:
+            raise IndexError(f"particle {index} of {self.n}")
+        return Particle3View(self, index)
+
+    def proxies(self):
+        return (Particle3View(self, i) for i in range(self.n))
+
+
+class ParticleRecord3(tuple):
+    """Field tuple for :class:`ParticleArena3` (arena field order)."""
+
+    __slots__ = ()
+
+    def __new__(cls, **kw):
+        kw.setdefault("deposit", 0.0)
+        kw.setdefault("alive", True)
+        kw.setdefault("censused", False)
+        return super().__new__(
+            cls, (kw[name] for name, _ in ParticleArena3.FIELDS)
+        )
+
+
+class Particle3View:
+    """Per-index proxy over :class:`ParticleArena3` slots, attribute-
+    compatible with the retired ``Particle3`` AoS record (``mfp`` is
+    exposed as ``mfp_to_collision``, ``dt`` as ``dt_to_census``, …)."""
+
+    __slots__ = ("_arena", "_index")
+
+    #: proxy attribute → arena field
+    _ALIASES = {
+        "mfp_to_collision": "mfp",
+        "dt_to_census": "dt",
+        "local_density": "density",
+        "deposit_buffer": "deposit",
+    }
+
+    def __init__(self, arena: ParticleArena3, index: int):
+        object.__setattr__(self, "_arena", arena)
+        object.__setattr__(self, "_index", index)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Particle3View(i={self._index}, id={self.particle_id}, "
+            f"alive={self.alive})"
+        )
+
+
+def _view3_property(field: str) -> property:
+    def _get(self):
+        return getattr(self._arena, field)[self._index].item()
+
+    def _set(self, value):
+        getattr(self._arena, field)[self._index] = value
+
+    return property(_get, _set)
+
+
+for _name, _ in ParticleArena3.FIELDS:
+    setattr(Particle3View, _name, _view3_property(_name))
+for _alias, _field in Particle3View._ALIASES.items():
+    setattr(Particle3View, _alias, _view3_property(_field))

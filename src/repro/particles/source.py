@@ -10,7 +10,11 @@ exactly four draws at birth, in a fixed order:
 4. optical distance (mean free paths) to its first collision.
 
 Because the RNG is counter-based and keyed per particle, the scalar (AoS)
-and vectorised (SoA) samplers produce bit-identical particles.
+and vectorised samplers produce bit-identical particles.  The canonical
+path is :func:`sample_source`, which emits vectorised, in place, into a
+:class:`~repro.particles.arena.ParticleArena`; :func:`sample_source_aos`
+survives as the scalar per-particle reference the parity suite checks
+against.
 """
 
 from __future__ import annotations
@@ -20,8 +24,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.mesh.structured import StructuredMesh
+from repro.particles.arena import ParticleArena
 from repro.particles.particle import Particle
-from repro.particles.soa import ParticleStore
 from repro.rng.stream import ParticleRNG, VectorParticleRNG
 from repro.rng.distributions import (
     sample_isotropic_direction,
@@ -34,7 +38,7 @@ from repro.rng.distributions import (
 from repro.xs.lookup import binary_search_bin, binary_search_bin_vec
 from repro.xs.tables import CrossSectionTable
 
-__all__ = ["SourceRegion", "sample_source_aos", "sample_source_soa"]
+__all__ = ["SourceRegion", "sample_source", "sample_source_aos", "sample_source_soa"]
 
 #: Draws consumed per particle at birth (x, y, angle, first mfp).
 DRAWS_PER_BIRTH = 4
@@ -70,6 +74,60 @@ class SourceRegion:
             raise ValueError("source weight must be positive")
 
 
+def sample_source(
+    mesh: StructuredMesh,
+    region: SourceRegion,
+    nparticles: int,
+    seed: int,
+    dt: float,
+    start_id: int = 0,
+    scatter_table: CrossSectionTable | None = None,
+    capture_table: CrossSectionTable | None = None,
+) -> ParticleArena:
+    """Emit ``nparticles`` directly into a fresh :class:`ParticleArena`.
+
+    All field fills are vectorised, in place, into the arena's single
+    buffer — no per-particle object is ever constructed.  Each history's
+    RNG stream starts at counter 0 and is advanced by the four birth
+    draws; the arena carries the advanced counters so transport resumes
+    the same streams.  When the cross-section tables are given, the
+    cached energy bins are initialised to the birth energy's bin (part of
+    birth initialisation, like the cached density) so the cached linear
+    search never walks from bin 0.
+    """
+    arena = ParticleArena(nparticles)
+    arena.particle_id[...] = np.arange(
+        start_id, start_id + nparticles, dtype=np.uint64
+    )
+    rng = VectorParticleRNG(seed, arena.particle_id)
+    u1 = rng.next_uniform()
+    u2 = rng.next_uniform()
+    u3 = rng.next_uniform()
+    u4 = rng.next_uniform()
+    x, y = sample_position_in_box_vec(
+        u1, u2, region.x0, region.x1, region.y0, region.y1
+    )
+    arena.x[...] = x
+    arena.y[...] = y
+    ox, oy = sample_isotropic_direction_vec(u3)
+    arena.omega_x[...] = ox
+    arena.omega_y[...] = oy
+    arena.mfp_to_collision[...] = sample_mean_free_paths_vec(u4)
+    arena.energy[...] = region.energy_ev
+    arena.weight[...] = region.weight
+    arena.dt_to_census[...] = dt
+    cellx, celly = mesh.cell_of_point_vec(arena.x, arena.y)
+    arena.cellx[...] = cellx
+    arena.celly[...] = celly
+    arena.local_density[...] = mesh.density_at_vec(arena.cellx, arena.celly)
+    arena.rng_counter[...] = rng.counters
+    if scatter_table is not None:
+        arena.scatter_bin[...] = binary_search_bin_vec(scatter_table, arena.energy)
+    if capture_table is not None:
+        arena.capture_bin[...] = binary_search_bin_vec(capture_table, arena.energy)
+    return arena
+
+
 def sample_source_aos(
     mesh: StructuredMesh,
     region: SourceRegion,
@@ -80,14 +138,11 @@ def sample_source_aos(
     scatter_table: CrossSectionTable | None = None,
     capture_table: CrossSectionTable | None = None,
 ) -> list[Particle]:
-    """Sample ``nparticles`` AoS particles from ``region``.
+    """Scalar per-particle reference sampler (AoS).
 
-    Each particle's RNG stream starts at counter 0 and is advanced by the
-    four birth draws; the returned records carry the advanced counter so
-    transport resumes the same stream.  When the cross-section tables are
-    given, the per-particle cached energy bins are initialised to the birth
-    energy's bin (part of birth initialisation, like the cached density) so
-    the cached linear search never walks from bin 0.
+    Kept solely as the bit-parity oracle for :func:`sample_source` — the
+    parity suite asserts the vectorised arena path reproduces this loop
+    draw for draw.  Production code paths must use :func:`sample_source`.
     """
     sbin = cbin = 0
     if scatter_table is not None:
@@ -136,28 +191,8 @@ def sample_source_soa(
     start_id: int = 0,
     scatter_table: CrossSectionTable | None = None,
     capture_table: CrossSectionTable | None = None,
-) -> ParticleStore:
-    """Vectorised source sampling, bit-identical to :func:`sample_source_aos`."""
-    store = ParticleStore(nparticles)
-    store.particle_id = np.arange(start_id, start_id + nparticles, dtype=np.uint64)
-    rng = VectorParticleRNG(seed, store.particle_id)
-    u1 = rng.next_uniform()
-    u2 = rng.next_uniform()
-    u3 = rng.next_uniform()
-    u4 = rng.next_uniform()
-    store.x, store.y = sample_position_in_box_vec(
-        u1, u2, region.x0, region.x1, region.y0, region.y1
+) -> ParticleArena:
+    """Deprecated alias for :func:`sample_source` (returns the arena)."""
+    return sample_source(
+        mesh, region, nparticles, seed, dt, start_id, scatter_table, capture_table
     )
-    store.omega_x, store.omega_y = sample_isotropic_direction_vec(u3)
-    store.mfp_to_collision = sample_mean_free_paths_vec(u4)
-    store.energy = np.full(nparticles, region.energy_ev, dtype=np.float64)
-    store.weight = np.full(nparticles, region.weight, dtype=np.float64)
-    store.dt_to_census = np.full(nparticles, dt, dtype=np.float64)
-    store.cellx, store.celly = mesh.cell_of_point_vec(store.x, store.y)
-    store.local_density = mesh.density_at_vec(store.cellx, store.celly)
-    store.rng_counter = rng.counters
-    if scatter_table is not None:
-        store.scatter_bin[:] = binary_search_bin_vec(scatter_table, store.energy)
-    if capture_table is not None:
-        store.capture_bin[:] = binary_search_bin_vec(capture_table, store.energy)
-    return store

@@ -7,6 +7,14 @@ same census semantics — so the scheme-equivalence and conservation
 properties carry over unchanged, which is precisely the paper's
 geometry-independence hypothesis (§IV-C).
 
+The population lives in one
+:class:`~repro.particles.arena.ParticleArena3` (SoA, single contiguous
+buffer, §VI-D): the source emits vectorised directly into the arena, the
+Over Events passes address its fields by name (``arena["x"]``), and the
+depth-first Over Particles tracker walks per-index
+:class:`~repro.particles.arena.Particle3View` proxies — no AoS record
+type remains.
+
 The medium is the single homogeneous material of the paper's setup
 (multi-material/fission composition in 3-D is left to the same future-work
 list the paper keeps them on).
@@ -22,6 +30,7 @@ import numpy as np
 from repro.core.counters import Counters
 from repro.kernels import KernelDispatch
 from repro.kernels.dispatch import KERNEL_TABLE_3D
+from repro.particles.arena import ParticleArena3
 from repro.physics.constants import speed_from_energy_ev, speed_from_energy_ev_vec
 from repro.physics.events import (
     EventKind,
@@ -33,36 +42,14 @@ from repro.rng.stream import ParticleRNG, VectorParticleRNG
 from repro.volume.collision3 import collide3
 from repro.volume.events3 import distance_to_facet_3d
 from repro.volume.facet3 import cross_facet_3d
-from repro.volume.kinematics3 import (
-    sample_isotropic_direction_3d,
-    sample_isotropic_direction_3d_vec,
-)
+from repro.volume.kinematics3 import sample_isotropic_direction_3d_vec
 from repro.volume.mesh3 import StructuredMesh3D, Tally3D
 from repro.volume.problems3 import Volume3DConfig
 from repro.xs.lookup import binary_search_bin
 from repro.xs.macroscopic import macroscopic_cross_section
 from repro.xs.tables import make_capture_table, make_scatter_table
 
-__all__ = ["Particle3", "Transport3DResult", "run_over_particles_3d",
-           "run_over_events_3d"]
-
-
-class Particle3:
-    """One 3-D particle (AoS record for the Over Particles driver)."""
-
-    __slots__ = (
-        "x", "y", "z", "ox", "oy", "oz", "energy", "weight",
-        "cellx", "celly", "cellz", "mfp_to_collision", "dt_to_census",
-        "alive", "particle_id", "rng_counter", "local_density",
-        "deposit_buffer",
-    )
-
-    def __init__(self, **kw):
-        self.alive = True
-        self.local_density = 0.0
-        self.deposit_buffer = 0.0
-        for k, v in kw.items():
-            setattr(self, k, v)
+__all__ = ["Transport3DResult", "run_over_particles_3d", "run_over_events_3d"]
 
 
 @dataclass
@@ -73,24 +60,37 @@ class Transport3DResult:
     config: Volume3DConfig
     tally: Tally3D
     counters: Counters
-    particles: list | None
-    arrays: dict | None
+    arena: ParticleArena3
     wallclock_s: float
+
+    @property
+    def particles(self):
+        """Removed — both drivers now return :attr:`arena`."""
+        raise AttributeError(
+            "Transport3DResult.particles was removed: the population now "
+            "lives in result.arena (ParticleArena3). Use "
+            "result.arena.proxy(i) for a per-index view."
+        )
+
+    @property
+    def arrays(self):
+        """Removed — both drivers now return :attr:`arena`."""
+        raise AttributeError(
+            "Transport3DResult.arrays was removed: the population now "
+            "lives in result.arena (ParticleArena3); address its fields "
+            "by name, e.g. result.arena['energy']."
+        )
 
     def in_flight_energy_ev(self) -> float:
         """Weighted energy carried by live particles."""
-        if self.arrays is not None:
-            alive = self.arrays["alive"]
-            return float(
-                (self.arrays["weight"][alive] * self.arrays["energy"][alive]).sum()
-            )
-        return sum(p.weight * p.energy for p in self.particles if p.alive)
+        alive = self.arena.alive
+        return float(
+            (self.arena.weight[alive] * self.arena.energy[alive]).sum()
+        )
 
     def alive_count(self) -> int:
         """Histories still alive."""
-        if self.arrays is not None:
-            return int(self.arrays["alive"].sum())
-        return sum(1 for p in self.particles if p.alive)
+        return int(self.arena.alive.sum())
 
 
 def _tables(config: Volume3DConfig):
@@ -106,56 +106,35 @@ def _micro_at(table, e: float) -> float:
 
 
 def _sample_source_3d(config: Volume3DConfig, mesh: StructuredMesh3D):
-    """Six-draw birth protocol, scalar records (bit-matched by the SoA
-    sampler below, which consumes the same counters)."""
-    src = config.source
-    out = []
-    for pid in range(config.nparticles):
-        rng = ParticleRNG(config.seed, pid)
-        u = [rng.next_uniform() for _ in range(6)]
-        x = src.x0 + u[0] * (src.x1 - src.x0)
-        y = src.y0 + u[1] * (src.y1 - src.y0)
-        z = src.z0 + u[2] * (src.z1 - src.z0)
-        ox, oy, oz = sample_isotropic_direction_3d(u[3], u[4])
-        mfp = float(-np.log(1.0 - u[5]))
-        cx, cy, cz = mesh.cell_of_point(x, y, z)
-        p = Particle3(
-            x=x, y=y, z=z, ox=ox, oy=oy, oz=oz,
-            energy=src.energy_ev, weight=src.weight,
-            cellx=cx, celly=cy, cellz=cz,
-            mfp_to_collision=mfp, dt_to_census=config.dt,
-            particle_id=pid, rng_counter=rng.counter,
-        )
-        p.local_density = mesh.density_at(cx, cy, cz)
-        out.append(p)
-    return out
+    """Six-draw vectorised birth, emitted straight into a fresh arena.
 
-
-def _sample_source_3d_soa(config: Volume3DConfig, mesh: StructuredMesh3D):
-    """Vectorised birth, bit-identical to :func:`_sample_source_3d`."""
+    Bit-identical to the retired scalar loop: the vector RNG consumes the
+    same per-history counters, and every kinematics helper has an
+    element-wise-identical ``_vec`` twin.  Returns the arena plus the
+    vector RNG (the Over Events driver keeps drawing from it)."""
     src = config.source
     n = config.nparticles
-    ids = np.arange(n, dtype=np.uint64)
-    rng = VectorParticleRNG(config.seed, ids)
+    arena = ParticleArena3(n)
+    rng = VectorParticleRNG(config.seed, arena.particle_id)
     u = [rng.next_uniform() for _ in range(6)]
-    x = src.x0 + u[0] * (src.x1 - src.x0)
-    y = src.y0 + u[1] * (src.y1 - src.y0)
-    z = src.z0 + u[2] * (src.z1 - src.z0)
+    arena.x[...] = src.x0 + u[0] * (src.x1 - src.x0)
+    arena.y[...] = src.y0 + u[1] * (src.y1 - src.y0)
+    arena.z[...] = src.z0 + u[2] * (src.z1 - src.z0)
     ox, oy, oz = sample_isotropic_direction_3d_vec(u[3], u[4])
-    cx, cy, cz = mesh.cell_of_point_vec(x, y, z)
-    arrays = {
-        "x": x, "y": y, "z": z, "ox": ox, "oy": oy, "oz": oz,
-        "energy": np.full(n, src.energy_ev),
-        "weight": np.full(n, src.weight),
-        "cellx": cx, "celly": cy, "cellz": cz,
-        "mfp": -np.log(1.0 - u[5]),
-        "dt": np.full(n, config.dt),
-        "density": mesh.density_at_vec(cx, cy, cz),
-        "deposit": np.zeros(n),
-        "alive": np.ones(n, dtype=bool),
-        "censused": np.zeros(n, dtype=bool),
-    }
-    return arrays, rng
+    arena.ox[...] = ox
+    arena.oy[...] = oy
+    arena.oz[...] = oz
+    arena.energy[...] = src.energy_ev
+    arena.weight[...] = src.weight
+    cx, cy, cz = mesh.cell_of_point_vec(arena.x, arena.y, arena.z)
+    arena.cellx[...] = cx
+    arena.celly[...] = cy
+    arena.cellz[...] = cz
+    arena.mfp[...] = -np.log(1.0 - u[5])
+    arena.dt[...] = config.dt
+    arena.density[...] = mesh.density_at_vec(cx, cy, cz)
+    arena.rng_counter[...] = rng.counters
+    return arena, rng
 
 
 # ---------------------------------------------------------------------------
@@ -171,30 +150,28 @@ def run_over_particles_3d(config: Volume3DConfig) -> Transport3DResult:
     )
     tally = Tally3D(config.nx, config.ny, config.nz)
     scatter_table, capture_table = _tables(config)
-    particles = _sample_source_3d(config, mesh)
-    counters = Counters(nparticles=len(particles))
-    counters.rng_draws += 6 * len(particles)
-    coll_pp = np.zeros(len(particles), dtype=np.int64)
-    facet_pp = np.zeros(len(particles), dtype=np.int64)
+    arena, _ = _sample_source_3d(config, mesh)
+    counters = Counters(nparticles=len(arena))
+    counters.rng_draws += 6 * len(arena)
+    coll_pp = np.zeros(len(arena), dtype=np.int64)
+    facet_pp = np.zeros(len(arena), dtype=np.int64)
 
     for step in range(config.ntimesteps):
         if step > 0:
-            for p in particles:
-                if p.alive:
-                    p.dt_to_census = config.dt
-        for i, p in enumerate(particles):
-            if not p.alive:
+            arena.dt[arena.alive] = config.dt
+        for i in range(len(arena)):
+            if not arena.alive[i]:
                 continue
             _track_history_3d(
-                p, i, mesh, tally, scatter_table, capture_table,
+                arena.proxy(i), i, mesh, tally, scatter_table, capture_table,
                 config, counters, coll_pp, facet_pp,
             )
 
     counters.collisions_per_particle = coll_pp
     counters.facets_per_particle = facet_pp
+    counters.arena_nbytes = arena.nbytes()
     return Transport3DResult(
-        config=config, tally=tally, counters=counters,
-        particles=particles, arrays=None,
+        config=config, tally=tally, counters=counters, arena=arena,
         wallclock_s=time.perf_counter() - t0,
     )
 
@@ -322,7 +299,7 @@ def run_over_events_3d(config: Volume3DConfig) -> Transport3DResult:
     )
     tally = Tally3D(config.nx, config.ny, config.nz)
     scatter_table, capture_table = _tables(config)
-    a, rng = _sample_source_3d_soa(config, mesh)
+    a, rng = _sample_source_3d(config, mesh)
     n = config.nparticles
     counters = Counters(nparticles=n)
     counters.rng_draws += 6 * n
@@ -483,9 +460,9 @@ def run_over_events_3d(config: Volume3DConfig) -> Transport3DResult:
     counters.collisions_per_particle = coll_pp
     counters.facets_per_particle = facet_pp
     counters.kernel_profile = dispatch.profile()
+    counters.arena_nbytes = a.nbytes()
     a["rng_counter"] = rng.counters
     return Transport3DResult(
-        config=config, tally=tally, counters=counters,
-        particles=None, arrays=a,
+        config=config, tally=tally, counters=counters, arena=a,
         wallclock_s=time.perf_counter() - t0,
     )

@@ -219,7 +219,7 @@ def test_lethargy_spectrum_tracks_moderation():
     assert k > 1
     spec = lethargy_spectrum(r)
     assert spec.total_weight == pytest.approx(
-        float(r.store.weight[r.store.alive].sum()), rel=1e-9
+        float(r.arena.weight[r.arena.alive].sum()), rel=1e-9
     )
     assert spec.mean_lethargy() == pytest.approx(k, rel=0.25)
     assert spec.mean_energy_ev() < 1e6

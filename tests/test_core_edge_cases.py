@@ -96,7 +96,7 @@ def test_anisotropic_mesh_dimensions():
     b = Simulation(cfg).run(Scheme.OVER_EVENTS)
     assert a.counters.facets == b.counters.facets
     assert energy_balance_error(a) < 1e-12
-    for p in a.particles:
+    for p in a.arena.proxies():
         assert 0 <= p.cellx < 24 and 0 <= p.celly < 8
         assert 0.0 <= p.x <= 3.0 and 0.0 <= p.y <= 1.0
 
@@ -121,7 +121,7 @@ def test_heavy_nuclide_slow_moderation():
     with energies still near source."""
     cfg = scatter_problem(nx=16, nparticles=10, molar_mass_g_mol=238.0)
     r = Simulation(cfg).run(Scheme.OVER_EVENTS)
-    live = r.store.energy[r.store.alive]
+    live = r.arena.energy[r.arena.alive]
     if live.size:
         assert live.min() > 1e5  # barely moderated
     assert energy_balance_error(r) < 1e-12

@@ -77,8 +77,8 @@ def test_per_particle_event_counts_identical(results, name):
 @pytest.mark.parametrize("name", PROBLEMS)
 def test_final_states_bit_identical(results, name):
     rp, re = results[name]
-    soa = re.store
-    for i, p in enumerate(rp.particles):
+    soa = re.arena
+    for i, p in enumerate(rp.arena.proxies()):
         assert p.alive == bool(soa.alive[i])
         assert p.x == soa.x[i]
         assert p.y == soa.y[i]

@@ -33,12 +33,7 @@ from repro.xs.materials import (
 
 def _state_by_id(result):
     """(x, energy, weight, counter, alive) per particle id, either scheme."""
-    if result.particles is not None:
-        return {
-            p.particle_id: (p.x, p.energy, p.weight, p.rng_counter, p.alive)
-            for p in result.particles
-        }
-    st = result.store
+    st = result.arena
     return {
         int(st.particle_id[i]): (
             float(st.x[i]),
@@ -198,10 +193,11 @@ def test_multi_material_kinematics_differ_by_region(two_material_runs):
     """Collisions in the heavy slab barely dampen the energy (A=200), so
     colliding histories stay fast — unlike the hydrogenous csp physics."""
     a, _ = two_material_runs
-    collided = [p for p in a.particles if p.energy < 1e6 and p.energy > 0]
-    assert collided, "some particles must collide in the slab"
+    e = a.arena.energy
+    collided = e[(e < 1e6) & (e > 0)]
+    assert collided.size, "some particles must collide in the slab"
     # A=200 elastic floor: E'/E >= (199/201)² ≈ 0.980 per collision
-    assert min(p.energy for p in collided) > 0.5e6
+    assert collided.min() > 0.5e6
 
 
 def test_multi_material_map_validation():
@@ -295,14 +291,14 @@ def test_fission_secondaries_deterministic():
     """Identical configs bank identical secondaries (id-for-id)."""
     a = Simulation(_fission_cfg()).run(Scheme.OVER_PARTICLES)
     b = Simulation(_fission_cfg()).run(Scheme.OVER_PARTICLES)
-    ids_a = sorted(p.particle_id for p in a.particles)
-    ids_b = sorted(p.particle_id for p in b.particles)
+    ids_a = sorted(a.arena.particle_id.tolist())
+    ids_b = sorted(b.arena.particle_id.tolist())
     assert ids_a == ids_b
 
 
 def test_fission_secondary_ids_unique(fission_runs):
     a, _ = fission_runs
-    ids = [p.particle_id for p in a.particles]
+    ids = a.arena.particle_id.tolist()
     assert len(ids) == len(set(ids))
 
 
@@ -404,11 +400,12 @@ def test_importance_clone_weights_split_exactly(importance_runs):
     divided by the realised split count — total weight at each split is
     conserved by construction, which the exact ledger confirms."""
     a, _ = importance_runs
-    clones = [p for p in a.particles if p.particle_id >= 60]
-    assert clones
-    assert all(0.0 <= p.weight <= 1.0 for p in clones)
+    clones = a.arena.particle_id >= 60
+    assert clones.any()
+    w = a.arena.weight[clones]
+    assert np.all((0.0 <= w) & (w <= 1.0))
     # ids are unique across primaries and clones
-    ids = [p.particle_id for p in a.particles]
+    ids = a.arena.particle_id.tolist()
     assert len(ids) == len(set(ids))
 
 

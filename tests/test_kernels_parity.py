@@ -241,7 +241,7 @@ def _final_state(result):
         (p.particle_id, p.x, p.y, p.omega_x, p.omega_y, p.energy, p.weight,
          p.cellx, p.celly, p.dt_to_census, p.mfp_to_collision,
          p.rng_counter, p.alive)
-        for p in result.particles
+        for p in result.arena.proxies()
     ]
 
 

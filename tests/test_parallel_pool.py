@@ -51,13 +51,8 @@ STATE_FIELDS = (
 
 
 def _states_by_id(result):
-    """particle_id → state tuple, from either representation."""
-    if result.particles is not None:
-        return {
-            p.particle_id: tuple(getattr(p, f) for f in STATE_FIELDS)
-            for p in result.particles
-        }
-    s = result.store
+    """particle_id → state tuple, from the result arena."""
+    s = result.arena
     return {
         int(s.particle_id[i]): tuple(
             getattr(s, f)[i].item() for f in STATE_FIELDS
@@ -139,9 +134,7 @@ def test_worker_reports_account_for_everything(runs, name, scheme, schedule):
     assert info is not None and info.nworkers == NWORKERS
     assert sum(w.histories for w in info.workers) == 36
     assert sum(w.events for w in info.workers) == pooled.counters.total_events
-    assert sum(w.final_histories for w in info.workers) == len(
-        pooled.particles if pooled.particles is not None else pooled.store
-    )
+    assert sum(w.final_histories for w in info.workers) == len(pooled.arena)
     if schedule is ScheduleKind.STATIC:
         assert all(w.chunks <= 1 for w in info.workers)
     else:
@@ -160,12 +153,11 @@ def test_worker_count_does_not_change_result_order():
         Scheme.OVER_PARTICLES, nworkers=4,
         schedule=ScheduleKind.DYNAMIC, chunk=4,
     )
-    assert [p.particle_id for p in one.particles] == [
-        p.particle_id for p in four.particles
-    ]
-    for a, b in zip(one.particles, four.particles):
-        for f in STATE_FIELDS:
-            assert getattr(a, f) == getattr(b, f), f
+    assert np.array_equal(one.arena.particle_id, four.arena.particle_id)
+    for f in STATE_FIELDS:
+        assert np.array_equal(
+            getattr(one.arena, f), getattr(four.arena, f)
+        ), f
     assert np.allclose(one.tally.deposition, four.tally.deposition, rtol=1e-10)
 
 
@@ -201,7 +193,7 @@ def test_fission_population_growth_parity(schedule):
     assert serial.counters.secondaries_banked > 0
     assert _states_by_id(pooled) == _states_by_id(serial)
     assert pooled.counters.nparticles == serial.counters.nparticles
-    assert pooled.counters.collisions_per_particle.size == len(pooled.particles)
+    assert pooled.counters.collisions_per_particle.size == len(pooled.arena)
     assert np.allclose(
         serial.tally.deposition, pooled.tally.deposition, rtol=1e-10
     )

@@ -173,4 +173,4 @@ def test_reflective_walls_preserve_speed_and_energy():
     cfg = cfg.with_(boundary=BoundaryCondition.REFLECTIVE, dt=1e-7)
     r = Simulation(cfg).run(Scheme.OVER_EVENTS)
     assert r.counters.reflections > 0
-    assert np.all(r.store.energy == 1e6)  # vacuum: no collisions at all
+    assert np.all(r.arena.energy == 1e6)  # vacuum: no collisions at all

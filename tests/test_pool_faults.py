@@ -56,13 +56,8 @@ STATE_FIELDS = (
 
 
 def _states_by_id(result):
-    """particle_id → state tuple, from either representation."""
-    if result.particles is not None:
-        return {
-            p.particle_id: tuple(getattr(p, f) for f in STATE_FIELDS)
-            for p in result.particles
-        }
-    s = result.store
+    """particle_id → state tuple, from the result arena."""
+    s = result.arena
     return {
         int(s.particle_id[i]): tuple(
             getattr(s, f)[i].item() for f in STATE_FIELDS

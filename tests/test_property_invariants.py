@@ -74,10 +74,9 @@ def test_random_problem_conserves_and_schemes_agree(
     assert a.counters.facets == b.counters.facets
     assert a.counters.escapes == b.counters.escapes
     assert np.allclose(a.tally.deposition, b.tally.deposition, rtol=1e-9)
-    for p, i in zip(a.particles, range(len(b.store))):
-        assert p.x == b.store.x[i]
-        assert p.energy == b.store.energy[i]
-        assert p.rng_counter == int(b.store.rng_counter[i])
+    assert np.array_equal(a.arena.x, b.arena.x)
+    assert np.array_equal(a.arena.energy, b.arena.energy)
+    assert np.array_equal(a.arena.rng_counter, b.arena.rng_counter)
 
 
 @given(seed=st.integers(min_value=0, max_value=2**31))
@@ -95,7 +94,7 @@ def test_weights_and_energies_stay_physical(seed):
         xs_nentries=512,
     )
     r = Simulation(cfg).run(Scheme.OVER_EVENTS)
-    st_ = r.store
+    st_ = r.arena
     assert np.all(st_.weight >= 0.0)
     assert np.all(st_.weight <= 1.0 + 1e-12)
     assert np.all(st_.energy >= 0.0)
@@ -280,10 +279,7 @@ def test_random_fault_plans_preserve_invariants(faults, scheme):
         scheme, nworkers=2, schedule=ScheduleKind.DYNAMIC, chunk=5,
         fault_plan=FaultPlan(tuple(faults)),
     )
-    if scheme is Scheme.OVER_PARTICLES:
-        ids = [p.particle_id for p in faulted.particles]
-    else:
-        ids = [int(i) for i in faulted.store.particle_id]
+    ids = [int(i) for i in faulted.arena.particle_id]
     assert len(ids) == _FAULT_N
     assert ids == sorted(ids)
     assert len(set(ids)) == _FAULT_N  # no shard merged twice
@@ -306,11 +302,7 @@ def _partitioned_counters(cuts, scheme):
     mesh = pool_mod.StructuredMesh(
         cfg.nx, cfg.ny, cfg.width, cfg.height, cfg.density
     )
-    sampler = (
-        pool_mod.sample_source_aos if scheme is Scheme.OVER_PARTICLES
-        else pool_mod.sample_source_soa
-    )
-    population = sampler(
+    population = pool_mod.sample_source(
         mesh, cfg.source, cfg.nparticles, cfg.seed, cfg.dt,
         scatter_table=materials[0].scatter,
         capture_table=materials[0].capture,

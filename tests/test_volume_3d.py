@@ -191,14 +191,8 @@ def test_3d_conservation(pair):
 
 def test_3d_schemes_bit_identical(pair):
     a, b = pair
-    arr = b.arrays
-    for i, p in enumerate(a.particles):
-        assert p.x == arr["x"][i]
-        assert p.y == arr["y"][i]
-        assert p.z == arr["z"][i]
-        assert p.energy == arr["energy"][i]
-        assert p.weight == arr["weight"][i]
-        assert p.rng_counter == int(arr["rng_counter"][i])
+    for f in ("x", "y", "z", "energy", "weight", "rng_counter"):
+        assert np.array_equal(a.arena[f], b.arena[f]), f
     assert np.allclose(a.tally.deposition, b.tally.deposition, rtol=1e-9)
     assert a.counters.collisions == b.counters.collisions
     assert a.counters.facets == b.counters.facets
