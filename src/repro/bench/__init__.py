@@ -18,6 +18,7 @@ from repro.bench.runner import (
     measured_recovery_overhead,
     measured_shard_handoff,
     measured_speedup,
+    measured_telemetry,
     measured_workload,
     paper_workload,
     standard_cpu_time,
@@ -36,6 +37,7 @@ __all__ = [
     "measured_recovery_overhead",
     "measured_shard_handoff",
     "measured_speedup",
+    "measured_telemetry",
     "measured_workload",
     "paper_workload",
     "standard_cpu_time",

@@ -49,6 +49,7 @@ __all__ = [
     "measured_recovery_overhead",
     "ShardHandoff",
     "measured_shard_handoff",
+    "measured_telemetry",
 ]
 
 #: Paper-scale targets per problem: (nparticles, mesh_nx) — §IV-B.
@@ -157,6 +158,39 @@ def measured_kernel_profile(
     )
 
 
+def measured_telemetry(
+    problem: str,
+    scheme: Scheme = Scheme.OVER_EVENTS,
+    nworkers: int | None = None,
+    schedule: ScheduleKind = ScheduleKind.STATIC,
+    chunk: int = 64,
+    nx: int = MEASUREMENT_NX,
+    nparticles: int = MEASUREMENT_PARTICLES,
+):
+    """Run one reduced-scale problem with full telemetry attached.
+
+    Returns the schema-validated
+    :class:`~repro.obs.telemetry.RunTelemetry` artifact — the same object
+    ``repro run --telemetry`` dumps — so benches can assert on span
+    structure, kernel shares, or the pool ledger without shelling out.
+    ``nworkers=None`` runs the serial driver (parent spans only);
+    an integer routes through the pool and merges worker span payloads.
+    """
+    from repro.obs import Recorder, build_run_telemetry, validate_telemetry
+
+    if problem not in PROBLEM_FACTORIES:
+        raise KeyError(f"unknown problem {problem!r}")
+    cfg = PROBLEM_FACTORIES[problem](nx=nx, nparticles=nparticles)
+    recorder = Recorder()
+    result = Simulation(cfg).run(
+        scheme, nworkers=nworkers, schedule=schedule, chunk=chunk,
+        recorder=recorder,
+    )
+    telemetry = build_run_telemetry(result, recorder)
+    validate_telemetry(telemetry.to_dict())
+    return telemetry
+
+
 def standard_cpu_time(
     problem: str,
     machine: str,
@@ -199,6 +233,8 @@ class MeasuredSpeedup:
     parallel_s: float
     measured_imbalance: float
     modelled_imbalance: float
+    #: Full RunTelemetry artifact of the pooled run (``capture_telemetry``).
+    telemetry: object | None = None
 
     @property
     def speedup(self) -> float:
@@ -221,6 +257,7 @@ def measured_speedup(
     chunk: int = 64,
     nx: int = MEASUREMENT_NX,
     nparticles: int = 4 * MEASUREMENT_PARTICLES,
+    capture_telemetry: bool = False,
 ) -> MeasuredSpeedup:
     """Time one problem serially and on the worker pool, on this host.
 
@@ -228,16 +265,33 @@ def measured_speedup(
     use (scaled up ×4 in histories so there is enough work to shard),
     then reports the measured speedup and load imbalance next to what the
     scheduling model predicts for the same per-history work distribution.
+    ``capture_telemetry=True`` attaches the pooled run's full
+    :class:`~repro.obs.telemetry.RunTelemetry` artifact (bit-identity of
+    the physics is unaffected; only the pooled wall-clock absorbs the
+    recording overhead).
     """
     if problem not in PROBLEM_FACTORIES:
         raise KeyError(f"unknown problem {problem!r}")
     cfg = PROBLEM_FACTORIES[problem](nx=nx, nparticles=nparticles)
     sim = Simulation(cfg)
     serial = sim.run(scheme)
-    pooled = sim.run(scheme, nworkers=nworkers, schedule=schedule, chunk=chunk)
+    recorder = None
+    if capture_telemetry:
+        from repro.obs import Recorder
+
+        recorder = Recorder()
+    pooled = sim.run(
+        scheme, nworkers=nworkers, schedule=schedule, chunk=chunk,
+        recorder=recorder,
+    )
     modelled = simulate_parallel_for(
         serial.counters.events_per_particle(), nworkers, schedule, chunk
     )
+    telemetry = None
+    if capture_telemetry:
+        from repro.obs import build_run_telemetry
+
+        telemetry = build_run_telemetry(pooled, recorder)
     return MeasuredSpeedup(
         problem=problem,
         scheme=scheme,
@@ -247,6 +301,7 @@ def measured_speedup(
         parallel_s=pooled.wallclock_s,
         measured_imbalance=pooled.pool.busy_imbalance(),
         modelled_imbalance=modelled.load_imbalance(),
+        telemetry=telemetry,
     )
 
 
@@ -272,6 +327,9 @@ class RecoveryOverhead:
     degraded: bool
     #: Final particle states bit-identical between the two runs.
     states_identical: bool
+    #: RunTelemetry of the faulted run (``capture_telemetry``) — its
+    #: recovery_events() show the kill/respawn/retry sequence paid for.
+    telemetry: object | None = None
 
     @property
     def overhead(self) -> float:
@@ -289,6 +347,7 @@ def measured_recovery_overhead(
     chunk: int = 16,
     nx: int = MEASUREMENT_NX,
     nparticles: int = 4 * MEASUREMENT_PARTICLES,
+    capture_telemetry: bool = False,
 ) -> RecoveryOverhead:
     """Measure the wall-clock cost of losing (and replacing) one worker.
 
@@ -306,9 +365,15 @@ def measured_recovery_overhead(
     cfg = PROBLEM_FACTORIES[problem](nx=nx, nparticles=nparticles)
     sim = Simulation(cfg)
     clean = sim.run(scheme, nworkers=nworkers, schedule=schedule, chunk=chunk)
+    recorder = None
+    if capture_telemetry:
+        from repro.obs import Recorder
+
+        recorder = Recorder()
     faulted = sim.run(
         scheme, nworkers=nworkers, schedule=schedule, chunk=chunk,
         fault_plan=FaultPlan((KillWorker(worker=0, after_chunks=1),)),
+        recorder=recorder,
     )
     import numpy as np
 
@@ -316,6 +381,11 @@ def measured_recovery_overhead(
         np.array_equal(getattr(clean.arena, f), getattr(faulted.arena, f))
         for f in ("particle_id", "x", "y", "energy", "rng_counter")
     )
+    telemetry = None
+    if capture_telemetry:
+        from repro.obs import build_run_telemetry
+
+        telemetry = build_run_telemetry(faulted, recorder)
     return RecoveryOverhead(
         problem=problem,
         scheme=scheme,
@@ -327,6 +397,7 @@ def measured_recovery_overhead(
         respawns=faulted.pool.respawns,
         degraded=faulted.pool.degraded,
         states_identical=identical,
+        telemetry=telemetry,
     )
 
 

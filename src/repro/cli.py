@@ -1,15 +1,20 @@
 """Command-line interface.
 
     python -m repro run --problem csp --nx 128 --particles 500
+    python -m repro run --problem csp --workers 2 --telemetry t.json
+    python -m repro report t.json
     python -m repro predict --problem csp --machine p100
     python -m repro characterise --problem stream
     python -m repro figures
 
-``run`` executes the real transport on this host; ``predict`` prices a
-paper-scale run on one of the five modelled devices; ``characterise``
-prints the scale-free workload statistics; ``figures`` prints the
-cross-architecture summary tables (the Fig 9/10/11/14 pipeline).  The
-full figure suite with assertions lives in ``benchmarks/``.
+``run`` executes the real transport on this host; ``report`` renders a
+:class:`~repro.obs.telemetry.RunTelemetry` artifact written by
+``--telemetry`` (human summary, JSONL, Chrome trace, or Prometheus
+text); ``predict`` prices a paper-scale run on one of the five modelled
+devices; ``characterise`` prints the scale-free workload statistics;
+``figures`` prints the cross-architecture summary tables (the Fig
+9/10/11/14 pipeline).  The full figure suite with assertions lives in
+``benchmarks/``.
 """
 
 from __future__ import annotations
@@ -108,6 +113,13 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the per-kernel call/wall-clock profile of the run",
     )
+    run.add_argument(
+        "--telemetry",
+        default=None,
+        metavar="PATH",
+        help="record spans/events and write the unified RunTelemetry "
+        "artifact (JSON) to this path; inspect it with 'repro report'",
+    )
 
     run3d = sub.add_parser("run3d", help="run the 3-D extension on this host")
     run3d.add_argument(
@@ -121,6 +133,36 @@ def build_parser() -> argparse.ArgumentParser:
         default=Scheme.OVER_PARTICLES.value,
     )
     run3d.add_argument("--seed", type=int, default=7)
+    run3d.add_argument(
+        "--profile-kernels",
+        action="store_true",
+        help="print the per-kernel call/wall-clock profile of the run",
+    )
+    run3d.add_argument(
+        "--telemetry",
+        default=None,
+        metavar="PATH",
+        help="record spans/events and write the unified RunTelemetry "
+        "artifact (JSON) to this path; inspect it with 'repro report'",
+    )
+
+    report = sub.add_parser(
+        "report", help="render a RunTelemetry artifact written by --telemetry"
+    )
+    report.add_argument("telemetry", help="path to a telemetry JSON artifact")
+    report.add_argument(
+        "--format",
+        choices=["summary", "jsonl", "chrome", "prometheus"],
+        default="summary",
+        help="summary (human), jsonl (one record/line), chrome "
+        "(chrome://tracing / Perfetto trace), prometheus (text exposition)",
+    )
+    report.add_argument(
+        "--output",
+        default=None,
+        metavar="PATH",
+        help="write the rendering to this file instead of stdout",
+    )
 
     predict = sub.add_parser(
         "predict", help="price a paper-scale run on a modelled device"
@@ -165,6 +207,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
     fault_plan = (
         FaultPlan.parse(args.fault_plan) if args.fault_plan else None
     )
+    recorder = None
+    if args.telemetry:
+        from repro.obs import Recorder
+
+        recorder = Recorder()
     result = Simulation(cfg).run(
         Scheme(args.scheme),
         nworkers=args.workers,
@@ -174,6 +221,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         shard_timeout=args.shard_timeout,
         max_worker_respawns=args.max_respawns,
         fault_plan=fault_plan,
+        recorder=recorder,
     )
     c = result.counters
     print(f"problem={cfg.name} mesh={cfg.nx}x{cfg.ny} particles={cfg.nparticles} "
@@ -234,7 +282,20 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(render_heatmap(
             result.tally.deposition, title="energy deposition (log scale)"
         ))
+    if args.telemetry:
+        _write_telemetry(result, recorder, args.telemetry)
     return 0
+
+
+def _write_telemetry(result, recorder, path) -> None:
+    """Assemble, validate, and dump the RunTelemetry artifact."""
+    from repro.obs import build_run_telemetry, validate_telemetry
+
+    telemetry = build_run_telemetry(result, recorder)
+    validate_telemetry(telemetry.to_dict())
+    telemetry.dump(path)
+    print(f"telemetry: {len(telemetry.spans)} spans, "
+          f"{len(telemetry.events)} events -> {path}")
 
 
 def _cmd_run3d(args: argparse.Namespace) -> int:
@@ -259,7 +320,12 @@ def _cmd_run3d(args: argparse.Namespace) -> int:
         if Scheme(args.scheme) is Scheme.OVER_PARTICLES
         else run_over_events_3d
     )
-    result = driver(cfg)
+    recorder = None
+    if args.telemetry:
+        from repro.obs import Recorder
+
+        recorder = Recorder()
+    result = driver(cfg, recorder=recorder)
     c = result.counters
     print(f"problem={cfg.name} mesh={cfg.nx}³ particles={cfg.nparticles} "
           f"scheme={args.scheme}")
@@ -268,6 +334,49 @@ def _cmd_run3d(args: argparse.Namespace) -> int:
     print(f"energy balance error: {energy_balance_error_3d(result):.2e}")
     print(f"population accounted: {population_accounted_3d(result)}")
     print(f"host wall-clock: {result.wallclock_s:.3f} s")
+    if args.profile_kernels:
+        from repro.kernels import format_profile
+
+        print("kernel profile (ranked by wall-clock):")
+        print(format_profile(c.kernel_profile))
+        arena = result.arena
+        print(f"arena storage: {c.arena_nbytes} B for {len(arena)} "
+              f"particles ({type(arena).bytes_per_particle()} B/particle "
+              f"SoA)")
+    if args.telemetry:
+        _write_telemetry(result, recorder, args.telemetry)
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.obs import (
+        format_summary,
+        load_telemetry,
+        to_chrome_trace,
+        to_jsonl,
+        to_prometheus,
+    )
+
+    telemetry = load_telemetry(args.telemetry)
+    if args.format == "summary":
+        text = format_summary(telemetry)
+    elif args.format == "jsonl":
+        text = to_jsonl(telemetry)
+    elif args.format == "chrome":
+        import json
+
+        text = json.dumps(to_chrome_trace(telemetry))
+    else:
+        text = to_prometheus(telemetry)
+    if args.output:
+        from pathlib import Path
+
+        Path(args.output).write_text(
+            text if text.endswith("\n") else text + "\n"
+        )
+        print(f"written: {args.output}")
+    else:
+        print(text)
     return 0
 
 
@@ -390,6 +499,7 @@ def main(argv: list[str] | None = None) -> int:
     handlers = {
         "run": _cmd_run,
         "run3d": _cmd_run3d,
+        "report": _cmd_report,
         "predict": _cmd_predict,
         "characterise": _cmd_characterise,
         "figures": _cmd_figures,

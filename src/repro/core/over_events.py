@@ -53,6 +53,7 @@ from repro.kernels import EVENT_KERNELS, KernelDispatch, Workspace
 from repro.kernels.batch import EventKind, split_counts
 from repro.mesh.structured import StructuredMesh
 from repro.mesh.tally import EnergyDepositionTally
+from repro.obs.spans import NULL_RECORDER
 from repro.particles.arena import ParticleArena, ParticleRecord
 from repro.particles.source import sample_source
 from repro.physics.fission import sample_secondary_energy, secondary_id
@@ -570,10 +571,83 @@ class _EventContext:
         counters.census_events += z.size
 
 
+def _event_pass(ctx: _EventContext, handlers: dict, active: np.ndarray,
+                n: int, pass_span=None) -> None:
+    """One breadth-first pass: advance every active particle by exactly
+    one event.  ``pass_span`` (when telemetry is on) receives the pass
+    occupancy as attributes."""
+    store = ctx.store
+    ws = ctx.ws
+    dispatch = ctx.dispatch
+    counters = ctx.counters
+    mesh = ctx.mesh
+
+    # foreach(particle): calculate_time_to_events()
+    sigma_s, sigma_a, sigma_f, sigma_t = ctx.macroscopic()
+    dist = dispatch.run(
+        "distances",
+        n,
+        ws,
+        store.energy,
+        store.mfp_to_collision,
+        sigma_t,
+        store.x,
+        store.y,
+        store.omega_x,
+        store.omega_y,
+        store.cellx,
+        store.celly,
+        mesh.dx,
+        mesh.dy,
+        store.dt_to_census,
+    )
+    event = dispatch.run(
+        "select_events",
+        n,
+        dist.d_collision,
+        dist.d_facet,
+        dist.d_census,
+        out=ws.i64("event", n),
+        scratch=ws.bool_("ev_scratch", n),
+    )
+
+    masks = {}
+    n_event = {}
+    for kind in EVENT_KERNELS:
+        m = ws.bool_("mask_" + kind.name, n)
+        np.equal(event, int(kind), out=m)
+        np.logical_and(m, active, out=m)
+        masks[kind] = m
+        n_event[kind] = int(m.sum())
+    stats = EventPassStats(
+        n_active=int(active.sum()),
+        n_collision=n_event[EventKind.COLLISION],
+        n_facet=n_event[EventKind.FACET],
+        n_census=n_event[EventKind.CENSUS],
+    )
+    counters.oe_passes.append(stats)
+    if pass_span is not None:
+        pass_span.attrs["active"] = stats.n_active
+        pass_span.attrs["collisions"] = stats.n_collision
+        pass_span.attrs["facets"] = stats.n_facet
+        pass_span.attrs["census"] = stats.n_census
+
+    # ---- one handler per event kind, via the shared mapping -------------
+    for kind, kernel_name in EVENT_KERNELS.items():
+        if n_event[kind]:
+            handlers[kernel_name](
+                masks[kind], dist, sigma_a, sigma_f, sigma_t
+            )
+
+    # ---- fission secondaries join the population -------------------------
+    ctx.absorb_children()
+
+
 def run_over_events(
     config: SimulationConfig,
     arena: ParticleArena | None = None,
     tally: EnergyDepositionTally | None = None,
+    recorder=None,
 ):
     """Run the full calculation with the Over Events scheme.
 
@@ -587,6 +661,10 @@ def run_over_events(
         when omitted.  Advanced in place.
     tally:
         An existing tally to accumulate into; a fresh one when omitted.
+    recorder:
+        Optional :class:`repro.obs.Recorder` receiving the span tree
+        (run → timestep → event_pass → kernel:*).  Purely observational:
+        the physics is bit-identical with or without it.
 
     Returns
     -------
@@ -600,6 +678,7 @@ def run_over_events(
     from repro.core.simulation import TransportResult
 
     t0 = time.perf_counter()
+    rec = NULL_RECORDER if recorder is None else recorder
     mesh = StructuredMesh(config.nx, config.ny, config.width, config.height, config.density)
     if tally is None:
         tally = EnergyDepositionTally(config.nx, config.ny)
@@ -612,7 +691,7 @@ def run_over_events(
             capture_table=materials[0].capture,
         )
 
-    dispatch = KernelDispatch()
+    dispatch = KernelDispatch(recorder=rec if rec.enabled else None)
     ws = Workspace()
     ctx = _EventContext(config, mesh, tally, store, dispatch, ws)
     # Keep the already-built material set (avoids rebuilding the tables).
@@ -628,80 +707,34 @@ def run_over_events(
         "census": ctx.handle_census,
     }
 
-    for step in range(config.ntimesteps):
-        if step > 0:
-            store.dt_to_census[store.alive] = config.dt
-        store.censused[:] = ~store.alive
+    with rec.span("run", scheme="over_events"):
+        for step in range(config.ntimesteps):
+            if step > 0:
+                store.dt_to_census[store.alive] = config.dt
+            store.censused[:] = ~store.alive
 
-        # Refresh the cached microscopic cross sections for every live
-        # history (Over Particles does the same at each history start).
-        ctx.refresh_micro(np.nonzero(store.alive)[0])
+            with rec.span("timestep", step=step):
+                # Refresh the cached microscopic cross sections for every
+                # live history (Over Particles does the same at each
+                # history start).
+                ctx.refresh_micro(np.nonzero(store.alive)[0])
 
-        # ---- loop until(all_particles_reach_census) ---------------------
-        while True:
-            n = len(store)
-            active = ws.bool_("active", n)
-            np.logical_not(store.censused, out=active)
-            np.logical_and(store.alive, active, out=active)
-            if not active.any():
-                break
+                # ---- loop until(all_particles_reach_census) -------------
+                npass = 0
+                while True:
+                    n = len(store)
+                    active = ws.bool_("active", n)
+                    np.logical_not(store.censused, out=active)
+                    np.logical_and(store.alive, active, out=active)
+                    if not active.any():
+                        break
 
-            # foreach(particle): calculate_time_to_events()
-            sigma_s, sigma_a, sigma_f, sigma_t = ctx.macroscopic()
-            dist = dispatch.run(
-                "distances",
-                n,
-                ws,
-                store.energy,
-                store.mfp_to_collision,
-                sigma_t,
-                store.x,
-                store.y,
-                store.omega_x,
-                store.omega_y,
-                store.cellx,
-                store.celly,
-                mesh.dx,
-                mesh.dy,
-                store.dt_to_census,
-            )
-            event = dispatch.run(
-                "select_events",
-                n,
-                dist.d_collision,
-                dist.d_facet,
-                dist.d_census,
-                out=ws.i64("event", n),
-                scratch=ws.bool_("ev_scratch", n),
-            )
-
-            masks = {}
-            n_event = {}
-            for kind in EVENT_KERNELS:
-                m = ws.bool_("mask_" + kind.name, n)
-                np.equal(event, int(kind), out=m)
-                np.logical_and(m, active, out=m)
-                masks[kind] = m
-                n_event[kind] = int(m.sum())
-            counters.oe_passes.append(
-                EventPassStats(
-                    n_active=int(active.sum()),
-                    n_collision=n_event[EventKind.COLLISION],
-                    n_facet=n_event[EventKind.FACET],
-                    n_census=n_event[EventKind.CENSUS],
-                )
-            )
-
-            # ---- one handler per event kind, via the shared mapping -----
-            for kind, kernel_name in EVENT_KERNELS.items():
-                if n_event[kind]:
-                    handlers[kernel_name](
-                        masks[kind], dist, sigma_a, sigma_f, sigma_t
-                    )
-
-            # ---- fission secondaries join the population -----------------
-            ctx.absorb_children()
-            store = ctx.store
+                    with rec.span("event_pass", index=npass) as pass_span:
+                        _event_pass(
+                            ctx, handlers, active, n, pass_span
+                        )
+                    npass += 1
+                    store = ctx.store
 
     # In-place write — the arena's fields are views of one shared buffer
     # and must never be rebound.

@@ -60,6 +60,7 @@ from repro.kernels import xs as kernel_xs
 from repro.kernels.batch import EventKind, split_counts
 from repro.mesh.structured import StructuredMesh
 from repro.mesh.tally import EnergyDepositionTally
+from repro.obs.spans import NULL_RECORDER
 from repro.particles.arena import ParticleArena, ParticleRecord
 from repro.particles.source import sample_source
 from repro.physics.fission import sample_secondary_energy, secondary_id
@@ -682,6 +683,7 @@ def run_over_particles(
     arena: ParticleArena | None = None,
     tally: EnergyDepositionTally | None = None,
     trace: list | None = None,
+    recorder=None,
 ):
     """Run the full calculation with the Over Particles scheme.
 
@@ -704,6 +706,10 @@ def run_over_particles(
         from different histories interleave when the block size exceeds
         one, but each history's own events appear in its execution order,
         which is all the trace consumer (it groups by history) requires.
+    recorder:
+        Optional :class:`repro.obs.Recorder` receiving the span tree
+        (run → timestep → census_wave → kernel:*).  Purely observational:
+        the physics is bit-identical with or without it.
 
     Returns
     -------
@@ -715,10 +721,11 @@ def run_over_particles(
     from repro.core.simulation import TransportResult
 
     t0 = time.perf_counter()
+    rec = NULL_RECORDER if recorder is None else recorder
     mesh = StructuredMesh(config.nx, config.ny, config.width, config.height, config.density)
     if tally is None:
         tally = EnergyDepositionTally(config.nx, config.ny)
-    dispatch = KernelDispatch()
+    dispatch = KernelDispatch(recorder=rec if rec.enabled else None)
     ws = Workspace()
     ctx = _SweepContext(config, mesh, tally, dispatch, ws)
     ctx.trace = trace
@@ -736,27 +743,34 @@ def run_over_particles(
 
     block_size = config.op_block_size
 
-    for step in range(config.ntimesteps):
-        if step > 0:
-            arena.dt_to_census[arena.alive] = config.dt
-        cursor = 0
-        while cursor < len(arena):
-            hi = min(cursor + block_size, len(arena))
-            idx = cursor + np.nonzero(arena.alive[cursor:hi])[0]
-            if idx.size:
-                _Block(ctx, arena, idx).run()
-            cursor = hi
-            # Drain the fission bank within the timestep: offspring join
-            # the population in the deterministic (parent, event, child)
-            # order and are tracked in turn (their own fissions may bank
-            # further generations).
-            if cursor == len(arena) and ctx.bank:
-                ctx.bank.sort(key=lambda entry: entry[:3])
-                children = [entry[3] for entry in ctx.bank]
-                arena.append_records(children)
-                ctx.coll_pp.extend([0] * len(children))
-                ctx.facet_pp.extend([0] * len(children))
-                ctx.bank = []
+    with rec.span("run", scheme="over_particles"):
+        for step in range(config.ntimesteps):
+            if step > 0:
+                arena.dt_to_census[arena.alive] = config.dt
+            with rec.span("timestep", step=step):
+                cursor = 0
+                while cursor < len(arena):
+                    hi = min(cursor + block_size, len(arena))
+                    idx = cursor + np.nonzero(arena.alive[cursor:hi])[0]
+                    if idx.size:
+                        with rec.span(
+                            "census_wave", lo=cursor, hi=hi,
+                            lanes=int(idx.size),
+                        ):
+                            _Block(ctx, arena, idx).run()
+                    cursor = hi
+                    # Drain the fission bank within the timestep:
+                    # offspring join the population in the deterministic
+                    # (parent, event, child) order and are tracked in
+                    # turn (their own fissions may bank further
+                    # generations).
+                    if cursor == len(arena) and ctx.bank:
+                        ctx.bank.sort(key=lambda entry: entry[:3])
+                        children = [entry[3] for entry in ctx.bank]
+                        arena.append_records(children)
+                        ctx.coll_pp.extend([0] * len(children))
+                        ctx.facet_pp.extend([0] * len(children))
+                        ctx.bank = []
 
     counters = ctx.counters
     counters.nparticles = len(arena)

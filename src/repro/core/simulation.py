@@ -127,6 +127,7 @@ class Simulation:
         shard_timeout: float | None = None,
         max_worker_respawns: int = 3,
         fault_plan: "FaultPlan | None" = None,
+        recorder: "object | None" = None,
     ) -> TransportResult:
         """Run the configured calculation with the chosen scheme.
 
@@ -161,6 +162,11 @@ class Simulation:
             Deterministic fault injection
             (:class:`~repro.parallel.faults.FaultPlan`) for chaos tests
             and recovery demos; requires ``nworkers >= 2``.
+        recorder:
+            Optional :class:`~repro.obs.spans.Recorder` capturing the
+            run's span tree and event log.  ``None`` (default) records
+            nothing and the run is bit-identical to one with telemetry
+            attached.
         """
         # Local imports: the drivers import TransportResult from here.
         from repro.core.over_events import run_over_events
@@ -181,10 +187,10 @@ class Simulation:
                 max_worker_respawns=max_worker_respawns,
                 fault_plan=fault_plan,
             )
-            return run_pool(self.config, scheme, options)
+            return run_pool(self.config, scheme, options, recorder=recorder)
         if scheme is Scheme.OVER_PARTICLES:
-            return run_over_particles(self.config)
-        return run_over_events(self.config)
+            return run_over_particles(self.config, recorder=recorder)
+        return run_over_events(self.config, recorder=recorder)
 
     def run_both(self) -> tuple[TransportResult, TransportResult]:
         """Run both schemes on identical inputs (for comparisons/tests)."""

@@ -80,11 +80,14 @@ class KernelDispatch:
     not algorithm facts — they stay out of ``Counters.snapshot()``.
     """
 
-    __slots__ = ("table", "stats")
+    __slots__ = ("table", "stats", "recorder")
 
-    def __init__(self, table=None) -> None:
+    def __init__(self, table=None, recorder=None) -> None:
         self.table = KERNEL_TABLE if table is None else table
         self.stats: dict[str, KernelStat] = {}
+        # Set only when telemetry is enabled; kernel spans reuse the
+        # interval measured below, so the enabled cost is one append.
+        self.recorder = recorder
 
     def run(self, name: str, nitems: int, *args, **kwargs):
         """Invoke kernel ``name`` on ``nitems`` lanes and time it."""
@@ -98,6 +101,10 @@ class KernelDispatch:
         stat.calls += 1
         stat.items += int(nitems)
         stat.seconds += elapsed
+        if self.recorder is not None:
+            self.recorder.add_complete(
+                "kernel:" + name, t0, elapsed, items=int(nitems)
+            )
         return out
 
     @contextmanager
@@ -119,6 +126,10 @@ class KernelDispatch:
             stat.calls += 1
             stat.items += int(nitems)
             stat.seconds += elapsed
+            if self.recorder is not None:
+                self.recorder.add_complete(
+                    "kernel:" + name, t0, elapsed, items=int(nitems)
+                )
 
     def profile(self) -> dict[str, list]:
         """The accumulated profile as ``{name: [calls, items, seconds]}``.

@@ -1,0 +1,44 @@
+"""Run observability: spans, the cross-worker event log, and the
+unified :class:`RunTelemetry` artifact with its exporters."""
+
+from repro.obs.export import (
+    format_summary,
+    to_chrome_trace,
+    to_jsonl,
+    to_prometheus,
+)
+from repro.obs.spans import (
+    NULL_RECORDER,
+    LogEvent,
+    NullRecorder,
+    Recorder,
+    Span,
+)
+from repro.obs.telemetry import (
+    SCHEMA_NAME,
+    SCHEMA_VERSION,
+    RunTelemetry,
+    TelemetrySchemaError,
+    build_run_telemetry,
+    load_telemetry,
+    validate_telemetry,
+)
+
+__all__ = [
+    "Span",
+    "LogEvent",
+    "Recorder",
+    "NullRecorder",
+    "NULL_RECORDER",
+    "SCHEMA_NAME",
+    "SCHEMA_VERSION",
+    "RunTelemetry",
+    "TelemetrySchemaError",
+    "build_run_telemetry",
+    "load_telemetry",
+    "validate_telemetry",
+    "to_jsonl",
+    "to_chrome_trace",
+    "to_prometheus",
+    "format_summary",
+]

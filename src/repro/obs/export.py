@@ -1,0 +1,318 @@
+"""Exporters for the :class:`~repro.obs.telemetry.RunTelemetry` artifact.
+
+Four consumers, four formats:
+
+* :func:`to_jsonl` — one JSON object per line (header, then spans, then
+  events) for log shippers and ``jq`` pipelines;
+* :func:`to_chrome_trace` — the Chrome ``trace_event`` format, loadable
+  in ``about://tracing`` / Perfetto: each worker becomes a process row,
+  spans become complete (``"ph": "X"``) slices, log entries become
+  instant events;
+* :func:`to_prometheus` — text exposition format for scrape-style
+  ingestion of the scalar measurements;
+* :func:`format_summary` — the human rendering ``repro report`` prints:
+  run header, counters digest, ranked kernel table, pool/recovery ledger
+  and the span tree aggregated by name path.
+"""
+
+from __future__ import annotations
+
+import json
+
+__all__ = [
+    "to_jsonl",
+    "to_chrome_trace",
+    "to_prometheus",
+    "format_summary",
+]
+
+
+def to_jsonl(telemetry) -> str:
+    """One JSON object per line: a ``header`` record carrying every
+    scalar section, then one ``span`` record per span, one ``event``
+    record per log entry."""
+    d = telemetry.to_dict()
+    lines = [json.dumps({
+        "type": "header",
+        "schema": d["schema"],
+        "meta": d["meta"],
+        "counters": d["counters"],
+        "kernel_profile": d["kernel_profile"],
+        "workspace": d["workspace"],
+        "arena": d["arena"],
+        "pool": d["pool"],
+    }, sort_keys=True)]
+    for row in d["spans"]:
+        lines.append(json.dumps({"type": "span", **row}, sort_keys=True))
+    for row in d["events"]:
+        lines.append(json.dumps({"type": "event", **row}, sort_keys=True))
+    return "\n".join(lines) + "\n"
+
+
+def _pid_of(source: dict) -> int:
+    """Process row for the trace viewer: parent = 0, worker w = w + 1."""
+    worker = source.get("worker")
+    return 0 if worker is None else int(worker) + 1
+
+
+def to_chrome_trace(telemetry) -> dict:
+    """The artifact as a Chrome ``trace_event`` JSON object.
+
+    Timestamps are re-based to the earliest recorded instant and
+    expressed in microseconds (the format's unit).  Load the dumped JSON
+    in ``about://tracing`` or https://ui.perfetto.dev.
+    """
+    spans = telemetry.spans
+    events = telemetry.events
+    t_min = min(
+        [r["t0"] for r in spans] + [r["t"] for r in events], default=0.0
+    )
+
+    trace: list[dict] = []
+    seen_pids: dict[int, str] = {}
+    for row in spans + events:
+        pid = _pid_of(row.get("source", {}))
+        if pid not in seen_pids:
+            src = row.get("source", {})
+            name = "parent" if pid == 0 else (
+                f"worker {src.get('worker')} "
+                f"(incarnation {src.get('incarnation', 0)})"
+            )
+            seen_pids[pid] = name
+    for pid, name in sorted(seen_pids.items()):
+        trace.append({
+            "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+            "args": {"name": name},
+        })
+
+    for row in spans:
+        trace.append({
+            "name": row["name"],
+            "ph": "X",
+            "ts": (row["t0"] - t_min) * 1e6,
+            "dur": max(0.0, (row["t1"] - row["t0"]) * 1e6),
+            "pid": _pid_of(row.get("source", {})),
+            "tid": 0,
+            "args": {**row.get("attrs", {}), **row.get("source", {})},
+        })
+    for row in events:
+        trace.append({
+            "name": row["name"],
+            "ph": "i",
+            "s": "p",
+            "ts": (row["t"] - t_min) * 1e6,
+            "pid": _pid_of(row.get("source", {})),
+            "tid": 0,
+            "args": {**row.get("attrs", {}), **row.get("source", {})},
+        })
+
+    return {
+        "traceEvents": trace,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "schema": telemetry.to_dict()["schema"],
+            "problem": telemetry.meta.get("problem"),
+            "scheme": telemetry.meta.get("scheme"),
+        },
+    }
+
+
+def _prom_escape(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def to_prometheus(telemetry) -> str:
+    """The scalar sections in Prometheus text exposition format."""
+    lines: list[str] = []
+
+    def gauge(name, value, help_text, labels=None):
+        label_s = ""
+        if labels:
+            inner = ",".join(
+                f'{k}="{_prom_escape(str(v))}"' for k, v in labels.items()
+            )
+            label_s = "{" + inner + "}"
+        if not any(ln.startswith(f"# HELP {name} ") for ln in lines):
+            lines.append(f"# HELP {name} {help_text}")
+            lines.append(f"# TYPE {name} gauge")
+        lines.append(f"{name}{label_s} {float(value):.10g}")
+
+    meta = telemetry.meta
+    gauge("repro_run_wallclock_seconds", meta.get("wallclock_s") or 0.0,
+          "Host wall-clock of the run")
+    for key, value in sorted(telemetry.counters.items()):
+        gauge(f"repro_counter_{key}", value,
+              f"Counters.{key} for the run")
+    for name, (calls, items, seconds) in sorted(
+        telemetry.kernel_profile.items()
+    ):
+        labels = {"kernel": name}
+        gauge("repro_kernel_calls", calls, "Kernel invocation count", labels)
+        gauge("repro_kernel_items", items, "Kernel lanes processed", labels)
+        gauge("repro_kernel_seconds", seconds, "Kernel wall-clock", labels)
+    ws = telemetry.workspace
+    gauge("repro_workspace_allocations", ws.get("allocations", 0),
+          "Workspace buffers grown")
+    gauge("repro_workspace_reuses", ws.get("reuses", 0),
+          "Workspace buffers reused")
+    gauge("repro_arena_bytes", telemetry.arena.get("nbytes", 0),
+          "Final population arena footprint")
+    pool = telemetry.pool
+    if pool is not None:
+        for key in ("retries", "respawns", "workers_lost",
+                    "shards_drained_in_process"):
+            gauge(f"repro_pool_{key}", pool.get(key, 0),
+                  f"Pool recovery ledger: {key}")
+        gauge("repro_pool_degraded", 1.0 if pool.get("degraded") else 0.0,
+              "1 when the pool fell back to in-process draining")
+        for w in pool.get("workers", ()):
+            labels = {"worker": w["worker_id"]}
+            gauge("repro_worker_busy_seconds", w["busy_s"],
+                  "Per-worker driver wall-clock", labels)
+            gauge("repro_worker_events", w["events"],
+                  "Per-worker transport events", labels)
+            gauge("repro_worker_incarnations", w["incarnations"],
+                  "Processes that occupied the slot", labels)
+            gauge("repro_worker_last_heartbeat_age_seconds",
+                  w["last_heartbeat_age_s"],
+                  "Heartbeat age at collection time", labels)
+    gauge("repro_spans_total", len(telemetry.spans),
+          "Spans in the telemetry artifact")
+    gauge("repro_events_total", len(telemetry.events),
+          "Log events in the telemetry artifact")
+    return "\n".join(lines) + "\n"
+
+
+# ---------------------------------------------------------------------------
+# Human summary
+# ---------------------------------------------------------------------------
+
+def _aggregate_span_tree(spans) -> list[tuple[str, int, float]]:
+    """Aggregate spans by name *path* (root → ... → name).
+
+    Returns ``(indented name, count, total seconds)`` rows in first-seen
+    order — the shape of the tree without the per-instance noise.
+    """
+    by_id = {row["id"]: row for row in spans}
+
+    def path_of(row) -> tuple[str, ...]:
+        parts = [row["name"]]
+        seen = {row["id"]}
+        parent = row["parent"]
+        while parent != -1 and parent in by_id and parent not in seen:
+            seen.add(parent)
+            parts.append(by_id[parent]["name"])
+            parent = by_id[parent]["parent"]
+        return tuple(reversed(parts))
+
+    order: list[tuple[str, ...]] = []
+    agg: dict[tuple[str, ...], list] = {}
+    for row in spans:
+        path = path_of(row)
+        if path not in agg:
+            agg[path] = [0, 0.0]
+            order.append(path)
+        agg[path][0] += 1
+        agg[path][1] += row["t1"] - row["t0"]
+    order.sort()
+    return [
+        ("  " * (len(path) - 1) + path[-1], agg[path][0], agg[path][1])
+        for path in order
+    ]
+
+
+def format_summary(telemetry) -> str:
+    """The human rendering ``repro report`` prints."""
+    from repro.kernels import format_profile
+
+    meta = telemetry.meta
+    c = telemetry.counters
+    out = []
+    out.append(
+        f"run: problem={meta.get('problem')} scheme={meta.get('scheme')} "
+        f"mesh={meta.get('nx')}x{meta.get('ny')}"
+        + (f"x{meta.get('nz')}" if meta.get("nz") else "")
+        + f" particles={meta.get('nparticles')} "
+        f"timesteps={meta.get('ntimesteps')} seed={meta.get('seed')}"
+    )
+    out.append(f"wall-clock: {meta.get('wallclock_s', 0.0):.3f} s")
+    out.append(
+        f"events: collisions={c.get('collisions')} facets={c.get('facets')} "
+        f"census={c.get('census_events')} total={c.get('total_events')} "
+        f"(load imbalance {c.get('load_imbalance', 0.0):.3f})"
+    )
+    ws = telemetry.workspace
+    out.append(
+        f"workspace: {ws.get('allocations')} allocations, "
+        f"{ws.get('reuses')} reuses; xs bin reuses: "
+        f"{ws.get('xs_bin_reuses')}"
+    )
+    arena = telemetry.arena
+    out.append(
+        f"arena: {arena.get('nbytes')} B for {arena.get('nparticles')} "
+        f"particles ({arena.get('bytes_per_particle')} B/particle)"
+    )
+
+    if telemetry.kernel_profile:
+        out.append("")
+        out.append("kernel profile (ranked by wall-clock):")
+        out.append(format_profile(telemetry.kernel_profile))
+
+    pool = telemetry.pool
+    if pool is not None:
+        out.append("")
+        out.append(
+            f"pool: {pool['nworkers']} workers, {pool['schedule']} schedule "
+            f"(chunk {pool['chunk']}, {pool['start_method']} start)"
+        )
+        for w in pool.get("workers", ()):
+            out.append(
+                f"  worker {w['worker_id']}: histories={w['histories']} "
+                f"events={w['events']} chunks={w['chunks']} "
+                f"busy={w['busy_s']:.3f}s "
+                f"incarnations={w['incarnations']} "
+                f"heartbeat-age={w['last_heartbeat_age_s']:.2f}s"
+            )
+        attempts = pool.get("shard_attempts", [])
+        retried = sum(1 for a in attempts if a > 0)
+        out.append(
+            f"  shards: {len(attempts)} total, {retried} retried "
+            f"(attempt counts {attempts})"
+        )
+        if (pool["retries"] or pool["respawns"] or pool["workers_lost"]
+                or pool["degraded"]):
+            out.append(
+                f"  recovery: {pool['workers_lost']} workers lost, "
+                f"{pool['respawns']} respawned, "
+                f"{pool['retries']} shard retries"
+            )
+        if pool["degraded"]:
+            out.append(
+                f"  DEGRADED MODE: {pool['degraded_reason']} — "
+                f"{pool['shards_drained_in_process']} shards drained "
+                "in-process"
+            )
+
+    if telemetry.spans:
+        out.append("")
+        out.append("span tree (aggregated by phase):")
+        name_w = max(
+            len(name) for name, _, _ in _aggregate_span_tree(telemetry.spans)
+        )
+        for name, count, seconds in _aggregate_span_tree(telemetry.spans):
+            out.append(f"  {name:<{name_w}} {count:>7}x {seconds:>10.6f} s")
+
+    recov = telemetry.recovery_events()
+    if recov:
+        out.append("")
+        out.append(f"recovery event log ({len(recov)} entries):")
+        for row in recov:
+            src = row.get("source", {})
+            tag = (
+                f" [worker {src['worker']}]" if "worker" in src else ""
+            )
+            attrs = " ".join(
+                f"{k}={v}" for k, v in sorted(row.get("attrs", {}).items())
+            )
+            out.append(f"  t={row['t']:.6f} {row['name']}{tag} {attrs}")
+    return "\n".join(out) + "\n"

@@ -75,6 +75,7 @@ from repro.core.config import Scheme, SimulationConfig
 from repro.core.counters import Counters
 from repro.mesh.structured import StructuredMesh
 from repro.mesh.tally import EnergyDepositionTally
+from repro.obs.spans import NULL_RECORDER, Recorder
 from repro.parallel.faults import KILLED_EXIT_CODE, FaultInjected, FaultPlan
 from repro.parallel.schedule import ScheduleKind
 from repro.particles.arena import ParticleArena
@@ -216,6 +217,11 @@ class WorkerReport:
         Slot lifetime (sum over incarnations) including queue waits.
     incarnations:
         Processes that occupied the slot (1 + respawns of this slot).
+    last_heartbeat_age_s:
+        Age of the slot's heartbeat when the dispatch loop finished —
+        near ``heartbeat_interval`` for a healthy worker, large for one
+        that hung or died (0 for the parent's in-process drain and the
+        ``nworkers == 1`` path, which have no heartbeat).
     """
 
     worker_id: int
@@ -226,6 +232,7 @@ class WorkerReport:
     busy_s: float
     total_s: float
     incarnations: int = 1
+    last_heartbeat_age_s: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -254,6 +261,8 @@ class PoolRunInfo:
     degraded_reason: str = ""
     #: Shards the parent executed in-process under degraded mode.
     shards_drained_in_process: int = 0
+    #: Retry attempts charged per shard id (0 = succeeded first try).
+    shard_attempts: tuple[int, ...] = ()
 
     def _imbalance(self, values: np.ndarray) -> float:
         mean = values.mean() if values.size else 0.0
@@ -288,7 +297,7 @@ class PoolRunInfo:
 # Shard execution (runs inside workers; in-process when nworkers == 1)
 # ---------------------------------------------------------------------------
 
-def _run_ranges(config, scheme, population, ranges):
+def _run_ranges(config, scheme, population, ranges, recorder=None):
     """Run the scheme driver over each ``(lo, hi)`` history range.
 
     ``population`` is a :class:`ParticleArena` — private or shared-memory
@@ -297,6 +306,8 @@ def _run_ranges(config, scheme, population, ranges):
     mutated and a retried range re-executes from identical bytes.
     Accumulates into one private tally and one private counter set, in
     range order; returns everything the parent needs for the reduction.
+    ``recorder`` (when given) is handed to the drivers, which record
+    their span trees into it; it never alters the physics.
     """
     from repro.core.over_events import run_over_events
     from repro.core.over_particles import run_over_particles
@@ -314,7 +325,10 @@ def _run_ranges(config, scheme, population, ranges):
     for lo, hi in ranges:
         chunks += 1
         histories += hi - lo
-        r = driver(config, population.view(lo, hi).copy(), tally=tally)
+        r = driver(
+            config, population.view(lo, hi).copy(), tally=tally,
+            recorder=recorder,
+        )
         if arena is None:
             arena = r.arena
         else:
@@ -345,7 +359,8 @@ def _hard_exit(result_queue):
 
 
 def _worker_main(worker_id, incarnation, config, scheme, handle,
-                 task_queue, result_queue, heartbeats, plan, hb_interval):
+                 task_queue, result_queue, heartbeats, plan, hb_interval,
+                 telemetry=False):
     """Worker process entry point: pull shards, announce, run, ship.
 
     ``handle`` is the population hand-off — the ``(shm_name, n_total)``
@@ -361,6 +376,14 @@ def _worker_main(worker_id, incarnation, config, scheme, handle,
     kills keyed on (worker, incarnation, chunks done), delays and raises
     keyed on (shard, attempt), heartbeat suppression keyed on (worker,
     incarnation).
+
+    With ``telemetry`` on, each shard gets a fresh worker-side
+    :class:`~repro.obs.spans.Recorder` tagged ``(worker, incarnation,
+    shard, attempt)`` whose buffered spans/events ship back inside the
+    shard's result message.  Only *successful* attempts ship telemetry —
+    failed attempts are covered by the parent's recovery events — so the
+    merged log depends only on which attempt finally ran each shard,
+    which the deterministic fault plan fixes.
     """
     stop = threading.Event()
     heartbeats[worker_id] = time.monotonic()
@@ -393,11 +416,20 @@ def _worker_main(worker_id, incarnation, config, scheme, handle,
             delay = plan.delay_for(shard_id, attempt)
             if delay is not None:
                 time.sleep(delay.seconds)
+            wrec = None
+            if telemetry:
+                wrec = Recorder(source={
+                    "worker": worker_id, "incarnation": incarnation,
+                    "shard": shard_id, "attempt": attempt,
+                })
+                wrec.event("shard_start", shard=shard_id, attempt=attempt)
             try:
                 injected = plan.raise_for(shard_id, attempt)
                 if injected is not None:
                     raise FaultInjected(injected.message)
-                out = _run_ranges(config, scheme, population, [(lo, hi)])
+                out = _run_ranges(
+                    config, scheme, population, [(lo, hi)], recorder=wrec
+                )
             except Exception:
                 result_queue.put({
                     "type": "error", "worker_id": worker_id,
@@ -409,6 +441,9 @@ def _worker_main(worker_id, incarnation, config, scheme, handle,
                     type="result", worker_id=worker_id,
                     incarnation=incarnation, shard=shard_id, attempt=attempt,
                 )
+                if wrec is not None:
+                    wrec.event("shard_done", shard=shard_id, attempt=attempt)
+                    out["telemetry"] = wrec.payload()
                 result_queue.put(out)
             chunks_done += 1
     finally:
@@ -473,7 +508,8 @@ class _Dispatcher:
     recovery ledger folded into :class:`PoolRunInfo` by the caller.
     """
 
-    def __init__(self, config, scheme, population, shards, options, ctx):
+    def __init__(self, config, scheme, population, shards, options, ctx,
+                 recorder=None):
         self.config = config
         self.scheme = scheme
         #: Shared-memory arena (created by run_pool, unlinked by it too).
@@ -483,6 +519,7 @@ class _Dispatcher:
         self.shards = shards
         self.options = options
         self.ctx = ctx
+        self.rec = NULL_RECORDER if recorder is None else recorder
         self.static = options.schedule is ScheduleKind.STATIC
         self.nslots = (
             len(shards) if self.static else min(options.nworkers, len(shards))
@@ -501,6 +538,10 @@ class _Dispatcher:
         self.degraded = False
         self.degraded_reason = ""
         self.last_progress = time.monotonic()
+        #: Worker-slot heartbeat ages captured when the dispatch loop
+        #: finished (satellite: surfaced on WorkerReport).
+        self.final_heartbeat_ages: dict[int, float] = {}
+        self._last_hb_sample = time.monotonic()
 
     # -- lifecycle ------------------------------------------------------
     def run(self):
@@ -518,6 +559,11 @@ class _Dispatcher:
             for slot in self.slots:
                 self._spawn(slot)
             self._watch()
+            now = time.monotonic()
+            self.final_heartbeat_ages = {
+                slot.worker_id: max(0.0, now - self.heartbeats[slot.worker_id])
+                for slot in self.slots
+            }
         finally:
             self._shutdown()
         return self.results
@@ -532,6 +578,7 @@ class _Dispatcher:
                 slot.worker_id, slot.incarnation, self.config, self.scheme,
                 self.handle, slot.queue, self.result_queue,
                 self.heartbeats, self.plan, self.options.heartbeat_interval,
+                self.rec.enabled,
             ),
             daemon=True,
         )
@@ -546,6 +593,16 @@ class _Dispatcher:
             if not self.pending:
                 return
             now = time.monotonic()
+            if self.rec.enabled and now - self._last_hb_sample >= 1.0:
+                self._last_hb_sample = now
+                for slot in self.slots:
+                    if slot.live:
+                        self.rec.event(
+                            "heartbeat_age",
+                            worker=slot.worker_id,
+                            incarnation=slot.incarnation,
+                            age_s=max(0.0, now - self.heartbeats[slot.worker_id]),
+                        )
             for slot in self.slots:
                 if not slot.live:
                     continue
@@ -633,6 +690,10 @@ class _Dispatcher:
     def _recover_worker(self, slot, reason):
         """Terminate/reap a dead or hung worker, retry its shard, respawn."""
         self.workers_lost += 1
+        self.rec.event(
+            "worker_lost", worker=slot.worker_id,
+            incarnation=slot.incarnation, reason=reason,
+        )
         if slot.proc.is_alive():
             slot.proc.terminate()
         slot.proc.join(5.0)
@@ -646,6 +707,10 @@ class _Dispatcher:
         if self.respawns < self.options.max_worker_respawns and self.pending:
             self.respawns += 1
             self._spawn(slot)
+            self.rec.event(
+                "respawn", worker=slot.worker_id,
+                incarnation=slot.incarnation,
+            )
         else:
             slot.dead = True
         if lost is not None and lost[0] in self.pending:
@@ -672,6 +737,10 @@ class _Dispatcher:
             )
             return
         self.retries += 1
+        self.rec.event(
+            "retry", shard=sid, attempt=self.attempts[sid],
+            reason=reason.splitlines()[0],
+        )
         if self.options.retry_backoff:
             time.sleep(self.options.retry_backoff * self.attempts[sid])
         self._enqueue(sid, self.attempts[sid])
@@ -688,15 +757,22 @@ class _Dispatcher:
         of last resort and must complete (a *genuine* persistent error
         still propagates, after the shutdown cleanup).
         """
+        if not self.degraded:
+            self.rec.event("degraded", reason=reason)
         self.degraded = True
         if not self.degraded_reason:
             self.degraded_reason = reason
         for sid in sorted(sids):
             if sid not in self.pending:
                 continue
+            self.rec.event(
+                "drain_in_process", shard=sid, attempt=self.attempts[sid],
+            )
             t0 = time.perf_counter()
             out = _run_ranges(
-                self.config, self.scheme, self.population, [self.shards[sid]]
+                self.config, self.scheme, self.population,
+                [self.shards[sid]],
+                recorder=self.rec if self.rec.enabled else None,
             )
             out.update(
                 type="result", worker_id=PARENT_WORKER_ID,
@@ -749,22 +825,28 @@ class _Dispatcher:
 
 
 def _reduce(config, scheme, options, shards, results, dispatcher, t0,
-            start_method):
+            start_method, recorder=None):
     """Fold per-shard payloads into one :class:`TransportResult`.
 
     Reduction runs in **shard-id order**, so the floating-point
     accumulation order — and therefore the reduced tally, bit for bit —
     is independent of which worker ran which shard, of retries, and of
-    degraded drains.  Kept module-level so tests can instrument it.
+    degraded drains.  Worker telemetry payloads are merged into
+    ``recorder`` in the same shard-id order, making the merged span/event
+    log structurally deterministic too.  Kept module-level so tests can
+    instrument it.
     """
     from repro.core.simulation import TransportResult
 
+    rec = NULL_RECORDER if recorder is None else recorder
     tally = EnergyDepositionTally(config.nx, config.ny)
     merged = Counters()
     all_arena: ParticleArena | None = None
     per_worker: dict[int, dict] = {}
     for sid in range(len(shards)):
         r = results[sid]
+        if rec.enabled and "telemetry" in r:
+            rec.merge_payload(r["telemetry"])
         tally.deposition += r["tally"].deposition
         tally.flush_counts += r["tally"].flush_counts
         tally.flushes += r["tally"].flushes
@@ -797,6 +879,9 @@ def _reduce(config, scheme, options, shards, results, dispatcher, t0,
             "busy_s": 0.0, "total_s": 0.0,
         })
         slot = slot_by_id.get(wid)
+        hb_ages = (
+            dispatcher.final_heartbeat_ages if dispatcher is not None else {}
+        )
         reports.append(WorkerReport(
             worker_id=wid,
             histories=w["histories"],
@@ -806,6 +891,7 @@ def _reduce(config, scheme, options, shards, results, dispatcher, t0,
             busy_s=w["busy_s"],
             total_s=slot.lifetime_s if slot is not None else w["total_s"],
             incarnations=slot.incarnation + 1 if slot is not None else 1,
+            last_heartbeat_age_s=hb_ages.get(wid, 0.0),
         ))
 
     # ---- deterministic population order, independent of nworkers ----------
@@ -840,6 +926,10 @@ def _reduce(config, scheme, options, shards, results, dispatcher, t0,
         shards_drained_in_process=(
             dispatcher.drained if dispatcher is not None else 0
         ),
+        shard_attempts=(
+            tuple(dispatcher.attempts) if dispatcher is not None
+            else (0,) * len(shards)
+        ),
     )
     return TransportResult(
         config=config,
@@ -856,6 +946,7 @@ def run_pool(
     config: SimulationConfig,
     scheme: Scheme = Scheme.OVER_PARTICLES,
     options: PoolOptions | None = None,
+    recorder=None,
 ):
     """Run the configured calculation sharded across worker processes.
 
@@ -864,9 +955,16 @@ def run_pool(
     ledger.  Physics is bit-identical to the serial drivers per history —
     including retried and drained shards — and the tally matches the
     serial run to accumulation-order rounding.
+
+    ``recorder`` (a :class:`repro.obs.Recorder`) collects the parent's
+    span tree plus every worker's shipped span/event payload, merged in
+    shard-id order; recovery actions (worker loss, retries, respawns,
+    degraded drains) and periodic heartbeat-age samples land in its
+    event log.  Telemetry never alters the physics.
     """
     if options is None:
         options = PoolOptions(nworkers=1)
+    rec = NULL_RECORDER if recorder is None else recorder
     t0 = time.perf_counter()
 
     # Resolve the material set once — the workers would otherwise rebuild
@@ -876,10 +974,12 @@ def run_pool(
     mesh = StructuredMesh(
         config.nx, config.ny, config.width, config.height, config.density
     )
-    population = sample_source(
-        mesh, config.source, config.nparticles, config.seed, config.dt,
-        scatter_table=materials[0].scatter, capture_table=materials[0].capture,
-    )
+    with rec.span("source_sampling", nparticles=config.nparticles):
+        population = sample_source(
+            mesh, config.source, config.nparticles, config.seed, config.dt,
+            scatter_table=materials[0].scatter,
+            capture_table=materials[0].capture,
+        )
 
     shards = _build_shards(config.nparticles, options)
     dispatcher = None
@@ -888,26 +988,35 @@ def run_pool(
         # _run_ranges folds them into one payload, presented to the shared
         # reduction as a single shard spanning the whole population.
         t_shard = time.perf_counter()
-        out = _run_ranges(run_config, scheme, population, shards)
+        with rec.span("shard_exec", nshards=len(shards)):
+            out = _run_ranges(
+                run_config, scheme, population, shards,
+                recorder=rec if rec.enabled else None,
+            )
         out.update(worker_id=0, total_s=time.perf_counter() - t_shard)
-        return _reduce(
-            config, scheme, options, [(0, config.nparticles)], {0: out},
-            None, t0, "inline",
-        )
+        with rec.span("reduce", nshards=1):
+            return _reduce(
+                config, scheme, options, [(0, config.nparticles)], {0: out},
+                None, t0, "inline", recorder=rec,
+            )
 
     # Re-home the population into shared memory: workers attach zero-copy
     # shard views by (name, n_total, lo, hi) instead of unpickling it.
     shared_pop = population.to_shared()
     ctx = _pick_context(options)
     dispatcher = _Dispatcher(
-        run_config, scheme, shared_pop, shards, options, ctx
+        run_config, scheme, shared_pop, shards, options, ctx, recorder=rec
     )
     try:
-        results = dispatcher.run()
-        return _reduce(
-            config, scheme, options, shards, results, dispatcher, t0,
-            ctx.get_start_method(),
-        )
+        with rec.span(
+            "dispatch", nworkers=options.nworkers, nshards=len(shards)
+        ):
+            results = dispatcher.run()
+        with rec.span("reduce", nshards=len(shards)):
+            return _reduce(
+                config, scheme, options, shards, results, dispatcher, t0,
+                ctx.get_start_method(), recorder=rec,
+            )
     finally:
         # Belt and braces for the reduction path: no worker may outlive
         # this call, even if _reduce (or anything above) raised.

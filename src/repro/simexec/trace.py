@@ -45,12 +45,13 @@ class EventTrace:
         return sum(k.size for k, _ in self.histories)
 
     def event_counts(self) -> dict:
-        """Total events by kind."""
-        out = {kind: 0 for kind in EventKind}
+        """Total events by kind (one ``bincount`` per history)."""
+        totals = np.zeros(len(EventKind), dtype=np.int64)
         for kinds, _ in self.histories:
-            for kind in EventKind:
-                out[kind] += int((kinds == int(kind)).sum())
-        return out
+            totals += np.bincount(kinds, minlength=len(EventKind))[
+                : len(EventKind)
+            ]
+        return {kind: int(totals[int(kind)]) for kind in EventKind}
 
 
 def record_trace(config: SimulationConfig) -> tuple[EventTrace, object]:

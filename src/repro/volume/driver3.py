@@ -30,6 +30,7 @@ import numpy as np
 from repro.core.counters import Counters
 from repro.kernels import KernelDispatch
 from repro.kernels.dispatch import KERNEL_TABLE_3D
+from repro.obs.spans import NULL_RECORDER
 from repro.particles.arena import ParticleArena3
 from repro.physics.constants import speed_from_energy_ev, speed_from_energy_ev_vec
 from repro.physics.events import (
@@ -49,7 +50,21 @@ from repro.xs.lookup import binary_search_bin
 from repro.xs.macroscopic import macroscopic_cross_section
 from repro.xs.tables import make_capture_table, make_scatter_table
 
-__all__ = ["Transport3DResult", "run_over_particles_3d", "run_over_events_3d"]
+__all__ = [
+    "Transport3DResult",
+    "run_over_particles_3d",
+    "run_over_events_3d",
+    "SCALAR_KERNEL_TABLE_3D",
+]
+
+#: Scalar kernel surface of the depth-first 3-D tracker — same names as
+#: the batch entries in ``KERNEL_TABLE_3D`` so the profiles of both
+#: schemes rank comparably under ``run3d --profile-kernels``.
+SCALAR_KERNEL_TABLE_3D = {
+    "facet_distances_3d": distance_to_facet_3d,
+    "collide_3d": collide3,
+    "cross_facet_3d": cross_facet_3d,
+}
 
 
 @dataclass
@@ -62,6 +77,9 @@ class Transport3DResult:
     counters: Counters
     arena: ParticleArena3
     wallclock_s: float
+    #: Driver name ("over_particles_3d" / "over_events_3d") — a plain
+    #: string, unlike the 2-D result's Scheme enum.
+    scheme: str | None = None
 
     @property
     def particles(self):
@@ -141,9 +159,18 @@ def _sample_source_3d(config: Volume3DConfig, mesh: StructuredMesh3D):
 # Over Particles
 # ---------------------------------------------------------------------------
 
-def run_over_particles_3d(config: Volume3DConfig) -> Transport3DResult:
-    """Depth-first 3-D transport (the Listing 1 loop in one more axis)."""
+def run_over_particles_3d(
+    config: Volume3DConfig, recorder=None
+) -> Transport3DResult:
+    """Depth-first 3-D transport (the Listing 1 loop in one more axis).
+
+    ``recorder`` receives run/timestep spans only — the scalar tracker
+    fires one kernel call per event, so per-kernel spans would dwarf the
+    payload; the kernel *profile* is still accumulated through the
+    dispatch table and lands on ``counters.kernel_profile``.
+    """
     t0 = time.perf_counter()
+    rec = NULL_RECORDER if recorder is None else recorder
     mesh = StructuredMesh3D(
         config.nx, config.ny, config.nz,
         config.width, config.height, config.depth, config.density,
@@ -155,37 +182,44 @@ def run_over_particles_3d(config: Volume3DConfig) -> Transport3DResult:
     counters.rng_draws += 6 * len(arena)
     coll_pp = np.zeros(len(arena), dtype=np.int64)
     facet_pp = np.zeros(len(arena), dtype=np.int64)
+    dispatch = KernelDispatch(SCALAR_KERNEL_TABLE_3D)
 
-    for step in range(config.ntimesteps):
-        if step > 0:
-            arena.dt[arena.alive] = config.dt
-        for i in range(len(arena)):
-            if not arena.alive[i]:
-                continue
-            _track_history_3d(
-                arena.proxy(i), i, mesh, tally, scatter_table, capture_table,
-                config, counters, coll_pp, facet_pp,
-            )
+    with rec.span("run", scheme="over_particles_3d"):
+        for step in range(config.ntimesteps):
+            if step > 0:
+                arena.dt[arena.alive] = config.dt
+            with rec.span("timestep", step=step):
+                for i in range(len(arena)):
+                    if not arena.alive[i]:
+                        continue
+                    _track_history_3d(
+                        arena.proxy(i), i, mesh, tally, scatter_table,
+                        capture_table, config, counters, coll_pp, facet_pp,
+                        dispatch,
+                    )
 
     counters.collisions_per_particle = coll_pp
     counters.facets_per_particle = facet_pp
+    counters.kernel_profile = dispatch.profile()
     counters.arena_nbytes = arena.nbytes()
     return Transport3DResult(
         config=config, tally=tally, counters=counters, arena=arena,
         wallclock_s=time.perf_counter() - t0,
+        scheme="over_particles_3d",
     )
 
 
 def _track_history_3d(
     p, index, mesh, tally, scatter_table, capture_table, config, counters,
-    coll_pp, facet_pp,
+    coll_pp, facet_pp, dispatch,
 ):
     rng = ParticleRNG(config.seed, p.particle_id, p.rng_counter)
     molar = config.molar_mass_g_mol
 
     def sigmas():
-        micro_s = _micro_at(scatter_table, p.energy)
-        micro_c = _micro_at(capture_table, p.energy)
+        with dispatch.timed("xs_lookup", 2):
+            micro_s = _micro_at(scatter_table, p.energy)
+            micro_c = _micro_at(capture_table, p.energy)
         counters.xs_lookups += 2
         s = float(macroscopic_cross_section(micro_s, p.local_density, molar))
         a = float(macroscopic_cross_section(micro_c, p.local_density, molar))
@@ -197,7 +231,8 @@ def _track_history_3d(
     while True:
         d_coll = distance_to_collision(p.mfp_to_collision, sigma_t)
         bounds = mesh.cell_bounds(p.cellx, p.celly, p.cellz)
-        d_facet, axis = distance_to_facet_3d(
+        d_facet, axis = dispatch.run(
+            "facet_distances_3d", 1,
             p.x, p.y, p.z, p.ox, p.oy, p.oz, *bounds
         )
         d_census = p.dt_to_census * speed
@@ -212,7 +247,8 @@ def _track_history_3d(
             u2 = rng.next_uniform()
             u3 = rng.next_uniform()
             counters.rng_draws += 3
-            out = collide3(
+            out = dispatch.run(
+                "collide_3d", 1,
                 p.energy, p.weight, p.ox, p.oy, p.oz, sigma_a, sigma_t,
                 config.a_ratio, u1, u2, u3,
                 config.energy_cutoff_ev, config.weight_cutoff,
@@ -249,7 +285,8 @@ def _track_history_3d(
             tally.flush(p.cellx, p.celly, p.cellz, p.deposit_buffer)
             p.deposit_buffer = 0.0
             counters.tally_flushes += 1
-            (ncx, ncy, ncz, nox, noy, noz, reflected, escaped) = cross_facet_3d(
+            (ncx, ncy, ncz, nox, noy, noz, reflected, escaped) = dispatch.run(
+                "cross_facet_3d", 1,
                 p.cellx, p.celly, p.cellz, p.ox, p.oy, p.oz, axis, mesh,
                 config.boundary,
             )
@@ -290,9 +327,16 @@ def _track_history_3d(
 # Over Events
 # ---------------------------------------------------------------------------
 
-def run_over_events_3d(config: Volume3DConfig) -> Transport3DResult:
-    """Breadth-first 3-D transport (the Listing 2 passes in one more axis)."""
+def run_over_events_3d(
+    config: Volume3DConfig, recorder=None
+) -> Transport3DResult:
+    """Breadth-first 3-D transport (the Listing 2 passes in one more axis).
+
+    ``recorder`` receives the span tree (run → timestep → event_pass →
+    kernel:*); physics is bit-identical with or without it.
+    """
     t0 = time.perf_counter()
+    rec = NULL_RECORDER if recorder is None else recorder
     mesh = StructuredMesh3D(
         config.nx, config.ny, config.nz,
         config.width, config.height, config.depth, config.density,
@@ -306,7 +350,9 @@ def run_over_events_3d(config: Volume3DConfig) -> Transport3DResult:
     coll_pp = np.zeros(n, dtype=np.int64)
     facet_pp = np.zeros(n, dtype=np.int64)
     molar = config.molar_mass_g_mol
-    dispatch = KernelDispatch(KERNEL_TABLE_3D)
+    dispatch = KernelDispatch(
+        KERNEL_TABLE_3D, recorder=rec if rec.enabled else None
+    )
 
     micro_s = np.zeros(n)
     micro_c = np.zeros(n)
@@ -319,143 +365,148 @@ def run_over_events_3d(config: Volume3DConfig) -> Transport3DResult:
         _, micro_c[idx] = dispatch.run("xs_lookup", idx.size, capture_table, e)
         counters.xs_lookups += 2 * idx.size
 
-    for step in range(config.ntimesteps):
-        if step > 0:
-            a["dt"][a["alive"]] = config.dt
-        a["censused"][:] = ~a["alive"]
-        refresh(np.nonzero(a["alive"])[0])
+    with rec.span("run", scheme="over_events_3d"):
+        for step in range(config.ntimesteps):
+            with rec.span("timestep", step=step):
+                if step > 0:
+                    a["dt"][a["alive"]] = config.dt
+                a["censused"][:] = ~a["alive"]
+                refresh(np.nonzero(a["alive"])[0])
 
-        while True:
-            active = a["alive"] & ~a["censused"]
-            if not active.any():
-                break
-            sigma_s = macroscopic_cross_section(micro_s, a["density"], molar)
-            sigma_a = macroscopic_cross_section(micro_c, a["density"], molar)
-            sigma_t = sigma_s + sigma_a
-            speed = speed_from_energy_ev_vec(a["energy"])
-            d_coll = distance_to_collision_vec(a["mfp"], sigma_t)
-            x_lo = a["cellx"] * mesh.dx
-            x_hi = (a["cellx"] + 1) * mesh.dx
-            y_lo = a["celly"] * mesh.dy
-            y_hi = (a["celly"] + 1) * mesh.dy
-            z_lo = a["cellz"] * mesh.dz
-            z_hi = (a["cellz"] + 1) * mesh.dz
-            d_facet, axis = dispatch.run(
-                "facet_distances_3d", n,
-                a["x"], a["y"], a["z"], a["ox"], a["oy"], a["oz"],
-                x_lo, x_hi, y_lo, y_hi, z_lo, z_hi,
-            )
-            d_census = a["dt"] * speed
-            event = dispatch.run("select_events", n, d_coll, d_facet, d_census)
+                npass = 0
+                while True:
+                    active = a["alive"] & ~a["censused"]
+                    if not active.any():
+                        break
+                    with rec.span("event_pass", index=npass):
+                        sigma_s = macroscopic_cross_section(micro_s, a["density"], molar)
+                        sigma_a = macroscopic_cross_section(micro_c, a["density"], molar)
+                        sigma_t = sigma_s + sigma_a
+                        speed = speed_from_energy_ev_vec(a["energy"])
+                        d_coll = distance_to_collision_vec(a["mfp"], sigma_t)
+                        x_lo = a["cellx"] * mesh.dx
+                        x_hi = (a["cellx"] + 1) * mesh.dx
+                        y_lo = a["celly"] * mesh.dy
+                        y_hi = (a["celly"] + 1) * mesh.dy
+                        z_lo = a["cellz"] * mesh.dz
+                        z_hi = (a["cellz"] + 1) * mesh.dz
+                        d_facet, axis = dispatch.run(
+                            "facet_distances_3d", n,
+                            a["x"], a["y"], a["z"], a["ox"], a["oy"], a["oz"],
+                            x_lo, x_hi, y_lo, y_hi, z_lo, z_hi,
+                        )
+                        d_census = a["dt"] * speed
+                        event = dispatch.run("select_events", n, d_coll, d_facet, d_census)
 
-            cmask = active & (event == int(EventKind.COLLISION))
-            fmask = active & (event == int(EventKind.FACET))
-            zmask = active & (event == int(EventKind.CENSUS))
+                        cmask = active & (event == int(EventKind.COLLISION))
+                        fmask = active & (event == int(EventKind.FACET))
+                        zmask = active & (event == int(EventKind.CENSUS))
 
-            if cmask.any():
-                c = np.nonzero(cmask)[0]
-                d = d_coll[c]
-                a["x"][c] += a["ox"][c] * d
-                a["y"][c] += a["oy"][c] * d
-                a["z"][c] += a["oz"][c] * d
-                a["dt"][c] = np.maximum(0.0, a["dt"][c] - d / speed[c])
-                u1 = rng.next_uniform(cmask)
-                u2 = rng.next_uniform(cmask)
-                u3 = rng.next_uniform(cmask)
-                counters.rng_draws += 3 * c.size
-                (e_new, w_new, nox, noy, noz, mfp_new, dep, term) = dispatch.run(
-                    "collide_3d", c.size,
-                    a["energy"][c], a["weight"][c],
-                    a["ox"][c], a["oy"][c], a["oz"][c],
-                    sigma_a[c], sigma_t[c], config.a_ratio,
-                    u1, u2, u3,
-                    config.energy_cutoff_ev, config.weight_cutoff,
-                )
-                a["energy"][c] = e_new
-                a["weight"][c] = w_new
-                a["ox"][c], a["oy"][c], a["oz"][c] = nox, noy, noz
-                a["mfp"][c] = mfp_new
-                a["deposit"][c] += dep
-                counters.collisions += c.size
-                coll_pp[c] += 1
-                dead = c[term]
-                if dead.size:
-                    tally.flush_vec(
-                        a["cellx"][dead], a["celly"][dead], a["cellz"][dead],
-                        a["deposit"][dead],
-                    )
-                    a["deposit"][dead] = 0.0
-                    a["alive"][dead] = False
-                    counters.tally_flushes += dead.size
-                    counters.terminations += dead.size
-                refresh(c[~term])
+                        if cmask.any():
+                            c = np.nonzero(cmask)[0]
+                            d = d_coll[c]
+                            a["x"][c] += a["ox"][c] * d
+                            a["y"][c] += a["oy"][c] * d
+                            a["z"][c] += a["oz"][c] * d
+                            a["dt"][c] = np.maximum(0.0, a["dt"][c] - d / speed[c])
+                            u1 = rng.next_uniform(cmask)
+                            u2 = rng.next_uniform(cmask)
+                            u3 = rng.next_uniform(cmask)
+                            counters.rng_draws += 3 * c.size
+                            (e_new, w_new, nox, noy, noz, mfp_new, dep, term) = dispatch.run(
+                                "collide_3d", c.size,
+                                a["energy"][c], a["weight"][c],
+                                a["ox"][c], a["oy"][c], a["oz"][c],
+                                sigma_a[c], sigma_t[c], config.a_ratio,
+                                u1, u2, u3,
+                                config.energy_cutoff_ev, config.weight_cutoff,
+                            )
+                            a["energy"][c] = e_new
+                            a["weight"][c] = w_new
+                            a["ox"][c], a["oy"][c], a["oz"][c] = nox, noy, noz
+                            a["mfp"][c] = mfp_new
+                            a["deposit"][c] += dep
+                            counters.collisions += c.size
+                            coll_pp[c] += 1
+                            dead = c[term]
+                            if dead.size:
+                                tally.flush_vec(
+                                    a["cellx"][dead], a["celly"][dead], a["cellz"][dead],
+                                    a["deposit"][dead],
+                                )
+                                a["deposit"][dead] = 0.0
+                                a["alive"][dead] = False
+                                counters.tally_flushes += dead.size
+                                counters.terminations += dead.size
+                            refresh(c[~term])
 
-            if fmask.any():
-                f = np.nonzero(fmask)[0]
-                d = d_facet[f]
-                a["x"][f] += a["ox"][f] * d
-                a["y"][f] += a["oy"][f] * d
-                a["z"][f] += a["oz"][f] * d
-                a["dt"][f] = np.maximum(0.0, a["dt"][f] - d / speed[f])
-                a["mfp"][f] = np.maximum(0.0, a["mfp"][f] - d * sigma_t[f])
-                ax = axis[f]
-                for axis_i, (coord, o, lo, hi) in enumerate(
-                    (("x", "ox", x_lo, x_hi), ("y", "oy", y_lo, y_hi),
-                     ("z", "oz", z_lo, z_hi))
-                ):
-                    sel = f[ax == axis_i]
-                    a[coord][sel] = np.where(
-                        a[o][sel] > 0.0, hi[sel], lo[sel]
-                    )
-                tally.flush_vec(
-                    a["cellx"][f], a["celly"][f], a["cellz"][f], a["deposit"][f]
-                )
-                a["deposit"][f] = 0.0
-                counters.tally_flushes += f.size
-                (ncx, ncy, ncz, nox, noy, noz, reflected, escaped) = dispatch.run(
-                    "cross_facet_3d", f.size,
-                    a["cellx"][f], a["celly"][f], a["cellz"][f],
-                    a["ox"][f], a["oy"][f], a["oz"][f], ax, mesh,
-                    config.boundary,
-                )
-                counters.facets += f.size
-                facet_pp[f] += 1
-                gone = f[escaped]
-                if gone.size:
-                    counters.escapes += gone.size
-                    counters.escaped_energy += float(
-                        (a["weight"][gone] * a["energy"][gone]).sum()
-                    )
-                    a["alive"][gone] = False
-                stay = ~escaped
-                a["cellx"][f[stay]] = ncx[stay]
-                a["celly"][f[stay]] = ncy[stay]
-                a["cellz"][f[stay]] = ncz[stay]
-                a["ox"][f[stay]] = nox[stay]
-                a["oy"][f[stay]] = noy[stay]
-                a["oz"][f[stay]] = noz[stay]
-                crossed = f[stay & ~reflected]
-                a["density"][crossed] = mesh.density_at_vec(
-                    a["cellx"][crossed], a["celly"][crossed], a["cellz"][crossed]
-                )
-                counters.density_reads += crossed.size
-                counters.reflections += int(reflected.sum())
+                        if fmask.any():
+                            f = np.nonzero(fmask)[0]
+                            d = d_facet[f]
+                            a["x"][f] += a["ox"][f] * d
+                            a["y"][f] += a["oy"][f] * d
+                            a["z"][f] += a["oz"][f] * d
+                            a["dt"][f] = np.maximum(0.0, a["dt"][f] - d / speed[f])
+                            a["mfp"][f] = np.maximum(0.0, a["mfp"][f] - d * sigma_t[f])
+                            ax = axis[f]
+                            for axis_i, (coord, o, lo, hi) in enumerate(
+                                (("x", "ox", x_lo, x_hi), ("y", "oy", y_lo, y_hi),
+                                 ("z", "oz", z_lo, z_hi))
+                            ):
+                                sel = f[ax == axis_i]
+                                a[coord][sel] = np.where(
+                                    a[o][sel] > 0.0, hi[sel], lo[sel]
+                                )
+                            tally.flush_vec(
+                                a["cellx"][f], a["celly"][f], a["cellz"][f], a["deposit"][f]
+                            )
+                            a["deposit"][f] = 0.0
+                            counters.tally_flushes += f.size
+                            (ncx, ncy, ncz, nox, noy, noz, reflected, escaped) = dispatch.run(
+                                "cross_facet_3d", f.size,
+                                a["cellx"][f], a["celly"][f], a["cellz"][f],
+                                a["ox"][f], a["oy"][f], a["oz"][f], ax, mesh,
+                                config.boundary,
+                            )
+                            counters.facets += f.size
+                            facet_pp[f] += 1
+                            gone = f[escaped]
+                            if gone.size:
+                                counters.escapes += gone.size
+                                counters.escaped_energy += float(
+                                    (a["weight"][gone] * a["energy"][gone]).sum()
+                                )
+                                a["alive"][gone] = False
+                            stay = ~escaped
+                            a["cellx"][f[stay]] = ncx[stay]
+                            a["celly"][f[stay]] = ncy[stay]
+                            a["cellz"][f[stay]] = ncz[stay]
+                            a["ox"][f[stay]] = nox[stay]
+                            a["oy"][f[stay]] = noy[stay]
+                            a["oz"][f[stay]] = noz[stay]
+                            crossed = f[stay & ~reflected]
+                            a["density"][crossed] = mesh.density_at_vec(
+                                a["cellx"][crossed], a["celly"][crossed], a["cellz"][crossed]
+                            )
+                            counters.density_reads += crossed.size
+                            counters.reflections += int(reflected.sum())
 
-            if zmask.any():
-                z = np.nonzero(zmask)[0]
-                d = d_census[z]
-                a["x"][z] += a["ox"][z] * d
-                a["y"][z] += a["oy"][z] * d
-                a["z"][z] += a["oz"][z] * d
-                a["mfp"][z] = np.maximum(0.0, a["mfp"][z] - d * sigma_t[z])
-                a["dt"][z] = 0.0
-                tally.flush_vec(
-                    a["cellx"][z], a["celly"][z], a["cellz"][z], a["deposit"][z]
-                )
-                a["deposit"][z] = 0.0
-                counters.tally_flushes += z.size
-                a["censused"][z] = True
-                counters.census_events += z.size
+                        if zmask.any():
+                            z = np.nonzero(zmask)[0]
+                            d = d_census[z]
+                            a["x"][z] += a["ox"][z] * d
+                            a["y"][z] += a["oy"][z] * d
+                            a["z"][z] += a["oz"][z] * d
+                            a["mfp"][z] = np.maximum(0.0, a["mfp"][z] - d * sigma_t[z])
+                            a["dt"][z] = 0.0
+                            tally.flush_vec(
+                                a["cellx"][z], a["celly"][z], a["cellz"][z], a["deposit"][z]
+                            )
+                            a["deposit"][z] = 0.0
+                            counters.tally_flushes += z.size
+                            a["censused"][z] = True
+                            counters.census_events += z.size
+                    npass += 1
 
     counters.collisions_per_particle = coll_pp
     counters.facets_per_particle = facet_pp
@@ -465,4 +516,5 @@ def run_over_events_3d(config: Volume3DConfig) -> Transport3DResult:
     return Transport3DResult(
         config=config, tally=tally, counters=counters, arena=a,
         wallclock_s=time.perf_counter() - t0,
+        scheme="over_events_3d",
     )

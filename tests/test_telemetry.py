@@ -1,0 +1,312 @@
+"""Unified run telemetry: spans, worker event logs, the RunTelemetry
+artifact, and its exporters.
+
+The load-bearing guarantee is at the top: attaching a recorder NEVER
+changes the physics.  Final particle states and tallies must be
+bit-identical with telemetry on or off, serial and pooled, clean and
+under fault injection (the chaos-marked case).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import Scheme, Simulation
+from repro.core.problems import csp_problem, scatter_problem, stream_problem
+from repro.obs import (
+    NULL_RECORDER,
+    Recorder,
+    RunTelemetry,
+    SCHEMA_NAME,
+    SCHEMA_VERSION,
+    TelemetrySchemaError,
+    build_run_telemetry,
+    format_summary,
+    load_telemetry,
+    to_chrome_trace,
+    to_jsonl,
+    to_prometheus,
+    validate_telemetry,
+)
+from repro.parallel.faults import FaultPlan, KillWorker
+from repro.parallel.schedule import ScheduleKind
+
+PROBLEMS = {
+    "stream": lambda: stream_problem(nx=16, nparticles=12),
+    "scatter": lambda: scatter_problem(nx=16, nparticles=12),
+    "csp": lambda: csp_problem(nx=16, nparticles=12),
+}
+SCHEMES = (Scheme.OVER_PARTICLES, Scheme.OVER_EVENTS)
+STATE_FIELDS = (
+    "particle_id", "x", "y", "omega_x", "omega_y", "energy", "weight",
+    "rng_counter", "alive", "cellx", "celly",
+)
+
+
+def _state(result):
+    arena = result.arena
+    fields = tuple(getattr(arena, f).copy() for f in STATE_FIELDS)
+    return fields + (result.tally.deposition.copy(),)
+
+
+def _assert_identical(a, b):
+    for field, (x, y) in zip(STATE_FIELDS + ("deposition",), zip(a, b)):
+        assert np.array_equal(x, y), f"{field} differs with telemetry on"
+
+
+# ---------------------------------------------------------------------------
+# Bit-identity: telemetry on vs off
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("name", sorted(PROBLEMS))
+@pytest.mark.parametrize("scheme", SCHEMES)
+def test_serial_bit_identical_with_telemetry(name, scheme):
+    off = Simulation(PROBLEMS[name]()).run(scheme)
+    recorder = Recorder()
+    on = Simulation(PROBLEMS[name]()).run(scheme, recorder=recorder)
+    _assert_identical(_state(off), _state(on))
+    assert recorder.spans, "recorder captured no spans"
+
+
+@pytest.mark.parametrize("scheme", SCHEMES)
+def test_pooled_bit_identical_with_telemetry(scheme):
+    cfg = csp_problem(nx=16, nparticles=12)
+    off = Simulation(cfg).run(scheme, nworkers=2)
+    recorder = Recorder()
+    on = Simulation(cfg).run(scheme, nworkers=2, recorder=recorder)
+    _assert_identical(_state(off), _state(on))
+    # Worker spans came back tagged with their origin.
+    tagged = [s for s in recorder.spans if s.source]
+    assert tagged
+    assert {"worker", "incarnation", "shard", "attempt"} <= set(
+        tagged[0].source
+    )
+
+
+@pytest.mark.chaos
+def test_kill_retry_bit_identical_with_telemetry():
+    cfg = csp_problem(nx=16, nparticles=12)
+    kwargs = dict(
+        nworkers=2, schedule=ScheduleKind.DYNAMIC, chunk=3,
+        fault_plan=FaultPlan((KillWorker(worker=1, after_chunks=0),)),
+    )
+    off = Simulation(cfg).run(Scheme.OVER_PARTICLES, **kwargs)
+    recorder = Recorder()
+    on = Simulation(cfg).run(Scheme.OVER_PARTICLES, recorder=recorder,
+                             **kwargs)
+    _assert_identical(_state(off), _state(on))
+    telemetry = build_run_telemetry(on, recorder)
+    names = {r["name"] for r in telemetry.recovery_events()}
+    assert {"worker_lost", "respawn", "retry"} <= names
+    assert on.pool.workers_lost >= 1
+
+
+# ---------------------------------------------------------------------------
+# The artifact: schema, round-trip, accessors
+# ---------------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def pooled_telemetry():
+    cfg = csp_problem(nx=16, nparticles=12)
+    recorder = Recorder()
+    result = Simulation(cfg).run(
+        Scheme.OVER_PARTICLES, nworkers=2, recorder=recorder
+    )
+    return build_run_telemetry(result, recorder)
+
+
+def test_artifact_is_schema_valid(pooled_telemetry):
+    validate_telemetry(pooled_telemetry.to_dict())
+
+
+def test_round_trip_is_byte_stable(pooled_telemetry, tmp_path):
+    path = tmp_path / "t.json"
+    pooled_telemetry.dump(path)
+    loaded = load_telemetry(path)
+    assert loaded.to_json() == pooled_telemetry.to_json()
+    # dump → load → dump again: byte-identical files.
+    path2 = tmp_path / "t2.json"
+    loaded.dump(path2)
+    assert path.read_bytes() == path2.read_bytes()
+
+
+def test_artifact_sections(pooled_telemetry):
+    t = pooled_telemetry
+    assert t.meta["problem"] == "csp"
+    assert t.meta["scheme"] == "over_particles"
+    assert t.counters["total_events"] > 0
+    assert t.kernel_profile  # per-kernel [calls, items, seconds]
+    assert t.arena["nbytes"] > 0
+    assert t.pool["nworkers"] == 2
+    assert len(t.pool["shard_attempts"]) >= 2
+    for w in t.pool["workers"]:
+        assert w["last_heartbeat_age_s"] >= 0.0
+    assert t.worker_span_count() > 0
+    # Parent spans (dispatch/reduce/source_sampling) have no source tag.
+    assert any(not s["source"] for s in t.spans)
+
+
+def test_validator_rejects_malformed(pooled_telemetry):
+    good = pooled_telemetry.to_dict()
+
+    bad = json.loads(json.dumps(good))
+    bad["schema"]["version"] = SCHEMA_VERSION + 1
+    with pytest.raises(TelemetrySchemaError):
+        validate_telemetry(bad)
+
+    bad = json.loads(json.dumps(good))
+    bad["schema"]["name"] = "something.else"
+    with pytest.raises(TelemetrySchemaError):
+        validate_telemetry(bad)
+
+    bad = json.loads(json.dumps(good))
+    bad["spans"][0] = {"nonsense": True}
+    with pytest.raises(TelemetrySchemaError):
+        validate_telemetry(bad)
+
+    bad = json.loads(json.dumps(good))
+    del bad["counters"]
+    with pytest.raises(TelemetrySchemaError):
+        validate_telemetry(bad)
+
+
+def test_schema_constants():
+    assert SCHEMA_NAME == "repro.run_telemetry"
+    assert isinstance(SCHEMA_VERSION, int)
+
+
+def test_from_dict_validates():
+    with pytest.raises(TelemetrySchemaError):
+        RunTelemetry.from_dict({"schema": {"name": "x", "version": 1}})
+
+
+# ---------------------------------------------------------------------------
+# Exporters
+# ---------------------------------------------------------------------------
+
+def test_jsonl_export(pooled_telemetry):
+    lines = to_jsonl(pooled_telemetry).splitlines()
+    header = json.loads(lines[0])
+    assert header["type"] == "header"
+    assert header["schema"]["name"] == SCHEMA_NAME
+    kinds = {json.loads(line)["type"] for line in lines[1:]}
+    assert "span" in kinds
+    # One record per span + event, plus the header.
+    assert len(lines) == 1 + len(pooled_telemetry.spans) + len(
+        pooled_telemetry.events
+    )
+
+
+def test_chrome_trace_export(pooled_telemetry):
+    trace = to_chrome_trace(pooled_telemetry)
+    # Smoke-load through JSON like a browser would.
+    trace = json.loads(json.dumps(trace))
+    events = trace["traceEvents"]
+    assert events
+    complete = [e for e in events if e["ph"] == "X"]
+    assert len(complete) == len(pooled_telemetry.spans)
+    assert all(e["ts"] >= 0 and e["dur"] >= 0 for e in complete)
+    pids = {e["pid"] for e in complete}
+    assert 0 in pids and len(pids) > 1  # parent + at least one worker
+
+
+def test_prometheus_export(pooled_telemetry):
+    text = to_prometheus(pooled_telemetry)
+    assert "# TYPE repro_run_wallclock_seconds gauge" in text
+    assert "repro_pool_workers_lost 0" in text
+    assert 'repro_kernel_seconds{kernel="' in text
+    assert "repro_worker_last_heartbeat_age_seconds{worker=" in text
+
+
+def test_summary_export(pooled_telemetry):
+    text = format_summary(pooled_telemetry)
+    assert "problem=csp" in text
+    assert "kernel profile" in text
+    assert "span tree" in text
+    assert "pool: 2 workers" in text
+
+
+# ---------------------------------------------------------------------------
+# Overhead guards
+# ---------------------------------------------------------------------------
+
+def test_null_recorder_is_cheap():
+    """The disabled path must cost nanoseconds per span, not micros."""
+    n = 100_000
+    t0 = time.perf_counter()
+    for _ in range(n):
+        with NULL_RECORDER.span("x", a=1):
+            pass
+    per_span = (time.perf_counter() - t0) / n
+    assert per_span < 5e-6, f"disabled span costs {per_span * 1e6:.2f} us"
+    assert not NULL_RECORDER.enabled
+    assert NULL_RECORDER.payload() == {"spans": [], "events": []}
+
+
+def test_recording_overhead_bounded():
+    """Telemetry-on wall-clock stays within 3x of telemetry-off (median
+    of 3 — a loose bound that still catches pathological recording)."""
+    cfg = csp_problem(nx=16, nparticles=12)
+
+    def median_wallclock(recorder_factory):
+        times = []
+        for _ in range(3):
+            result = Simulation(cfg).run(
+                Scheme.OVER_PARTICLES, recorder=recorder_factory()
+            )
+            times.append(result.wallclock_s)
+        return sorted(times)[1]
+
+    off = median_wallclock(lambda: None)
+    on = median_wallclock(Recorder)
+    assert on < max(3.0 * off, off + 0.25), (off, on)
+
+
+# ---------------------------------------------------------------------------
+# CLI: --telemetry and `repro report`
+# ---------------------------------------------------------------------------
+
+def test_cli_run_telemetry_and_report(tmp_path, capsys):
+    from repro.cli import main
+
+    path = tmp_path / "t.json"
+    rc = main([
+        "run", "--problem", "csp", "--nx", "16", "--particles", "12",
+        "--workers", "2", "--telemetry", str(path),
+    ])
+    assert rc == 0
+    telemetry = load_telemetry(path)  # validates on load
+    assert telemetry.pool["nworkers"] == 2
+    capsys.readouterr()
+
+    assert main(["report", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "span tree" in out
+
+    chrome = tmp_path / "trace.json"
+    assert main([
+        "report", str(path), "--format", "chrome", "--output", str(chrome)
+    ]) == 0
+    assert json.load(chrome.open())["traceEvents"]
+
+
+def test_cli_run3d_telemetry_and_profile(tmp_path, capsys):
+    from repro.cli import main
+
+    path = tmp_path / "t3.json"
+    rc = main([
+        "run3d", "--problem", "csp3", "--n", "8", "--particles", "10",
+        "--scheme", "over_events", "--profile-kernels",
+        "--telemetry", str(path),
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "kernel profile" in out
+    assert "arena storage" in out
+    telemetry = load_telemetry(path)
+    assert telemetry.meta["scheme"] == "over_events_3d"
+    assert any(s["name"] == "event_pass" for s in telemetry.spans)
