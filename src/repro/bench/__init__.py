@@ -5,8 +5,40 @@ at reduced scale, characterised and rescaled to the paper's problem sizes)
 and caches them per process, so every figure bench prices the *same*
 measured algorithm.  :mod:`repro.bench.reporting` renders the rows/series
 each figure reports.
+
+:mod:`repro.bench.registry` names and versions the measurements as
+benchmark specs, :mod:`repro.bench.artifact` serialises a registry run
+as a schema-validated ``BENCH_<n>.json``, and
+:mod:`repro.bench.compare` diffs two artifacts with a noise-band
+regression gate (the ``repro bench`` CLI and the CI ``bench-regression``
+job drive all three).
 """
 
+from repro.bench.artifact import (
+    BenchArtifact,
+    BenchSchemaError,
+    bench_sequence_of,
+    load_bench_artifact,
+    next_bench_path,
+    validate_bench_artifact,
+)
+from repro.bench.compare import (
+    ComparisonReport,
+    MetricDelta,
+    compare_artifacts,
+    hosts_match,
+)
+from repro.bench.registry import (
+    REGISTRY,
+    BenchResult,
+    BenchSpec,
+    BenchTimingError,
+    MetricSpec,
+    build_bench_artifact,
+    run_bench,
+    run_tier,
+    specs_for_tier,
+)
 from repro.bench.runner import (
     DEVICE_BASELINES,
     PAPER_SCALE,
@@ -27,6 +59,25 @@ from repro.bench.runner import (
 from repro.bench.reporting import format_table, format_series, print_header
 
 __all__ = [
+    "BenchArtifact",
+    "BenchResult",
+    "BenchSchemaError",
+    "BenchSpec",
+    "BenchTimingError",
+    "ComparisonReport",
+    "MetricDelta",
+    "MetricSpec",
+    "REGISTRY",
+    "bench_sequence_of",
+    "build_bench_artifact",
+    "compare_artifacts",
+    "hosts_match",
+    "load_bench_artifact",
+    "next_bench_path",
+    "run_bench",
+    "run_tier",
+    "specs_for_tier",
+    "validate_bench_artifact",
     "DEVICE_BASELINES",
     "PAPER_SCALE",
     "KernelProfile",

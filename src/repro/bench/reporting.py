@@ -25,15 +25,23 @@ def format_table(
     rows: Iterable[Sequence[object]],
     float_fmt: str = "{:.2f}",
 ) -> str:
-    """Fixed-width table; floats formatted, everything else ``str()``-ed."""
+    """Fixed-width table; floats formatted, everything else ``str()``-ed.
+
+    Every row must have exactly one cell per header — a ragged row used
+    to surface as an ``IndexError`` deep in the width computation.
+    """
     str_rows = []
-    for row in rows:
-        str_rows.append(
-            [
-                float_fmt.format(v) if isinstance(v, float) else str(v)
-                for v in row
-            ]
-        )
+    for rownum, row in enumerate(rows):
+        cells = [
+            float_fmt.format(v) if isinstance(v, float) else str(v)
+            for v in row
+        ]
+        if len(cells) != len(headers):
+            raise ValueError(
+                f"row {rownum} has {len(cells)} cells for "
+                f"{len(headers)} headers: {cells!r}"
+            )
+        str_rows.append(cells)
     widths = [
         max(len(h), *(len(r[i]) for r in str_rows)) if str_rows else len(h)
         for i, h in enumerate(headers)
@@ -46,7 +54,15 @@ def format_table(
 
 
 def format_series(name: str, xs: Sequence[object], ys: Sequence[float]) -> str:
-    """One labelled series, x→y pairs on one line each."""
+    """One labelled series, x→y pairs on one line each.
+
+    ``xs`` and ``ys`` must be the same length — ``zip`` used to drop
+    the tail of the longer sequence silently.
+    """
+    if len(xs) != len(ys):
+        raise ValueError(
+            f"series {name!r}: {len(xs)} x values vs {len(ys)} y values"
+        )
     lines = [f"series: {name}"]
     for x, y in zip(xs, ys):
         lines.append(f"  {x}: {y:.3f}")

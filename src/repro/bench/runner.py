@@ -15,7 +15,8 @@ figure benches stay declarative.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, replace
 from functools import lru_cache
 
 from repro.core import PROBLEM_FACTORIES, Scheme, Simulation
@@ -75,8 +76,7 @@ DEVICE_BASELINES = {
 
 
 @lru_cache(maxsize=None)
-def measured_workload(problem: str) -> Workload:
-    """Characterise one real reduced-scale transport run (cached)."""
+def _measured_workload_cached(problem: str) -> Workload:
     if problem not in PROBLEM_FACTORIES:
         raise KeyError(f"unknown problem {problem!r}")
     cfg = PROBLEM_FACTORIES[problem](
@@ -86,11 +86,33 @@ def measured_workload(problem: str) -> Workload:
     return Workload.from_result(result)
 
 
+def _workload_copy(w: Workload) -> Workload:
+    # The cache hands the same Workload to every caller, and its
+    # work_samples array is writable — one bench scaling it in place
+    # would poison every later bench in the process.
+    return replace(w, work_samples=w.work_samples.copy())
+
+
+def measured_workload(problem: str) -> Workload:
+    """Characterise one real reduced-scale transport run.
+
+    The underlying transport is cached per process (one run per
+    problem); every call returns a defensive copy, so mutating the
+    returned record cannot leak into other callers.
+    """
+    return _workload_copy(_measured_workload_cached(problem))
+
+
 @lru_cache(maxsize=None)
-def paper_workload(problem: str) -> Workload:
-    """The measured workload rescaled to the paper's problem size."""
+def _paper_workload_cached(problem: str) -> Workload:
     nparticles, nx = PAPER_SCALE[problem]
-    return measured_workload(problem).scaled(nparticles, nx)
+    return _measured_workload_cached(problem).scaled(nparticles, nx)
+
+
+def paper_workload(problem: str) -> Workload:
+    """The measured workload rescaled to the paper's problem size
+    (cached transport, defensive copy per call)."""
+    return _workload_copy(_paper_workload_cached(problem))
 
 
 @dataclass(frozen=True)
@@ -134,11 +156,11 @@ class KernelProfile:
         return format_profile(self.profile)
 
 
-@lru_cache(maxsize=None)
-def measured_kernel_profile(
+def _measure_kernel_profile(
     problem: str, scheme: Scheme = Scheme.OVER_EVENTS
 ) -> KernelProfile:
-    """Run one reduced-scale problem and capture its kernel profile."""
+    """One fresh (uncached) profiled run — the benchmark registry calls
+    this directly so every repeat is a real measurement."""
     if problem not in PROBLEM_FACTORIES:
         raise KeyError(f"unknown problem {problem!r}")
     cfg = PROBLEM_FACTORIES[problem](
@@ -156,6 +178,25 @@ def measured_kernel_profile(
         xs_lookups=c.xs_lookups,
         xs_bin_reuses=c.xs_bin_reuses,
     )
+
+
+_measured_kernel_profile_cached = lru_cache(maxsize=None)(
+    _measure_kernel_profile
+)
+
+
+def measured_kernel_profile(
+    problem: str, scheme: Scheme = Scheme.OVER_EVENTS
+) -> KernelProfile:
+    """Run one reduced-scale problem and capture its kernel profile.
+
+    The run is cached per (problem, scheme); the returned record's
+    ``profile`` rows are defensive copies — the cached dict used to be
+    handed out shared, so one caller mutating a row poisoned every
+    later profile fetched in the process.
+    """
+    kp = _measured_kernel_profile_cached(problem, scheme)
+    return replace(kp, profile={k: list(v) for k, v in kp.profile.items()})
 
 
 def measured_telemetry(
@@ -235,12 +276,21 @@ class MeasuredSpeedup:
     modelled_imbalance: float
     #: Full RunTelemetry artifact of the pooled run (``capture_telemetry``).
     telemetry: object | None = None
+    #: Measurement-quality flags (e.g. ``"timer_underflow:parallel"``);
+    #: non-empty means the ratios below are not trustworthy.
+    warnings: tuple = ()
 
     @property
     def speedup(self) -> float:
-        """Serial wall-clock over pooled wall-clock."""
+        """Serial wall-clock over pooled wall-clock.
+
+        A zero pooled time is timer underflow, not a real measurement —
+        returning a finite sentinel here used to hide it (and propagate
+        a fake 1.0 into :attr:`parallel_efficiency` on fast hosts), so
+        it now surfaces as ``inf`` alongside a :attr:`warnings` flag.
+        """
         if self.parallel_s == 0:
-            return 1.0
+            return float("inf")
         return self.serial_s / self.parallel_s
 
     @property
@@ -292,6 +342,15 @@ def measured_speedup(
         from repro.obs import build_run_telemetry
 
         telemetry = build_run_telemetry(pooled, recorder)
+    resolution = time.get_clock_info("perf_counter").resolution
+    warnings = tuple(
+        f"timer_underflow:{label}"
+        for label, seconds in (
+            ("serial", serial.wallclock_s),
+            ("parallel", pooled.wallclock_s),
+        )
+        if seconds <= resolution
+    )
     return MeasuredSpeedup(
         problem=problem,
         scheme=scheme,
@@ -302,6 +361,7 @@ def measured_speedup(
         measured_imbalance=pooled.pool.busy_imbalance(),
         modelled_imbalance=modelled.load_imbalance(),
         telemetry=telemetry,
+        warnings=warnings,
     )
 
 

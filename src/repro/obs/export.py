@@ -118,69 +118,128 @@ def to_chrome_trace(telemetry) -> dict:
 
 
 def _prom_escape(value: str) -> str:
-    return value.replace("\\", "\\\\").replace('"', '\\"')
+    """Escape a label value per the text exposition format: backslash,
+    double-quote, and line feed."""
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
 
 
-def to_prometheus(telemetry) -> str:
-    """The scalar sections in Prometheus text exposition format."""
-    lines: list[str] = []
+#: Counter-section keys that are *not* monotonic (snapshots/ratios stay
+#: gauges even though they live in ``telemetry.counters``).
+_COUNTER_GAUGE_KEYS = frozenset({"load_imbalance"})
 
-    def gauge(name, value, help_text, labels=None):
+
+class _PromWriter:
+    """Accumulates samples grouped per metric family.
+
+    The exposition format requires all lines of one metric to form a
+    single group, and counters to carry the ``_total`` suffix; samples
+    are collected per family and rendered in registration order, with a
+    set-based dedup instead of the old O(lines²) prefix scan.
+    """
+
+    def __init__(self):
+        self._order: list[str] = []
+        self._families: dict[str, tuple[str, str, list]] = {}
+
+    def _add(self, name, value, help_text, type_, labels):
+        if name not in self._families:
+            self._order.append(name)
+            self._families[name] = (help_text, type_, [])
         label_s = ""
         if labels:
             inner = ",".join(
-                f'{k}="{_prom_escape(str(v))}"' for k, v in labels.items()
+                f'{k}="{_prom_escape(v)}"' for k, v in labels.items()
             )
             label_s = "{" + inner + "}"
-        if not any(ln.startswith(f"# HELP {name} ") for ln in lines):
+        self._families[name][2].append((label_s, float(value)))
+
+    def gauge(self, name, value, help_text, labels=None):
+        self._add(name, value, help_text, "gauge", labels)
+
+    def counter(self, name, value, help_text, labels=None):
+        # Monotonic series: conventional `_total` suffix, `counter` type.
+        if not name.endswith("_total"):
+            name += "_total"
+        self._add(name, value, help_text, "counter", labels)
+
+    def render(self) -> str:
+        lines: list[str] = []
+        for name in self._order:
+            help_text, type_, samples = self._families[name]
             lines.append(f"# HELP {name} {help_text}")
-            lines.append(f"# TYPE {name} gauge")
-        lines.append(f"{name}{label_s} {float(value):.10g}")
+            lines.append(f"# TYPE {name} {type_}")
+            for label_s, value in samples:
+                lines.append(f"{name}{label_s} {value:.10g}")
+        return "\n".join(lines) + "\n"
+
+
+def to_prometheus(telemetry) -> str:
+    """The scalar sections in Prometheus text exposition format.
+
+    Monotonic measurements (event counters, kernel call/item/second
+    accumulators, workspace churn, the pool recovery ledger) are typed
+    ``counter`` with the ``_total`` suffix; point-in-time measurements
+    (wall-clock, imbalance, arena footprint, heartbeat ages) stay
+    ``gauge``.
+    """
+    out = _PromWriter()
 
     meta = telemetry.meta
-    gauge("repro_run_wallclock_seconds", meta.get("wallclock_s") or 0.0,
-          "Host wall-clock of the run")
+    out.gauge("repro_run_wallclock_seconds", meta.get("wallclock_s") or 0.0,
+              "Host wall-clock of the run")
     for key, value in sorted(telemetry.counters.items()):
-        gauge(f"repro_counter_{key}", value,
-              f"Counters.{key} for the run")
+        if key in _COUNTER_GAUGE_KEYS:
+            out.gauge(f"repro_counter_{key}", value,
+                      f"Counters.{key} for the run")
+        else:
+            out.counter(f"repro_counter_{key}", value,
+                        f"Counters.{key} for the run")
     for name, (calls, items, seconds) in sorted(
         telemetry.kernel_profile.items()
     ):
         labels = {"kernel": name}
-        gauge("repro_kernel_calls", calls, "Kernel invocation count", labels)
-        gauge("repro_kernel_items", items, "Kernel lanes processed", labels)
-        gauge("repro_kernel_seconds", seconds, "Kernel wall-clock", labels)
+        out.counter("repro_kernel_calls", calls,
+                    "Kernel invocation count", labels)
+        out.counter("repro_kernel_items", items,
+                    "Kernel lanes processed", labels)
+        out.counter("repro_kernel_seconds", seconds,
+                    "Cumulative kernel wall-clock", labels)
     ws = telemetry.workspace
-    gauge("repro_workspace_allocations", ws.get("allocations", 0),
-          "Workspace buffers grown")
-    gauge("repro_workspace_reuses", ws.get("reuses", 0),
-          "Workspace buffers reused")
-    gauge("repro_arena_bytes", telemetry.arena.get("nbytes", 0),
-          "Final population arena footprint")
+    out.counter("repro_workspace_allocations", ws.get("allocations", 0),
+                "Workspace buffers grown")
+    out.counter("repro_workspace_reuses", ws.get("reuses", 0),
+                "Workspace buffers reused")
+    out.gauge("repro_arena_bytes", telemetry.arena.get("nbytes", 0),
+              "Final population arena footprint")
     pool = telemetry.pool
     if pool is not None:
         for key in ("retries", "respawns", "workers_lost",
                     "shards_drained_in_process"):
-            gauge(f"repro_pool_{key}", pool.get(key, 0),
-                  f"Pool recovery ledger: {key}")
-        gauge("repro_pool_degraded", 1.0 if pool.get("degraded") else 0.0,
-              "1 when the pool fell back to in-process draining")
+            out.counter(f"repro_pool_{key}", pool.get(key, 0),
+                        f"Pool recovery ledger: {key}")
+        out.gauge("repro_pool_degraded", 1.0 if pool.get("degraded") else 0.0,
+                  "1 when the pool fell back to in-process draining")
         for w in pool.get("workers", ()):
-            labels = {"worker": w["worker_id"]}
-            gauge("repro_worker_busy_seconds", w["busy_s"],
-                  "Per-worker driver wall-clock", labels)
-            gauge("repro_worker_events", w["events"],
-                  "Per-worker transport events", labels)
-            gauge("repro_worker_incarnations", w["incarnations"],
-                  "Processes that occupied the slot", labels)
-            gauge("repro_worker_last_heartbeat_age_seconds",
-                  w["last_heartbeat_age_s"],
-                  "Heartbeat age at collection time", labels)
-    gauge("repro_spans_total", len(telemetry.spans),
-          "Spans in the telemetry artifact")
-    gauge("repro_events_total", len(telemetry.events),
-          "Log events in the telemetry artifact")
-    return "\n".join(lines) + "\n"
+            labels = {"worker": str(w["worker_id"])}
+            out.gauge("repro_worker_busy_seconds", w["busy_s"],
+                      "Per-worker driver wall-clock", labels)
+            out.counter("repro_worker_events", w["events"],
+                        "Per-worker transport events", labels)
+            out.counter("repro_worker_incarnations", w["incarnations"],
+                        "Processes that occupied the slot", labels)
+            out.gauge("repro_worker_last_heartbeat_age_seconds",
+                      w["last_heartbeat_age_s"],
+                      "Heartbeat age at collection time", labels)
+    out.counter("repro_spans", len(telemetry.spans),
+                "Spans in the telemetry artifact")
+    out.counter("repro_events", len(telemetry.events),
+                "Log events in the telemetry artifact")
+    return out.render()
 
 
 # ---------------------------------------------------------------------------

@@ -31,8 +31,18 @@ from repro.perfmodel.cpu_model import (
 )
 from repro.perfmodel.gpu_model import GPUOptions, GPUPrediction, predict_gpu
 from repro.perfmodel.efficiency import parallel_efficiency, speedup
+from repro.perfmodel.recalibrate import (
+    CalibrationReport,
+    KernelFit,
+    recalibrate_constants,
+    recalibrate_from_artifact,
+)
 
 __all__ = [
+    "CalibrationReport",
+    "KernelFit",
+    "recalibrate_constants",
+    "recalibrate_from_artifact",
     "Workload",
     "ModelConstants",
     "DEFAULT_CONSTANTS",

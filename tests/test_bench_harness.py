@@ -16,9 +16,19 @@ from repro.core import Scheme
 
 
 def test_measured_workload_cached():
+    import numpy as np
+
+    from repro.bench.runner import _measured_workload_cached
+
     a = measured_workload("csp")
+    misses = _measured_workload_cached.cache_info().misses
     b = measured_workload("csp")
-    assert a is b  # lru-cached: one transport per problem per process
+    # lru-cached: one transport per problem per process...
+    assert _measured_workload_cached.cache_info().misses == misses
+    # ...but callers get defensive copies, never the shared record.
+    assert a is not b and a.work_samples is not b.work_samples
+    assert a.nparticles == b.nparticles
+    assert np.array_equal(a.work_samples, b.work_samples)
 
 
 def test_measured_workload_unknown():

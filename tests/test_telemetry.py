@@ -217,8 +217,11 @@ def test_chrome_trace_export(pooled_telemetry):
 def test_prometheus_export(pooled_telemetry):
     text = to_prometheus(pooled_telemetry)
     assert "# TYPE repro_run_wallclock_seconds gauge" in text
-    assert "repro_pool_workers_lost 0" in text
-    assert 'repro_kernel_seconds{kernel="' in text
+    # Monotonic totals are counters with the conventional _total suffix.
+    assert "# TYPE repro_pool_workers_lost_total counter" in text
+    assert "repro_pool_workers_lost_total 0" in text
+    assert "# TYPE repro_kernel_seconds_total counter" in text
+    assert 'repro_kernel_seconds_total{kernel="' in text
     assert "repro_worker_last_heartbeat_age_seconds{worker=" in text
 
 
