@@ -307,6 +307,24 @@ def _recovery_bench(problem: str) -> BenchSample:
     )
 
 
+def _ensemble_bench(problem: str, nreplicas: int = 32) -> BenchSample:
+    from repro.bench.runner import measured_ensemble_throughput
+
+    r = measured_ensemble_throughput(problem, nreplicas=nreplicas)
+    return BenchSample(
+        wallclock_s=r.fused_s + r.looped_s,
+        metrics={
+            "speedup_vs_looped": r.speedup_vs_looped,
+            "fused_s": r.fused_s,
+            "looped_s": r.looped_s,
+            "fused_histories_per_s": r.fused_histories_per_s,
+            "ensemble_parity": r.parity,
+            "replicas": float(r.nreplicas),
+            "warnings": r.warnings,
+        },
+    )
+
+
 def _arena_bench(problem: str) -> BenchSample:
     from repro.bench.runner import (
         MEASUREMENT_NX,
@@ -369,6 +387,19 @@ _RECOVERY_METRICS = {
     "states_identical": MetricSpec(direction="higher"),
 }
 
+_ENSEMBLE_METRICS = {
+    # Bit-parity of every replica vs its standalone run: a deterministic
+    # algorithm fact, gated exactly (any drop below 1.0 is a regression).
+    "ensemble_parity": MetricSpec(direction="higher"),
+    "speedup_vs_looped": MetricSpec(
+        direction="higher", rel_floor=0.35, timing=True
+    ),
+    "fused_s": MetricSpec(direction="lower", rel_floor=0.5, timing=True),
+    "looped_s": MetricSpec(direction="info", timing=True),
+    "fused_histories_per_s": MetricSpec(direction="info", timing=True),
+    "replicas": MetricSpec(direction="info"),
+}
+
 _ARENA_METRICS = {
     "arena_nbytes": MetricSpec(direction="lower"),
     "bytes_per_particle": MetricSpec(direction="lower"),
@@ -412,6 +443,14 @@ def _build_registry() -> dict:
             dict(_RECOVERY_METRICS), repeats=1, warmup=0,
         ),
         _spec(
+            "ensemble_throughput_csp", "quick",
+            "32-replica fused ensemble (weight-cutoff sweep) vs the "
+            "looped Simulation.run baseline, with bit-parity verified "
+            "(measured_ensemble_throughput)",
+            lambda: _ensemble_bench("csp"),
+            dict(_ENSEMBLE_METRICS), repeats=2, warmup=0,
+        ),
+        _spec(
             "arena_footprint_csp", "quick",
             "Final-population arena byte accounting",
             lambda: _arena_bench("csp"),
@@ -434,6 +473,12 @@ def _build_registry() -> dict:
             lambda p=problem: _pool_speedup_bench(p),
             dict(_POOL_METRICS), repeats=2, warmup=0,
         ))
+    specs.append(_spec(
+        "ensemble_throughput_scatter", "full",
+        "32-replica fused scatter ensemble vs the looped baseline",
+        lambda: _ensemble_bench("scatter"),
+        dict(_ENSEMBLE_METRICS), repeats=2, warmup=0,
+    ))
     return {s.name: s for s in specs}
 
 

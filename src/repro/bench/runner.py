@@ -50,6 +50,8 @@ __all__ = [
     "measured_recovery_overhead",
     "ShardHandoff",
     "measured_shard_handoff",
+    "EnsembleThroughput",
+    "measured_ensemble_throughput",
     "measured_telemetry",
 ]
 
@@ -498,6 +500,36 @@ class ShardHandoff:
         return self.pickled_particles_bytes / self.handle_bytes
 
 
+@lru_cache(maxsize=None)
+def _handoff_population_cached(problem: str, nparticles: int, nx: int):
+    """Derive the hand-off workload once per configuration.
+
+    The hand-off microbench measures pickle/attach costs, not source
+    sampling or cross-section resolution — yet every repeat used to
+    re-derive the config, materials, mesh, and population from scratch,
+    dominating the bench's own wall-clock with setup the metric never
+    looks at.  Cached per process like ``_measured_workload_cached``.
+    """
+    from repro.mesh.structured import StructuredMesh
+    from repro.particles.source import sample_source
+
+    if problem not in PROBLEM_FACTORIES:
+        raise KeyError(f"unknown problem {problem!r}")
+    cfg = PROBLEM_FACTORIES[problem](nx=nx, nparticles=nparticles)
+    materials = cfg.resolved_materials()
+    mesh = StructuredMesh(cfg.nx, cfg.ny, cfg.width, cfg.height, cfg.density)
+    return sample_source(
+        mesh, cfg.source, cfg.nparticles, cfg.seed, cfg.dt,
+        scatter_table=materials[0].scatter, capture_table=materials[0].capture,
+    )
+
+
+def _handoff_population(problem: str, nparticles: int, nx: int):
+    """Defensive copy of the cached hand-off population — callers time
+    ``to_shared``/pickling against it and must not see shared state."""
+    return _handoff_population_cached(problem, nparticles, nx).copy()
+
+
 def measured_shard_handoff(
     problem: str = "csp",
     nparticles: int = 4 * MEASUREMENT_PARTICLES,
@@ -507,27 +539,17 @@ def measured_shard_handoff(
 ) -> ShardHandoff:
     """Microbenchmark the shard hand-off payload and receive cost.
 
-    Samples the real source population, takes the first of ``nshards``
-    contiguous shards, and measures the three hand-off mechanisms on this
-    host (best of ``repeats`` for the timings).
+    Samples the real source population (cached per configuration — the
+    derivation is setup, not the thing being measured), takes the first
+    of ``nshards`` contiguous shards, and measures the three hand-off
+    mechanisms on this host (best of ``repeats`` for the timings).
     """
     import pickle
     import time
 
     from repro.particles.arena import ParticleArena, shard_handle_nbytes
-    from repro.particles.source import sample_source
 
-    if problem not in PROBLEM_FACTORIES:
-        raise KeyError(f"unknown problem {problem!r}")
-    from repro.mesh.structured import StructuredMesh
-
-    cfg = PROBLEM_FACTORIES[problem](nx=nx, nparticles=nparticles)
-    materials = cfg.resolved_materials()
-    mesh = StructuredMesh(cfg.nx, cfg.ny, cfg.width, cfg.height, cfg.density)
-    population = sample_source(
-        mesh, cfg.source, cfg.nparticles, cfg.seed, cfg.dt,
-        scatter_table=materials[0].scatter, capture_table=materials[0].capture,
-    )
+    population = _handoff_population(problem, nparticles, nx)
     lo, hi = 0, max(1, len(population) // max(1, nshards))
 
     aos_payload = pickle.dumps(population.view(lo, hi).as_particles())
@@ -569,6 +591,103 @@ def measured_shard_handoff(
         unpickle_particles_s=unpickle_particles_s,
         unpickle_arena_s=unpickle_arena_s,
         attach_s=attach_s,
+    )
+
+
+@dataclass(frozen=True)
+class EnsembleThroughput:
+    """Fused-ensemble throughput against the looped baseline.
+
+    The fused engine runs N replicas as one arena-wide dispatch per event
+    per census step, paying problem setup (cross-section tables, mesh,
+    kernel dispatch, workspace) once; the baseline loops
+    ``Simulation.run`` over the same members, paying it N times.
+    ``parity`` is a deterministic algorithm fact (1.0 = every replica's
+    tally and population fingerprint bit-identical to its standalone
+    run), gated exactly; the timings compare same-host only.
+    """
+
+    problem: str
+    scheme: Scheme
+    nreplicas: int
+    nparticles: int
+    fused_s: float
+    looped_s: float
+    #: 1.0 when every replica is bit-identical to its standalone run.
+    parity: float
+    total_histories: int
+    warnings: tuple = ()
+
+    @property
+    def speedup_vs_looped(self) -> float:
+        if self.fused_s == 0:
+            return float("inf")
+        return self.looped_s / self.fused_s
+
+    @property
+    def fused_histories_per_s(self) -> float:
+        if self.fused_s == 0:
+            return float("inf")
+        return self.total_histories / self.fused_s
+
+
+def measured_ensemble_throughput(
+    problem: str = "csp",
+    nreplicas: int = 32,
+    nparticles: int = MEASUREMENT_PARTICLES,
+    nx: int = 64,
+    scheme: Scheme = Scheme.OVER_EVENTS,
+    sweep: str | None = "weight_cutoff=0.05:0.3:8",
+) -> EnsembleThroughput:
+    """Time a fused replica ensemble against the looped baseline.
+
+    Runs the same member set twice — once through
+    :func:`repro.ensemble.run_ensemble` (one fused arena), once through
+    :func:`repro.ensemble.run_ensemble_looped` (``Simulation.run`` per
+    member, the honest pre-ensemble workflow) — and verifies per-replica
+    bit-parity between the two while at it.
+    """
+    import numpy as np
+
+    from repro.ensemble import (
+        EnsembleSpec,
+        SweepSpec,
+        population_fingerprint,
+        run_ensemble,
+        run_ensemble_looped,
+    )
+
+    if problem not in PROBLEM_FACTORIES:
+        raise KeyError(f"unknown problem {problem!r}")
+    base = PROBLEM_FACTORIES[problem](nx=nx, nparticles=nparticles)
+    sweeps = (SweepSpec.parse(sweep),) if sweep else ()
+    spec = EnsembleSpec(base, nreplicas, sweeps=sweeps)
+    fused = run_ensemble(spec, scheme)
+    looped = run_ensemble_looped(spec, scheme)
+    parity = all(
+        population_fingerprint(rr.arena) == population_fingerprint(res.arena)
+        and np.array_equal(rr.tally.deposition, res.tally.deposition)
+        for rr, res in zip(fused.replicas, looped.results)
+    )
+    resolution = time.get_clock_info("perf_counter").resolution
+    warnings = tuple(
+        f"timer_underflow:{label}"
+        for label, seconds in (
+            ("fused", fused.wallclock_s),
+            ("looped", looped.wallclock_s),
+        )
+        if seconds <= resolution
+    )
+    return EnsembleThroughput(
+        problem=problem,
+        scheme=scheme,
+        nreplicas=nreplicas,
+        nparticles=nparticles,
+        fused_s=fused.wallclock_s,
+        looped_s=looped.wallclock_s,
+        parity=1.0 if parity else 0.0,
+        total_histories=fused.total_histories(),
+        warnings=warnings,
     )
 
 

@@ -148,6 +148,63 @@ def build_parser() -> argparse.ArgumentParser:
         "artifact (JSON) to this path; inspect it with 'repro report'",
     )
 
+    ensemble = sub.add_parser(
+        "ensemble",
+        help="fuse N replica runs into one arena-wide dispatch",
+    )
+    ens_sub = ensemble.add_subparsers(dest="ensemble_command", required=True)
+    ens_run = ens_sub.add_parser(
+        "run",
+        help="run a fused replica ensemble (optionally sweeping a parameter)",
+    )
+    ens_run.add_argument(
+        "--problem", choices=sorted(PROBLEM_FACTORIES), default="csp"
+    )
+    ens_run.add_argument("--nx", type=int, default=64)
+    ens_run.add_argument("--particles", type=int, default=200)
+    ens_run.add_argument(
+        "--scheme",
+        choices=[s.value for s in Scheme],
+        default=Scheme.OVER_EVENTS.value,
+    )
+    ens_run.add_argument("--timesteps", type=int, default=1)
+    ens_run.add_argument("--seed", type=int, default=7)
+    ens_run.add_argument(
+        "--seed-stride", type=int, default=1,
+        help="replica r runs with seed + r*stride",
+    )
+    ens_run.add_argument(
+        "--replicas", type=int, default=8, metavar="N",
+        help="number of fused replica runs",
+    )
+    ens_run.add_argument(
+        "--sweep", action="append", default=[], metavar="PARAM=LO:HI:STEPS",
+        help="sweep a parameter across replicas (repeatable); sweepable: "
+        "energy_cutoff_ev, weight_cutoff, dt, source.energy_ev, "
+        "source.weight",
+    )
+    ens_run.add_argument(
+        "--workers", type=int, default=1,
+        help="shard the fused arena by replica blocks across this many "
+        "worker processes (1 = in-process)",
+    )
+    ens_run.add_argument(
+        "--compare-looped", action="store_true",
+        help="also run the members one at a time and report the fused "
+        "speedup and per-replica parity",
+    )
+    ens_run.add_argument(
+        "--per-replica", action="store_true",
+        help="print one counter line per replica",
+    )
+    ens_run.add_argument(
+        "--telemetry",
+        default=None,
+        metavar="PATH",
+        help="record spans/events (incl. per-replica attribution events) "
+        "and write the RunTelemetry artifact to this path",
+    )
+
     report = sub.add_parser(
         "report", help="render a RunTelemetry artifact written by --telemetry"
     )
@@ -366,6 +423,96 @@ def _write_telemetry(result, recorder, path) -> None:
     telemetry.dump(path)
     print(f"telemetry: {len(telemetry.spans)} spans, "
           f"{len(telemetry.events)} events -> {path}")
+
+
+def _cmd_ensemble(args: argparse.Namespace) -> int:
+    handlers = {"run": _cmd_ensemble_run}
+    return handlers[args.ensemble_command](args)
+
+
+def _cmd_ensemble_run(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.core.problems import PROBLEM_FACTORIES as factories
+    from repro.ensemble import (
+        EnsembleSpec,
+        SweepSpec,
+        population_fingerprint,
+        run_ensemble,
+        run_ensemble_looped,
+    )
+
+    base = factories[args.problem](
+        nx=args.nx,
+        nparticles=args.particles,
+        ntimesteps=args.timesteps,
+        seed=args.seed,
+    )
+    try:
+        sweeps = tuple(SweepSpec.parse(s) for s in args.sweep)
+        spec = EnsembleSpec(
+            base, args.replicas, seed_stride=args.seed_stride, sweeps=sweeps
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    recorder = None
+    if args.telemetry:
+        from repro.obs import Recorder
+
+        recorder = Recorder()
+    scheme = Scheme(args.scheme)
+    ens = run_ensemble(
+        spec, scheme, nworkers=args.workers, recorder=recorder
+    )
+    c = ens.counters
+    print(f"ensemble: {ens.nreplicas} replicas x {base.nparticles} histories "
+          f"({args.problem}, {base.nx}x{base.ny} mesh, {args.scheme}, "
+          f"{args.workers} worker{'s' if args.workers != 1 else ''})")
+    for s in sweeps:
+        print(f"sweep: {s.param} over [{s.lo}, {s.hi}] in {s.steps} steps "
+              f"(cyclic across replicas)")
+    print(f"fused events: collisions={c.collisions} facets={c.facets} "
+          f"census={c.census_events} terminations={c.terminations} "
+          f"escapes={c.escapes}")
+    print(f"fused deposition total: {ens.tally.total():.4e} eV")
+    print(f"fused wall-clock: {ens.wallclock_s:.3f} s "
+          f"({ens.total_histories()} histories)")
+    if args.per_replica:
+        for rr in ens.replicas:
+            rc = rr.counters
+            print(f"  replica {rr.replica}: seed={rr.config.seed} "
+                  f"collisions={rc.collisions} census={rc.census_events} "
+                  f"escapes={rc.escapes} "
+                  f"fingerprint={rr.fingerprint()[:12]}")
+    if args.compare_looped:
+        looped = run_ensemble_looped(spec, scheme)
+        speedup = looped.wallclock_s / max(ens.wallclock_s, 1e-12)
+        parity = all(
+            population_fingerprint(rr.arena)
+            == population_fingerprint(res.arena)
+            and np.array_equal(rr.tally.deposition, res.tally.deposition)
+            for rr, res in zip(ens.replicas, looped.results)
+        )
+        print(f"looped baseline: {looped.wallclock_s:.3f} s -> "
+              f"fused speedup {speedup:.2f}x")
+        print(f"per-replica parity vs looped: "
+              f"{'BIT-IDENTICAL' if parity else 'MISMATCH'}")
+        if not parity:
+            return 1
+    if args.telemetry:
+        from repro.core.simulation import TransportResult
+
+        fused_result = TransportResult(
+            config=ens.members[0],
+            scheme=scheme,
+            tally=ens.tally,
+            counters=ens.counters,
+            arena=ens.arena,
+            wallclock_s=ens.wallclock_s,
+        )
+        _write_telemetry(fused_result, recorder, args.telemetry)
+    return 0
 
 
 def _cmd_run3d(args: argparse.Namespace) -> int:
@@ -657,6 +804,7 @@ def main(argv: list[str] | None = None) -> int:
     handlers = {
         "run": _cmd_run,
         "run3d": _cmd_run3d,
+        "ensemble": _cmd_ensemble,
         "report": _cmd_report,
         "bench": _cmd_bench,
         "predict": _cmd_predict,

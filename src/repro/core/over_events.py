@@ -70,13 +70,18 @@ class _EventContext:
 
     def __init__(self, config: SimulationConfig, mesh: StructuredMesh,
                  tally: EnergyDepositionTally, store: ParticleArena,
-                 dispatch: KernelDispatch, ws: Workspace):
+                 dispatch: KernelDispatch, ws: Workspace, lanes=None):
         self.config = config
         self.mesh = mesh
         self.tally = tally
         self.store = store
         self.dispatch = dispatch
         self.ws = ws
+        #: Ensemble fusion state (repro.ensemble.EnsembleLanes) or None.
+        #: When set, counters/tallies/seeds/cutoffs are attributed per
+        #: replica through the helpers below; the kernel dispatches stay
+        #: fused across all replicas.
+        self.lanes = lanes
         self.materials = config.resolved_materials()
         self.material_map = config.resolved_material_map()
         self.mat_a = np.array([m.a_ratio for m in self.materials])
@@ -92,12 +97,89 @@ class _EventContext:
         self.coll_pp = np.zeros(n, dtype=np.int64)
         self.facet_pp = np.zeros(n, dtype=np.int64)
         self.nbins_log2 = int(np.ceil(np.log2(max(config.xs_nentries, 2))))
-        self.rng = VectorParticleRNG(config.seed, store.particle_id, store.rng_counter)
+        seed = config.seed if lanes is None else lanes.seeds[lanes.rep]
+        self.rng = VectorParticleRNG(seed, store.particle_id, store.rng_counter)
         self.pending_children: list[ParticleRecord] = []
+        self.pending_rep: list[int] = []
         # Bin-reuse hoist state: the energy (bitwise) and material at each
         # particle's last bin search.  NaN / -1 mean "never searched".
         self.last_e = np.full(n, np.nan)
         self.last_mat = np.full(n, -1, dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    # Attribution helpers.  A plain run charges the single counters/tally
+    # pair; a fused ensemble run charges each replica's own books so every
+    # member stays bit-identical to its standalone serial run.
+    def cadd(self, name: str, idx: np.ndarray, per: int = 1) -> None:
+        """Add ``per`` per selected particle to an integer counter."""
+        if self.lanes is None:
+            c = self.counters
+            setattr(c, name, getattr(c, name) + per * int(idx.size))
+            return
+        lanes = self.lanes
+        counts = np.bincount(lanes.rep[idx], minlength=lanes.nreplicas)
+        for r in np.nonzero(counts)[0]:
+            c = lanes.counters[r]
+            setattr(c, name, getattr(c, name) + per * int(counts[r]))
+
+    def csum(self, name: str, idx: np.ndarray, values: np.ndarray) -> None:
+        """Accumulate a float reduction over the selected particles.
+
+        Per-replica sums run over each replica's subsequence in storage
+        order — the same operands in the same order as that replica's
+        standalone run, hence bitwise-equal partial sums.
+        """
+        if self.lanes is None:
+            c = self.counters
+            setattr(c, name, getattr(c, name) + float(values.sum()))
+            return
+        rep = self.lanes.rep[idx]
+        for r in np.unique(rep):
+            c = self.lanes.counters[r]
+            setattr(c, name, getattr(c, name) + float(values[rep == r].sum()))
+
+    def flush(self, idx: np.ndarray) -> None:
+        """Batched tally flush (the §VI-G separate tally loop), split by
+        replica when fused — each replica's scatter-add sees exactly the
+        subsequence its standalone run would."""
+        store = self.store
+        if self.lanes is None:
+            self.tally.flush_vec(
+                store.cellx[idx], store.celly[idx], store.deposit_buffer[idx]
+            )
+            self.counters.tally_flushes += idx.size
+            return
+        rep = self.lanes.rep[idx]
+        for r in np.unique(rep):
+            sel = idx[rep == r]
+            self.lanes.tallies[r].flush_vec(
+                store.cellx[sel], store.celly[sel], store.deposit_buffer[sel]
+            )
+            self.lanes.counters[r].tally_flushes += sel.size
+
+    def counters_for(self, pi) -> Counters:
+        """The Counters a scalar event on particle ``pi`` charges."""
+        if self.lanes is None:
+            return self.counters
+        return self.lanes.counters[int(self.lanes.rep[pi])]
+
+    def seed_for(self, pi) -> int:
+        """The RNG key word 0 for particle ``pi`` (its replica's seed)."""
+        if self.lanes is None:
+            return self.config.seed
+        return int(self.lanes.seeds[int(self.lanes.rep[pi])])
+
+    def ecut_at(self, idx: np.ndarray):
+        """Energy cutoff, scalar or per-lane (kernels broadcast either)."""
+        if self.lanes is None:
+            return self.config.energy_cutoff_ev
+        return self.lanes.ecut[self.lanes.rep[idx]]
+
+    def wcut_at(self, idx: np.ndarray):
+        """Weight cutoff, scalar or per-lane."""
+        if self.lanes is None:
+            return self.config.weight_cutoff
+        return self.lanes.wcut[self.lanes.rep[idx]]
 
     # ------------------------------------------------------------------
     def refresh_micro(self, idx: np.ndarray) -> None:
@@ -112,7 +194,6 @@ class _EventContext:
         if idx.size == 0:
             return
         store = self.store
-        c = self.counters
         run = self.dispatch.run
         for mi, mat in enumerate(self.materials):
             sel = idx[self.mat_idx[idx] == mi]
@@ -134,13 +215,13 @@ class _EventContext:
                     fb, mf = run("xs_lookup", fresh.size, mat.fission, ef)
                     self.micro_f[fresh] = mf
                     store.fission_bin[fresh] = fb
-                c.xs_binary_probes += k * fresh.size * self.nbins_log2
+                self.cadd("xs_binary_probes", fresh, k * self.nbins_log2)
                 self.last_e[fresh] = ef
                 self.last_mat[fresh] = mi
             if not mat.fissile:
                 self.micro_f[sel] = 0.0
-            c.xs_lookups += k * sel.size
-            c.xs_bin_reuses += k * int(reuse.sum())
+            self.cadd("xs_lookups", sel, k)
+            self.cadd("xs_bin_reuses", sel[reuse], k)
 
     def macroscopic(self) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
         """(Σ_s, Σ_a, Σ_f, Σ_t) arrays from the cached microscopic values.
@@ -184,20 +265,22 @@ class _EventContext:
         Particles driver, so the two schemes bank bit-identical children.
         """
         store = self.store
-        c = self.counters
         for j, pi in enumerate(parents):
             n_children = int(counts[j])
             if n_children <= 0:
                 continue
+            c = self.counters_for(pi)
+            seed_pi = self.seed_for(pi)
+            rep_pi = 0 if self.lanes is None else int(self.lanes.rep[pi])
             c.fissions += 1
             for k in range(n_children):
                 cid = secondary_id(
-                    self.config.seed,
+                    seed_pi,
                     int(store.particle_id[pi]),
                     int(counters_at_event[j]),
                     k,
                 )
-                rng = ParticleRNG(self.config.seed, cid)
+                rng = ParticleRNG(seed_pi, cid)
                 u_dir = rng.next_uniform()
                 u_energy = rng.next_uniform()
                 u_mfp = rng.next_uniform()
@@ -223,6 +306,7 @@ class _EventContext:
                 c.secondaries_banked += 1
                 c.rng_draws += 3
                 self.pending_children.append(child)
+                self.pending_rep.append(rep_pi)
 
     def absorb_children(self) -> None:
         """Append banked secondaries to the population between passes."""
@@ -247,10 +331,20 @@ class _EventContext:
         self.last_mat = np.concatenate(
             [self.last_mat, np.full(n_new, -1, dtype=np.int64)]
         )
+        if self.lanes is not None:
+            rep_new = np.asarray(self.pending_rep, dtype=np.int64)
+            self.lanes.rep = np.concatenate([self.lanes.rep, rep_new])
+            if hasattr(self.store, "replica_id"):
+                self.store.replica_id[len(self.store) - n_new:] = rep_new
+        self.pending_rep = []
         # Extend the RNG with the live counters (the store's counter field
         # is only synchronised at the end of the run).
+        seed = (
+            self.config.seed if self.lanes is None
+            else self.lanes.seeds[self.lanes.rep]
+        )
         self.rng = VectorParticleRNG(
-            self.config.seed,
+            seed,
             np.concatenate([self.rng.particle_ids, chunk.particle_id]),
             np.concatenate([self.rng.counters, chunk.rng_counter]),
         )
@@ -266,8 +360,6 @@ class _EventContext:
         """foreach(colliding_particle): handle_collision()"""
         store = self.store
         config = self.config
-        counters = self.counters
-        tally = self.tally
         c = np.nonzero(cmask)[0]
         d = dist.d_collision[c]
         sp = dist.speed[c]
@@ -281,7 +373,7 @@ class _EventContext:
         u_angle = self.rng.next_uniform(cmask)
         u_sense = self.rng.next_uniform(cmask)
         u_mfp = self.rng.next_uniform(cmask)
-        counters.rng_draws += 3 * c.size
+        self.cadd("rng_draws", c, 3)
         a_ratio = self.mat_a[self.mat_idx[c]]
         (e_new, w_new, ox_new, oy_new, mfp_new, dep, term, below) = self.dispatch.run(
             "collide",
@@ -296,8 +388,8 @@ class _EventContext:
             u_angle,
             u_sense,
             u_mfp,
-            config.energy_cutoff_ev,
-            config.weight_cutoff,
+            self.ecut_at(c),
+            self.wcut_at(c),
             defer_weight_cutoff=config.use_russian_roulette,
         )
         store.energy[c] = e_new
@@ -306,7 +398,7 @@ class _EventContext:
         store.omega_y[c] = oy_new
         store.mfp_to_collision[c] = mfp_new
         store.deposit_buffer[c] += dep
-        counters.collisions += c.size
+        self.cadd("collisions", c)
         self.coll_pp[c] += 1
 
         # ---- fission banking (extension) ------------------------------
@@ -315,8 +407,8 @@ class _EventContext:
             fis_mask = np.zeros(len(store), dtype=bool)
             fis_mask[c[fissile_here]] = True
             u_fission = self.rng.next_uniform(fis_mask)
-            counters.rng_draws += int(fissile_here.sum())
             sel = c[fissile_here]
+            self.cadd("rng_draws", sel)
             counts = self.dispatch.run(
                 "fission_bank",
                 sel.size,
@@ -335,51 +427,46 @@ class _EventContext:
 
         dead = c[term]
         if dead.size:
-            tally.flush_vec(
-                store.cellx[dead], store.celly[dead],
-                store.deposit_buffer[dead],
-            )
+            self.flush(dead)
             store.deposit_buffer[dead] = 0.0
             store.alive[dead] = False
-            counters.tally_flushes += dead.size
-            counters.terminations += dead.size
+            self.cadd("terminations", dead)
 
         # ---- Russian roulette (extension) ------------------------------
         if config.use_russian_roulette and below.any():
             r_mask = np.zeros(len(store), dtype=bool)
             r_mask[c[below]] = True
             u_roulette = self.rng.next_uniform(r_mask)
-            counters.rng_draws += int(below.sum())
             sel = c[below]
+            self.cadd("rng_draws", sel)
             w = store.weight[sel]
             survive, restored = self.dispatch.run(
-                "roulette", sel.size, w, u_roulette, config.weight_cutoff
+                "roulette", sel.size, w, u_roulette, self.wcut_at(sel)
             )
+            # With per-lane cutoffs ``restored`` is an array aligned with
+            # ``sel``; slice it down to the survivor lanes.
+            restored_s = restored[survive] if np.ndim(restored) else restored
             killed = sel[~survive]
             if killed.size:
-                counters.roulette_kills += killed.size
-                counters.roulette_loss_energy += float(
-                    (store.weight[killed] * store.energy[killed]).sum()
+                self.cadd("roulette_kills", killed)
+                self.csum(
+                    "roulette_loss_energy", killed,
+                    store.weight[killed] * store.energy[killed],
                 )
                 store.weight[killed] = 0.0
-                tally.flush_vec(
-                    store.cellx[killed], store.celly[killed],
-                    store.deposit_buffer[killed],
-                )
+                self.flush(killed)
                 store.deposit_buffer[killed] = 0.0
                 store.alive[killed] = False
-                counters.tally_flushes += killed.size
-                counters.terminations += killed.size
+                self.cadd("terminations", killed)
             survivors = sel[survive]
             if survivors.size:
-                counters.roulette_survivals += survivors.size
-                counters.roulette_gain_energy += float(
-                    (
-                        (restored - store.weight[survivors])
-                        * store.energy[survivors]
-                    ).sum()
+                self.cadd("roulette_survivals", survivors)
+                self.csum(
+                    "roulette_gain_energy", survivors,
+                    (restored_s - store.weight[survivors])
+                    * store.energy[survivors],
                 )
-                store.weight[survivors] = restored
+                store.weight[survivors] = restored_s
 
         surv = c[store.alive[c]]
         if surv.size:
@@ -389,8 +476,6 @@ class _EventContext:
         """foreach(particle_encountering_facet): handle_facet()"""
         store = self.store
         config = self.config
-        counters = self.counters
-        tally = self.tally
         f = np.nonzero(fmask)[0]
         old_cx_f = store.cellx[f].copy()
         old_cy_f = store.celly[f].copy()
@@ -416,24 +501,22 @@ class _EventContext:
             store.omega_y[fy] > 0.0, dist.y_hi[fy], dist.y_lo[fy]
         )
         # Batched tally loop — the separate atomic pass of §VI-G.
-        tally.flush_vec(
-            store.cellx[f], store.celly[f], store.deposit_buffer[f]
-        )
+        self.flush(f)
         store.deposit_buffer[f] = 0.0
-        counters.tally_flushes += f.size
         new_cx, new_cy, new_ox, new_oy, reflected, escaped = self.dispatch.run(
             "cross_facet",
             f.size,
             store.cellx[f], store.celly[f],
             store.omega_x[f], store.omega_y[f], ax, self.mesh, config.boundary,
         )
-        counters.facets += f.size
+        self.cadd("facets", f)
         self.facet_pp[f] += 1
         gone = f[escaped]
         if gone.size:
-            counters.escapes += gone.size
-            counters.escaped_energy += float(
-                (store.weight[gone] * store.energy[gone]).sum()
+            self.cadd("escapes", gone)
+            self.csum(
+                "escaped_energy", gone,
+                store.weight[gone] * store.energy[gone],
             )
             store.alive[gone] = False
         stay = ~escaped
@@ -445,8 +528,8 @@ class _EventContext:
         store.local_density[crossed] = self.mesh.density_at_vec(
             store.cellx[crossed], store.celly[crossed]
         )
-        counters.density_reads += crossed.size
-        counters.reflections += int(reflected.sum())
+        self.cadd("density_reads", crossed)
+        self.cadd("reflections", f[reflected])
         # Multi-material extension: particles entering a different
         # material must refresh their cached microscopic values.
         if crossed.size:
@@ -473,7 +556,7 @@ class _EventContext:
                 imp_mask = np.zeros(len(store), dtype=bool)
                 imp_mask[sel] = True
                 u_imp = self.rng.next_uniform(imp_mask)
-                counters.rng_draws += sel.size
+                self.cadd("rng_draws", sel)
                 r = ratios[changed_r]
 
                 # splits (entering higher importance)
@@ -485,11 +568,16 @@ class _EventContext:
                     ):
                         if n <= 1:
                             continue
-                        counters.splits += 1
+                        cc = self.counters_for(pi)
+                        rep_pi = (
+                            0 if self.lanes is None
+                            else int(self.lanes.rep[pi])
+                        )
+                        cc.splits += 1
                         w_each = float(store.weight[pi]) / int(n)
                         for k in range(int(n) - 1):
                             cid = clone_id(
-                                config.seed,
+                                self.seed_for(pi),
                                 int(store.particle_id[pi]),
                                 int(ctr),
                                 k,
@@ -514,8 +602,9 @@ class _EventContext:
                                 capture_bin=int(store.capture_bin[pi]),
                                 fission_bin=int(store.fission_bin[pi]),
                             )
-                            counters.clones_banked += 1
+                            cc.clones_banked += 1
                             self.pending_children.append(child)
+                            self.pending_rep.append(rep_pi)
                         store.weight[pi] = w_each
 
                 # roulette (entering lower importance)
@@ -525,31 +614,28 @@ class _EventContext:
                     survive = u_imp[down] < r[down]
                     surv = dsel[survive]
                     if surv.size:
-                        counters.roulette_survivals += surv.size
+                        self.cadd("roulette_survivals", surv)
                         boosted = store.weight[surv] / r[down][survive]
-                        counters.roulette_gain_energy += float(
-                            (
-                                (boosted - store.weight[surv])
-                                * store.energy[surv]
-                            ).sum()
+                        self.csum(
+                            "roulette_gain_energy", surv,
+                            (boosted - store.weight[surv])
+                            * store.energy[surv],
                         )
                         store.weight[surv] = boosted
                     dead_i = dsel[~survive]
                     if dead_i.size:
-                        counters.roulette_kills += dead_i.size
-                        counters.roulette_loss_energy += float(
-                            (
-                                store.weight[dead_i] * store.energy[dead_i]
-                            ).sum()
+                        self.cadd("roulette_kills", dead_i)
+                        self.csum(
+                            "roulette_loss_energy", dead_i,
+                            store.weight[dead_i] * store.energy[dead_i],
                         )
                         store.weight[dead_i] = 0.0
                         store.alive[dead_i] = False
-                        counters.terminations += dead_i.size
+                        self.cadd("terminations", dead_i)
 
     def handle_census(self, zmask, dist, sigma_a, sigma_f, sigma_t) -> None:
         """handle_census(): fly remaining lanes to the end of the timestep."""
         store = self.store
-        counters = self.counters
         z = np.nonzero(zmask)[0]
         new_x, new_y, new_mfp = self.dispatch.run(
             "census",
@@ -562,13 +648,10 @@ class _EventContext:
         store.y[z] = new_y
         store.mfp_to_collision[z] = new_mfp
         store.dt_to_census[z] = 0.0
-        self.tally.flush_vec(
-            store.cellx[z], store.celly[z], store.deposit_buffer[z]
-        )
+        self.flush(z)
         store.deposit_buffer[z] = 0.0
-        counters.tally_flushes += z.size
         store.censused[z] = True
-        counters.census_events += z.size
+        self.cadd("census_events", z)
 
 
 def _event_pass(ctx: _EventContext, handlers: dict, active: np.ndarray,
@@ -626,6 +709,28 @@ def _event_pass(ctx: _EventContext, handlers: dict, active: np.ndarray,
         n_census=n_event[EventKind.CENSUS],
     )
     counters.oe_passes.append(stats)
+    if ctx.lanes is not None:
+        lanes = ctx.lanes
+        rep = lanes.rep
+        act = np.bincount(rep[active], minlength=lanes.nreplicas)
+        col = np.bincount(
+            rep[masks[EventKind.COLLISION]], minlength=lanes.nreplicas
+        )
+        fac = np.bincount(
+            rep[masks[EventKind.FACET]], minlength=lanes.nreplicas
+        )
+        cen = np.bincount(
+            rep[masks[EventKind.CENSUS]], minlength=lanes.nreplicas
+        )
+        # A replica with no active lanes this pass has already finished:
+        # its standalone run would not see the pass at all.
+        for r in np.nonzero(act)[0]:
+            lanes.counters[r].oe_passes.append(EventPassStats(
+                n_active=int(act[r]),
+                n_collision=int(col[r]),
+                n_facet=int(fac[r]),
+                n_census=int(cen[r]),
+            ))
     if pass_span is not None:
         pass_span.attrs["active"] = stats.n_active
         pass_span.attrs["collisions"] = stats.n_collision
@@ -648,6 +753,7 @@ def run_over_events(
     arena: ParticleArena | None = None,
     tally: EnergyDepositionTally | None = None,
     recorder=None,
+    lanes=None,
 ):
     """Run the full calculation with the Over Events scheme.
 
@@ -665,6 +771,12 @@ def run_over_events(
         Optional :class:`repro.obs.Recorder` receiving the span tree
         (run → timestep → event_pass → kernel:*).  Purely observational:
         the physics is bit-identical with or without it.
+    lanes:
+        Optional :class:`repro.ensemble.EnsembleLanes` fusing N replicas
+        into the one arena: per-lane RNG seeds/cutoffs/dt and per-replica
+        counter/tally attribution, while every kernel dispatch stays one
+        fused call across all replicas.  ``config`` then supplies the
+        uniform fields only (mesh, materials, scheme options).
 
     Returns
     -------
@@ -693,11 +805,16 @@ def run_over_events(
 
     dispatch = KernelDispatch(recorder=rec if rec.enabled else None)
     ws = Workspace()
-    ctx = _EventContext(config, mesh, tally, store, dispatch, ws)
+    ctx = _EventContext(config, mesh, tally, store, dispatch, ws, lanes=lanes)
     # Keep the already-built material set (avoids rebuilding the tables).
     ctx.materials = materials
     counters = ctx.counters
-    counters.rng_draws += 4 * len(store)
+    if lanes is None:
+        counters.rng_draws += 4 * len(store)
+    else:
+        birth = np.bincount(lanes.rep, minlength=lanes.nreplicas)
+        for r in range(lanes.nreplicas):
+            lanes.counters[r].rng_draws += 4 * int(birth[r])
 
     # Satellite of the kernel refactor: both drivers share one
     # EventKind → kernel mapping instead of private if/elif ladders.
@@ -710,7 +827,11 @@ def run_over_events(
     with rec.span("run", scheme="over_events"):
         for step in range(config.ntimesteps):
             if step > 0:
-                store.dt_to_census[store.alive] = config.dt
+                if lanes is None:
+                    store.dt_to_census[store.alive] = config.dt
+                else:
+                    dt_lane = lanes.dt[lanes.rep]
+                    store.dt_to_census[store.alive] = dt_lane[store.alive]
             store.censused[:] = ~store.alive
 
             with rec.span("timestep", step=step):
@@ -739,6 +860,29 @@ def run_over_events(
     # In-place write — the arena's fields are views of one shared buffer
     # and must never be rebound.
     store.rng_counter[...] = ctx.rng.counters
+    if lanes is not None:
+        rep = lanes.rep
+        for r in range(lanes.nreplicas):
+            sel = rep == r
+            rc = lanes.counters[r]
+            rc.nparticles = int(sel.sum())
+            rc.collisions_per_particle = ctx.coll_pp[sel]
+            rc.facets_per_particle = ctx.facet_pp[sel]
+            rc.tally_conflict_probability = (
+                lanes.tallies[r].conflict_probability()
+            )
+            # The fused run's tally is the exact sum of the per-replica
+            # scatter-adds (each replica flushed into its own grid).
+            tally.deposition += lanes.tallies[r].deposition
+            tally.flush_counts += lanes.tallies[r].flush_counts
+            tally.flushes += lanes.tallies[r].flushes
+        for fname in Counters._SCALAR_FIELDS:
+            if fname == "nparticles":
+                continue
+            setattr(counters, fname, getattr(counters, fname) + sum(
+                getattr(lanes.counters[r], fname)
+                for r in range(lanes.nreplicas)
+            ))
     counters.nparticles = len(store)
     counters.collisions_per_particle = ctx.coll_pp
     counters.facets_per_particle = ctx.facet_pp

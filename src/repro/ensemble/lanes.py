@@ -1,0 +1,49 @@
+"""Per-lane ensemble state threaded through the fused drivers.
+
+The fused arena carries ``replica_id`` per particle; this object carries
+everything *indexed by* replica: the per-member seeds/cutoffs/timestep
+(gathered per lane where a kernel needs them) and the per-replica
+Counters/tally books each member's events are attributed to, so every
+replica's accounting stays bit-identical to its standalone serial run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.counters import Counters
+from repro.mesh.tally import EnergyDepositionTally
+
+__all__ = ["EnsembleLanes"]
+
+
+class EnsembleLanes:
+    """Replica-indexed state for one fused run.
+
+    ``rep`` is the per-particle replica index, grown in lock-step with
+    the arena as secondaries/clones are banked (a child inherits its
+    parent's replica).
+    """
+
+    def __init__(self, members, rep: np.ndarray, nx: int, ny: int):
+        self.members = tuple(members)
+        self.nreplicas = len(self.members)
+        self.rep = np.asarray(rep, dtype=np.int64).copy()
+        if self.rep.size and (
+            self.rep.min() < 0 or self.rep.max() >= self.nreplicas
+        ):
+            raise ValueError("replica ids out of range for the member list")
+        self.seeds = np.array(
+            [m.seed for m in self.members], dtype=np.uint64
+        )
+        self.ecut = np.array(
+            [m.energy_cutoff_ev for m in self.members], dtype=np.float64
+        )
+        self.wcut = np.array(
+            [m.weight_cutoff for m in self.members], dtype=np.float64
+        )
+        self.dt = np.array([m.dt for m in self.members], dtype=np.float64)
+        self.counters = [Counters() for _ in self.members]
+        self.tallies = [
+            EnergyDepositionTally(nx, ny) for _ in self.members
+        ]

@@ -1,0 +1,166 @@
+"""Fused Over Particles driver for ensembles.
+
+Reuses the standalone driver's ``_SweepContext``/``_Block`` machinery
+unchanged; fusion is pure scheduling: blocks never span a replica
+boundary, and the context's config/counters/tally/lookup-stats bindings
+are swapped per replica segment.  Restricted to one replica, the exact
+sequence of block waves, RNG draws, bank drains and tally flushes equals
+that replica's standalone run — hence bitwise-identical results — while
+the expensive per-run setup (mesh, resolved cross-section tables, kernel
+dispatch, workspace) is paid once for the whole ensemble.
+
+Between census steps the arena is re-sorted stably by ``replica_id`` so
+each replica is one contiguous run again (children were appended at the
+end); a stable sort preserves the within-replica order, which is exactly
+the standalone arena order, so block alignment also matches standalone
+on every timestep.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core.config import Scheme
+from repro.core.counters import Counters
+from repro.core.over_particles import _Block, _SweepContext
+from repro.kernels import KernelDispatch, Workspace
+from repro.mesh.structured import StructuredMesh
+from repro.mesh.tally import EnergyDepositionTally
+from repro.obs.spans import NULL_RECORDER
+from repro.xs.lookup import LookupStats
+
+__all__ = ["run_over_particles_fused"]
+
+
+def _segments_of(rep: np.ndarray, offset: int = 0):
+    """Contiguous ``(replica, lo, hi)`` runs of ``rep``, offset globally."""
+    if rep.size == 0:
+        return []
+    cuts = np.nonzero(rep[1:] != rep[:-1])[0] + 1
+    bounds = np.concatenate(([0], cuts, [rep.size]))
+    return [
+        (int(rep[lo]), offset + int(lo), offset + int(hi))
+        for lo, hi in zip(bounds[:-1], bounds[1:])
+    ]
+
+
+def run_over_particles_fused(members, arena, lanes, recorder=None):
+    """Run the fused depth-first sweep; returns the fused
+    ``TransportResult`` (per-replica books live on ``lanes``)."""
+    from repro.core.simulation import TransportResult
+
+    t0 = time.perf_counter()
+    rec = NULL_RECORDER if recorder is None else recorder
+    base = members[0]
+    mesh = StructuredMesh(
+        base.nx, base.ny, base.width, base.height, base.density
+    )
+    tally = EnergyDepositionTally(base.nx, base.ny)
+    dispatch = KernelDispatch(recorder=rec if rec.enabled else None)
+    ws = Workspace()
+    ctx = _SweepContext(base, mesh, tally, dispatch, ws)
+    nrep = lanes.nreplicas
+    rep_stats = [LookupStats() for _ in range(nrep)]
+    ctx.coll_pp = [0] * len(arena)
+    ctx.facet_pp = [0] * len(arena)
+    birth = np.bincount(lanes.rep, minlength=nrep)
+    for r in range(nrep):
+        lanes.counters[r].rng_draws += 4 * int(birth[r])
+    block_size = base.op_block_size
+
+    def bind(r: int) -> None:
+        ctx.config = members[r]
+        ctx.counters = lanes.counters[r]
+        ctx.tally = lanes.tallies[r]
+        ctx.lookup_stats = rep_stats[r]
+
+    with rec.span(
+        "run", scheme="over_particles", ensemble_replicas=nrep
+    ):
+        for step in range(base.ntimesteps):
+            if step > 0:
+                order = arena.sort_by("replica_id")
+                lanes.rep = lanes.rep[order]
+                ctx.coll_pp = [ctx.coll_pp[i] for i in order]
+                ctx.facet_pp = [ctx.facet_pp[i] for i in order]
+                dt_lane = lanes.dt[lanes.rep]
+                arena.dt_to_census[arena.alive] = dt_lane[arena.alive]
+            with rec.span("timestep", step=step):
+                segments = _segments_of(lanes.rep)
+                while segments:
+                    for r, lo, hi in segments:
+                        bind(r)
+                        cursor = lo
+                        while cursor < hi:
+                            bhi = min(cursor + block_size, hi)
+                            idx = cursor + np.nonzero(
+                                arena.alive[cursor:bhi]
+                            )[0]
+                            if idx.size:
+                                _Block(ctx, arena, idx).run()
+                            cursor = bhi
+                    # All current segments swept: drain the bank exactly
+                    # as the standalone driver would at its arena end —
+                    # deterministic (parent, event, child) order; each
+                    # child inherits its parent's replica and the new
+                    # runs become the next round of segments.
+                    if ctx.bank:
+                        ctx.bank.sort(key=lambda entry: entry[:3])
+                        children = [entry[3] for entry in ctx.bank]
+                        parent_gi = np.array(
+                            [entry[0] for entry in ctx.bank], dtype=np.int64
+                        )
+                        child_rep = lanes.rep[parent_gi]
+                        old_len = len(arena)
+                        arena.append_records(children)
+                        arena.replica_id[old_len:] = child_rep
+                        lanes.rep = np.concatenate([lanes.rep, child_rep])
+                        ctx.coll_pp.extend([0] * len(children))
+                        ctx.facet_pp.extend([0] * len(children))
+                        ctx.bank = []
+                        segments = _segments_of(child_rep, offset=old_len)
+                    else:
+                        segments = []
+
+    rep = lanes.rep
+    coll = np.asarray(ctx.coll_pp, dtype=np.int64)
+    facet = np.asarray(ctx.facet_pp, dtype=np.int64)
+    counters = Counters()
+    for r in range(nrep):
+        sel = rep == r
+        rc = lanes.counters[r]
+        rc.nparticles = int(sel.sum())
+        rc.xs_lookups = rep_stats[r].lookups
+        rc.xs_binary_probes = rep_stats[r].binary_probes
+        rc.xs_linear_probes = rep_stats[r].linear_probes
+        rc.collisions_per_particle = coll[sel]
+        rc.facets_per_particle = facet[sel]
+        rc.tally_conflict_probability = (
+            lanes.tallies[r].conflict_probability()
+        )
+        tally.deposition += lanes.tallies[r].deposition
+        tally.flush_counts += lanes.tallies[r].flush_counts
+        tally.flushes += lanes.tallies[r].flushes
+    for fname in Counters._SCALAR_FIELDS:
+        setattr(counters, fname, sum(
+            getattr(lanes.counters[r], fname) for r in range(nrep)
+        ))
+    counters.nparticles = len(arena)
+    counters.collisions_per_particle = coll
+    counters.facets_per_particle = facet
+    counters.tally_conflict_probability = tally.conflict_probability()
+    counters.kernel_profile = dispatch.profile()
+    counters.workspace_allocations = ws.allocations
+    counters.workspace_reuses = ws.reuses
+    counters.arena_nbytes = arena.nbytes()
+
+    return TransportResult(
+        config=base,
+        scheme=Scheme.OVER_PARTICLES,
+        tally=tally,
+        counters=counters,
+        arena=arena,
+        wallclock_s=time.perf_counter() - t0,
+    )

@@ -312,6 +312,12 @@ def _run_ranges(config, scheme, population, ranges, recorder=None):
     from repro.core.over_events import run_over_events
     from repro.core.over_particles import run_over_particles
 
+    # Jobs that know how to run themselves (e.g. the ensemble engine's
+    # EnsembleJob) ride through the config slot and take over here; the
+    # shard handle, retry and reduce machinery around them is unchanged.
+    if hasattr(config, "run_ranges"):
+        return config.run_ranges(scheme, population, ranges, recorder=recorder)
+
     driver = (
         run_over_particles if scheme is Scheme.OVER_PARTICLES
         else run_over_events
@@ -394,7 +400,8 @@ def _worker_main(worker_id, incarnation, config, scheme, handle,
         ).start()
     kill = plan.kill_for(worker_id, incarnation)
     shm_name, n_total = handle
-    population = ParticleArena.attach(shm_name, n_total)
+    arena_cls = getattr(config, "arena_cls", ParticleArena)
+    population = arena_cls.attach(shm_name, n_total)
     chunks_done = 0
     try:
         while True:

@@ -39,6 +39,7 @@ from repro.particles.particle import Particle
 from repro.particles.soa import _FLOAT_FIELDS, _INT_FIELDS, ParticleStore
 
 __all__ = [
+    "EnsembleArena",
     "ParticleArena",
     "ParticleArena3",
     "ParticleRecord",
@@ -233,6 +234,10 @@ class _FieldArena:
             order = np.lexsort((self.cellx, self.celly))
         elif key == "particle_id":
             order = np.argsort(self.particle_id, kind="stable")
+        elif key == "replica_id" and hasattr(self, "replica_id"):
+            # Stable: restores replica-major blocks while preserving the
+            # within-replica order every parity argument relies on.
+            order = np.argsort(self.replica_id, kind="stable")
         else:
             raise ValueError(
                 f"unknown sort key {key!r}; use energy, cell or particle_id"
@@ -498,6 +503,72 @@ class ParticleRecord(tuple):
     def energy_weight(self) -> tuple[float, float]:
         names = [name for name, _ in ParticleArena.FIELDS]
         return self[names.index("energy")], self[names.index("weight")]
+
+
+# ---------------------------------------------------------------------------
+# The fused multi-replica arena (ensemble batching)
+# ---------------------------------------------------------------------------
+
+class EnsembleArena(ParticleArena):
+    """A fused multi-replica population: :class:`ParticleArena` plus one
+    trailing ``replica_id`` field tagging which ensemble member each
+    history belongs to.
+
+    The base arena's field set (and therefore its 138 B/particle
+    footprint, which the bench trajectory gates exactly) is untouched —
+    fusion cost is carried only by runs that opt into it.  All of the
+    single-buffer machinery (layout, shared-memory hand-off by the same
+    36 B ``(shm_name, n_total, lo, hi)`` handle, compaction, sorting) is
+    inherited; ``compact()`` and stable sorts preserve the per-replica
+    relative order that makes fused physics bit-identical to standalone
+    runs.
+    """
+
+    FIELDS = ParticleArena.FIELDS + (("replica_id", np.int64),)
+
+    @classmethod
+    def from_records(cls, records) -> "EnsembleArena":
+        """Build from plain :class:`ParticleRecord` tuples (19 fields);
+        ``replica_id`` defaults to 0 — the banking driver assigns the
+        parent's replica right after the append."""
+        arena = cls(len(records))
+        for j, (name, _) in enumerate(ParticleArena.FIELDS):
+            getattr(arena, name)[...] = [r[j] for r in records]
+        return arena
+
+    @classmethod
+    def fuse(cls, arenas) -> "EnsembleArena":
+        """Concatenate member populations replica-major, tagging each
+        block with its replica index."""
+        total = sum(len(a) for a in arenas)
+        out = cls(total)
+        off = 0
+        for r, a in enumerate(arenas):
+            n = len(a)
+            for name, _ in ParticleArena.FIELDS:
+                getattr(out, name)[off:off + n] = getattr(a, name)
+            out.replica_id[off:off + n] = r
+            off += n
+        return out
+
+    def replica_segments(self) -> list[tuple[int, int, int]]:
+        """Contiguous ``(replica, lo, hi)`` runs, in storage order.
+
+        On a freshly fused (or ``sort_by("replica_id")``-restored) arena
+        each replica appears exactly once; mid-run — after children are
+        appended — a replica may own several runs.  Segment-wise
+        iteration is what keeps Over Particles blocks from ever spanning
+        a replica boundary.
+        """
+        if self.n == 0:
+            return []
+        rep = self.replica_id
+        cuts = np.nonzero(rep[1:] != rep[:-1])[0] + 1
+        bounds = np.concatenate(([0], cuts, [self.n]))
+        return [
+            (int(rep[lo]), int(lo), int(hi))
+            for lo, hi in zip(bounds[:-1], bounds[1:])
+        ]
 
 
 # ---------------------------------------------------------------------------

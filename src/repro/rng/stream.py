@@ -96,13 +96,22 @@ class VectorParticleRNG:
 
     def __init__(
         self,
-        seed: int,
+        seed: int | np.ndarray,
         particle_ids: np.ndarray,
         counters: np.ndarray | None = None,
         rounds: int = THREEFRY_DEFAULT_ROUNDS,
     ):
-        self.seed = np.uint64(seed & 0xFFFFFFFFFFFFFFFF)
         self.particle_ids = np.asarray(particle_ids, dtype=np.uint64).copy()
+        if np.ndim(seed) == 0:
+            self.seed = np.uint64(int(seed) & 0xFFFFFFFFFFFFFFFF)
+        else:
+            # Per-lane seeds (ensemble fusion): key word 0 varies by lane so
+            # each replica's stream is bit-identical to a standalone run
+            # seeded with its own scalar seed.
+            seed = np.asarray(seed, dtype=np.uint64)
+            if seed.shape != self.particle_ids.shape:
+                raise ValueError("per-lane seed must match particle_ids in shape")
+            self.seed = seed.copy()
         n = self.particle_ids.shape[0]
         if counters is None:
             self.counters = np.zeros(n, dtype=np.uint64)
@@ -143,15 +152,17 @@ class VectorParticleRNG:
         mask = np.asarray(mask, dtype=bool)
         ids = self.particle_ids[mask]
         ctrs = self.counters[mask]
-        bits, _ = threefry2x64_vec(ctrs, np.uint64(0), self.seed, ids, self.rounds)
+        seed = self.seed[mask] if np.ndim(self.seed) else self.seed
+        bits, _ = threefry2x64_vec(ctrs, np.uint64(0), seed, ids, self.rounds)
         with np.errstate(over="ignore"):
             self.counters[mask] += np.uint64(1)
         return uniform_from_bits(bits)
 
     def scalar_stream(self, index: int) -> ParticleRNG:
         """Return the equivalent scalar stream for particle ``index``."""
+        seed = self.seed[index] if np.ndim(self.seed) else self.seed
         return ParticleRNG(
-            int(self.seed),
+            int(seed),
             int(self.particle_ids[index]),
             int(self.counters[index]),
             self.rounds,

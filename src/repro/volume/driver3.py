@@ -328,12 +328,22 @@ def _track_history_3d(
 # ---------------------------------------------------------------------------
 
 def run_over_events_3d(
-    config: Volume3DConfig, recorder=None
+    config: Volume3DConfig, recorder=None, *, arena=None, rng=None,
+    lanes=None,
 ) -> Transport3DResult:
     """Breadth-first 3-D transport (the Listing 2 passes in one more axis).
 
     ``recorder`` receives the span tree (run → timestep → event_pass →
     kernel:*); physics is bit-identical with or without it.
+
+    ``arena``/``rng``/``lanes`` support seed-only ensemble fusion: the
+    caller passes a pre-fused population whose RNG carries per-lane
+    seeds, plus replica-indexed lanes (``rep`` array and per-replica
+    Counters/Tally3D books).  The 3-D scheme has no fission or variance
+    reduction, so the population is static and the only per-member
+    quantity is the seed; every event site attributes to both the fused
+    and the per-replica books.  When they are ``None`` the serial path
+    is byte-for-byte the pre-existing one.
     """
     t0 = time.perf_counter()
     rec = NULL_RECORDER if recorder is None else recorder
@@ -343,10 +353,57 @@ def run_over_events_3d(
     )
     tally = Tally3D(config.nx, config.ny, config.nz)
     scatter_table, capture_table = _tables(config)
-    a, rng = _sample_source_3d(config, mesh)
-    n = config.nparticles
+    if arena is None:
+        a, rng = _sample_source_3d(config, mesh)
+    else:
+        if rng is None:
+            raise ValueError("a pre-fused arena needs its fused rng")
+        a = arena
+    n = len(a)
     counters = Counters(nparticles=n)
+    rep = None if lanes is None else lanes.rep
+
+    def cadd(name, idx, per=1):
+        """Count ``per`` per selected lane, fused + per-replica."""
+        setattr(counters, name, getattr(counters, name) + per * int(idx.size))
+        if lanes is not None and idx.size:
+            hits = np.bincount(rep[idx], minlength=lanes.nreplicas)
+            for r in np.nonzero(hits)[0]:
+                rc = lanes.counters[r]
+                setattr(rc, name, getattr(rc, name) + per * int(hits[r]))
+
+    def csum(name, idx, values):
+        setattr(counters, name, getattr(counters, name) + float(values.sum()))
+        if lanes is not None and idx.size:
+            for r in np.unique(rep[idx]):
+                rc = lanes.counters[r]
+                setattr(
+                    rc, name,
+                    getattr(rc, name) + float(values[rep[idx] == r].sum()),
+                )
+
+    def flush3(idx):
+        """Deposit flush, attributed per replica in subsequence order."""
+        if lanes is None:
+            tally.flush_vec(
+                a["cellx"][idx], a["celly"][idx], a["cellz"][idx],
+                a["deposit"][idx],
+            )
+        else:
+            for r in np.unique(rep[idx]):
+                s = idx[rep[idx] == r]
+                lanes.tallies[r].flush_vec(
+                    a["cellx"][s], a["celly"][s], a["cellz"][s],
+                    a["deposit"][s],
+                )
+        a["deposit"][idx] = 0.0
+        cadd("tally_flushes", idx)
+
     counters.rng_draws += 6 * n
+    if lanes is not None:
+        births = np.bincount(rep, minlength=lanes.nreplicas)
+        for r in range(lanes.nreplicas):
+            lanes.counters[r].rng_draws += 6 * int(births[r])
     coll_pp = np.zeros(n, dtype=np.int64)
     facet_pp = np.zeros(n, dtype=np.int64)
     molar = config.molar_mass_g_mol
@@ -363,7 +420,7 @@ def run_over_events_3d(
         e = a["energy"][idx]
         _, micro_s[idx] = dispatch.run("xs_lookup", idx.size, scatter_table, e)
         _, micro_c[idx] = dispatch.run("xs_lookup", idx.size, capture_table, e)
-        counters.xs_lookups += 2 * idx.size
+        cadd("xs_lookups", idx, 2)
 
     with rec.span("run", scheme="over_events_3d"):
         for step in range(config.ntimesteps):
@@ -412,7 +469,7 @@ def run_over_events_3d(
                             u1 = rng.next_uniform(cmask)
                             u2 = rng.next_uniform(cmask)
                             u3 = rng.next_uniform(cmask)
-                            counters.rng_draws += 3 * c.size
+                            cadd("rng_draws", c, 3)
                             (e_new, w_new, nox, noy, noz, mfp_new, dep, term) = dispatch.run(
                                 "collide_3d", c.size,
                                 a["energy"][c], a["weight"][c],
@@ -426,18 +483,13 @@ def run_over_events_3d(
                             a["ox"][c], a["oy"][c], a["oz"][c] = nox, noy, noz
                             a["mfp"][c] = mfp_new
                             a["deposit"][c] += dep
-                            counters.collisions += c.size
+                            cadd("collisions", c)
                             coll_pp[c] += 1
                             dead = c[term]
                             if dead.size:
-                                tally.flush_vec(
-                                    a["cellx"][dead], a["celly"][dead], a["cellz"][dead],
-                                    a["deposit"][dead],
-                                )
-                                a["deposit"][dead] = 0.0
+                                flush3(dead)
                                 a["alive"][dead] = False
-                                counters.tally_flushes += dead.size
-                                counters.terminations += dead.size
+                                cadd("terminations", dead)
                             refresh(c[~term])
 
                         if fmask.any():
@@ -457,24 +509,21 @@ def run_over_events_3d(
                                 a[coord][sel] = np.where(
                                     a[o][sel] > 0.0, hi[sel], lo[sel]
                                 )
-                            tally.flush_vec(
-                                a["cellx"][f], a["celly"][f], a["cellz"][f], a["deposit"][f]
-                            )
-                            a["deposit"][f] = 0.0
-                            counters.tally_flushes += f.size
+                            flush3(f)
                             (ncx, ncy, ncz, nox, noy, noz, reflected, escaped) = dispatch.run(
                                 "cross_facet_3d", f.size,
                                 a["cellx"][f], a["celly"][f], a["cellz"][f],
                                 a["ox"][f], a["oy"][f], a["oz"][f], ax, mesh,
                                 config.boundary,
                             )
-                            counters.facets += f.size
+                            cadd("facets", f)
                             facet_pp[f] += 1
                             gone = f[escaped]
                             if gone.size:
-                                counters.escapes += gone.size
-                                counters.escaped_energy += float(
-                                    (a["weight"][gone] * a["energy"][gone]).sum()
+                                cadd("escapes", gone)
+                                csum(
+                                    "escaped_energy", gone,
+                                    a["weight"][gone] * a["energy"][gone],
                                 )
                                 a["alive"][gone] = False
                             stay = ~escaped
@@ -488,8 +537,8 @@ def run_over_events_3d(
                             a["density"][crossed] = mesh.density_at_vec(
                                 a["cellx"][crossed], a["celly"][crossed], a["cellz"][crossed]
                             )
-                            counters.density_reads += crossed.size
-                            counters.reflections += int(reflected.sum())
+                            cadd("density_reads", crossed)
+                            cadd("reflections", f[reflected])
 
                         if zmask.any():
                             z = np.nonzero(zmask)[0]
@@ -499,13 +548,9 @@ def run_over_events_3d(
                             a["z"][z] += a["oz"][z] * d
                             a["mfp"][z] = np.maximum(0.0, a["mfp"][z] - d * sigma_t[z])
                             a["dt"][z] = 0.0
-                            tally.flush_vec(
-                                a["cellx"][z], a["celly"][z], a["cellz"][z], a["deposit"][z]
-                            )
-                            a["deposit"][z] = 0.0
-                            counters.tally_flushes += z.size
+                            flush3(z)
                             a["censused"][z] = True
-                            counters.census_events += z.size
+                            cadd("census_events", z)
                     npass += 1
 
     counters.collisions_per_particle = coll_pp
@@ -513,6 +558,18 @@ def run_over_events_3d(
     counters.kernel_profile = dispatch.profile()
     counters.arena_nbytes = a.nbytes()
     a["rng_counter"] = rng.counters
+    if lanes is not None:
+        # Fused tally = sum of the per-replica books (the flushes went to
+        # the replica tallies so each stays bit-identical to standalone).
+        for r in range(lanes.nreplicas):
+            tally.deposition += lanes.tallies[r].deposition
+            tally.flushes += lanes.tallies[r].flushes
+        for r in range(lanes.nreplicas):
+            sel = rep == r
+            rc = lanes.counters[r]
+            rc.nparticles = int(sel.sum())
+            rc.collisions_per_particle = coll_pp[sel]
+            rc.facets_per_particle = facet_pp[sel]
     return Transport3DResult(
         config=config, tally=tally, counters=counters, arena=a,
         wallclock_s=time.perf_counter() - t0,

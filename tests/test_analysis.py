@@ -70,6 +70,73 @@ def test_batch_statistics_validation():
         batch_statistics(cfg, nbatches=1)
 
 
+def test_batch_statistics_matches_manual_aggregation():
+    """The batch aggregation is exactly the textbook formulas over the
+    per-seed single runs — mean, per-cell stderr with the (B−1)
+    denominator, and the mesh-integrated totals."""
+    cfg = scatter_problem(nx=16, nparticles=20, ntimesteps=1)
+    nb = 3
+    stats = batch_statistics(cfg, nbatches=nb, base_seed=11)
+    singles = np.stack([
+        Simulation(cfg.with_(seed=11 + 1000 * b))
+        .run(Scheme.OVER_EVENTS).tally.deposition
+        for b in range(nb)
+    ])
+    np.testing.assert_array_equal(stats.mean, singles.mean(axis=0))
+    np.testing.assert_array_equal(
+        stats.stderr, singles.std(axis=0, ddof=1) / np.sqrt(nb)
+    )
+    totals = singles.sum(axis=(1, 2))
+    assert stats.total_mean == float(totals.mean())
+    assert stats.total_stderr == float(totals.std(ddof=1) / np.sqrt(nb))
+
+
+def test_batch_statistics_deterministic_rerun(stats_small):
+    """Same config, same seeds — the whole aggregate is reproducible."""
+    cfg = scatter_problem(nx=32, nparticles=60, ntimesteps=2)
+    again = batch_statistics(cfg, nbatches=4)
+    np.testing.assert_array_equal(stats_small.mean, again.mean)
+    np.testing.assert_array_equal(stats_small.stderr, again.stderr)
+    assert stats_small.total_mean == again.total_mean
+
+
+def test_relative_error_floor_suppresses_empty_cells():
+    from repro.analysis.statistics import BatchStatistics
+
+    mean = np.array([[0.0, 2.0], [1e-9, 4.0]])
+    stderr = np.array([[1.0, 1.0], [1.0, 1.0]])
+    s = BatchStatistics(
+        mean=mean, stderr=stderr, nbatches=2,
+        total_mean=float(mean.sum()), total_stderr=0.0,
+    )
+    rel = s.relative_error(floor=1e-6)
+    assert rel[0, 0] == 0.0          # exactly-zero cell suppressed
+    assert rel[1, 0] == 0.0          # below-floor cell suppressed
+    assert rel[0, 1] == pytest.approx(0.5)
+    assert rel[1, 1] == pytest.approx(0.25)
+
+
+def test_max_relative_error_edge_cases():
+    from repro.analysis.statistics import BatchStatistics
+
+    zeros = np.zeros((2, 2))
+    empty = BatchStatistics(
+        mean=zeros, stderr=zeros, nbatches=2,
+        total_mean=0.0, total_stderr=0.0,
+    )
+    assert empty.max_relative_error() == 0.0  # no deposition at all
+
+    mean = np.array([[1e-12, 0.0], [0.0, 0.0]])
+    faint = BatchStatistics(
+        mean=mean, stderr=np.ones((2, 2)), nbatches=2,
+        total_mean=1e-12, total_stderr=0.0,
+    )
+    # The only nonzero cell is *the* total, so it is significant.
+    assert faint.max_relative_error() == pytest.approx(1e12)
+    # Raising the significance bar above every cell empties the mask.
+    assert faint.max_relative_error(significance=2.0) == 0.0
+
+
 # ---------------------------------------------------------------------------
 # Multiplication
 # ---------------------------------------------------------------------------
@@ -92,6 +159,36 @@ def test_multiplication_zero_without_fission():
     est = estimate_multiplication(r)
     assert est.secondaries_per_source == 0.0
     assert est.k_effective == 0.0
+
+
+def test_multiplication_geometric_sum_algebra():
+    """k = M/(1+M) exactly, for a hand-built ledger: 20 source neutrons
+    banking 30 secondaries is M = 1.5 progeny per source, so the implied
+    per-generation multiplication is 1.5/2.5 = 0.6."""
+    from types import SimpleNamespace
+
+    r = SimpleNamespace(
+        counters=SimpleNamespace(secondaries_banked=30, fissions=12),
+        config=SimpleNamespace(nparticles=20),
+    )
+    est = estimate_multiplication(r)
+    assert est.secondaries_per_source == 1.5
+    assert est.k_effective == pytest.approx(0.6, abs=0)
+    assert est.fissions == 12
+    assert est.subcritical
+
+
+def test_multiplication_guards_empty_source():
+    """A degenerate zero-particle config must not divide by zero."""
+    from types import SimpleNamespace
+
+    r = SimpleNamespace(
+        counters=SimpleNamespace(secondaries_banked=5, fissions=5),
+        config=SimpleNamespace(nparticles=0),
+    )
+    est = estimate_multiplication(r)
+    assert est.secondaries_per_source == 5.0
+    assert est.k_effective == pytest.approx(5.0 / 6.0)
 
 
 # ---------------------------------------------------------------------------

@@ -12,10 +12,11 @@ import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
-from repro.core import Scheme, Simulation, csp_problem
+from repro.core import Scheme, Simulation, TransportResult, csp_problem
 from repro.core.config import SimulationConfig
 from repro.core.counters import Counters
 from repro.core.validation import energy_balance_error, population_accounted
+from repro.ensemble import EnsembleSpec, SweepSpec, run_ensemble
 from repro.parallel import (
     DelayShard,
     FaultPlan,
@@ -340,3 +341,90 @@ def test_merge_disjoint_partition_equals_serial(cuts, scheme):
         serial.counters.snapshot(), rel=1e-12
     )
     assert merged.nparticles == _FAULT_N
+
+
+# ---------------------------------------------------------------------------
+# Ensemble engine: fused-run properties over random replica sets
+# ---------------------------------------------------------------------------
+
+_ENSEMBLE_SWEEPS = (
+    None,
+    ("weight_cutoff", 0.05, 0.3, 3),
+    ("energy_cutoff_ev", 50.0, 400.0, 4),
+)
+
+
+@given(
+    nreplicas=st.integers(min_value=1, max_value=5),
+    seed=st.integers(min_value=0, max_value=2**31),
+    seed_stride=st.integers(min_value=1, max_value=7),
+    sweep=st.sampled_from(_ENSEMBLE_SWEEPS),
+    scheme=st.sampled_from([Scheme.OVER_PARTICLES, Scheme.OVER_EVENTS]),
+)
+@SLOW
+def test_random_ensemble_conserves_per_replica(
+    nreplicas, seed, seed_stride, sweep, scheme
+):
+    """Fusing replicas must not bend any single replica's physics: each
+    replica of a random ensemble still passes the whole-system energy and
+    population ledgers that a standalone run would."""
+    base = csp_problem(nx=16, nparticles=16, ntimesteps=2, seed=seed)
+    sweeps = () if sweep is None else (SweepSpec(*sweep),)
+    spec = EnsembleSpec(
+        base, nreplicas, seed_stride=seed_stride, sweeps=sweeps
+    )
+    ens = run_ensemble(spec, scheme)
+    assert len(ens.replicas) == nreplicas
+    for rr in ens.replicas:
+        assert len(rr.arena) == rr.counters.nparticles
+        as_result = TransportResult(
+            config=rr.config, scheme=scheme, tally=rr.tally,
+            counters=rr.counters, arena=rr.arena, wallclock_s=0.0,
+        )
+        assert energy_balance_error(as_result) < 1e-10
+        assert population_accounted(as_result)
+    assert ens.counters.nparticles == len(ens.arena) == sum(
+        rr.counters.nparticles for rr in ens.replicas
+    )
+
+
+@given(
+    cuts=st.lists(
+        st.integers(min_value=1, max_value=4),
+        unique=True,
+        min_size=0,
+        max_size=3,
+    ),
+    scheme=st.sampled_from([Scheme.OVER_PARTICLES, Scheme.OVER_EVENTS]),
+)
+@settings(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+def test_ensemble_counters_merge_over_any_replica_partition(cuts, scheme):
+    """``Counters.merge_disjoint`` over *any* contiguous partition of the
+    replicas reproduces the fused ensemble counters — the same algebra the
+    replica-block pool reduction leans on, stated at replica granularity."""
+    nrep = 5
+    base = csp_problem(nx=16, nparticles=16, ntimesteps=2)
+    ens = run_ensemble(
+        EnsembleSpec(base, nrep, seed_stride=3), scheme
+    )
+    bounds = [0, *sorted(cuts), nrep]
+    merged = Counters()
+    for lo, hi in zip(bounds, bounds[1:]):
+        if hi <= lo:
+            continue
+        block = Counters()
+        for rr in ens.replicas[lo:hi]:
+            block.merge_disjoint(rr.counters)
+        merged.merge_disjoint(block)
+    assert merged.snapshot() == pytest.approx(
+        ens.counters.snapshot(), rel=1e-12
+    )
+    assert merged.nparticles == ens.counters.nparticles
+    assert np.array_equal(
+        merged.collisions_per_particle,
+        ens.counters.collisions_per_particle,
+    )
