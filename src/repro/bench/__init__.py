@@ -42,10 +42,12 @@ from repro.bench.registry import (
 from repro.bench.runner import (
     DEVICE_BASELINES,
     PAPER_SCALE,
+    AdaptiveCrossover,
     KernelProfile,
     MeasuredSpeedup,
     RecoveryOverhead,
     ShardHandoff,
+    measured_adaptive_crossover,
     measured_kernel_profile,
     measured_recovery_overhead,
     measured_shard_handoff,
@@ -80,10 +82,12 @@ __all__ = [
     "validate_bench_artifact",
     "DEVICE_BASELINES",
     "PAPER_SCALE",
+    "AdaptiveCrossover",
     "KernelProfile",
     "MeasuredSpeedup",
     "RecoveryOverhead",
     "ShardHandoff",
+    "measured_adaptive_crossover",
     "measured_kernel_profile",
     "measured_recovery_overhead",
     "measured_shard_handoff",

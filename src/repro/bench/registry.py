@@ -325,6 +325,24 @@ def _ensemble_bench(problem: str, nreplicas: int = 32) -> BenchSample:
     )
 
 
+def _adaptive_crossover_bench(problem: str) -> BenchSample:
+    from repro.bench.runner import measured_adaptive_crossover
+
+    r = measured_adaptive_crossover(problem)
+    return BenchSample(
+        wallclock_s=r.op_s + r.oe_s + r.auto_s,
+        metrics={
+            "adaptive_efficiency": r.adaptive_efficiency,
+            "op_s": r.op_s,
+            "oe_s": r.oe_s,
+            "auto_s": r.auto_s,
+            "scheduler_decisions": float(r.decisions),
+            "adaptive_parity": r.parity,
+            "warnings": r.warnings,
+        },
+    )
+
+
 def _arena_bench(problem: str) -> BenchSample:
     from repro.bench.runner import (
         MEASUREMENT_NX,
@@ -400,6 +418,22 @@ _ENSEMBLE_METRICS = {
     "replicas": MetricSpec(direction="info"),
 }
 
+_ADAPTIVE_METRICS = {
+    # Physics bit-parity of the AUTO run vs both fixed schemes: a
+    # deterministic algorithm fact, gated exactly.
+    "adaptive_parity": MetricSpec(direction="higher"),
+    # The scheduler must roughly match the better fixed scheme; the wide
+    # band absorbs probe-step cost and host jitter, the CI smoke gate
+    # additionally asserts the 0.95× floor on a fresh run.
+    "adaptive_efficiency": MetricSpec(
+        direction="higher", rel_floor=0.5, timing=True
+    ),
+    "op_s": MetricSpec(direction="lower", rel_floor=0.5, timing=True),
+    "oe_s": MetricSpec(direction="lower", rel_floor=0.5, timing=True),
+    "auto_s": MetricSpec(direction="lower", rel_floor=0.5, timing=True),
+    "scheduler_decisions": MetricSpec(direction="info"),
+}
+
 _ARENA_METRICS = {
     "arena_nbytes": MetricSpec(direction="lower"),
     "bytes_per_particle": MetricSpec(direction="lower"),
@@ -449,6 +483,14 @@ def _build_registry() -> dict:
             "(measured_ensemble_throughput)",
             lambda: _ensemble_bench("csp"),
             dict(_ENSEMBLE_METRICS), repeats=2, warmup=0,
+        ),
+        _spec(
+            "adaptive_crossover_csp", "quick",
+            "Adaptive scheduler (scheme auto) vs pure OP and pure OE "
+            "over 6 census steps, with bit-parity verified "
+            "(measured_adaptive_crossover)",
+            lambda: _adaptive_crossover_bench("csp"),
+            dict(_ADAPTIVE_METRICS), repeats=2, warmup=0,
         ),
         _spec(
             "arena_footprint_csp", "quick",

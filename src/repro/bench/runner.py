@@ -52,6 +52,8 @@ __all__ = [
     "measured_shard_handoff",
     "EnsembleThroughput",
     "measured_ensemble_throughput",
+    "AdaptiveCrossover",
+    "measured_adaptive_crossover",
     "measured_telemetry",
 ]
 
@@ -687,6 +689,119 @@ def measured_ensemble_throughput(
         looped_s=looped.wallclock_s,
         parity=1.0 if parity else 0.0,
         total_histories=fused.total_histories(),
+        warnings=warnings,
+    )
+
+
+@dataclass(frozen=True)
+class AdaptiveCrossover:
+    """Adaptive scheduling against both fixed schemes, on this host.
+
+    Three runs of the same multi-census-step configuration — pure OP,
+    pure OE, and ``Scheme.AUTO`` (the telemetry-driven scheduler of
+    :mod:`repro.adaptive`) — plus a bit-parity check: scheme switching
+    happens only at census boundaries over counter-based RNG streams, so
+    the adaptive run's final population must fingerprint-match the fixed
+    runs exactly.  The CI gate asserts ``adaptive_efficiency`` stays
+    near 1.0: the scheduler may pay a bounded probe cost but must not
+    lose to simply picking the better fixed scheme.
+    """
+
+    problem: str
+    ntimesteps: int
+    op_s: float
+    oe_s: float
+    auto_s: float
+    #: Scheme decisions the scheduler announced (≥ 1; > 1 means it
+    #: actually switched at least once after the opening step).
+    decisions: int
+    #: 1.0 when the AUTO population fingerprint equals the fixed runs'.
+    parity: float
+    warnings: tuple = ()
+
+    @property
+    def best_fixed_s(self) -> float:
+        return min(self.op_s, self.oe_s)
+
+    @property
+    def adaptive_efficiency(self) -> float:
+        """Best fixed wall-clock over adaptive wall-clock (1.0 = the
+        scheduler matched the better fixed scheme; > 1.0 = beat it)."""
+        if self.auto_s == 0:
+            return float("inf")
+        return self.best_fixed_s / self.auto_s
+
+
+def measured_adaptive_crossover(
+    problem: str = "csp",
+    ntimesteps: int = 16,
+    nx: int = MEASUREMENT_NX,
+    nparticles: int = 4 * MEASUREMENT_PARTICLES,
+    repeats: int = 2,
+) -> AdaptiveCrossover:
+    """Time pure OP, pure OE, and AUTO on one multi-step configuration.
+
+    Multiple census steps give the scheduler room to probe both schemes
+    and settle; the population decays over the steps, so the OP-vs-OE
+    balance genuinely shifts within the run — the situation the adaptive
+    scheduler exists for.  All three variants go through the same
+    :func:`~repro.core.stepper.run_stepped` entry point (no recorder on
+    any of them), each timed ``repeats`` times interleaved with the
+    others and reported as its best wall-clock: the efficiency ratio is
+    a scheduling-policy comparison, not a fixture-overhead one, and
+    best-of-N keeps one noisy step on a shared host from failing the CI
+    gate.
+    """
+    from repro.adaptive import AdaptiveScheduler
+    from repro.core.stepper import run_stepped
+    from repro.ensemble.engine import population_fingerprint
+
+    if problem not in PROBLEM_FACTORIES:
+        raise KeyError(f"unknown problem {problem!r}")
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    cfg = PROBLEM_FACTORIES[problem](
+        nx=nx, nparticles=nparticles, ntimesteps=ntimesteps
+    )
+    results = {}
+    times: dict[str, list[float]] = {"op": [], "oe": [], "auto": []}
+    scheduler = None
+    for _ in range(repeats):
+        results["op"] = run_stepped(cfg, Scheme.OVER_PARTICLES)
+        times["op"].append(results["op"].wallclock_s)
+        results["oe"] = run_stepped(cfg, Scheme.OVER_EVENTS)
+        times["oe"].append(results["oe"].wallclock_s)
+        scheduler = AdaptiveScheduler(cfg)
+        results["auto"] = run_stepped(cfg, scheduler)
+        times["auto"].append(results["auto"].wallclock_s)
+    schemes = [d.scheme for _, d in scheduler.decisions]
+    decisions = 1 + sum(
+        1 for prev, cur in zip(schemes, schemes[1:]) if cur is not prev
+    )
+    parity = (
+        population_fingerprint(results["auto"].arena)
+        == population_fingerprint(results["op"].arena)
+        == population_fingerprint(results["oe"].arena)
+    )
+    op_s, oe_s, auto_s = (min(times[k]) for k in ("op", "oe", "auto"))
+    resolution = time.get_clock_info("perf_counter").resolution
+    warnings = tuple(
+        f"timer_underflow:{label}"
+        for label, seconds in (
+            ("over_particles", op_s),
+            ("over_events", oe_s),
+            ("auto", auto_s),
+        )
+        if seconds <= resolution
+    )
+    return AdaptiveCrossover(
+        problem=problem,
+        ntimesteps=ntimesteps,
+        op_s=op_s,
+        oe_s=oe_s,
+        auto_s=auto_s,
+        decisions=decisions,
+        parity=1.0 if parity else 0.0,
         warnings=warnings,
     )
 

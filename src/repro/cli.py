@@ -51,6 +51,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--scheme",
         choices=[s.value for s in Scheme],
         default=Scheme.OVER_PARTICLES.value,
+        help="over_particles, over_events, or auto (adaptive: probe "
+        "both schemes, then switch per census step on measured rates)",
+    )
+    run.add_argument(
+        "--switch-trace",
+        action="store_true",
+        help="print the scheduler's scheme decisions per census step "
+        "(most useful with --scheme auto)",
     )
     run.add_argument("--timesteps", type=int, default=1)
     run.add_argument("--seed", type=int, default=7)
@@ -131,7 +139,7 @@ def build_parser() -> argparse.ArgumentParser:
     run3d.add_argument("--particles", type=int, default=100)
     run3d.add_argument(
         "--scheme",
-        choices=[s.value for s in Scheme],
+        choices=[Scheme.OVER_PARTICLES.value, Scheme.OVER_EVENTS.value],
         default=Scheme.OVER_PARTICLES.value,
     )
     run3d.add_argument("--seed", type=int, default=7)
@@ -164,7 +172,7 @@ def build_parser() -> argparse.ArgumentParser:
     ens_run.add_argument("--particles", type=int, default=200)
     ens_run.add_argument(
         "--scheme",
-        choices=[s.value for s in Scheme],
+        choices=[Scheme.OVER_PARTICLES.value, Scheme.OVER_EVENTS.value],
         default=Scheme.OVER_EVENTS.value,
     )
     ens_run.add_argument("--timesteps", type=int, default=1)
@@ -298,7 +306,7 @@ def build_parser() -> argparse.ArgumentParser:
     predict.add_argument("--machine", choices=sorted(ALL_MACHINES), default="broadwell")
     predict.add_argument(
         "--scheme",
-        choices=[s.value for s in Scheme],
+        choices=[Scheme.OVER_PARTICLES.value, Scheme.OVER_EVENTS.value],
         default=Scheme.OVER_PARTICLES.value,
     )
 
@@ -335,7 +343,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         FaultPlan.parse(args.fault_plan) if args.fault_plan else None
     )
     recorder = None
-    if args.telemetry:
+    if args.telemetry or args.switch_trace:
         from repro.obs import Recorder
 
         recorder = Recorder()
@@ -362,6 +370,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
     print(f"energy balance error: {energy_balance_error(result):.2e}")
     print(f"population accounted: {population_accounted(result)}")
     print(f"host wall-clock: {result.wallclock_s:.3f} s")
+    if args.switch_trace:
+        _print_switch_trace(recorder)
     pool = result.pool
     if pool is not None and pool.nworkers > 1:
         print(f"pool: {pool.nworkers} workers, {pool.schedule.value} schedule "
@@ -382,6 +392,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
               f"{modelled.load_imbalance():.3f}")
         if fault_plan is not None:
             print(f"fault plan: {fault_plan.describe()}")
+        if pool.rebalances:
+            print(f"rebalance: {pool.rebalances} reserve shard splits")
         if pool.recovered():
             print(f"recovery: {pool.workers_lost} workers lost, "
                   f"{pool.respawns} respawned, {pool.retries} shard retries")
@@ -412,6 +424,28 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.telemetry:
         _write_telemetry(result, recorder, args.telemetry)
     return 0
+
+
+def _print_switch_trace(recorder) -> None:
+    """Print the scheduler's per-step scheme decisions from the run's
+    ``scheme_switch`` events (fixed-scheme runs emit none)."""
+    switches = [e for e in recorder.events if e.name == "scheme_switch"]
+    if not switches:
+        print("switch trace: no scheme switches recorded "
+              "(fixed-scheme run)")
+        return
+    print(f"switch trace ({len(switches)} decisions):")
+    for e in sorted(switches, key=lambda e: (e.attrs.get("step", 0), e.t)):
+        a = e.attrs
+        src = ""
+        if e.source:
+            tags = ",".join(f"{k}={v}" for k, v in sorted(e.source.items()))
+            src = f" [{tags}]"
+        arrow = f"{a.get('prev') or '-'} -> {a['scheme']}"
+        block = a.get("block_size") or 0
+        extra = f" block={block}" if block else ""
+        print(f"  step {a.get('step', '?')}: {arrow}{extra} "
+              f"alive={a.get('alive', '?')} ({a.get('reason', '')}){src}")
 
 
 def _write_telemetry(result, recorder, path) -> None:

@@ -22,10 +22,16 @@ __all__ = ["Scheme", "Layout", "SearchStrategy", "SimulationConfig"]
 
 
 class Scheme(Enum):
-    """Parallelisation scheme (paper §V)."""
+    """Parallelisation scheme (paper §V).
+
+    ``AUTO`` defers the choice to the telemetry-driven scheduler in
+    :mod:`repro.adaptive`, which picks (and may switch) the scheme per
+    census step; physics is bit-identical to either fixed scheme.
+    """
 
     OVER_PARTICLES = "over_particles"
     OVER_EVENTS = "over_events"
+    AUTO = "auto"
 
 
 class Layout(Enum):

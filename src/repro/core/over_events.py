@@ -43,8 +43,6 @@ match to accumulation-order rounding.
 
 from __future__ import annotations
 
-import time
-
 import numpy as np
 
 from repro.core.config import Scheme, SimulationConfig
@@ -53,9 +51,7 @@ from repro.kernels import EVENT_KERNELS, KernelDispatch, Workspace
 from repro.kernels.batch import EventKind, split_counts
 from repro.mesh.structured import StructuredMesh
 from repro.mesh.tally import EnergyDepositionTally
-from repro.obs.spans import NULL_RECORDER
 from repro.particles.arena import ParticleArena, ParticleRecord
-from repro.particles.source import sample_source
 from repro.physics.fission import sample_secondary_energy, secondary_id
 from repro.physics.importance import clone_id
 from repro.rng.distributions import sample_isotropic_direction, sample_mean_free_paths
@@ -786,117 +782,24 @@ def run_over_events(
         carries the per-kernel call/item/time table from the dispatch
         layer; ``counters.workspace_allocations`` / ``workspace_reuses``
         record the buffer churn of the pass loop.
+
+    .. deprecated::
+        This entry point is a thin compatibility shim: the census loop,
+        source emission and result wiring now live in the unified
+        stepper (:func:`repro.core.stepper.run_stepped`), which runs a
+        fixed over-events plan bit-identically (including the fused
+        ensemble-lanes path).  New call sites should use ``run_stepped``
+        directly.
     """
-    from repro.core.simulation import TransportResult
+    # Imported here to avoid a circular import with stepper.py (which
+    # owns the census loop but borrows this module's pass machinery).
+    from repro.core.stepper import SwitchPlan, run_stepped
 
-    t0 = time.perf_counter()
-    rec = NULL_RECORDER if recorder is None else recorder
-    mesh = StructuredMesh(config.nx, config.ny, config.width, config.height, config.density)
-    if tally is None:
-        tally = EnergyDepositionTally(config.nx, config.ny)
-    materials = config.resolved_materials()
-    store = arena
-    if store is None:
-        store = sample_source(
-            mesh, config.source, config.nparticles, config.seed, config.dt,
-            scatter_table=materials[0].scatter,
-            capture_table=materials[0].capture,
-        )
-
-    dispatch = KernelDispatch(recorder=rec if rec.enabled else None)
-    ws = Workspace()
-    ctx = _EventContext(config, mesh, tally, store, dispatch, ws, lanes=lanes)
-    # Keep the already-built material set (avoids rebuilding the tables).
-    ctx.materials = materials
-    counters = ctx.counters
-    if lanes is None:
-        counters.rng_draws += 4 * len(store)
-    else:
-        birth = np.bincount(lanes.rep, minlength=lanes.nreplicas)
-        for r in range(lanes.nreplicas):
-            lanes.counters[r].rng_draws += 4 * int(birth[r])
-
-    # Satellite of the kernel refactor: both drivers share one
-    # EventKind → kernel mapping instead of private if/elif ladders.
-    handlers = {
-        "collide": ctx.handle_collisions,
-        "cross_facet": ctx.handle_facets,
-        "census": ctx.handle_census,
-    }
-
-    with rec.span("run", scheme="over_events"):
-        for step in range(config.ntimesteps):
-            if step > 0:
-                if lanes is None:
-                    store.dt_to_census[store.alive] = config.dt
-                else:
-                    dt_lane = lanes.dt[lanes.rep]
-                    store.dt_to_census[store.alive] = dt_lane[store.alive]
-            store.censused[:] = ~store.alive
-
-            with rec.span("timestep", step=step):
-                # Refresh the cached microscopic cross sections for every
-                # live history (Over Particles does the same at each
-                # history start).
-                ctx.refresh_micro(np.nonzero(store.alive)[0])
-
-                # ---- loop until(all_particles_reach_census) -------------
-                npass = 0
-                while True:
-                    n = len(store)
-                    active = ws.bool_("active", n)
-                    np.logical_not(store.censused, out=active)
-                    np.logical_and(store.alive, active, out=active)
-                    if not active.any():
-                        break
-
-                    with rec.span("event_pass", index=npass) as pass_span:
-                        _event_pass(
-                            ctx, handlers, active, n, pass_span
-                        )
-                    npass += 1
-                    store = ctx.store
-
-    # In-place write — the arena's fields are views of one shared buffer
-    # and must never be rebound.
-    store.rng_counter[...] = ctx.rng.counters
-    if lanes is not None:
-        rep = lanes.rep
-        for r in range(lanes.nreplicas):
-            sel = rep == r
-            rc = lanes.counters[r]
-            rc.nparticles = int(sel.sum())
-            rc.collisions_per_particle = ctx.coll_pp[sel]
-            rc.facets_per_particle = ctx.facet_pp[sel]
-            rc.tally_conflict_probability = (
-                lanes.tallies[r].conflict_probability()
-            )
-            # The fused run's tally is the exact sum of the per-replica
-            # scatter-adds (each replica flushed into its own grid).
-            tally.deposition += lanes.tallies[r].deposition
-            tally.flush_counts += lanes.tallies[r].flush_counts
-            tally.flushes += lanes.tallies[r].flushes
-        for fname in Counters._SCALAR_FIELDS:
-            if fname == "nparticles":
-                continue
-            setattr(counters, fname, getattr(counters, fname) + sum(
-                getattr(lanes.counters[r], fname)
-                for r in range(lanes.nreplicas)
-            ))
-    counters.nparticles = len(store)
-    counters.collisions_per_particle = ctx.coll_pp
-    counters.facets_per_particle = ctx.facet_pp
-    counters.tally_conflict_probability = tally.conflict_probability()
-    counters.kernel_profile = dispatch.profile()
-    counters.workspace_allocations = ws.allocations
-    counters.workspace_reuses = ws.reuses
-    counters.arena_nbytes = store.nbytes()
-
-    return TransportResult(
-        config=config,
-        scheme=Scheme.OVER_EVENTS,
+    return run_stepped(
+        config,
+        SwitchPlan.fixed(Scheme.OVER_EVENTS),
+        arena=arena,
         tally=tally,
-        counters=counters,
-        arena=store,
-        wallclock_s=time.perf_counter() - t0,
+        recorder=recorder,
+        lanes=lanes,
     )

@@ -49,8 +49,6 @@ parity suite proves element-wise identical to the scalar searches.
 
 from __future__ import annotations
 
-import time
-
 import numpy as np
 
 from repro.core.config import SearchStrategy, Scheme, SimulationConfig
@@ -60,9 +58,7 @@ from repro.kernels import xs as kernel_xs
 from repro.kernels.batch import EventKind, split_counts
 from repro.mesh.structured import StructuredMesh
 from repro.mesh.tally import EnergyDepositionTally
-from repro.obs.spans import NULL_RECORDER
 from repro.particles.arena import ParticleArena, ParticleRecord
-from repro.particles.source import sample_source
 from repro.physics.fission import sample_secondary_energy, secondary_id
 from repro.physics.importance import clone_id
 from repro.rng.distributions import sample_isotropic_direction, sample_mean_free_paths
@@ -716,80 +712,23 @@ def run_over_particles(
     TransportResult
         Tally, counters, the final arena (including any fission
         secondaries), and wall-clock time.
+
+    .. deprecated::
+        This entry point is a thin compatibility shim: the census loop,
+        source emission and result wiring now live in the unified
+        stepper (:func:`repro.core.stepper.run_stepped`), which runs a
+        fixed over-particles plan bit-identically.  New call sites
+        should use ``run_stepped`` directly.
     """
-    # Imported here to avoid a circular import with simulation.py.
-    from repro.core.simulation import TransportResult
+    # Imported here to avoid a circular import with stepper.py (which
+    # owns the census loop but borrows this module's sweep machinery).
+    from repro.core.stepper import SwitchPlan, run_stepped
 
-    t0 = time.perf_counter()
-    rec = NULL_RECORDER if recorder is None else recorder
-    mesh = StructuredMesh(config.nx, config.ny, config.width, config.height, config.density)
-    if tally is None:
-        tally = EnergyDepositionTally(config.nx, config.ny)
-    dispatch = KernelDispatch(recorder=rec if rec.enabled else None)
-    ws = Workspace()
-    ctx = _SweepContext(config, mesh, tally, dispatch, ws)
-    ctx.trace = trace
-    primary = ctx.materials[0]
-    if arena is None:
-        arena = sample_source(
-            mesh, config.source, config.nparticles, config.seed, config.dt,
-            scatter_table=primary.scatter, capture_table=primary.capture,
-        )
-
-    ctx.counters.nparticles = len(arena)
-    ctx.counters.rng_draws += 4 * len(arena)  # birth draws
-    ctx.coll_pp = [0] * len(arena)
-    ctx.facet_pp = [0] * len(arena)
-
-    block_size = config.op_block_size
-
-    with rec.span("run", scheme="over_particles"):
-        for step in range(config.ntimesteps):
-            if step > 0:
-                arena.dt_to_census[arena.alive] = config.dt
-            with rec.span("timestep", step=step):
-                cursor = 0
-                while cursor < len(arena):
-                    hi = min(cursor + block_size, len(arena))
-                    idx = cursor + np.nonzero(arena.alive[cursor:hi])[0]
-                    if idx.size:
-                        with rec.span(
-                            "census_wave", lo=cursor, hi=hi,
-                            lanes=int(idx.size),
-                        ):
-                            _Block(ctx, arena, idx).run()
-                    cursor = hi
-                    # Drain the fission bank within the timestep:
-                    # offspring join the population in the deterministic
-                    # (parent, event, child) order and are tracked in
-                    # turn (their own fissions may bank further
-                    # generations).
-                    if cursor == len(arena) and ctx.bank:
-                        ctx.bank.sort(key=lambda entry: entry[:3])
-                        children = [entry[3] for entry in ctx.bank]
-                        arena.append_records(children)
-                        ctx.coll_pp.extend([0] * len(children))
-                        ctx.facet_pp.extend([0] * len(children))
-                        ctx.bank = []
-
-    counters = ctx.counters
-    counters.nparticles = len(arena)
-    counters.xs_lookups = ctx.lookup_stats.lookups
-    counters.xs_binary_probes = ctx.lookup_stats.binary_probes
-    counters.xs_linear_probes = ctx.lookup_stats.linear_probes
-    counters.collisions_per_particle = np.asarray(ctx.coll_pp, dtype=np.int64)
-    counters.facets_per_particle = np.asarray(ctx.facet_pp, dtype=np.int64)
-    counters.tally_conflict_probability = tally.conflict_probability()
-    counters.kernel_profile = dispatch.profile()
-    counters.workspace_allocations = ws.allocations
-    counters.workspace_reuses = ws.reuses
-    counters.arena_nbytes = arena.nbytes()
-
-    return TransportResult(
-        config=config,
-        scheme=Scheme.OVER_PARTICLES,
-        tally=tally,
-        counters=counters,
+    return run_stepped(
+        config,
+        SwitchPlan.fixed(Scheme.OVER_PARTICLES),
         arena=arena,
-        wallclock_s=time.perf_counter() - t0,
+        tally=tally,
+        trace=trace,
+        recorder=recorder,
     )

@@ -134,7 +134,11 @@ class Simulation:
         Parameters
         ----------
         scheme:
-            Parallelisation scheme (traversal order).
+            Parallelisation scheme (traversal order).  ``Scheme.AUTO``
+            hands the per-census-step choice to the telemetry-driven
+            scheduler (:mod:`repro.adaptive`); an explicit
+            :class:`~repro.core.stepper.SwitchPlan` runs a declarative
+            switch schedule.  Physics is bit-identical in every case.
         nworkers:
             ``None`` (default) runs the plain serial driver.  Any integer
             ≥ 1 routes through the shared-memory worker pool
@@ -169,11 +173,11 @@ class Simulation:
             attached.
         """
         # Local imports: the drivers import TransportResult from here.
-        from repro.core.over_events import run_over_events
-        from repro.core.over_particles import run_over_particles
+        from repro.core.stepper import run_stepped, validate_scheme_options
 
-        if scheme not in (Scheme.OVER_PARTICLES, Scheme.OVER_EVENTS):
-            raise ValueError(f"unknown scheme: {scheme}")
+        # One validation point for scheme/block-size combinations
+        # (raises a ValueError that lists the valid schemes).
+        validate_scheme_options(self.config, scheme)
         if nworkers is not None:
             from repro.parallel.pool import PoolOptions, run_pool
             from repro.parallel.schedule import ScheduleKind
@@ -188,9 +192,7 @@ class Simulation:
                 fault_plan=fault_plan,
             )
             return run_pool(self.config, scheme, options, recorder=recorder)
-        if scheme is Scheme.OVER_PARTICLES:
-            return run_over_particles(self.config, recorder=recorder)
-        return run_over_events(self.config, recorder=recorder)
+        return run_stepped(self.config, scheme, recorder=recorder)
 
     def run_both(self) -> tuple[TransportResult, TransportResult]:
         """Run both schemes on identical inputs (for comparisons/tests)."""

@@ -25,6 +25,7 @@ import numpy as np
 from repro.core.config import Scheme
 from repro.core.counters import Counters
 from repro.core.over_particles import _Block, _SweepContext
+from repro.core.stepper import census_dt_reset, drive_census_loop
 from repro.kernels import KernelDispatch, Workspace
 from repro.mesh.structured import StructuredMesh
 from repro.mesh.tally import EnergyDepositionTally
@@ -76,53 +77,58 @@ def run_over_particles_fused(members, arena, lanes, recorder=None):
         ctx.tally = lanes.tallies[r]
         ctx.lookup_stats = rep_stats[r]
 
-    with rec.span(
-        "run", scheme="over_particles", ensemble_replicas=nrep
-    ):
-        for step in range(base.ntimesteps):
-            if step > 0:
-                order = arena.sort_by("replica_id")
-                lanes.rep = lanes.rep[order]
-                ctx.coll_pp = [ctx.coll_pp[i] for i in order]
-                ctx.facet_pp = [ctx.facet_pp[i] for i in order]
-                dt_lane = lanes.dt[lanes.rep]
-                arena.dt_to_census[arena.alive] = dt_lane[arena.alive]
-            with rec.span("timestep", step=step):
-                segments = _segments_of(lanes.rep)
-                while segments:
-                    for r, lo, hi in segments:
-                        bind(r)
-                        cursor = lo
-                        while cursor < hi:
-                            bhi = min(cursor + block_size, hi)
-                            idx = cursor + np.nonzero(
-                                arena.alive[cursor:bhi]
-                            )[0]
-                            if idx.size:
-                                _Block(ctx, arena, idx).run()
-                            cursor = bhi
-                    # All current segments swept: drain the bank exactly
-                    # as the standalone driver would at its arena end —
-                    # deterministic (parent, event, child) order; each
-                    # child inherits its parent's replica and the new
-                    # runs become the next round of segments.
-                    if ctx.bank:
-                        ctx.bank.sort(key=lambda entry: entry[:3])
-                        children = [entry[3] for entry in ctx.bank]
-                        parent_gi = np.array(
-                            [entry[0] for entry in ctx.bank], dtype=np.int64
-                        )
-                        child_rep = lanes.rep[parent_gi]
-                        old_len = len(arena)
-                        arena.append_records(children)
-                        arena.replica_id[old_len:] = child_rep
-                        lanes.rep = np.concatenate([lanes.rep, child_rep])
-                        ctx.coll_pp.extend([0] * len(children))
-                        ctx.facet_pp.extend([0] * len(children))
-                        ctx.bank = []
-                        segments = _segments_of(child_rep, offset=old_len)
-                    else:
-                        segments = []
+    def begin_step(step: int) -> None:
+        if step > 0:
+            order = arena.sort_by("replica_id")
+            lanes.rep = lanes.rep[order]
+            ctx.coll_pp = [ctx.coll_pp[i] for i in order]
+            ctx.facet_pp = [ctx.facet_pp[i] for i in order]
+            census_dt_reset(
+                arena.dt_to_census, arena.alive, base.dt, lanes
+            )
+
+    def run_step(step: int) -> None:
+        segments = _segments_of(lanes.rep)
+        while segments:
+            for r, lo, hi in segments:
+                bind(r)
+                cursor = lo
+                while cursor < hi:
+                    bhi = min(cursor + block_size, hi)
+                    idx = cursor + np.nonzero(
+                        arena.alive[cursor:bhi]
+                    )[0]
+                    if idx.size:
+                        _Block(ctx, arena, idx).run()
+                    cursor = bhi
+            # All current segments swept: drain the bank exactly
+            # as the standalone driver would at its arena end —
+            # deterministic (parent, event, child) order; each
+            # child inherits its parent's replica and the new
+            # runs become the next round of segments.
+            if ctx.bank:
+                ctx.bank.sort(key=lambda entry: entry[:3])
+                children = [entry[3] for entry in ctx.bank]
+                parent_gi = np.array(
+                    [entry[0] for entry in ctx.bank], dtype=np.int64
+                )
+                child_rep = lanes.rep[parent_gi]
+                old_len = len(arena)
+                arena.append_records(children)
+                arena.replica_id[old_len:] = child_rep
+                lanes.rep = np.concatenate([lanes.rep, child_rep])
+                ctx.coll_pp.extend([0] * len(children))
+                ctx.facet_pp.extend([0] * len(children))
+                ctx.bank = []
+                segments = _segments_of(child_rep, offset=old_len)
+            else:
+                segments = []
+
+    drive_census_loop(
+        rec, base.ntimesteps,
+        {"scheme": "over_particles", "ensemble_replicas": nrep},
+        begin_step, run_step,
+    )
 
     rep = lanes.rep
     coll = np.asarray(ctx.coll_pp, dtype=np.int64)

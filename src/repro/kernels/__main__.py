@@ -8,6 +8,9 @@ import sys
 from repro.kernels.audit import (
     ARENA_AUDITED_PACKAGES,
     AUDITED_PACKAGES,
+    CENSUS_AUDITED_PACKAGES,
+    CENSUS_LOOP_HOME,
+    audit_census_loops,
     audit_particle_construction,
     audit_vec_definitions,
 )
@@ -22,13 +25,19 @@ def main(argv=None) -> int:
         "--check",
         action="store_true",
         help="fail if any *_vec physics implementation exists outside "
-        "repro/kernels, or any hot path constructs AoS particle records",
+        "repro/kernels, any hot path constructs AoS particle records, "
+        "or any driver re-implements the census loop outside "
+        "repro/core/stepper.py",
     )
     args = parser.parse_args(argv)
     if not args.check:
         parser.print_help()
         return 2
-    violations = audit_vec_definitions() + audit_particle_construction()
+    violations = (
+        audit_vec_definitions()
+        + audit_particle_construction()
+        + audit_census_loops()
+    )
     if violations:
         for v in violations:
             print(v, file=sys.stderr)
@@ -41,6 +50,9 @@ def main(argv=None) -> int:
           f"({pkgs} audited)")
     print(f"OK: no AoS particle construction in hot paths "
           f"({arena_pkgs} audited)")
+    census_pkgs = ", ".join(CENSUS_AUDITED_PACKAGES)
+    print(f"OK: no census loops outside {CENSUS_LOOP_HOME} "
+          f"({census_pkgs} audited)")
     return 0
 
 

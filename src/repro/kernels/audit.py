@@ -32,11 +32,14 @@ from pathlib import Path
 __all__ = [
     "audit_vec_definitions",
     "audit_particle_construction",
+    "audit_census_loops",
     "AUDITED_PACKAGES",
     "ALLOWED_VEC_DEFS",
     "ARENA_AUDITED_PACKAGES",
     "FORBIDDEN_PARTICLE_CTORS",
     "ALLOWED_PARTICLE_CTORS",
+    "CENSUS_AUDITED_PACKAGES",
+    "CENSUS_LOOP_HOME",
 ]
 
 #: Packages that must not define ``*_vec`` implementations.
@@ -57,6 +60,13 @@ FORBIDDEN_PARTICLE_CTORS = ("Particle", "Particle3")
 #: the refactor removed every hot-path constructor call, and this audit
 #: keeps it that way.
 ALLOWED_PARTICLE_CTORS: set[tuple[str, int]] = set()
+
+#: Packages whose drivers must route their census loops through the
+#: unified stepper instead of re-implementing ``for step in range(...)``.
+CENSUS_AUDITED_PACKAGES = ("core", "volume", "ensemble")
+
+#: The one module allowed to iterate over timesteps.
+CENSUS_LOOP_HOME = "core/stepper.py"
 
 
 def _is_thin_wrapper(node: ast.FunctionDef) -> bool:
@@ -144,4 +154,48 @@ def audit_particle_construction(
                     "not build AoS particle records; bank a "
                     "ParticleRecord and append it to the arena"
                 )
+    return violations
+
+
+def _iterates_timesteps(node: ast.For) -> bool:
+    """True for ``for ... in range(... <x>.ntimesteps ...)`` loops."""
+    it = node.iter
+    if not (isinstance(it, ast.Call) and _call_name(it) == "range"):
+        return False
+    for arg in it.args:
+        for sub in ast.walk(arg):
+            if isinstance(sub, ast.Attribute) and sub.attr == "ntimesteps":
+                return True
+    return False
+
+
+def audit_census_loops(package_root: str | Path | None = None) -> list[str]:
+    """Reject census-loop reimplementations outside the unified stepper.
+
+    The multi-scheme refactor concentrated the ``for step in
+    range(config.ntimesteps)`` loop — with its source emission, census
+    bookkeeping and tally-flush obligations — in
+    :data:`CENSUS_LOOP_HOME` (``drive_census_loop``).  This audit scans
+    :data:`CENSUS_AUDITED_PACKAGES` for ``For`` loops iterating
+    ``range(... .ntimesteps ...)`` anywhere else; drivers must hand
+    ``begin_step``/``run_step`` callbacks to the stepper instead, so
+    scheme switching and step telemetry keep working everywhere.
+    """
+    if package_root is None:
+        package_root = Path(__file__).resolve().parent.parent
+    package_root = Path(package_root)
+    violations: list[str] = []
+    for pkg in CENSUS_AUDITED_PACKAGES:
+        for path in sorted((package_root / pkg).rglob("*.py")):
+            rel = path.relative_to(package_root).as_posix()
+            if rel == CENSUS_LOOP_HOME:
+                continue
+            tree = ast.parse(path.read_text(), filename=str(path))
+            for node in ast.walk(tree):
+                if isinstance(node, ast.For) and _iterates_timesteps(node):
+                    violations.append(
+                        f"{rel}:{node.lineno}: census loop over "
+                        "ntimesteps — drivers must route through "
+                        "drive_census_loop in repro/core/stepper.py"
+                    )
     return violations

@@ -49,6 +49,11 @@ def to_jsonl(telemetry) -> str:
     return "\n".join(lines) + "\n"
 
 
+#: Event names rendered with global scope in the Chrome trace (they mark
+#: run-wide scheduling decisions, not per-process detail).
+_GLOBAL_SCOPE_EVENTS = frozenset({"scheme_switch", "rebalance"})
+
+
 def _pid_of(source: dict) -> int:
     """Process row for the trace viewer: parent = 0, worker w = w + 1."""
     worker = source.get("worker")
@@ -99,7 +104,10 @@ def to_chrome_trace(telemetry) -> dict:
         trace.append({
             "name": row["name"],
             "ph": "i",
-            "s": "p",
+            # Scheduling decisions get global scope — full-height lines
+            # in the viewer — so scheme switches and shard resplits
+            # stand out against per-process instants.
+            "s": "g" if row["name"] in _GLOBAL_SCOPE_EVENTS else "p",
             "ts": (row["t"] - t_min) * 1e6,
             "pid": _pid_of(row.get("source", {})),
             "tid": 0,
@@ -216,9 +224,18 @@ def to_prometheus(telemetry) -> str:
                 "Workspace buffers reused")
     out.gauge("repro_arena_bytes", telemetry.arena.get("nbytes", 0),
               "Final population arena footprint")
+    decisions: dict[str, int] = {}
+    for row in telemetry.events:
+        if row.get("name") == "scheme_switch":
+            scheme = str(row.get("attrs", {}).get("scheme", "unknown"))
+            decisions[scheme] = decisions.get(scheme, 0) + 1
+    for scheme, count in sorted(decisions.items()):
+        out.counter("repro_scheduler_decisions", count,
+                    "Adaptive scheduler scheme decisions per census step",
+                    {"scheme": scheme})
     pool = telemetry.pool
     if pool is not None:
-        for key in ("retries", "respawns", "workers_lost",
+        for key in ("retries", "rebalances", "respawns", "workers_lost",
                     "shards_drained_in_process"):
             out.counter(f"repro_pool_{key}", pool.get(key, 0),
                         f"Pool recovery ledger: {key}")

@@ -156,6 +156,7 @@ def _pool_section(pool) -> dict | None:
         "chunk": pool.chunk,
         "start_method": pool.start_method,
         "retries": pool.retries,
+        "rebalances": getattr(pool, "rebalances", 0),
         "respawns": pool.respawns,
         "workers_lost": pool.workers_lost,
         "degraded": pool.degraded,

@@ -138,6 +138,17 @@ class PoolOptions:
     fault_plan:
         Deterministic fault injection (tests/demos); requires
         ``nworkers >= 2`` because faults run inside worker processes.
+    rebalance:
+        DYNAMIC-only work rebalancing.  Instead of pre-filling the
+        shared queue, the parent holds a *reserve* of shards, feeds one
+        per completed shard, and — when a worker has been stuck on one
+        shard longer than ``rebalance_threshold`` seconds — splits the
+        largest reserve shard in two so the remaining work drains in
+        finer grains around the straggler.  Physics is unaffected
+        (shards always partition the population and the reduction
+        re-sorts by ``particle_id``).
+    rebalance_threshold:
+        In-flight shard age (seconds) that triggers a reserve split.
     """
 
     nworkers: int
@@ -152,6 +163,8 @@ class PoolOptions:
     retry_backoff: float = 0.0
     poll_interval: float = 0.05
     fault_plan: FaultPlan | None = None
+    rebalance: bool = False
+    rebalance_threshold: float = 1.0
 
     def __post_init__(self) -> None:
         if self.nworkers < 1:
@@ -192,6 +205,13 @@ class PoolOptions:
                 "fault injection targets worker processes; nworkers must "
                 "be >= 2 for a non-empty fault_plan"
             )
+        if self.rebalance and self.schedule is not ScheduleKind.DYNAMIC:
+            raise ValueError(
+                "rebalance needs the DYNAMIC schedule (STATIC shards are "
+                "owned by fixed workers and cannot be resplit)"
+            )
+        if self.rebalance_threshold <= 0:
+            raise ValueError("rebalance_threshold must be positive")
 
 
 @dataclass(frozen=True)
@@ -251,6 +271,8 @@ class PoolRunInfo:
     workers: tuple[WorkerReport, ...]
     #: Shard re-enqueues after a worker death, hang, or shard exception.
     retries: int = 0
+    #: Reserve-shard splits performed by the DYNAMIC rebalancer.
+    rebalances: int = 0
     #: Replacement worker processes spawned.
     respawns: int = 0
     #: Worker processes lost (died, hung, or injected-killed).
@@ -308,9 +330,15 @@ def _run_ranges(config, scheme, population, ranges, recorder=None):
     range order; returns everything the parent needs for the reduction.
     ``recorder`` (when given) is handed to the drivers, which record
     their span trees into it; it never alters the physics.
+
+    ``scheme`` may be a fixed :class:`Scheme`, ``Scheme.AUTO`` (each
+    shard gets its own live :class:`repro.adaptive.AdaptiveScheduler`),
+    or a pickled :class:`~repro.core.stepper.SwitchPlan`; every case
+    routes through the unified census stepper, and switch schedules are
+    physics-bit-identical to fixed schemes per history, so retries and
+    worker placement stay reproducible.
     """
-    from repro.core.over_events import run_over_events
-    from repro.core.over_particles import run_over_particles
+    from repro.core.stepper import run_stepped
 
     # Jobs that know how to run themselves (e.g. the ensemble engine's
     # EnsembleJob) ride through the config slot and take over here; the
@@ -318,10 +346,6 @@ def _run_ranges(config, scheme, population, ranges, recorder=None):
     if hasattr(config, "run_ranges"):
         return config.run_ranges(scheme, population, ranges, recorder=recorder)
 
-    driver = (
-        run_over_particles if scheme is Scheme.OVER_PARTICLES
-        else run_over_events
-    )
     tally = EnergyDepositionTally(config.nx, config.ny)
     counters = Counters()
     arena: ParticleArena | None = None
@@ -331,9 +355,9 @@ def _run_ranges(config, scheme, population, ranges, recorder=None):
     for lo, hi in ranges:
         chunks += 1
         histories += hi - lo
-        r = driver(
-            config, population.view(lo, hi).copy(), tally=tally,
-            recorder=recorder,
+        r = run_stepped(
+            config, scheme, arena=population.view(lo, hi).copy(),
+            tally=tally, recorder=recorder,
         )
         if arena is None:
             arena = r.arena
@@ -539,6 +563,13 @@ class _Dispatcher:
         self.results = {}
         self.slots: list[_Slot] = []
         self.retries = 0
+        self.rebalances = 0
+        #: Shard ids held back from the queue by the rebalancer, in
+        #: dispatch order (DYNAMIC + options.rebalance only).
+        self.reserve: list[int] = []
+        #: (worker_id, shard, attempt) triples that already triggered a
+        #: split — one split per stuck in-flight shard.
+        self._split_done: set = set()
         self.respawns = 0
         self.workers_lost = 0
         self.drained = 0
@@ -559,8 +590,17 @@ class _Dispatcher:
                 self.slots.append(_Slot(sid, q))
         else:
             shared = self.ctx.Queue()
-            for sid, (lo, hi) in enumerate(self.shards):
-                shared.put((sid, 0, lo, hi))
+            if self.options.rebalance:
+                # Reserve feeding: prime one shard per slot, hold the
+                # rest back so stragglers can trigger finer resplits.
+                primed = list(range(min(self.nslots, len(self.shards))))
+                self.reserve = list(range(len(primed), len(self.shards)))
+                for sid in primed:
+                    lo, hi = self.shards[sid]
+                    shared.put((sid, 0, lo, hi))
+            else:
+                for sid, (lo, hi) in enumerate(self.shards):
+                    shared.put((sid, 0, lo, hi))
             self.slots = [_Slot(w, shared) for w in range(self.nslots)]
         try:
             for slot in self.slots:
@@ -637,6 +677,7 @@ class _Dispatcher:
                         )
                 if reason is not None:
                     self._recover_worker(slot, reason)
+            self._maybe_rebalance(now)
             if self.pending and not any(s.live for s in self.slots):
                 self._drain_in_process(
                     set(self.pending), "no live workers remain"
@@ -681,6 +722,7 @@ class _Dispatcher:
             if msg["type"] == "result":
                 self.results[sid] = msg
                 self.pending.discard(sid)
+                self._feed()
             elif stale:
                 # Error shipped by an incarnation that has since been
                 # reaped — _recover_worker already retried its shard;
@@ -692,6 +734,62 @@ class _Dispatcher:
                     f"shard {sid} raised in worker {msg['worker_id']}:\n"
                     f"{msg['error']}",
                 )
+
+    # -- rebalancing ----------------------------------------------------
+    def _feed(self) -> None:
+        """Hand the next reserve shard to the shared queue (one per
+        completed shard keeps roughly ``nslots`` shards in flight)."""
+        if self.reserve:
+            sid = self.reserve.pop(0)
+            self._enqueue(sid, self.attempts[sid])
+
+    def _maybe_rebalance(self, now) -> None:
+        """Split the largest reserve shard when a worker is stuck.
+
+        One split per stuck ``(worker, shard, attempt)`` triple: the
+        straggler itself cannot be resplit (its histories are already
+        in flight), but the remaining reserve drains in finer grains so
+        the other workers stay busy around it.
+        """
+        if not (self.options.rebalance and self.reserve):
+            return
+        for slot in self.slots:
+            if not slot.live or slot.current is None:
+                continue
+            sid, attempt, started = slot.current
+            age = now - started
+            if age <= self.options.rebalance_threshold:
+                continue
+            key = (slot.worker_id, sid, attempt)
+            if key in self._split_done:
+                continue
+            self._split_done.add(key)
+            self._split_reserve(slot.worker_id, sid, age)
+
+    def _split_reserve(self, worker_id, stuck_sid, age) -> None:
+        splittable = [
+            s for s in self.reserve
+            if self.shards[s][1] - self.shards[s][0] >= 2
+        ]
+        if not splittable:
+            return
+        victim = max(
+            splittable, key=lambda s: self.shards[s][1] - self.shards[s][0]
+        )
+        lo, hi = self.shards[victim]
+        mid = (lo + hi) // 2
+        new_sid = len(self.shards)
+        self.shards[victim] = (lo, mid)
+        self.shards.append((mid, hi))
+        self.attempts.append(0)
+        self.pending.add(new_sid)
+        self.reserve.insert(self.reserve.index(victim) + 1, new_sid)
+        self.rebalances += 1
+        self.rec.event(
+            "rebalance", split_shard=victim, new_shard=new_sid,
+            stuck_worker=worker_id, stuck_shard=stuck_sid,
+            in_flight_s=round(age, 3),
+        )
 
     # -- recovery -------------------------------------------------------
     def _recover_worker(self, slot, reason):
@@ -789,6 +887,7 @@ class _Dispatcher:
             self.results[sid] = out
             self.pending.discard(sid)
             self.drained += 1
+            self._feed()
         self.last_progress = time.monotonic()
 
     # -- teardown -------------------------------------------------------
@@ -924,6 +1023,7 @@ def _reduce(config, scheme, options, shards, results, dispatcher, t0,
         start_method=start_method,
         workers=tuple(reports),
         retries=dispatcher.retries if dispatcher is not None else 0,
+        rebalances=dispatcher.rebalances if dispatcher is not None else 0,
         respawns=dispatcher.respawns if dispatcher is not None else 0,
         workers_lost=dispatcher.workers_lost if dispatcher is not None else 0,
         degraded=dispatcher.degraded if dispatcher is not None else False,
@@ -940,13 +1040,21 @@ def _reduce(config, scheme, options, shards, results, dispatcher, t0,
     )
     return TransportResult(
         config=config,
-        scheme=scheme,
+        scheme=_result_scheme(scheme),
         tally=tally,
         counters=merged,
         arena=all_arena,
         wallclock_s=time.perf_counter() - t0,
         pool=info,
     )
+
+
+def _result_scheme(scheme) -> Scheme:
+    """Scheme reported on the reduced result: plan objects (SwitchPlan,
+    AdaptiveScheduler) collapse to their fixed scheme or ``AUTO``."""
+    if isinstance(scheme, Scheme):
+        return scheme
+    return getattr(scheme, "fixed_scheme", None) or Scheme.AUTO
 
 
 def run_pool(

@@ -28,6 +28,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.counters import Counters
+from repro.core.stepper import census_dt_reset, drive_census_loop
 from repro.kernels import KernelDispatch
 from repro.kernels.dispatch import KERNEL_TABLE_3D
 from repro.obs.spans import NULL_RECORDER
@@ -184,19 +185,24 @@ def run_over_particles_3d(
     facet_pp = np.zeros(len(arena), dtype=np.int64)
     dispatch = KernelDispatch(SCALAR_KERNEL_TABLE_3D)
 
-    with rec.span("run", scheme="over_particles_3d"):
-        for step in range(config.ntimesteps):
-            if step > 0:
-                arena.dt[arena.alive] = config.dt
-            with rec.span("timestep", step=step):
-                for i in range(len(arena)):
-                    if not arena.alive[i]:
-                        continue
-                    _track_history_3d(
-                        arena.proxy(i), i, mesh, tally, scatter_table,
-                        capture_table, config, counters, coll_pp, facet_pp,
-                        dispatch,
-                    )
+    def begin_step(step: int) -> None:
+        if step > 0:
+            census_dt_reset(arena.dt, arena.alive, config.dt)
+
+    def run_step(step: int) -> None:
+        for i in range(len(arena)):
+            if not arena.alive[i]:
+                continue
+            _track_history_3d(
+                arena.proxy(i), i, mesh, tally, scatter_table,
+                capture_table, config, counters, coll_pp, facet_pp,
+                dispatch,
+            )
+
+    drive_census_loop(
+        rec, config.ntimesteps, {"scheme": "over_particles_3d"},
+        begin_step, run_step,
+    )
 
     counters.collisions_per_particle = coll_pp
     counters.facets_per_particle = facet_pp
@@ -344,6 +350,12 @@ def run_over_events_3d(
     quantity is the seed; every event site attributes to both the fused
     and the per-replica books.  When they are ``None`` the serial path
     is byte-for-byte the pre-existing one.
+
+    .. deprecated::
+        The census loop and census-boundary dt re-arm now live in the
+        unified stepper (:mod:`repro.core.stepper`); this entry point is
+        kept as the compatibility surface and contributes only the 3-D
+        per-step transport body.
     """
     t0 = time.perf_counter()
     rec = NULL_RECORDER if recorder is None else recorder
@@ -422,11 +434,15 @@ def run_over_events_3d(
         _, micro_c[idx] = dispatch.run("xs_lookup", idx.size, capture_table, e)
         cadd("xs_lookups", idx, 2)
 
-    with rec.span("run", scheme="over_events_3d"):
-        for step in range(config.ntimesteps):
-            with rec.span("timestep", step=step):
+    def begin_step(step: int) -> None:
+        # The 3-D driver's census-boundary bookkeeping historically ran
+        # inside the timestep span; ``run_step`` keeps it there so the
+        # span tree (and the physics) is unchanged by the loop hoist.
+        pass
+
+    def run_step(step: int) -> None:
                 if step > 0:
-                    a["dt"][a["alive"]] = config.dt
+                    census_dt_reset(a["dt"], a["alive"], config.dt)
                 a["censused"][:] = ~a["alive"]
                 refresh(np.nonzero(a["alive"])[0])
 
@@ -552,6 +568,11 @@ def run_over_events_3d(
                             a["censused"][z] = True
                             cadd("census_events", z)
                     npass += 1
+
+    drive_census_loop(
+        rec, config.ntimesteps, {"scheme": "over_events_3d"},
+        begin_step, run_step,
+    )
 
     counters.collisions_per_particle = coll_pp
     counters.facets_per_particle = facet_pp

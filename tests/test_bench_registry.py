@@ -145,12 +145,17 @@ def test_committed_baseline_validates():
     assert first.meta["sequence"] == 1
     assert first.meta["tier"] == "quick"
     assert first.meta["claims"]["shard_payload_reduction"] > 100
+    second = load_bench_artifact("results/BENCH_2.json")
+    assert second.meta["sequence"] == 2
+    assert second.meta["claims"]["ensemble_parity"] == 1.0
     # ...and the current baseline covers the whole quick tier.
-    current = load_bench_artifact("results/BENCH_2.json")
-    assert current.meta["sequence"] == 2
+    current = load_bench_artifact("results/BENCH_3.json")
+    assert current.meta["sequence"] == 3
     assert current.meta["tier"] == "quick"
     assert current.meta["claims"]["ensemble_parity"] == 1.0
     assert current.meta["claims"]["ensemble_speedup_csp_vs_looped"] > 5
+    assert current.meta["claims"]["adaptive_parity"] == 1.0
+    assert current.meta["claims"]["adaptive_efficiency"] >= 0.95
     quick = {s.name for s in specs_for_tier("quick")}
     assert set(current.benches) == quick
 
