@@ -43,11 +43,13 @@ from repro.bench.runner import (
     DEVICE_BASELINES,
     PAPER_SCALE,
     AdaptiveCrossover,
+    CeCrossover,
     KernelProfile,
     MeasuredSpeedup,
     RecoveryOverhead,
     ShardHandoff,
     measured_adaptive_crossover,
+    measured_ce_crossover,
     measured_kernel_profile,
     measured_recovery_overhead,
     measured_shard_handoff,
@@ -83,11 +85,13 @@ __all__ = [
     "DEVICE_BASELINES",
     "PAPER_SCALE",
     "AdaptiveCrossover",
+    "CeCrossover",
     "KernelProfile",
     "MeasuredSpeedup",
     "RecoveryOverhead",
     "ShardHandoff",
     "measured_adaptive_crossover",
+    "measured_ce_crossover",
     "measured_kernel_profile",
     "measured_recovery_overhead",
     "measured_shard_handoff",

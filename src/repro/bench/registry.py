@@ -343,6 +343,28 @@ def _adaptive_crossover_bench(problem: str) -> BenchSample:
     )
 
 
+def _ce_crossover_bench(problem: str) -> BenchSample:
+    from repro.bench.runner import measured_ce_crossover
+
+    r = measured_ce_crossover(problem)
+    return BenchSample(
+        wallclock_s=r.op_s + r.oe_s + r.auto_s,
+        metrics={
+            "ce_parity": r.parity,
+            "oe_op_ratio": r.oe_op_ratio,
+            "adaptive_efficiency": r.adaptive_efficiency,
+            "op_s": r.op_s,
+            "oe_s": r.oe_s,
+            "auto_s": r.auto_s,
+            "union_points": float(r.union_points),
+            "xs_lookups": float(r.xs_lookups),
+            "op_linear_probes": float(r.op_linear_probes),
+            "oe_binary_probes": float(r.oe_binary_probes),
+            "warnings": r.warnings,
+        },
+    )
+
+
 def _arena_bench(problem: str) -> BenchSample:
     from repro.bench.runner import (
         MEASUREMENT_NX,
@@ -434,6 +456,23 @@ _ADAPTIVE_METRICS = {
     "scheduler_decisions": MetricSpec(direction="info"),
 }
 
+_CE_METRICS = {
+    # OP ≡ OE ≡ AUTO population-fingerprint parity under the CE backend:
+    # a deterministic algorithm fact, gated exactly.
+    "ce_parity": MetricSpec(direction="higher"),
+    # Where the scheme balance sits once the union-grid lookup dominates;
+    # host-dependent, informational.
+    "oe_op_ratio": MetricSpec(direction="info", timing=True),
+    "adaptive_efficiency": MetricSpec(direction="info", timing=True),
+    "op_s": MetricSpec(direction="lower", rel_floor=0.5, timing=True),
+    "oe_s": MetricSpec(direction="lower", rel_floor=0.5, timing=True),
+    "auto_s": MetricSpec(direction="lower", rel_floor=0.5, timing=True),
+    "union_points": MetricSpec(direction="info"),
+    "xs_lookups": MetricSpec(direction="info"),
+    "op_linear_probes": MetricSpec(direction="info"),
+    "oe_binary_probes": MetricSpec(direction="info"),
+}
+
 _ARENA_METRICS = {
     "arena_nbytes": MetricSpec(direction="lower"),
     "bytes_per_particle": MetricSpec(direction="lower"),
@@ -491,6 +530,13 @@ def _build_registry() -> dict:
             "(measured_adaptive_crossover)",
             lambda: _adaptive_crossover_bench("csp"),
             dict(_ADAPTIVE_METRICS), repeats=2, warmup=0,
+        ),
+        _spec(
+            "ce_lookup_csp", "quick",
+            "Continuous-energy union-grid backend: OP vs OE vs AUTO "
+            "crossover with bit-parity verified (measured_ce_crossover)",
+            lambda: _ce_crossover_bench("csp"),
+            dict(_CE_METRICS), repeats=2, warmup=0,
         ),
         _spec(
             "arena_footprint_csp", "quick",

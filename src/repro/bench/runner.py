@@ -54,6 +54,8 @@ __all__ = [
     "measured_ensemble_throughput",
     "AdaptiveCrossover",
     "measured_adaptive_crossover",
+    "CeCrossover",
+    "measured_ce_crossover",
     "measured_telemetry",
 ]
 
@@ -518,11 +520,10 @@ def _handoff_population_cached(problem: str, nparticles: int, nx: int):
     if problem not in PROBLEM_FACTORIES:
         raise KeyError(f"unknown problem {problem!r}")
     cfg = PROBLEM_FACTORIES[problem](nx=nx, nparticles=nparticles)
-    materials = cfg.resolved_materials()
     mesh = StructuredMesh(cfg.nx, cfg.ny, cfg.width, cfg.height, cfg.density)
     return sample_source(
         mesh, cfg.source, cfg.nparticles, cfg.seed, cfg.dt,
-        scatter_table=materials[0].scatter, capture_table=materials[0].capture,
+        provider=cfg.resolved_provider(),
     )
 
 
@@ -801,6 +802,126 @@ def measured_adaptive_crossover(
         oe_s=oe_s,
         auto_s=auto_s,
         decisions=decisions,
+        parity=1.0 if parity else 0.0,
+        warnings=warnings,
+    )
+
+
+@dataclass(frozen=True)
+class CeCrossover:
+    """Scheme crossover under the continuous-energy backend, on this host.
+
+    The union-grid lookup is the paper's search-cost story turned up: one
+    binary/cached-linear search plus a per-nuclide gather-and-interpolate
+    per refresh, instead of one cheap table walk per reaction.  That
+    shifts where the OP-vs-OE balance sits (XSBench's thesis: the lookup
+    dominates), so this bench times pure OP, pure OE, and ``Scheme.AUTO``
+    on the same CE configuration and reports the ratio — plus the
+    OP ≡ OE ≡ AUTO population-fingerprint parity that proves the backend
+    keeps the scheme-equivalence contract.
+    """
+
+    problem: str
+    ntimesteps: int
+    #: Per-nuclide grid points requested (``xs_nentries``).
+    npoints: int
+    #: Resulting union-grid size of material 0.
+    union_points: int
+    op_s: float
+    oe_s: float
+    auto_s: float
+    #: Exact lookup/probe counters from the fixed-scheme runs.
+    xs_lookups: int
+    op_linear_probes: int
+    oe_binary_probes: int
+    #: 1.0 when OP, OE and AUTO populations fingerprint-match.
+    parity: float
+    warnings: tuple = ()
+
+    @property
+    def oe_op_ratio(self) -> float:
+        """OE wall-clock over OP wall-clock under CE lookups (< 1.0 means
+        the breadth-first scheme wins once the lookup dominates)."""
+        if self.op_s == 0:
+            return float("inf")
+        return self.oe_s / self.op_s
+
+    @property
+    def best_fixed_s(self) -> float:
+        return min(self.op_s, self.oe_s)
+
+    @property
+    def adaptive_efficiency(self) -> float:
+        """Best fixed wall-clock over AUTO wall-clock under CE."""
+        if self.auto_s == 0:
+            return float("inf")
+        return self.best_fixed_s / self.auto_s
+
+
+def measured_ce_crossover(
+    problem: str = "csp",
+    ntimesteps: int = 6,
+    nx: int = MEASUREMENT_NX,
+    nparticles: int = 2 * MEASUREMENT_PARTICLES,
+    npoints: int = 1500,
+    repeats: int = 2,
+) -> CeCrossover:
+    """Time OP, OE, and AUTO on one continuous-energy configuration.
+
+    Same interleaved best-of-N discipline as
+    :func:`measured_adaptive_crossover`; ``npoints`` keeps the synthetic
+    per-nuclide grids small enough for a quick-tier bench while the union
+    grid (the sum of the jittered nuclide grids) stays large enough that
+    the search cost is real.
+    """
+    from repro.adaptive import AdaptiveScheduler
+    from repro.core.stepper import run_stepped
+    from repro.ensemble.engine import population_fingerprint
+
+    if problem not in PROBLEM_FACTORIES:
+        raise KeyError(f"unknown problem {problem!r}")
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    cfg = PROBLEM_FACTORIES[problem](
+        nx=nx, nparticles=nparticles, ntimesteps=ntimesteps,
+        xs_mode="ce", xs_nentries=npoints,
+    )
+    results = {}
+    times: dict[str, list[float]] = {"op": [], "oe": [], "auto": []}
+    for _ in range(repeats):
+        results["op"] = run_stepped(cfg, Scheme.OVER_PARTICLES)
+        times["op"].append(results["op"].wallclock_s)
+        results["oe"] = run_stepped(cfg, Scheme.OVER_EVENTS)
+        times["oe"].append(results["oe"].wallclock_s)
+        results["auto"] = run_stepped(cfg, AdaptiveScheduler(cfg))
+        times["auto"].append(results["auto"].wallclock_s)
+    parity = (
+        population_fingerprint(results["auto"].arena)
+        == population_fingerprint(results["op"].arena)
+        == population_fingerprint(results["oe"].arena)
+    )
+    op_s, oe_s, auto_s = (min(times[k]) for k in ("op", "oe", "auto"))
+    resolution = time.get_clock_info("perf_counter").resolution
+    warnings = tuple(
+        f"timer_underflow:{label}"
+        for label, seconds in (
+            ("over_particles", op_s),
+            ("over_events", oe_s),
+            ("auto", auto_s),
+        )
+        if seconds <= resolution
+    )
+    return CeCrossover(
+        problem=problem,
+        ntimesteps=ntimesteps,
+        npoints=npoints,
+        union_points=cfg.resolved_provider().union_points(0),
+        op_s=op_s,
+        oe_s=oe_s,
+        auto_s=auto_s,
+        xs_lookups=results["op"].counters.xs_lookups,
+        op_linear_probes=results["op"].counters.xs_linear_probes,
+        oe_binary_probes=results["oe"].counters.xs_binary_probes,
         parity=1.0 if parity else 0.0,
         warnings=warnings,
     )

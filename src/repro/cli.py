@@ -63,6 +63,13 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--timesteps", type=int, default=1)
     run.add_argument("--seed", type=int, default=7)
     run.add_argument(
+        "--xs-mode",
+        choices=["multigroup", "ce"],
+        default="multigroup",
+        help="cross-section backend: the paper's multigroup tables or the "
+        "continuous-energy union-grid library (synthetic, hermetic)",
+    )
+    run.add_argument(
         "--boundary",
         choices=[b.value for b in BoundaryCondition],
         default=BoundaryCondition.REFLECTIVE.value,
@@ -144,6 +151,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run3d.add_argument("--seed", type=int, default=7)
     run3d.add_argument(
+        "--xs-mode",
+        choices=["multigroup", "ce"],
+        default="multigroup",
+        help="cross-section backend: multigroup tables or the "
+        "continuous-energy union-grid library",
+    )
+    run3d.add_argument(
         "--profile-kernels",
         action="store_true",
         help="print the per-kernel call/wall-clock profile of the run",
@@ -177,6 +191,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     ens_run.add_argument("--timesteps", type=int, default=1)
     ens_run.add_argument("--seed", type=int, default=7)
+    ens_run.add_argument(
+        "--xs-mode",
+        choices=["multigroup", "ce"],
+        default="multigroup",
+        help="cross-section backend: multigroup tables or the "
+        "continuous-energy union-grid library",
+    )
     ens_run.add_argument(
         "--seed-stride", type=int, default=1,
         help="replica r runs with seed + r*stride",
@@ -335,6 +356,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         seed=args.seed,
         boundary=BoundaryCondition(args.boundary),
         use_russian_roulette=args.russian_roulette,
+        xs_mode=args.xs_mode,
     )
     from repro.parallel import FaultPlan, ScheduleKind, simulate_parallel_for
 
@@ -481,6 +503,7 @@ def _cmd_ensemble_run(args: argparse.Namespace) -> int:
         nparticles=args.particles,
         ntimesteps=args.timesteps,
         seed=args.seed,
+        xs_mode=args.xs_mode,
     )
     try:
         sweeps = tuple(SweepSpec.parse(s) for s in args.sweep)
@@ -565,7 +588,10 @@ def _cmd_run3d(args: argparse.Namespace) -> int:
         "scatter3": scatter3_problem,
         "csp3": csp3_problem,
     }[args.problem]
-    cfg = factory(n=args.n, nparticles=args.particles, seed=args.seed)
+    cfg = factory(
+        n=args.n, nparticles=args.particles, seed=args.seed,
+        xs_mode=args.xs_mode,
+    )
     driver = (
         run_over_particles_3d
         if Scheme(args.scheme) is Scheme.OVER_PARTICLES

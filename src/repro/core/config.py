@@ -100,7 +100,16 @@ class SimulationConfig:
     materials:
         Tuple of :class:`repro.xs.materials.Material`.  ``None`` (the
         paper's setup) means one homogeneous non-multiplying medium built
-        from ``molar_mass_g_mol`` and ``xs_nentries``.
+        from ``molar_mass_g_mol`` and ``xs_nentries``.  Multigroup mode
+        only; ignored under the continuous-energy backend.
+    xs_mode:
+        Which cross-section backend the run uses
+        (:class:`repro.xs.provider.XsMode`): the paper's multigroup
+        tables, or the continuous-energy union-grid backend.
+    ce_materials:
+        Tuple of :class:`repro.xs.ce.CEMaterial` for the CE backend;
+        ``None`` means the deterministic synthetic library sized by
+        ``xs_nentries``.  CE mode only.
     material_map:
         Per-cell material index, shape ``(ny, nx)``; ``None`` means
         material 0 everywhere.  Multi-material meshes and fission are the
@@ -140,6 +149,8 @@ class SimulationConfig:
     material_map: np.ndarray | None = None
     importance_map: np.ndarray | None = None
     op_block_size: int = 64
+    xs_mode: str = "multigroup"
+    ce_materials: tuple | None = None
 
     def __post_init__(self) -> None:
         if self.nparticles < 1:
@@ -164,12 +175,17 @@ class SimulationConfig:
                 raise ValueError(
                     f"material_map shape {mmap.shape} != ({self.ny}, {self.nx})"
                 )
-            nmat = len(self.materials) if self.materials else 1
-            if mmap.min() < 0 or mmap.max() >= nmat:
+            nmat = self._declared_nmaterials()
+            if mmap.min() < 0 or (nmat is not None and mmap.max() >= nmat):
                 raise ValueError("material_map indices out of range")
             object.__setattr__(self, "material_map", mmap)
         if self.materials is not None and len(self.materials) == 0:
             raise ValueError("materials, when given, must be non-empty")
+        if self.ce_materials is not None and len(self.ce_materials) == 0:
+            raise ValueError("ce_materials, when given, must be non-empty")
+        from repro.xs.provider import XsMode
+
+        object.__setattr__(self, "xs_mode", XsMode.coerce(self.xs_mode))
         if self.importance_map is not None:
             imap = np.asarray(self.importance_map, dtype=np.float64)
             if imap.shape != (self.ny, self.nx):
@@ -209,3 +225,38 @@ class SimulationConfig:
         if self.material_map is not None:
             return self.material_map
         return np.zeros((self.ny, self.nx), dtype=np.int64)
+
+    def _declared_nmaterials(self) -> int | None:
+        """Material count the map may index, or ``None`` when open-ended
+        (CE mode with the synthetic library, which sizes itself to the
+        map)."""
+        from repro.xs.provider import XsMode
+
+        if XsMode.coerce(self.xs_mode) is XsMode.CONTINUOUS_ENERGY:
+            if self.ce_materials is not None:
+                return len(self.ce_materials)
+            return None
+        return len(self.materials) if self.materials else 1
+
+    def resolved_provider(self):
+        """Build this config's cross-section backend
+        (:class:`repro.xs.provider.XsProvider`).  Builds tables/grids;
+        call once per run and thread the instance through."""
+        from repro.xs.provider import XsMode, resolve_provider
+
+        mode = XsMode.coerce(self.xs_mode)
+        if mode is XsMode.CONTINUOUS_ENERGY:
+            nmat = 1
+            if self.material_map is not None:
+                nmat = int(self.material_map.max()) + 1
+            return resolve_provider(
+                mode,
+                ce_materials=self.ce_materials,
+                nmaterials=nmat,
+                xs_nentries=self.xs_nentries,
+            )
+        return resolve_provider(
+            mode,
+            materials=self.resolved_materials(),
+            xs_nentries=self.xs_nentries,
+        )

@@ -56,7 +56,6 @@ from repro.physics.fission import sample_secondary_energy, secondary_id
 from repro.physics.importance import clone_id
 from repro.rng.distributions import sample_isotropic_direction, sample_mean_free_paths
 from repro.rng.stream import ParticleRNG, VectorParticleRNG
-from repro.xs.macroscopic import AVOGADRO, BARNS_TO_M2
 
 __all__ = ["run_over_events"]
 
@@ -66,7 +65,8 @@ class _EventContext:
 
     def __init__(self, config: SimulationConfig, mesh: StructuredMesh,
                  tally: EnergyDepositionTally, store: ParticleArena,
-                 dispatch: KernelDispatch, ws: Workspace, lanes=None):
+                 dispatch: KernelDispatch, ws: Workspace, lanes=None,
+                 provider=None):
         self.config = config
         self.mesh = mesh
         self.tally = tally
@@ -78,12 +78,16 @@ class _EventContext:
         #: replica through the helpers below; the kernel dispatches stay
         #: fused across all replicas.
         self.lanes = lanes
-        self.materials = config.resolved_materials()
+        #: The cross-section backend.  All material data and lookups go
+        #: through it; the driver never touches tables directly.
+        self.provider = (
+            provider if provider is not None else config.resolved_provider()
+        )
         self.material_map = config.resolved_material_map()
-        self.mat_a = np.array([m.a_ratio for m in self.materials])
-        self.mat_molar = np.array([m.molar_mass_g_mol for m in self.materials])
-        self.mat_nu = np.array([m.nu for m in self.materials])
-        self.mat_fissile = np.array([m.fissile for m in self.materials])
+        self.mat_a = self.provider.mat_a
+        self.mat_molar = self.provider.mat_molar
+        self.mat_nu = self.provider.mat_nu
+        self.mat_fissile = self.provider.mat_fissile
         self.counters = Counters(nparticles=len(store))
         n = len(store)
         self.micro_s = np.zeros(n, dtype=np.float64)
@@ -92,7 +96,6 @@ class _EventContext:
         self.mat_idx = self.material_map[store.celly, store.cellx]
         self.coll_pp = np.zeros(n, dtype=np.int64)
         self.facet_pp = np.zeros(n, dtype=np.int64)
-        self.nbins_log2 = int(np.ceil(np.log2(max(config.xs_nentries, 2))))
         seed = config.seed if lanes is None else lanes.seeds[lanes.rep]
         self.rng = VectorParticleRNG(seed, store.particle_id, store.rng_counter)
         self.pending_children: list[ParticleRecord] = []
@@ -191,30 +194,31 @@ class _EventContext:
             return
         store = self.store
         run = self.dispatch.run
-        for mi, mat in enumerate(self.materials):
+        prov = self.provider
+        for mi in range(prov.nmaterials):
             sel = idx[self.mat_idx[idx] == mi]
             if sel.size == 0:
                 continue
-            k = 3 if mat.fissile else 2
+            k = prov.lookups_per_refresh(mi)
             e = store.energy[sel]
             reuse = (self.last_mat[sel] == mi) & (e == self.last_e[sel])
             fresh = sel[~reuse]
             if fresh.size:
                 ef = store.energy[fresh]
-                sb, ms = run("xs_lookup", fresh.size, mat.scatter, ef)
-                cb, mc = run("xs_lookup", fresh.size, mat.capture, ef)
-                self.micro_s[fresh] = ms
-                self.micro_c[fresh] = mc
-                store.scatter_bin[fresh] = sb
-                store.capture_bin[fresh] = cb
-                if mat.fissile:
-                    fb, mf = run("xs_lookup", fresh.size, mat.fission, ef)
-                    self.micro_f[fresh] = mf
-                    store.fission_bin[fresh] = fb
-                self.cadd("xs_binary_probes", fresh, k * self.nbins_log2)
+                lk = prov.lookup(mi, ef, run)
+                self.micro_s[fresh] = lk.micro_s
+                self.micro_c[fresh] = lk.micro_c
+                if lk.micro_f is not None:
+                    self.micro_f[fresh] = lk.micro_f
+                for cache_field, _grid, bins in lk.searches:
+                    getattr(store, cache_field)[fresh] = bins
+                self.cadd(
+                    "xs_binary_probes", fresh,
+                    k * prov.binary_probe_estimate(mi),
+                )
                 self.last_e[fresh] = ef
                 self.last_mat[fresh] = mi
-            if not mat.fissile:
+            if not prov.mat_fissile[mi]:
                 self.micro_f[sel] = 0.0
             self.cadd("xs_lookups", sel, k)
             self.cadd("xs_bin_reuses", sel[reuse], k)
@@ -224,28 +228,17 @@ class _EventContext:
 
         The arithmetic chain is exactly
         :func:`repro.xs.macroscopic.macroscopic_cross_section`, computed
-        into workspace buffers so the pass loop allocates nothing.
+        into workspace buffers so the pass loop allocates nothing — shared
+        with the Over Particles driver via the provider (part of the
+        OP ≡ OE fingerprint contract).
         """
-        ws = self.ws
         n = len(self.store)
-        molar = np.take(self.mat_molar, self.mat_idx, out=ws.f64("molar", n))
-        rho = self.store.local_density
-        nd = ws.f64("numdens", n)
-        np.multiply(rho, 1.0e3, out=nd)
-        np.divide(nd, molar, out=nd)
-        np.multiply(nd, AVOGADRO, out=nd)
-        sigma_s = ws.f64("sigma_s", n)
-        np.multiply(nd, self.micro_s, out=sigma_s)
-        np.multiply(sigma_s, BARNS_TO_M2, out=sigma_s)
-        sigma_f = ws.f64("sigma_f", n)
-        np.multiply(nd, self.micro_f, out=sigma_f)
-        np.multiply(sigma_f, BARNS_TO_M2, out=sigma_f)
-        sigma_a = ws.f64("sigma_a", n)
-        np.multiply(nd, self.micro_c, out=sigma_a)
-        np.multiply(sigma_a, BARNS_TO_M2, out=sigma_a)
-        np.add(sigma_a, sigma_f, out=sigma_a)
-        sigma_t = np.add(sigma_s, sigma_a, out=ws.f64("sigma_t", n))
-        return sigma_s, sigma_a, sigma_f, sigma_t
+        m = self.provider.macroscopic_into(
+            self.ws, n, self.mat_idx,
+            self.micro_s, self.micro_c, self.micro_f,
+            self.store.local_density,
+        )
+        return m.sigma_s, m.sigma_a, m.sigma_f, m.sigma_t
 
     # ------------------------------------------------------------------
     def bank_secondaries(
@@ -280,9 +273,11 @@ class _EventContext:
                 u_dir = rng.next_uniform()
                 u_energy = rng.next_uniform()
                 u_mfp = rng.next_uniform()
-                mat = self.materials[int(self.mat_idx[pi])]
+                fission_energy = float(
+                    self.provider.mat_fission_energy_ev[int(self.mat_idx[pi])]
+                )
                 ox, oy = sample_isotropic_direction(u_dir)
-                energy = sample_secondary_energy(u_energy, mat.fission_energy_ev)
+                energy = sample_secondary_energy(u_energy, fission_energy)
                 child = ParticleRecord(
                     x=float(store.x[pi]),
                     y=float(store.y[pi]),
@@ -750,6 +745,7 @@ def run_over_events(
     tally: EnergyDepositionTally | None = None,
     recorder=None,
     lanes=None,
+    provider=None,
 ):
     """Run the full calculation with the Over Events scheme.
 
@@ -802,4 +798,5 @@ def run_over_events(
         tally=tally,
         recorder=recorder,
         lanes=lanes,
+        provider=provider,
     )

@@ -63,8 +63,7 @@ from repro.physics.fission import sample_secondary_energy, secondary_id
 from repro.physics.importance import clone_id
 from repro.rng.distributions import sample_isotropic_direction, sample_mean_free_paths
 from repro.rng.stream import ParticleRNG, VectorParticleRNG
-from repro.xs.lookup import LookupStats, binary_search_bin
-from repro.xs.macroscopic import AVOGADRO, BARNS_TO_M2
+from repro.xs.lookup import LookupStats
 
 __all__ = ["run_over_particles"]
 
@@ -74,19 +73,23 @@ class _SweepContext:
 
     def __init__(self, config: SimulationConfig, mesh: StructuredMesh,
                  tally: EnergyDepositionTally, dispatch: KernelDispatch,
-                 ws: Workspace):
+                 ws: Workspace, provider=None):
         self.config = config
         self.mesh = mesh
         self.tally = tally
         self.dispatch = dispatch
         self.ws = ws
-        self.materials = config.resolved_materials()
+        #: The cross-section backend.  All material data and lookups go
+        #: through it; the driver never touches tables directly.
+        self.provider = (
+            provider if provider is not None else config.resolved_provider()
+        )
         self.material_map = config.resolved_material_map()
         self.importance_map = config.importance_map
-        self.mat_a = np.array([m.a_ratio for m in self.materials])
-        self.mat_molar = np.array([m.molar_mass_g_mol for m in self.materials])
-        self.mat_nu = np.array([m.nu for m in self.materials])
-        self.mat_fissile = np.array([m.fissile for m in self.materials])
+        self.mat_a = self.provider.mat_a
+        self.mat_molar = self.provider.mat_molar
+        self.mat_nu = self.provider.mat_nu
+        self.mat_fissile = self.provider.mat_fissile
         self.counters = Counters()
         self.lookup_stats = LookupStats()
         self.coll_pp: list[int] = []
@@ -128,9 +131,12 @@ def _spawn_secondary(
     u_dir = rng.next_uniform()
     u_energy = rng.next_uniform()
     u_mfp = rng.next_uniform()
-    mat = ctx.materials[ctx.material_at(cellx, celly)]
+    mi = ctx.material_at(cellx, celly)
+    prov = ctx.provider
     ox, oy = sample_isotropic_direction(u_dir)
-    energy = sample_secondary_energy(u_energy, mat.fission_energy_ev)
+    energy = sample_secondary_energy(
+        u_energy, float(prov.mat_fission_energy_ev[mi])
+    )
     # Birth initialisation of the cached bins (like the source sampler's) —
     # the history's first counted lookup then walks from the right line.
     return ParticleRecord(
@@ -147,11 +153,7 @@ def _spawn_secondary(
         mfp_to_collision=sample_mean_free_paths(u_mfp),
         rng_counter=rng.counter,
         local_density=local_density,
-        scatter_bin=binary_search_bin(mat.scatter, energy),
-        capture_bin=binary_search_bin(mat.capture, energy),
-        fission_bin=(
-            binary_search_bin(mat.fission, energy) if mat.fissile else 0
-        ),
+        **prov.birth_bins(mi, energy),
     )
 
 
@@ -210,57 +212,50 @@ class _Block:
         stats = ctx.lookup_stats
         strategy = ctx.config.search
         run = ctx.dispatch.run
-        for mi, mat in enumerate(ctx.materials):
+        prov = ctx.provider
+        caches = {
+            "scatter_bin": self.sbin,
+            "capture_bin": self.cbin,
+            "fission_bin": self.fbin,
+        }
+        for mi in range(prov.nmaterials):
             sel = lanes[self.mat_idx[lanes] == mi]
             if sel.size == 0:
                 continue
             e = self.energy[sel]
-            specs = [
-                (mat.scatter, self.sbin, self.micro_s),
-                (mat.capture, self.cbin, self.micro_c),
-            ]
-            if mat.fissile:
-                specs.append((mat.fission, self.fbin, self.micro_f))
-            else:
+            if not prov.mat_fissile[mi]:
                 self.micro_f[sel] = 0.0
-            for table, bins_arr, micro_arr in specs:
-                new_bins, vals = run("xs_lookup", sel.size, table, e)
+            lk = prov.lookup(mi, e, run)
+            for cache_field, grid, new_bins in lk.searches:
+                bins_arr = caches[cache_field]
                 if strategy is SearchStrategy.CACHED_LINEAR:
                     stats.linear_probes += int(
                         kernel_xs.linear_walk_probes(
-                            table, e, bins_arr[sel], new_bins
+                            grid, e, bins_arr[sel], new_bins
                         ).sum()
                     )
                 else:
                     stats.binary_probes += int(
-                        kernel_xs.bisection_probes(table, e).sum()
+                        kernel_xs.bisection_probes(grid, e).sum()
                     )
                 bins_arr[sel] = new_bins
-                micro_arr[sel] = vals
-            stats.lookups += len(specs) * sel.size
+            self.micro_s[sel] = lk.micro_s
+            self.micro_c[sel] = lk.micro_c
+            if lk.micro_f is not None:
+                self.micro_f[sel] = lk.micro_f
+            stats.lookups += len(lk.searches) * sel.size
 
     def macroscopic(self):
         """(Σ_s, Σ_a, Σ_f, Σ_t) block arrays from the cached microscopics,
-        with the exact arithmetic chain of the scalar helper."""
-        ws = self.ctx.ws
-        n = self.n
-        molar = np.take(self.ctx.mat_molar, self.mat_idx, out=ws.f64("molar", n))
-        nd = ws.f64("numdens", n)
-        np.multiply(self.local_density, 1.0e3, out=nd)
-        np.divide(nd, molar, out=nd)
-        np.multiply(nd, AVOGADRO, out=nd)
-        sigma_s = ws.f64("sigma_s", n)
-        np.multiply(nd, self.micro_s, out=sigma_s)
-        np.multiply(sigma_s, BARNS_TO_M2, out=sigma_s)
-        sigma_f = ws.f64("sigma_f", n)
-        np.multiply(nd, self.micro_f, out=sigma_f)
-        np.multiply(sigma_f, BARNS_TO_M2, out=sigma_f)
-        sigma_a = ws.f64("sigma_a", n)
-        np.multiply(nd, self.micro_c, out=sigma_a)
-        np.multiply(sigma_a, BARNS_TO_M2, out=sigma_a)
-        np.add(sigma_a, sigma_f, out=sigma_a)
-        sigma_t = np.add(sigma_s, sigma_a, out=ws.f64("sigma_t", n))
-        return sigma_s, sigma_a, sigma_f, sigma_t
+        with the exact arithmetic chain of the scalar helper — shared with
+        the Over Events driver via the provider (part of the OP ≡ OE
+        fingerprint contract)."""
+        m = self.ctx.provider.macroscopic_into(
+            self.ctx.ws, self.n, self.mat_idx,
+            self.micro_s, self.micro_c, self.micro_f,
+            self.local_density,
+        )
+        return m.sigma_s, m.sigma_a, m.sigma_f, m.sigma_t
 
     def trace_events(self, lanes: np.ndarray, kind: EventKind,
                      cells_x: np.ndarray, cells_y: np.ndarray) -> None:

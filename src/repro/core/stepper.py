@@ -220,7 +220,8 @@ class _OPStrategy:
             )
         self.stepper = stepper
         ctx = _SweepContext(stepper.run_config, stepper.mesh,
-                            stepper.tally, stepper.dispatch, stepper.ws)
+                            stepper.tally, stepper.dispatch, stepper.ws,
+                            provider=stepper.provider)
         ctx.trace = stepper.trace
         ctx.counters = stepper.counters
         self.ctx = ctx
@@ -296,9 +297,10 @@ class _OEStrategy:
         ctx = _EventContext(
             stepper.run_config, stepper.mesh, stepper.tally, stepper.arena,
             stepper.dispatch, stepper.ws, lanes=stepper.lanes,
+            provider=stepper.provider,
         )
-        # Keep the already-built material set and charge the shared books.
-        ctx.materials = stepper.materials
+        # Charge the shared books (the provider instance is shared too, so
+        # cross-section data is built exactly once per run).
         ctx.counters = stepper.counters
         ctx.coll_pp = stepper.coll_pp
         ctx.facet_pp = stepper.facet_pp
@@ -356,7 +358,7 @@ class CensusStepper:
     transport to a scheme strategy picked by the plan."""
 
     def __init__(self, config: SimulationConfig, *, arena=None, tally=None,
-                 trace=None, recorder=None, lanes=None):
+                 trace=None, recorder=None, lanes=None, provider=None):
         self.config = config
         self.rec = NULL_RECORDER if recorder is None else recorder
         self.lanes = lanes
@@ -367,19 +369,29 @@ class CensusStepper:
         self.tally = tally if tally is not None else EnergyDepositionTally(
             config.nx, config.ny
         )
-        self.materials = config.resolved_materials()
-        # Contexts see a config with the resolved material set so the
-        # cross-section tables are built exactly once per run.
-        self.run_config = (
-            config if config.materials is not None
-            else config.with_(materials=self.materials)
+        #: The cross-section backend, built exactly once per run and
+        #: threaded into every context (and the source sampler).
+        self.provider = (
+            provider if provider is not None else config.resolved_provider()
         )
+        # Multigroup contexts see a config with the resolved material set
+        # (legacy contract: tables are built once per run and travel with
+        # the config to pool workers); other backends rebuild from the
+        # config's own fields.
+        from repro.xs.provider import XsMode
+
+        if self.provider.mode is XsMode.MULTIGROUP:
+            self.run_config = (
+                config if config.materials is not None
+                else config.with_(materials=self.provider.materials)
+            )
+        else:
+            self.run_config = config
         if arena is None:
             arena = sample_source(
                 self.mesh, config.source, config.nparticles, config.seed,
                 config.dt,
-                scatter_table=self.materials[0].scatter,
-                capture_table=self.materials[0].capture,
+                provider=self.provider,
             )
         self.arena = arena
         self.dispatch = KernelDispatch(
@@ -581,7 +593,8 @@ def _coerce_plan(config: SimulationConfig, plan):
 
 
 def run_stepped(config: SimulationConfig, plan=None, *, arena=None,
-                tally=None, trace=None, recorder=None, lanes=None):
+                tally=None, trace=None, recorder=None, lanes=None,
+                provider=None):
     """Run the unified census stepper.
 
     ``plan`` is a :class:`Scheme` (``AUTO`` builds a live
@@ -608,7 +621,7 @@ def run_stepped(config: SimulationConfig, plan=None, *, arena=None,
             )
     stepper = CensusStepper(
         config, arena=arena, tally=tally, trace=trace, recorder=recorder,
-        lanes=lanes,
+        lanes=lanes, provider=provider,
     )
     stepper.run(plan)
     return TransportResult(

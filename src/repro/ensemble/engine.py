@@ -241,8 +241,17 @@ def run_ensemble(
     members = _expand(spec_or_members)
     nrep = len(members)
     base = members[0]
-    mats = base.resolved_materials()
-    run_members = tuple(m.with_(materials=mats) for m in members)
+    # Build the cross-section backend once for the whole ensemble
+    # (materials are a uniform field — validate_members enforces it).
+    from repro.xs.provider import XsMode
+
+    provider = base.resolved_provider()
+    if provider.mode is XsMode.MULTIGROUP:
+        run_members = tuple(
+            m.with_(materials=provider.materials) for m in members
+        )
+    else:
+        run_members = members
     run_base = run_members[0]
     mesh = StructuredMesh(
         base.nx, base.ny, base.width, base.height, base.density
@@ -251,8 +260,7 @@ def run_ensemble(
         member_arenas = [
             sample_source(
                 mesh, m.source, m.nparticles, m.seed, m.dt,
-                scatter_table=mats[0].scatter,
-                capture_table=mats[0].capture,
+                provider=provider,
             )
             for m in run_members
         ]
@@ -272,11 +280,13 @@ def run_ensemble(
             inner_rec = rec if rec.enabled else None
             if scheme is Scheme.OVER_EVENTS:
                 fused_result = run_over_events(
-                    run_base, arena=fused, lanes=lanes, recorder=inner_rec
+                    run_base, arena=fused, lanes=lanes, recorder=inner_rec,
+                    provider=provider,
                 )
             else:
                 fused_result = run_over_particles_fused(
-                    run_members, fused, lanes, recorder=inner_rec
+                    run_members, fused, lanes, recorder=inner_rec,
+                    provider=provider,
                 )
             final = fused_result.arena
             replica_counters = list(lanes.counters)

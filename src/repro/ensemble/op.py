@@ -47,7 +47,8 @@ def _segments_of(rep: np.ndarray, offset: int = 0):
     ]
 
 
-def run_over_particles_fused(members, arena, lanes, recorder=None):
+def run_over_particles_fused(members, arena, lanes, recorder=None,
+                             provider=None):
     """Run the fused depth-first sweep; returns the fused
     ``TransportResult`` (per-replica books live on ``lanes``)."""
     from repro.core.simulation import TransportResult
@@ -61,7 +62,7 @@ def run_over_particles_fused(members, arena, lanes, recorder=None):
     tally = EnergyDepositionTally(base.nx, base.ny)
     dispatch = KernelDispatch(recorder=rec if rec.enabled else None)
     ws = Workspace()
-    ctx = _SweepContext(base, mesh, tally, dispatch, ws)
+    ctx = _SweepContext(base, mesh, tally, dispatch, ws, provider=provider)
     nrep = lanes.nreplicas
     rep_stats = [LookupStats() for _ in range(nrep)]
     ctx.coll_pp = [0] * len(arena)

@@ -13,6 +13,7 @@ from repro.kernels.audit import (
     audit_census_loops,
     audit_particle_construction,
     audit_vec_definitions,
+    audit_xs_table_access,
 )
 
 
@@ -37,6 +38,7 @@ def main(argv=None) -> int:
         audit_vec_definitions()
         + audit_particle_construction()
         + audit_census_loops()
+        + audit_xs_table_access()
     )
     if violations:
         for v in violations:
@@ -53,6 +55,8 @@ def main(argv=None) -> int:
     census_pkgs = ", ".join(CENSUS_AUDITED_PACKAGES)
     print(f"OK: no census loops outside {CENSUS_LOOP_HOME} "
           f"({census_pkgs} audited)")
+    print("OK: no direct cross-section table access outside repro/xs "
+          "(all packages audited)")
     return 0
 
 

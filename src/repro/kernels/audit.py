@@ -33,6 +33,7 @@ __all__ = [
     "audit_vec_definitions",
     "audit_particle_construction",
     "audit_census_loops",
+    "audit_xs_table_access",
     "AUDITED_PACKAGES",
     "ALLOWED_VEC_DEFS",
     "ARENA_AUDITED_PACKAGES",
@@ -40,6 +41,10 @@ __all__ = [
     "ALLOWED_PARTICLE_CTORS",
     "CENSUS_AUDITED_PACKAGES",
     "CENSUS_LOOP_HOME",
+    "XS_SEAM_HOME",
+    "FORBIDDEN_XS_NAMES",
+    "XS_TABLE_ATTRS",
+    "ALLOWED_XS_TABLE_FILES",
 ]
 
 #: Packages that must not define ``*_vec`` implementations.
@@ -67,6 +72,34 @@ CENSUS_AUDITED_PACKAGES = ("core", "volume", "ensemble")
 
 #: The one module allowed to iterate over timesteps.
 CENSUS_LOOP_HOME = "core/stepper.py"
+
+#: The package that owns cross-section data representations.  Everything
+#: outside it must consume cross sections through the
+#: :class:`~repro.xs.provider.XsProvider` protocol.
+XS_SEAM_HOME = "xs"
+
+#: Multigroup data-model names no module outside ``repro/xs`` may
+#: reference: the table class and its factory functions.
+FORBIDDEN_XS_NAMES = (
+    "CrossSectionTable",
+    "make_scatter_table",
+    "make_capture_table",
+    "make_fission_table",
+)
+
+#: Raw per-reaction table attributes (``material.scatter`` et al.) that
+#: constitute direct data-model access when read outside ``repro/xs``.
+XS_TABLE_ATTRS = ("scatter", "capture", "fission")
+
+#: Files exempt from the cross-section seam audit:
+#: ``kernels/xs.py`` *is* the lookup kernel (it interpolates the raw
+#: arrays by design); ``particles/source.py`` keeps deprecated
+#: ``scatter_table``/``capture_table`` kwargs (type annotations only)
+#: as the AoS parity-oracle surface.
+ALLOWED_XS_TABLE_FILES = frozenset({
+    "kernels/xs.py",
+    "particles/source.py",
+})
 
 
 def _is_thin_wrapper(node: ast.FunctionDef) -> bool:
@@ -167,6 +200,57 @@ def _iterates_timesteps(node: ast.For) -> bool:
             if isinstance(sub, ast.Attribute) and sub.attr == "ntimesteps":
                 return True
     return False
+
+
+def audit_xs_table_access(package_root: str | Path | None = None) -> list[str]:
+    """Reject direct multigroup data-model access outside ``repro/xs``.
+
+    The provider refactor made :class:`~repro.xs.provider.XsProvider` the
+    single seam between cross-section data and the transport loop; this
+    audit keeps consumers honest.  Every module outside ``repro/xs``
+    (except :data:`ALLOWED_XS_TABLE_FILES`) is scanned for
+
+    * references to :data:`FORBIDDEN_XS_NAMES` (imports included), and
+    * attribute *reads* of the raw per-reaction tables
+      (:data:`XS_TABLE_ATTRS`, e.g. ``material.scatter``).
+
+    Returns violation messages; an empty list means the audit passes.
+    """
+    if package_root is None:
+        package_root = Path(__file__).resolve().parent.parent
+    package_root = Path(package_root)
+    violations: list[str] = []
+    for path in sorted(package_root.rglob("*.py")):
+        rel = path.relative_to(package_root).as_posix()
+        if rel.startswith(f"{XS_SEAM_HOME}/") or rel in ALLOWED_XS_TABLE_FILES:
+            continue
+        tree = ast.parse(path.read_text(), filename=str(path))
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom):
+                names = [a.name for a in node.names]
+                hits = [n for n in names if n in FORBIDDEN_XS_NAMES]
+                if (node.module or "").startswith("repro.xs.tables") or hits:
+                    what = ", ".join(hits) or node.module
+                    violations.append(
+                        f"{rel}:{node.lineno}: import of {what} — consume "
+                        "cross sections through repro.xs.provider.XsProvider"
+                    )
+            elif isinstance(node, ast.Name) and node.id in FORBIDDEN_XS_NAMES:
+                violations.append(
+                    f"{rel}:{node.lineno}: reference to {node.id} — consume "
+                    "cross sections through repro.xs.provider.XsProvider"
+                )
+            elif (
+                isinstance(node, ast.Attribute)
+                and node.attr in XS_TABLE_ATTRS
+                and isinstance(node.ctx, ast.Load)
+            ):
+                violations.append(
+                    f"{rel}:{node.lineno}: raw table access "
+                    f".{node.attr} — consume cross sections through "
+                    "repro.xs.provider.XsProvider"
+                )
+    return violations
 
 
 def audit_census_loops(package_root: str | Path | None = None) -> list[str]:

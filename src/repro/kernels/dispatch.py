@@ -43,6 +43,7 @@ KERNEL_TABLE = {
     "roulette": batch.roulette,
     "fission_bank": batch.fission_yield,
     "xs_lookup": kxs.xs_lookup,
+    "xs_lookup_ce": kxs.ce_lookup,
 }
 
 #: The 3-D drivers share the dimension-independent kernels (event

@@ -28,6 +28,7 @@ __all__ = [
     "search_bins",
     "interpolate_at_bins",
     "xs_lookup",
+    "ce_lookup",
     "clamped_mask",
     "bisection_probes",
     "linear_walk_probes",
@@ -59,6 +60,44 @@ def xs_lookup(table, e: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
     """Composite lookup kernel: ``(bins, microscopic values)`` per lane."""
     bins = search_bins(table, e)
     return bins, interpolate_at_bins(table, e, bins)
+
+
+def ce_lookup(
+    grid, e: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Continuous-energy composite lookup on a unionized energy grid.
+
+    ``grid`` is duck-typed (in practice :class:`repro.xs.ce.UnionGrid`):
+    ``energy`` is the union grid searched once per lane, ``ptr`` the
+    precomputed ``(n_union, n_nuclides)`` double-index table mapping a
+    union bin to each nuclide's own bracketing bin, ``nuclides`` carry
+    per-reaction value arrays on their own grids, ``fracs`` the atom
+    fractions.  One bisection on the union grid replaces the per-nuclide
+    searches (XSBench's unionized-grid mode); per nuclide the lookup is a
+    gather + the same linear interpolation as :func:`interpolate_at_bins`.
+
+    Returns ``(union_bins, micro_s, micro_c, micro_f)`` — microscopic
+    barns mixed over the composition; ``micro_f`` is zeros when no member
+    nuclide carries fission data.
+    """
+    bins = search_bins(grid, e)
+    n = e.shape[0]
+    micro_s = np.zeros(n, dtype=np.float64)
+    micro_c = np.zeros(n, dtype=np.float64)
+    micro_f = np.zeros(n, dtype=np.float64)
+    for j, nuc in enumerate(grid.nuclides):
+        frac = grid.fracs[j]
+        nb = grid.ptr[bins, j]
+        e0 = nuc.energy[nb]
+        t = (e - e0) / (nuc.energy[nb + 1] - e0)
+        v0 = nuc.scatter[nb]
+        micro_s += frac * (v0 + t * (nuc.scatter[nb + 1] - v0))
+        v0 = nuc.capture[nb]
+        micro_c += frac * (v0 + t * (nuc.capture[nb + 1] - v0))
+        if nuc.fission is not None:
+            v0 = nuc.fission[nb]
+            micro_f += frac * (v0 + t * (nuc.fission[nb + 1] - v0))
+    return bins, micro_s, micro_c, micro_f
 
 
 def clamped_mask(table, e: np.ndarray) -> np.ndarray:

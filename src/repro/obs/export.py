@@ -222,6 +222,12 @@ def to_prometheus(telemetry) -> str:
                 "Workspace buffers grown")
     out.counter("repro_workspace_reuses", ws.get("reuses", 0),
                 "Workspace buffers reused")
+    out.counter("repro_xs_lookup_probes", ws.get("xs_binary_probes", 0),
+                "Cross-section bin-search probes by strategy",
+                {"strategy": "binary"})
+    out.counter("repro_xs_lookup_probes", ws.get("xs_linear_probes", 0),
+                "Cross-section bin-search probes by strategy",
+                {"strategy": "cached_linear"})
     out.gauge("repro_arena_bytes", telemetry.arena.get("nbytes", 0),
               "Final population arena footprint")
     decisions: dict[str, int] = {}
@@ -322,6 +328,10 @@ def format_summary(telemetry) -> str:
         f"workspace: {ws.get('allocations')} allocations, "
         f"{ws.get('reuses')} reuses; xs bin reuses: "
         f"{ws.get('xs_bin_reuses')}"
+    )
+    out.append(
+        f"xs probes: binary={ws.get('xs_binary_probes', 0)} "
+        f"cached-linear={ws.get('xs_linear_probes', 0)}"
     )
     arena = telemetry.arena
     out.append(

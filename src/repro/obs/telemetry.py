@@ -200,6 +200,12 @@ def build_run_telemetry(result, recorder: Recorder | None = None):
         "nparticles": getattr(config, "nparticles", None),
         "ntimesteps": getattr(config, "ntimesteps", None),
         "seed": getattr(config, "seed", None),
+        # Cross-section backend ("multigroup" / "ce"); the enum coerces
+        # to its string value.
+        "xs_mode": getattr(
+            getattr(config, "xs_mode", None), "value",
+            getattr(config, "xs_mode", None),
+        ),
         "wallclock_s": result.wallclock_s,
     }
     counters = dict(c.snapshot())
@@ -216,6 +222,10 @@ def build_run_telemetry(result, recorder: Recorder | None = None):
             "allocations": c.workspace_allocations,
             "reuses": c.workspace_reuses,
             "xs_bin_reuses": c.xs_bin_reuses,
+            # Exact bin-search probe counts by lookup strategy (the
+            # paper's §VI-A search-cost instrumentation).
+            "xs_binary_probes": c.xs_binary_probes,
+            "xs_linear_probes": c.xs_linear_probes,
         },
         arena={
             "nbytes": c.arena_nbytes,

@@ -1082,18 +1082,24 @@ def run_pool(
     rec = NULL_RECORDER if recorder is None else recorder
     t0 = time.perf_counter()
 
-    # Resolve the material set once — the workers would otherwise rebuild
-    # the cross-section tables per shard.
-    run_config = config.with_(materials=config.resolved_materials())
-    materials = run_config.materials
+    # Build the cross-section backend once.  Multigroup ships the resolved
+    # tables with the config (workers would otherwise rebuild them per
+    # shard); the CE library is deterministic and cached per process, so
+    # workers rebuild bit-identical grids from the config's own fields.
+    from repro.xs.provider import XsMode
+
+    provider = config.resolved_provider()
+    if provider.mode is XsMode.MULTIGROUP:
+        run_config = config.with_(materials=provider.materials)
+    else:
+        run_config = config
     mesh = StructuredMesh(
         config.nx, config.ny, config.width, config.height, config.density
     )
     with rec.span("source_sampling", nparticles=config.nparticles):
         population = sample_source(
             mesh, config.source, config.nparticles, config.seed, config.dt,
-            scatter_table=materials[0].scatter,
-            capture_table=materials[0].capture,
+            provider=provider,
         )
 
     shards = _build_shards(config.nparticles, options)

@@ -83,6 +83,7 @@ def sample_source(
     start_id: int = 0,
     scatter_table: CrossSectionTable | None = None,
     capture_table: CrossSectionTable | None = None,
+    provider=None,
 ) -> ParticleArena:
     """Emit ``nparticles`` directly into a fresh :class:`ParticleArena`.
 
@@ -90,10 +91,13 @@ def sample_source(
     buffer — no per-particle object is ever constructed.  Each history's
     RNG stream starts at counter 0 and is advanced by the four birth
     draws; the arena carries the advanced counters so transport resumes
-    the same streams.  When the cross-section tables are given, the
-    cached energy bins are initialised to the birth energy's bin (part of
+    the same streams.  When a cross-section ``provider``
+    (:class:`repro.xs.provider.XsProvider`) is given, the cached energy
+    bins are initialised to the birth energy's bin in material 0 (part of
     birth initialisation, like the cached density) so the cached linear
-    search never walks from bin 0.
+    search never walks from bin 0.  The explicit ``scatter_table`` /
+    ``capture_table`` kwargs are the legacy spelling of the same seeding,
+    kept for the AoS parity oracle and existing tests.
     """
     arena = ParticleArena(nparticles)
     arena.particle_id[...] = np.arange(
@@ -121,6 +125,9 @@ def sample_source(
     arena.celly[...] = celly
     arena.local_density[...] = mesh.density_at_vec(arena.cellx, arena.celly)
     arena.rng_counter[...] = rng.counters
+    if provider is not None:
+        for field, bins in provider.source_bins_batch(0, arena.energy).items():
+            getattr(arena, field)[...] = bins
     if scatter_table is not None:
         arena.scatter_bin[...] = binary_search_bin_vec(scatter_table, arena.energy)
     if capture_table is not None:

@@ -47,9 +47,7 @@ from repro.volume.facet3 import cross_facet_3d
 from repro.volume.kinematics3 import sample_isotropic_direction_3d_vec
 from repro.volume.mesh3 import StructuredMesh3D, Tally3D
 from repro.volume.problems3 import Volume3DConfig
-from repro.xs.lookup import binary_search_bin
 from repro.xs.macroscopic import macroscopic_cross_section
-from repro.xs.tables import make_capture_table, make_scatter_table
 
 __all__ = [
     "Transport3DResult",
@@ -112,18 +110,6 @@ class Transport3DResult:
         return int(self.arena.alive.sum())
 
 
-def _tables(config: Volume3DConfig):
-    return (
-        make_scatter_table(config.xs_nentries),
-        make_capture_table(config.xs_nentries),
-    )
-
-
-def _micro_at(table, e: float) -> float:
-    b = binary_search_bin(table, e)
-    return table.interpolate_at_bin(e, b)
-
-
 def _sample_source_3d(config: Volume3DConfig, mesh: StructuredMesh3D):
     """Six-draw vectorised birth, emitted straight into a fresh arena.
 
@@ -177,7 +163,7 @@ def run_over_particles_3d(
         config.width, config.height, config.depth, config.density,
     )
     tally = Tally3D(config.nx, config.ny, config.nz)
-    scatter_table, capture_table = _tables(config)
+    provider = config.resolved_provider()
     arena, _ = _sample_source_3d(config, mesh)
     counters = Counters(nparticles=len(arena))
     counters.rng_draws += 6 * len(arena)
@@ -194,9 +180,8 @@ def run_over_particles_3d(
             if not arena.alive[i]:
                 continue
             _track_history_3d(
-                arena.proxy(i), i, mesh, tally, scatter_table,
-                capture_table, config, counters, coll_pp, facet_pp,
-                dispatch,
+                arena.proxy(i), i, mesh, tally, provider, config,
+                counters, coll_pp, facet_pp, dispatch,
             )
 
     drive_census_loop(
@@ -216,17 +201,18 @@ def run_over_particles_3d(
 
 
 def _track_history_3d(
-    p, index, mesh, tally, scatter_table, capture_table, config, counters,
+    p, index, mesh, tally, provider, config, counters,
     coll_pp, facet_pp, dispatch,
 ):
     rng = ParticleRNG(config.seed, p.particle_id, p.rng_counter)
-    molar = config.molar_mass_g_mol
+    molar = float(provider.mat_molar[0])
+    a_ratio = float(provider.mat_a[0])
+    nlookups = provider.lookups_per_refresh(0)
 
     def sigmas():
-        with dispatch.timed("xs_lookup", 2):
-            micro_s = _micro_at(scatter_table, p.energy)
-            micro_c = _micro_at(capture_table, p.energy)
-        counters.xs_lookups += 2
+        with dispatch.timed("xs_lookup", nlookups):
+            micro_s, micro_c, _micro_f = provider.micro_scalar(0, p.energy)
+        counters.xs_lookups += nlookups
         s = float(macroscopic_cross_section(micro_s, p.local_density, molar))
         a = float(macroscopic_cross_section(micro_c, p.local_density, molar))
         return s + a, a, micro_s, micro_c
@@ -256,7 +242,7 @@ def _track_history_3d(
             out = dispatch.run(
                 "collide_3d", 1,
                 p.energy, p.weight, p.ox, p.oy, p.oz, sigma_a, sigma_t,
-                config.a_ratio, u1, u2, u3,
+                a_ratio, u1, u2, u3,
                 config.energy_cutoff_ev, config.weight_cutoff,
             )
             p.energy, p.weight = out.energy, out.weight
@@ -364,7 +350,7 @@ def run_over_events_3d(
         config.width, config.height, config.depth, config.density,
     )
     tally = Tally3D(config.nx, config.ny, config.nz)
-    scatter_table, capture_table = _tables(config)
+    provider = config.resolved_provider()
     if arena is None:
         a, rng = _sample_source_3d(config, mesh)
     else:
@@ -418,7 +404,9 @@ def run_over_events_3d(
             lanes.counters[r].rng_draws += 6 * int(births[r])
     coll_pp = np.zeros(n, dtype=np.int64)
     facet_pp = np.zeros(n, dtype=np.int64)
-    molar = config.molar_mass_g_mol
+    molar = float(provider.mat_molar[0])
+    a_ratio = float(provider.mat_a[0])
+    nlookups = provider.lookups_per_refresh(0)
     dispatch = KernelDispatch(
         KERNEL_TABLE_3D, recorder=rec if rec.enabled else None
     )
@@ -429,10 +417,10 @@ def run_over_events_3d(
     def refresh(idx):
         if idx.size == 0:
             return
-        e = a["energy"][idx]
-        _, micro_s[idx] = dispatch.run("xs_lookup", idx.size, scatter_table, e)
-        _, micro_c[idx] = dispatch.run("xs_lookup", idx.size, capture_table, e)
-        cadd("xs_lookups", idx, 2)
+        lk = provider.lookup(0, a["energy"][idx], dispatch.run)
+        micro_s[idx] = lk.micro_s
+        micro_c[idx] = lk.micro_c
+        cadd("xs_lookups", idx, nlookups)
 
     def begin_step(step: int) -> None:
         # The 3-D driver's census-boundary bookkeeping historically ran
@@ -490,7 +478,7 @@ def run_over_events_3d(
                                 "collide_3d", c.size,
                                 a["energy"][c], a["weight"][c],
                                 a["ox"][c], a["oy"][c], a["oz"][c],
-                                sigma_a[c], sigma_t[c], config.a_ratio,
+                                sigma_a[c], sigma_t[c], a_ratio,
                                 u1, u2, u3,
                                 config.energy_cutoff_ev, config.weight_cutoff,
                             )

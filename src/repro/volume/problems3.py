@@ -67,6 +67,12 @@ class Volume3DConfig:
     weight_cutoff: float = DEFAULT_WEIGHT_CUTOFF
     xs_nentries: int = 2500
     boundary: BoundaryCondition = BoundaryCondition.REFLECTIVE
+    #: Cross-section backend: "multigroup" (paper default) or "ce"
+    #: (continuous-energy union grid, :mod:`repro.xs.ce`).
+    xs_mode: str = "multigroup"
+    #: Explicit CE material set; ``None`` uses the synthetic default
+    #: library (material 0, the homogeneous medium of the 3-D problems).
+    ce_materials: tuple | None = None
 
     def __post_init__(self) -> None:
         if self.nparticles < 1:
@@ -79,11 +85,42 @@ class Volume3DConfig:
                 f"density shape {density.shape} != ({self.nz}, {self.ny}, {self.nx})"
             )
         object.__setattr__(self, "density", density)
+        from repro.xs.provider import XsMode
+
+        object.__setattr__(self, "xs_mode", XsMode.coerce(self.xs_mode))
+        if self.ce_materials is not None and not self.ce_materials:
+            raise ValueError("ce_materials must be None or non-empty")
 
     @property
     def a_ratio(self) -> float:
         """Elastic scattering mass ratio."""
         return self.molar_mass_g_mol
+
+    def resolved_provider(self):
+        """Build this run's cross-section provider (one material).
+
+        Multigroup wraps the same ``make_*_table(xs_nentries)`` pair the
+        pre-provider driver built, carried by a
+        :func:`~repro.xs.materials.hydrogenous_moderator` whose molar mass
+        is the config's — bit-identical tables and metadata.
+        """
+        from repro.xs.materials import hydrogenous_moderator
+        from repro.xs.provider import XsMode, resolve_provider
+
+        if self.xs_mode is XsMode.CONTINUOUS_ENERGY:
+            return resolve_provider(
+                self.xs_mode,
+                ce_materials=self.ce_materials,
+                nmaterials=1,
+                xs_nentries=self.xs_nentries,
+            )
+        return resolve_provider(
+            self.xs_mode,
+            materials=(
+                hydrogenous_moderator(self.xs_nentries, self.molar_mass_g_mol),
+            ),
+            xs_nentries=self.xs_nentries,
+        )
 
     def with_(self, **changes) -> "Volume3DConfig":
         """Copy with fields replaced."""

@@ -148,14 +148,19 @@ def test_committed_baseline_validates():
     second = load_bench_artifact("results/BENCH_2.json")
     assert second.meta["sequence"] == 2
     assert second.meta["claims"]["ensemble_parity"] == 1.0
+    third = load_bench_artifact("results/BENCH_3.json")
+    assert third.meta["sequence"] == 3
+    assert third.meta["claims"]["adaptive_parity"] == 1.0
     # ...and the current baseline covers the whole quick tier.
-    current = load_bench_artifact("results/BENCH_3.json")
-    assert current.meta["sequence"] == 3
+    current = load_bench_artifact("results/BENCH_4.json")
+    assert current.meta["sequence"] == 4
     assert current.meta["tier"] == "quick"
     assert current.meta["claims"]["ensemble_parity"] == 1.0
     assert current.meta["claims"]["ensemble_speedup_csp_vs_looped"] > 5
     assert current.meta["claims"]["adaptive_parity"] == 1.0
     assert current.meta["claims"]["adaptive_efficiency"] >= 0.95
+    assert current.meta["claims"]["ce_parity"] == 1.0
+    assert 0 < current.meta["claims"]["ce_oe_op_ratio"] < 1.0
     quick = {s.name for s in specs_for_tier("quick")}
     assert set(current.benches) == quick
 
