@@ -45,12 +45,14 @@ from repro.bench.runner import (
     AdaptiveCrossover,
     CeCrossover,
     KernelProfile,
+    LiveOverhead,
     MeasuredSpeedup,
     RecoveryOverhead,
     ShardHandoff,
     measured_adaptive_crossover,
     measured_ce_crossover,
     measured_kernel_profile,
+    measured_live_overhead,
     measured_recovery_overhead,
     measured_shard_handoff,
     measured_speedup,
@@ -87,12 +89,14 @@ __all__ = [
     "AdaptiveCrossover",
     "CeCrossover",
     "KernelProfile",
+    "LiveOverhead",
     "MeasuredSpeedup",
     "RecoveryOverhead",
     "ShardHandoff",
     "measured_adaptive_crossover",
     "measured_ce_crossover",
     "measured_kernel_profile",
+    "measured_live_overhead",
     "measured_recovery_overhead",
     "measured_shard_handoff",
     "measured_speedup",

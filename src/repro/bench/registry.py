@@ -365,6 +365,24 @@ def _ce_crossover_bench(problem: str) -> BenchSample:
     )
 
 
+def _live_overhead_bench(problem: str) -> BenchSample:
+    from repro.bench.runner import measured_live_overhead
+
+    r = measured_live_overhead(problem)
+    return BenchSample(
+        wallclock_s=r.off_s + r.on_s,
+        metrics={
+            "live_parity": r.live_parity,
+            "endpoint_ok": r.endpoint_ok,
+            "off_s": r.off_s,
+            "on_s": r.on_s,
+            "live_overhead": r.overhead,
+            "events_total": float(r.events_total),
+            "warnings": r.warnings,
+        },
+    )
+
+
 def _arena_bench(problem: str) -> BenchSample:
     from repro.bench.runner import (
         MEASUREMENT_NX,
@@ -473,6 +491,19 @@ _CE_METRICS = {
     "oe_binary_probes": MetricSpec(direction="info"),
 }
 
+_LIVE_METRICS = {
+    # Standing invariants of the observability plane, both deterministic
+    # algorithm facts gated exactly: fingerprints bit-identical with the
+    # plane attached, and the endpoint serving a view consistent with the
+    # run's exact counters.
+    "live_parity": MetricSpec(direction="higher"),
+    "endpoint_ok": MetricSpec(direction="higher"),
+    "off_s": MetricSpec(direction="lower", rel_floor=0.5, timing=True),
+    "on_s": MetricSpec(direction="lower", rel_floor=0.5, timing=True),
+    "live_overhead": MetricSpec(direction="info", timing=True, signed=True),
+    "events_total": MetricSpec(direction="info"),
+}
+
 _ARENA_METRICS = {
     "arena_nbytes": MetricSpec(direction="lower"),
     "bytes_per_particle": MetricSpec(direction="lower"),
@@ -537,6 +568,14 @@ def _build_registry() -> dict:
             "crossover with bit-parity verified (measured_ce_crossover)",
             lambda: _ce_crossover_bench("csp"),
             dict(_CE_METRICS), repeats=2, warmup=0,
+        ),
+        _spec(
+            "live_overhead_csp", "quick",
+            "Serial csp run plain vs with the live metrics plane "
+            "attached and scraped over HTTP, with bit-parity verified "
+            "(measured_live_overhead)",
+            lambda: _live_overhead_bench("csp"),
+            dict(_LIVE_METRICS), repeats=2, warmup=0,
         ),
         _spec(
             "arena_footprint_csp", "quick",

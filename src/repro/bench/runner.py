@@ -46,6 +46,8 @@ __all__ = [
     "standard_gpu_time",
     "MeasuredSpeedup",
     "measured_speedup",
+    "LiveOverhead",
+    "measured_live_overhead",
     "RecoveryOverhead",
     "measured_recovery_overhead",
     "ShardHandoff",
@@ -367,6 +369,113 @@ def measured_speedup(
         measured_imbalance=pooled.pool.busy_imbalance(),
         modelled_imbalance=modelled.load_imbalance(),
         telemetry=telemetry,
+        warnings=warnings,
+    )
+
+
+@dataclass(frozen=True)
+class LiveOverhead:
+    """Cost of attaching the live observability plane, on this host.
+
+    Two identical serial runs — one plain, one with a
+    :class:`~repro.obs.live.LiveAggregator` fed per census step and a
+    :class:`~repro.obs.server.MetricsServer` scraped over real HTTP —
+    plus the plane's two standing invariants measured as metrics:
+    ``live_parity`` (population fingerprints bit-identical between the
+    runs) and ``endpoint_ok`` (the endpoint served schema-valid JSON and
+    Prometheus text whose event total matches the run's exact counter).
+    """
+
+    problem: str
+    scheme: Scheme
+    off_s: float
+    on_s: float
+    #: 1.0 when the observed run fingerprints identically to the plain one.
+    live_parity: float
+    #: 1.0 when /snapshot and /metrics served consistent, valid views.
+    endpoint_ok: float
+    events_total: int
+    warnings: tuple = ()
+
+    @property
+    def overhead(self) -> float:
+        """Fractional slowdown with the plane attached (may go negative
+        within host jitter — the probe work is per census step, tiny)."""
+        if self.off_s == 0:
+            return 0.0
+        return self.on_s / self.off_s - 1.0
+
+
+def measured_live_overhead(
+    problem: str = "csp",
+    scheme: Scheme = Scheme.OVER_PARTICLES,
+    nx: int = MEASUREMENT_NX,
+    nparticles: int = 4 * MEASUREMENT_PARTICLES,
+    ntimesteps: int = 4,
+) -> LiveOverhead:
+    """Time one serial configuration plain and with the live plane on.
+
+    Several census steps keep the probe on its real per-step cadence;
+    the metrics server is bound to an ephemeral port and scraped once
+    after the observed run so the bench exercises the full serve path,
+    not just the aggregator.
+    """
+    import json
+    import urllib.request
+
+    from repro.ensemble import population_fingerprint
+    from repro.obs import LiveAggregator, MetricsServer
+
+    if problem not in PROBLEM_FACTORIES:
+        raise KeyError(f"unknown problem {problem!r}")
+    cfg = PROBLEM_FACTORIES[problem](
+        nx=nx, nparticles=nparticles, ntimesteps=ntimesteps
+    )
+    sim = Simulation(cfg)
+    off = sim.run(scheme)
+    live = LiveAggregator()
+    endpoint_ok = 0.0
+    with MetricsServer(live, port=0) as server:
+        on = sim.run(scheme, live=live)
+        try:
+            with urllib.request.urlopen(
+                server.url("/snapshot"), timeout=5
+            ) as resp:
+                snap = json.loads(resp.read())
+            with urllib.request.urlopen(
+                server.url("/metrics"), timeout=5
+            ) as resp:
+                text = resp.read().decode("utf-8")
+            if (
+                snap["schema"]["name"] == "repro.live_snapshot"
+                and snap["aggregate"]["events_total"]
+                == int(on.counters.total_events)
+                and "repro_live_events_total" in text
+            ):
+                endpoint_ok = 1.0
+        except (OSError, ValueError, KeyError):
+            endpoint_ok = 0.0
+    parity = (
+        population_fingerprint(off.arena)
+        == population_fingerprint(on.arena)
+    )
+    resolution = time.get_clock_info("perf_counter").resolution
+    warnings = tuple(
+        f"timer_underflow:{label}"
+        for label, seconds in (
+            ("off", off.wallclock_s),
+            ("on", on.wallclock_s),
+        )
+        if seconds <= resolution
+    )
+    return LiveOverhead(
+        problem=problem,
+        scheme=scheme,
+        off_s=off.wallclock_s,
+        on_s=on.wallclock_s,
+        live_parity=1.0 if parity else 0.0,
+        endpoint_ok=endpoint_ok,
+        events_total=int(on.counters.total_events),
         warnings=warnings,
     )
 

@@ -2,7 +2,9 @@
 
     python -m repro run --problem csp --nx 128 --particles 500
     python -m repro run --problem csp --workers 2 --telemetry t.json
+    python -m repro run --workers 2 --serve-metrics 8787
     python -m repro report t.json
+    python -m repro capacity plan results/BENCH_4.json --slo 0.5 --rate 10
     python -m repro bench run --tier quick
     python -m repro bench compare results/BENCH_1.json BENCH_2.json
     python -m repro predict --problem csp --machine p100
@@ -137,6 +139,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="record spans/events and write the unified RunTelemetry "
         "artifact (JSON) to this path; inspect it with 'repro report'",
     )
+    run.add_argument(
+        "--serve-metrics",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="serve the live observability plane over HTTP while the run "
+        "steps: GET /metrics (Prometheus text), /snapshot (JSON), "
+        "/healthz (0 = ephemeral port)",
+    )
+    run.add_argument(
+        "--drift-baseline",
+        default=None,
+        metavar="BENCH_JSON",
+        help="a BENCH_*.json artifact whose measured events/s arms the "
+        "perf-drift watchdog on the live plane",
+    )
+    run.add_argument(
+        "--flight-dir",
+        default=None,
+        metavar="DIR",
+        help="directory for pooled workers' flight-recorder dumps "
+        "(requires --telemetry; default: a private temp dir)",
+    )
 
     run3d = sub.add_parser("run3d", help="run the 3-D extension on this host")
     run3d.add_argument(
@@ -168,6 +193,14 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="record spans/events and write the unified RunTelemetry "
         "artifact (JSON) to this path; inspect it with 'repro report'",
+    )
+    run3d.add_argument(
+        "--serve-metrics",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="serve the live plane over HTTP (/metrics, /snapshot, "
+        "/healthz); the 3-D drivers publish once at completion",
     )
 
     ensemble = sub.add_parser(
@@ -232,6 +265,14 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="record spans/events (incl. per-replica attribution events) "
         "and write the RunTelemetry artifact to this path",
+    )
+    ens_run.add_argument(
+        "--serve-metrics",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="serve the live observability plane over HTTP while the "
+        "fused dispatch steps (/metrics, /snapshot, /healthz)",
     )
 
     report = sub.add_parser(
@@ -320,6 +361,37 @@ def build_parser() -> argparse.ArgumentParser:
         help="which bench's kernel profile to fit (default: first with one)",
     )
 
+    capacity = sub.add_parser(
+        "capacity",
+        help="size workers/fleets from the calibrated scaling model",
+    )
+    cap_sub = capacity.add_subparsers(dest="capacity_command", required=True)
+    cap_plan = cap_sub.add_parser(
+        "plan",
+        help="plan worker counts for a latency SLO (or reproduce the "
+        "benched worker count) from a BENCH_*.json artifact",
+    )
+    cap_plan.add_argument("artifact", help="a BENCH_*.json artifact")
+    cap_plan.add_argument(
+        "--bench", default=None,
+        help="the pool_speedup_* bench supplying the serial/pooled "
+        "latencies (default: pool_speedup_csp)",
+    )
+    cap_plan.add_argument(
+        "--workers", type=int, default=2,
+        help="worker count the bench's pooled measurement ran with",
+    )
+    cap_plan.add_argument(
+        "--slo", type=float, default=None, metavar="SECONDS",
+        help="latency SLO to size for; omit to reproduce the benched "
+        "worker count from the measured pooled latency",
+    )
+    cap_plan.add_argument(
+        "--rate", type=float, default=None, metavar="JOBS_PER_S",
+        help="traffic rate — sizes the whole fleet via Little's law "
+        "(needs --slo)",
+    )
+
     predict = sub.add_parser(
         "predict", help="price a paper-scale run on a modelled device"
     )
@@ -348,6 +420,39 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _start_live_plane(args, recorder=None):
+    """Build the live aggregator + HTTP endpoint for ``--serve-metrics``.
+
+    Returns ``(live, server)`` — both ``None`` when the flag is absent.
+    The server is already started; the caller owns closing it.
+    """
+    port = getattr(args, "serve_metrics", None)
+    if port is None:
+        return None, None
+    from repro.obs import (
+        LiveAggregator,
+        MetricsServer,
+        drift_band_from_artifact,
+    )
+
+    drift = None
+    baseline = getattr(args, "drift_baseline", None)
+    if baseline:
+        from repro.bench import load_bench_artifact
+
+        drift = drift_band_from_artifact(load_bench_artifact(baseline))
+    live = LiveAggregator(drift=drift, recorder=recorder)
+    server = MetricsServer(live, port=port)
+    server.start()
+    print(f"live metrics: {server.url('/metrics')} "
+          f"(also /snapshot, /healthz)")
+    if drift is not None:
+        print(f"drift watchdog: expecting "
+              f"{drift.expected_events_per_s:,.0f} events/s "
+              f"±{drift.rel_band:.0%} ({drift.source})")
+    return live, server
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     cfg = PROBLEM_FACTORIES[args.problem](
         nx=args.nx,
@@ -369,17 +474,28 @@ def _cmd_run(args: argparse.Namespace) -> int:
         from repro.obs import Recorder
 
         recorder = Recorder()
-    result = Simulation(cfg).run(
-        Scheme(args.scheme),
-        nworkers=args.workers,
-        schedule=schedule,
-        chunk=args.chunk,
-        max_retries=args.max_retries,
-        shard_timeout=args.shard_timeout,
-        max_worker_respawns=args.max_respawns,
-        fault_plan=fault_plan,
-        recorder=recorder,
-    )
+    try:
+        live, server = _start_live_plane(args, recorder)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        result = Simulation(cfg).run(
+            Scheme(args.scheme),
+            nworkers=args.workers,
+            schedule=schedule,
+            chunk=args.chunk,
+            max_retries=args.max_retries,
+            shard_timeout=args.shard_timeout,
+            max_worker_respawns=args.max_respawns,
+            fault_plan=fault_plan,
+            recorder=recorder,
+            live=live,
+            flight_dir=args.flight_dir,
+        )
+    finally:
+        if server is not None:
+            server.close()
     c = result.counters
     print(f"problem={cfg.name} mesh={cfg.nx}x{cfg.ny} particles={cfg.nparticles} "
           f"scheme={args.scheme}")
@@ -519,9 +635,19 @@ def _cmd_ensemble_run(args: argparse.Namespace) -> int:
 
         recorder = Recorder()
     scheme = Scheme(args.scheme)
-    ens = run_ensemble(
-        spec, scheme, nworkers=args.workers, recorder=recorder
-    )
+    try:
+        live, server = _start_live_plane(args, recorder)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        ens = run_ensemble(
+            spec, scheme, nworkers=args.workers, recorder=recorder,
+            live=live,
+        )
+    finally:
+        if server is not None:
+            server.close()
     c = ens.counters
     print(f"ensemble: {ens.nreplicas} replicas x {base.nparticles} histories "
           f"({args.problem}, {base.nx}x{base.ny} mesh, {args.scheme}, "
@@ -602,7 +728,37 @@ def _cmd_run3d(args: argparse.Namespace) -> int:
         from repro.obs import Recorder
 
         recorder = Recorder()
-    result = driver(cfg, recorder=recorder)
+    try:
+        live, server = _start_live_plane(args, recorder)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        if live is not None:
+            live.update_run(
+                problem=cfg.name, nparticles=int(cfg.nparticles),
+                ntimesteps=1, scheme=args.scheme, nworkers=0, mode="run3d",
+            )
+        result = driver(cfg, recorder=recorder)
+        if live is not None:
+            # The 3-D drivers are not probe-threaded per census step;
+            # publish the final totals so the endpoint still reports the
+            # finished run truthfully.
+            rc = result.counters
+            live.observe_worker(
+                0,
+                events=int(rc.total_events),
+                alive=int(result.arena.alive.sum()),
+                xs_lookups=int(rc.xs_lookups),
+                xs_probes=int(rc.xs_binary_probes + rc.xs_linear_probes),
+                histories=int(cfg.nparticles),
+                shards=1,
+                steps=1,
+            )
+            live.mark_done()
+    finally:
+        if server is not None:
+            server.close()
     c = result.counters
     print(f"problem={cfg.name} mesh={cfg.nx}³ particles={cfg.nparticles} "
           f"scheme={args.scheme}")
@@ -626,7 +782,10 @@ def _cmd_run3d(args: argparse.Namespace) -> int:
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
+    import json
+
     from repro.obs import (
+        TelemetrySchemaError,
         format_summary,
         load_telemetry,
         to_chrome_trace,
@@ -634,14 +793,34 @@ def _cmd_report(args: argparse.Namespace) -> int:
         to_prometheus,
     )
 
-    telemetry = load_telemetry(args.telemetry)
+    # One-line diagnoses for the operator-facing failure modes: a path
+    # that is not there, a file that is not JSON, JSON that is not a
+    # RunTelemetry artifact.
+    try:
+        telemetry = load_telemetry(args.telemetry)
+    except FileNotFoundError:
+        print(f"error: no telemetry artifact at {args.telemetry}",
+              file=sys.stderr)
+        return 1
+    except OSError as exc:
+        print(f"error: cannot read {args.telemetry}: {exc}", file=sys.stderr)
+        return 1
+    except json.JSONDecodeError as exc:
+        print(f"error: {args.telemetry} is not valid JSON ({exc})",
+              file=sys.stderr)
+        return 1
+    except TelemetrySchemaError as exc:
+        first = exc.problems[0] if exc.problems else "schema mismatch"
+        more = len(exc.problems) - 1
+        suffix = f" (+{more} more)" if more > 0 else ""
+        print(f"error: {args.telemetry} is not a valid RunTelemetry "
+              f"artifact: {first}{suffix}", file=sys.stderr)
+        return 1
     if args.format == "summary":
         text = format_summary(telemetry)
     elif args.format == "jsonl":
         text = to_jsonl(telemetry)
     elif args.format == "chrome":
-        import json
-
         text = json.dumps(to_chrome_trace(telemetry))
     else:
         text = to_prometheus(telemetry)
@@ -743,6 +922,32 @@ def _cmd_bench_recalibrate(args: argparse.Namespace) -> int:
     report = recalibrate_from_artifact(artifact, bench=args.bench)
     print(report.format())
     return 0
+
+
+def _cmd_capacity(args: argparse.Namespace) -> int:
+    handlers = {"plan": _cmd_capacity_plan}
+    return handlers[args.capacity_command](args)
+
+
+def _cmd_capacity_plan(args: argparse.Namespace) -> int:
+    from repro.bench import load_bench_artifact
+    from repro.perfmodel import plan_capacity, scenario_from_artifact
+    from repro.perfmodel.capacity import DEFAULT_BENCH
+
+    try:
+        artifact = load_bench_artifact(args.artifact)
+        scenario = scenario_from_artifact(
+            artifact,
+            bench=args.bench or DEFAULT_BENCH,
+            nworkers=args.workers,
+        )
+        plan = plan_capacity(scenario, latency_slo=args.slo, rate=args.rate)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(scenario.format())
+    print(plan.format())
+    return 0 if plan.feasible else 1
 
 
 def _cmd_predict(args: argparse.Namespace) -> int:
@@ -867,6 +1072,7 @@ def main(argv: list[str] | None = None) -> int:
         "ensemble": _cmd_ensemble,
         "report": _cmd_report,
         "bench": _cmd_bench,
+        "capacity": _cmd_capacity,
         "predict": _cmd_predict,
         "characterise": _cmd_characterise,
         "figures": _cmd_figures,

@@ -746,6 +746,7 @@ def run_over_events(
     recorder=None,
     lanes=None,
     provider=None,
+    probe=None,
 ):
     """Run the full calculation with the Over Events scheme.
 
@@ -799,4 +800,5 @@ def run_over_events(
         recorder=recorder,
         lanes=lanes,
         provider=provider,
+        probe=probe,
     )

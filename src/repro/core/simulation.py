@@ -128,6 +128,8 @@ class Simulation:
         max_worker_respawns: int = 3,
         fault_plan: "FaultPlan | None" = None,
         recorder: "object | None" = None,
+        live: "object | None" = None,
+        flight_dir: str | None = None,
     ) -> TransportResult:
         """Run the configured calculation with the chosen scheme.
 
@@ -171,6 +173,18 @@ class Simulation:
             run's span tree and event log.  ``None`` (default) records
             nothing and the run is bit-identical to one with telemetry
             attached.
+        live:
+            Optional :class:`~repro.obs.live.LiveAggregator` attaching
+            the live observability plane: per-census-step counter totals
+            stream into it while the run advances (serial runs publish
+            directly from the stepper; pooled runs via the shared stats
+            board), ready to be served by
+            :class:`~repro.obs.server.MetricsServer`.  Purely
+            observational — physics is bit-identical with it on or off.
+        flight_dir:
+            Directory for pooled workers' flight-recorder dumps (needs
+            ``recorder``); ``None`` uses a private temp dir.  See
+            ``PoolOptions.flight_dir``.
         """
         # Local imports: the drivers import TransportResult from here.
         from repro.core.stepper import run_stepped, validate_scheme_options
@@ -190,9 +204,31 @@ class Simulation:
                 shard_timeout=shard_timeout,
                 max_worker_respawns=max_worker_respawns,
                 fault_plan=fault_plan,
+                flight_dir=flight_dir,
             )
-            return run_pool(self.config, scheme, options, recorder=recorder)
-        return run_stepped(self.config, scheme, recorder=recorder)
+            return run_pool(
+                self.config, scheme, options, recorder=recorder, live=live
+            )
+        probe = None
+        if live is not None:
+            live.update_run(
+                problem=getattr(self.config, "name", "") or "",
+                nparticles=int(self.config.nparticles),
+                ntimesteps=int(self.config.ntimesteps),
+                scheme=scheme.value if isinstance(scheme, Scheme) else "plan",
+                nworkers=0,
+                mode="serial",
+            )
+            probe = live.probe(0)
+        result = run_stepped(
+            self.config, scheme, recorder=recorder, probe=probe
+        )
+        if live is not None:
+            # Final commit folds in what only lands at finalisation
+            # (OP's xs-lookup statistics) before freezing the snapshot.
+            probe.commit_shard(result.counters, self.config.nparticles)
+            live.mark_done()
+        return result
 
     def run_both(self) -> tuple[TransportResult, TransportResult]:
         """Run both schemes on identical inputs (for comparisons/tests)."""

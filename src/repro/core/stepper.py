@@ -54,6 +54,7 @@ from repro.core.counters import Counters
 from repro.kernels import KernelDispatch, Workspace
 from repro.mesh.structured import StructuredMesh
 from repro.mesh.tally import EnergyDepositionTally
+from repro.obs.live import NULL_PROBE
 from repro.obs.spans import NULL_RECORDER
 from repro.particles.source import sample_source
 
@@ -358,9 +359,12 @@ class CensusStepper:
     transport to a scheme strategy picked by the plan."""
 
     def __init__(self, config: SimulationConfig, *, arena=None, tally=None,
-                 trace=None, recorder=None, lanes=None, provider=None):
+                 trace=None, recorder=None, lanes=None, provider=None,
+                 probe=None):
         self.config = config
         self.rec = NULL_RECORDER if recorder is None else recorder
+        #: Live-plane publisher (repro.obs.live); NULL_PROBE when off.
+        self.probe = NULL_PROBE if probe is None else probe
         self.lanes = lanes
         self.trace = trace
         self.mesh = StructuredMesh(
@@ -420,6 +424,28 @@ class CensusStepper:
     # ------------------------------------------------------------------
     def alive_count(self) -> int:
         return int(self.arena.alive.sum())
+
+    def _probe_step(self, step: int) -> None:
+        """Publish this shard's in-progress counter totals to the live
+        plane (fused ensemble lanes keep per-replica counters, so sum
+        them in; OP's xs stats fold only at finalisation and appear at
+        shard commit instead — live totals jump there, monotonically)."""
+        c = self.counters
+        events = c.total_events
+        xs = c.xs_lookups
+        probes = c.xs_binary_probes + c.xs_linear_probes
+        if self.lanes is not None:
+            for rc in self.lanes.counters:
+                events += rc.total_events
+                xs += rc.xs_lookups
+                probes += rc.xs_binary_probes + rc.xs_linear_probes
+        self.probe.step_complete(
+            step=step,
+            alive=self.alive_count(),
+            events=int(events),
+            xs_lookups=int(xs),
+            xs_probes=int(probes),
+        )
 
     def _strategy(self, scheme: Scheme):
         strat = self._strategies.get(scheme)
@@ -510,6 +536,8 @@ class CensusStepper:
             strategy = state["strategy"]
             strategy.run_step(step, decision, rec)
             strategy.end_step()
+            if self.probe.enabled:
+                self._probe_step(step)
 
         label = fixed.value if fixed is not None else Scheme.AUTO.value
         drive_census_loop(
@@ -594,7 +622,7 @@ def _coerce_plan(config: SimulationConfig, plan):
 
 def run_stepped(config: SimulationConfig, plan=None, *, arena=None,
                 tally=None, trace=None, recorder=None, lanes=None,
-                provider=None):
+                provider=None, probe=None):
     """Run the unified census stepper.
 
     ``plan`` is a :class:`Scheme` (``AUTO`` builds a live
@@ -621,7 +649,7 @@ def run_stepped(config: SimulationConfig, plan=None, *, arena=None,
             )
     stepper = CensusStepper(
         config, arena=arena, tally=tally, trace=trace, recorder=recorder,
-        lanes=lanes, provider=provider,
+        lanes=lanes, provider=provider, probe=probe,
     )
     stepper.run(plan)
     return TransportResult(

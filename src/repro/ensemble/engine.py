@@ -115,9 +115,14 @@ class EnsembleJob:
 
     arena_cls = EnsembleArena
 
-    def run_ranges(self, scheme, population, ranges, recorder=None):
+    def run_ranges(self, scheme, population, ranges, recorder=None,
+                   probe=None):
         """Run the fused transport over replica-aligned shard ranges;
-        returns the pool payload dict plus per-replica books."""
+        returns the pool payload dict plus per-replica books.
+
+        ``probe`` feeds the live plane: OE publishes per census step via
+        the stepper, the fused OP driver at shard commit only (its
+        per-replica counters fold at finalisation)."""
         t0 = time.perf_counter()
         bounds = np.asarray(self.bounds, dtype=np.int64)
         tally = EnergyDepositionTally(self.nx, self.ny)
@@ -140,12 +145,15 @@ class EnsembleJob:
             lanes = EnsembleLanes(sub, view.replica_id, self.nx, self.ny)
             if scheme is Scheme.OVER_EVENTS:
                 res = run_over_events(
-                    sub[0], arena=view, lanes=lanes, recorder=recorder
+                    sub[0], arena=view, lanes=lanes, recorder=recorder,
+                    probe=probe,
                 )
             else:
                 res = run_over_particles_fused(
                     sub, view, lanes, recorder=recorder
                 )
+            if probe is not None and probe.enabled:
+                probe.commit_shard(res.counters, hi - lo)
             res.arena.replica_id += r0
             for k in range(len(sub)):
                 replica_counters[r0 + k] = lanes.counters[k]
@@ -214,6 +222,7 @@ def run_ensemble(
     max_worker_respawns: int = 3,
     fault_plan=None,
     recorder=None,
+    live=None,
 ) -> EnsembleResult:
     """Fuse the ensemble members into one arena and run them as one
     dispatch per event per census step.
@@ -235,12 +244,27 @@ def run_ensemble(
         Optional :class:`repro.obs.Recorder`; receives the fused span
         tree plus one ``ensemble_replica`` event per member carrying its
         per-replica counter attribution.
+    live:
+        Optional :class:`repro.obs.live.LiveAggregator` attaching the
+        live observability plane (purely observational; see
+        ``run_pool``).  The serial OE path streams per census step; the
+        fused OP path reports at completion.
     """
     t0 = time.perf_counter()
     rec = NULL_RECORDER if recorder is None else recorder
     members = _expand(spec_or_members)
     nrep = len(members)
     base = members[0]
+    if live is not None:
+        live.update_run(
+            problem=getattr(base, "name", "") or "",
+            nparticles=int(sum(m.nparticles for m in members)),
+            ntimesteps=int(base.ntimesteps),
+            scheme=scheme.value,
+            nworkers=int(nworkers),
+            replicas=nrep,
+            mode="ensemble",
+        )
     # Build the cross-section backend once for the whole ensemble
     # (materials are a uniform field — validate_members enforces it).
     from repro.xs.provider import XsMode
@@ -278,16 +302,19 @@ def run_ensemble(
                 run_members, fused.replica_id, base.nx, base.ny
             )
             inner_rec = rec if rec.enabled else None
+            probe = live.probe(0) if live is not None else None
             if scheme is Scheme.OVER_EVENTS:
                 fused_result = run_over_events(
                     run_base, arena=fused, lanes=lanes, recorder=inner_rec,
-                    provider=provider,
+                    provider=provider, probe=probe,
                 )
             else:
                 fused_result = run_over_particles_fused(
                     run_members, fused, lanes, recorder=inner_rec,
                     provider=provider,
                 )
+            if probe is not None:
+                probe.commit_shard(fused_result.counters, len(fused))
             final = fused_result.arena
             replica_counters = list(lanes.counters)
             replica_tallies = list(lanes.tallies)
@@ -301,6 +328,7 @@ def run_ensemble(
                 max_worker_respawns=max_worker_respawns,
                 fault_plan=fault_plan,
                 recorder=rec,
+                live=live,
             )
             fused_counters, fused_tally = _fused_from_replicas(
                 replica_counters, replica_tallies, final, base.nx, base.ny
@@ -329,6 +357,8 @@ def run_ensemble(
                 escaped_energy=float(rr.counters.escaped_energy),
             )
 
+    if live is not None:
+        live.mark_done()
     return EnsembleResult(
         members=members,
         scheme=scheme,
@@ -344,6 +374,7 @@ def run_ensemble(
 def _run_ensemble_pool(
     run_members, fused, bounds, scheme, nworkers, *,
     max_retries, shard_timeout, max_worker_respawns, fault_plan, recorder,
+    live=None,
 ):
     """Shard the fused arena by replica blocks across the worker pool."""
     from repro.parallel.pool import PoolOptions, _Dispatcher, _pick_context
@@ -373,7 +404,8 @@ def _run_ensemble_pool(
     shared_pop = fused.to_shared()
     ctx = _pick_context(options)
     dispatcher = _Dispatcher(
-        job, scheme, shared_pop, shards, options, ctx, recorder=rec
+        job, scheme, shared_pop, shards, options, ctx, recorder=rec,
+        live=live,
     )
     try:
         with rec.span(

@@ -1,5 +1,7 @@
 """Run observability: spans, the cross-worker event log, and the
-unified :class:`RunTelemetry` artifact with its exporters."""
+unified :class:`RunTelemetry` artifact with its exporters — plus the
+live plane (:mod:`repro.obs.live` aggregation, the
+:class:`MetricsServer` endpoint, and the worker flight recorder)."""
 
 from repro.obs.export import (
     format_summary,
@@ -7,6 +9,21 @@ from repro.obs.export import (
     to_jsonl,
     to_prometheus,
 )
+from repro.obs.live import (
+    LIVE_SCHEMA_NAME,
+    LIVE_SCHEMA_VERSION,
+    NULL_PROBE,
+    DriftBand,
+    FlightSpiller,
+    LiveAggregator,
+    LiveBoard,
+    NullProbe,
+    StepProbe,
+    drift_band_from_artifact,
+    flight_dump,
+    load_flight_dump,
+)
+from repro.obs.server import MetricsServer
 from repro.obs.spans import (
     NULL_RECORDER,
     LogEvent,
@@ -41,4 +58,17 @@ __all__ = [
     "to_chrome_trace",
     "to_prometheus",
     "format_summary",
+    "LIVE_SCHEMA_NAME",
+    "LIVE_SCHEMA_VERSION",
+    "LiveAggregator",
+    "LiveBoard",
+    "StepProbe",
+    "NullProbe",
+    "NULL_PROBE",
+    "DriftBand",
+    "drift_band_from_artifact",
+    "FlightSpiller",
+    "flight_dump",
+    "load_flight_dump",
+    "MetricsServer",
 ]

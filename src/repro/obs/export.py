@@ -258,6 +258,10 @@ def to_prometheus(telemetry) -> str:
             out.gauge("repro_worker_last_heartbeat_age_seconds",
                       w["last_heartbeat_age_s"],
                       "Heartbeat age at collection time", labels)
+        for sid, attempts in enumerate(pool.get("shard_attempts", ())):
+            out.counter("repro_pool_shard_attempts", attempts,
+                        "Re-execution attempts per shard "
+                        "(0 = first try succeeded)", {"shard": str(sid)})
     out.counter("repro_spans", len(telemetry.spans),
                 "Spans in the telemetry artifact")
     out.counter("repro_events", len(telemetry.events),
@@ -401,4 +405,20 @@ def format_summary(telemetry) -> str:
                 f"{k}={v}" for k, v in sorted(row.get("attrs", {}).items())
             )
             out.append(f"  t={row['t']:.6f} {row['name']}{tag} {attrs}")
+
+    flights = [r for r in telemetry.events if r["name"] == "flight_recorder"]
+    if flights:
+        out.append("")
+        out.append(
+            f"flight recorder ({len(flights)} dump"
+            f"{'s' if len(flights) != 1 else ''} merged from "
+            "lost/hung workers):"
+        )
+        for row in flights:
+            a = row.get("attrs", {})
+            out.append(
+                f"  worker {a.get('worker', '?')} incarnation "
+                f"{a.get('incarnation', '?')}: {a.get('spans', 0)} spans, "
+                f"{a.get('events', 0)} events ({a.get('reason', '')})"
+            )
     return "\n".join(out) + "\n"

@@ -64,10 +64,12 @@ from __future__ import annotations
 import multiprocessing as mp
 import os
 import queue as queue_mod
+import shutil
+import tempfile
 import threading
 import time
 import traceback
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -75,6 +77,7 @@ from repro.core.config import Scheme, SimulationConfig
 from repro.core.counters import Counters
 from repro.mesh.structured import StructuredMesh
 from repro.mesh.tally import EnergyDepositionTally
+from repro.obs.live import FlightSpiller, LiveBoard, load_flight_dump
 from repro.obs.spans import NULL_RECORDER, Recorder
 from repro.parallel.faults import KILLED_EXIT_CODE, FaultInjected, FaultPlan
 from repro.parallel.schedule import ScheduleKind
@@ -149,6 +152,13 @@ class PoolOptions:
         re-sorts by ``particle_id``).
     rebalance_threshold:
         In-flight shard age (seconds) that triggers a reserve split.
+    flight_dir:
+        Directory for worker flight-recorder dumps (bounded tails of each
+        worker's live span/event buffer, spilled from the heartbeat
+        thread).  Only used when a recorder is attached to the run.
+        ``None`` (the default) uses a private temporary directory that is
+        removed at shutdown; an explicit path is created if needed and
+        left in place, so post-mortems can inspect raw dumps.
     """
 
     nworkers: int
@@ -165,6 +175,7 @@ class PoolOptions:
     fault_plan: FaultPlan | None = None
     rebalance: bool = False
     rebalance_threshold: float = 1.0
+    flight_dir: str | None = None
 
     def __post_init__(self) -> None:
         if self.nworkers < 1:
@@ -319,7 +330,8 @@ class PoolRunInfo:
 # Shard execution (runs inside workers; in-process when nworkers == 1)
 # ---------------------------------------------------------------------------
 
-def _run_ranges(config, scheme, population, ranges, recorder=None):
+def _run_ranges(config, scheme, population, ranges, recorder=None,
+                probe=None):
     """Run the scheme driver over each ``(lo, hi)`` history range.
 
     ``population`` is a :class:`ParticleArena` — private or shared-memory
@@ -329,7 +341,10 @@ def _run_ranges(config, scheme, population, ranges, recorder=None):
     Accumulates into one private tally and one private counter set, in
     range order; returns everything the parent needs for the reduction.
     ``recorder`` (when given) is handed to the drivers, which record
-    their span trees into it; it never alters the physics.
+    their span trees into it; it never alters the physics.  ``probe``
+    (a :class:`repro.obs.live.StepProbe`) likewise: the stepper publishes
+    per-census-step counter totals through it and each finished range is
+    committed, feeding the live plane without touching the physics.
 
     ``scheme`` may be a fixed :class:`Scheme`, ``Scheme.AUTO`` (each
     shard gets its own live :class:`repro.adaptive.AdaptiveScheduler`),
@@ -344,7 +359,9 @@ def _run_ranges(config, scheme, population, ranges, recorder=None):
     # EnsembleJob) ride through the config slot and take over here; the
     # shard handle, retry and reduce machinery around them is unchanged.
     if hasattr(config, "run_ranges"):
-        return config.run_ranges(scheme, population, ranges, recorder=recorder)
+        return config.run_ranges(
+            scheme, population, ranges, recorder=recorder, probe=probe
+        )
 
     tally = EnergyDepositionTally(config.nx, config.ny)
     counters = Counters()
@@ -357,8 +374,10 @@ def _run_ranges(config, scheme, population, ranges, recorder=None):
         histories += hi - lo
         r = run_stepped(
             config, scheme, arena=population.view(lo, hi).copy(),
-            tally=tally, recorder=recorder,
+            tally=tally, recorder=recorder, probe=probe,
         )
+        if probe is not None and probe.enabled:
+            probe.commit_shard(r.counters, hi - lo)
         if arena is None:
             arena = r.arena
         else:
@@ -375,10 +394,16 @@ def _run_ranges(config, scheme, population, ranges, recorder=None):
     }
 
 
-def _beat(heartbeats, worker_id, stop, interval):
-    """Heartbeat daemon thread: stamp a shared timestamp until stopped."""
+def _beat(heartbeats, worker_id, stop, interval, spiller=None):
+    """Heartbeat daemon thread: stamp a shared timestamp until stopped.
+
+    The flight recorder rides along: each beat also gives the spiller a
+    chance to refresh the on-disk dump of the worker's recent
+    spans/events, so a sudden death leaves a recent tail behind."""
     while not stop.wait(interval):
         heartbeats[worker_id] = time.monotonic()
+        if spiller is not None:
+            spiller.maybe_spill()
 
 
 def _hard_exit(result_queue):
@@ -390,7 +415,7 @@ def _hard_exit(result_queue):
 
 def _worker_main(worker_id, incarnation, config, scheme, handle,
                  task_queue, result_queue, heartbeats, plan, hb_interval,
-                 telemetry=False):
+                 telemetry=False, board=None, flight_dir=None):
     """Worker process entry point: pull shards, announce, run, ship.
 
     ``handle`` is the population hand-off — the ``(shm_name, n_total)``
@@ -414,12 +439,28 @@ def _worker_main(worker_id, incarnation, config, scheme, handle,
     failed attempts are covered by the parent's recovery events — so the
     merged log depends only on which attempt finally ran each shard,
     which the deterministic fault plan fixes.
+
+    ``board`` (a :class:`repro.obs.live.LiveBoard`) is the live-plane
+    sink: a probe publishes this worker's monotonic counter totals into
+    its shared row, sampled by the parent on the heartbeat cadence.
+    ``flight_dir`` enables the flight recorder: the current shard's
+    recorder tail is spilled there from the heartbeat thread (and
+    immediately on shard start, so even an instant kill leaves a dump);
+    the dump is removed once the shard's result ships, because the
+    shipped payload supersedes it.
     """
     stop = threading.Event()
     heartbeats[worker_id] = time.monotonic()
+    probe = board.probe(worker_id) if board is not None else None
+    spiller = None
+    if telemetry and flight_dir is not None:
+        spiller = FlightSpiller(os.path.join(
+            flight_dir, f"flight_w{worker_id}_i{incarnation}.json"
+        ))
     if not plan.drops_heartbeat(worker_id, incarnation):
         threading.Thread(
-            target=_beat, args=(heartbeats, worker_id, stop, hb_interval),
+            target=_beat,
+            args=(heartbeats, worker_id, stop, hb_interval, spiller),
             daemon=True,
         ).start()
     kill = plan.kill_for(worker_id, incarnation)
@@ -441,12 +482,6 @@ def _worker_main(worker_id, incarnation, config, scheme, handle,
                 "incarnation": incarnation, "shard": shard_id,
                 "attempt": attempt,
             })
-            if (kill is not None and kill.mid_shard
-                    and chunks_done >= kill.after_chunks):
-                _hard_exit(result_queue)
-            delay = plan.delay_for(shard_id, attempt)
-            if delay is not None:
-                time.sleep(delay.seconds)
             wrec = None
             if telemetry:
                 wrec = Recorder(source={
@@ -454,12 +489,24 @@ def _worker_main(worker_id, incarnation, config, scheme, handle,
                     "shard": shard_id, "attempt": attempt,
                 })
                 wrec.event("shard_start", shard=shard_id, attempt=attempt)
+                if spiller is not None:
+                    # Bind (and force-spill) before the injected kill /
+                    # delay below: even a worker killed the instant it
+                    # starts a shard leaves a flight dump behind.
+                    spiller.bind(wrec)
+            if (kill is not None and kill.mid_shard
+                    and chunks_done >= kill.after_chunks):
+                _hard_exit(result_queue)
+            delay = plan.delay_for(shard_id, attempt)
+            if delay is not None:
+                time.sleep(delay.seconds)
             try:
                 injected = plan.raise_for(shard_id, attempt)
                 if injected is not None:
                     raise FaultInjected(injected.message)
                 out = _run_ranges(
-                    config, scheme, population, [(lo, hi)], recorder=wrec
+                    config, scheme, population, [(lo, hi)], recorder=wrec,
+                    probe=probe,
                 )
             except Exception:
                 result_queue.put({
@@ -475,6 +522,10 @@ def _worker_main(worker_id, incarnation, config, scheme, handle,
                 if wrec is not None:
                     wrec.event("shard_done", shard=shard_id, attempt=attempt)
                     out["telemetry"] = wrec.payload()
+                if spiller is not None:
+                    # The shipped payload supersedes the flight dump;
+                    # merging both would duplicate this shard's spans.
+                    spiller.clear()
                 result_queue.put(out)
             chunks_done += 1
     finally:
@@ -540,7 +591,7 @@ class _Dispatcher:
     """
 
     def __init__(self, config, scheme, population, shards, options, ctx,
-                 recorder=None):
+                 recorder=None, live=None):
         self.config = config
         self.scheme = scheme
         #: Shared-memory arena (created by run_pool, unlinked by it too).
@@ -580,6 +631,27 @@ class _Dispatcher:
         #: finished (satellite: surfaced on WorkerReport).
         self.final_heartbeat_ages: dict[int, float] = {}
         self._last_hb_sample = time.monotonic()
+        #: Live plane (repro.obs.live.LiveAggregator) and the shared
+        #: stats board workers publish to; both None when the plane is
+        #: off — zero overhead, like the null recorder.
+        self.live = live
+        self.board = (
+            LiveBoard.allocate(ctx, self.nslots) if live is not None else None
+        )
+        self._parent_probe = None
+        #: Flight-recorder directory.  Owned (created + removed here)
+        #: when the options leave it unset; an explicit directory is
+        #: created if needed and left behind for post-mortems.
+        self.flight_dir = None
+        self._flight_owned = False
+        self._flight_merged: set[tuple[int, int]] = set()
+        if self.rec.enabled:
+            if options.flight_dir is not None:
+                self.flight_dir = options.flight_dir
+                os.makedirs(self.flight_dir, exist_ok=True)
+            else:
+                self.flight_dir = tempfile.mkdtemp(prefix="repro-flight-")
+                self._flight_owned = True
 
     # -- lifecycle ------------------------------------------------------
     def run(self):
@@ -611,6 +683,11 @@ class _Dispatcher:
                 slot.worker_id: max(0.0, now - self.heartbeats[slot.worker_id])
                 for slot in self.slots
             }
+            # Final live sample: sub-second runs may never hit the
+            # periodic cadence, but the snapshot should still report the
+            # completed totals off the board.
+            if self.live is not None:
+                self._sample_live(now, record_events=False)
         finally:
             self._shutdown()
         return self.results
@@ -625,7 +702,7 @@ class _Dispatcher:
                 slot.worker_id, slot.incarnation, self.config, self.scheme,
                 self.handle, slot.queue, self.result_queue,
                 self.heartbeats, self.plan, self.options.heartbeat_interval,
-                self.rec.enabled,
+                self.rec.enabled, self.board, self.flight_dir,
             ),
             daemon=True,
         )
@@ -640,16 +717,10 @@ class _Dispatcher:
             if not self.pending:
                 return
             now = time.monotonic()
-            if self.rec.enabled and now - self._last_hb_sample >= 1.0:
+            if ((self.rec.enabled or self.live is not None)
+                    and now - self._last_hb_sample >= 1.0):
                 self._last_hb_sample = now
-                for slot in self.slots:
-                    if slot.live:
-                        self.rec.event(
-                            "heartbeat_age",
-                            worker=slot.worker_id,
-                            incarnation=slot.incarnation,
-                            age_s=max(0.0, now - self.heartbeats[slot.worker_id]),
-                        )
+                self._sample_live(now)
             for slot in self.slots:
                 if not slot.live:
                     continue
@@ -692,6 +763,40 @@ class _Dispatcher:
                 for sid in sorted(self.pending):
                     self._enqueue(sid, self.attempts[sid])
                 self.last_progress = now
+
+    def _sample_live(self, now, record_events=True):
+        """One sampling pass on the ~1 s heartbeat cadence: heartbeat-age
+        events into the recorder (the PR 5 behaviour) and, when the live
+        plane is on, each worker's stats-board row plus the recovery
+        ledger folded into the aggregator."""
+        for slot in self.slots:
+            if not slot.live:
+                continue
+            age = max(0.0, now - self.heartbeats[slot.worker_id])
+            if self.rec.enabled and record_events:
+                self.rec.event(
+                    "heartbeat_age",
+                    worker=slot.worker_id,
+                    incarnation=slot.incarnation,
+                    age_s=age,
+                )
+            if self.live is not None and self.board is not None:
+                self.live.observe_worker(
+                    slot.worker_id,
+                    incarnation=slot.incarnation,
+                    heartbeat_age_s=age,
+                    **self.board.read(slot.worker_id),
+                )
+        if self.live is not None:
+            self.live.update_recovery(
+                retries=self.retries,
+                rebalances=self.rebalances,
+                respawns=self.respawns,
+                workers_lost=self.workers_lost,
+                degraded=self.degraded,
+                degraded_reason=self.degraded_reason,
+                shards_drained_in_process=self.drained,
+            )
 
     def _drain_messages(self):
         """Pump the result queue; returns True when progress was made."""
@@ -806,6 +911,7 @@ class _Dispatcher:
             slot.proc.kill()
             slot.proc.join(5.0)
         slot.lifetime_s += time.monotonic() - slot.spawn_t
+        self._merge_flight(slot, reason)
         lost = slot.current
         slot.current = None
         slot.proc = None
@@ -831,6 +937,44 @@ class _Dispatcher:
                     f"{reason}; respawn budget "
                     f"({self.options.max_worker_respawns}) exhausted",
                 )
+
+    def _merge_flight(self, slot, reason):
+        """Merge a lost worker's flight-recorder dump into the parent
+        recorder (called after the worker is reaped, so the dump file is
+        quiescent).  Best effort: a worker killed before its first spill
+        completed simply leaves nothing to merge."""
+        if self.flight_dir is None:
+            return
+        key = (slot.worker_id, slot.incarnation)
+        if key in self._flight_merged:
+            return
+        self._flight_merged.add(key)
+        path = os.path.join(
+            self.flight_dir,
+            f"flight_w{slot.worker_id}_i{slot.incarnation}.json",
+        )
+        payload = load_flight_dump(path)
+        if payload is None:
+            return
+        self.rec.merge_payload(payload)
+        self.rec.event(
+            "flight_recorder",
+            worker=slot.worker_id,
+            incarnation=slot.incarnation,
+            spans=len(payload.get("spans", ())),
+            events=len(payload.get("events", ())),
+            reason=reason.splitlines()[0],
+        )
+
+    def _live_probe(self):
+        """The parent's own live probe (lazily built), used by the
+        degraded in-process drain so drained shards still feed the
+        plane."""
+        if self.live is None:
+            return None
+        if self._parent_probe is None:
+            self._parent_probe = self.live.probe(PARENT_WORKER_ID)
+        return self._parent_probe
 
     def _retry(self, sid, reason):
         self.attempts[sid] += 1
@@ -878,6 +1022,7 @@ class _Dispatcher:
                 self.config, self.scheme, self.population,
                 [self.shards[sid]],
                 recorder=self.rec if self.rec.enabled else None,
+                probe=self._live_probe(),
             )
             out.update(
                 type="result", worker_id=PARENT_WORKER_ID,
@@ -928,6 +1073,9 @@ class _Dispatcher:
                 self.result_queue.get_nowait()
         except (queue_mod.Empty, OSError, ValueError):
             pass
+        if self._flight_owned and self.flight_dir is not None:
+            shutil.rmtree(self.flight_dir, ignore_errors=True)
+            self.flight_dir = None
 
 
 def _reduce(config, scheme, options, shards, results, dispatcher, t0,
@@ -1062,6 +1210,7 @@ def run_pool(
     scheme: Scheme = Scheme.OVER_PARTICLES,
     options: PoolOptions | None = None,
     recorder=None,
+    live=None,
 ):
     """Run the configured calculation sharded across worker processes.
 
@@ -1076,11 +1225,28 @@ def run_pool(
     shard-id order; recovery actions (worker loss, retries, respawns,
     degraded drains) and periodic heartbeat-age samples land in its
     event log.  Telemetry never alters the physics.
+
+    ``live`` (a :class:`repro.obs.live.LiveAggregator`) attaches the live
+    observability plane: workers publish monotonic counter totals to a
+    shared stats board that the parent samples on the heartbeat cadence,
+    and with a recorder attached each worker also keeps an on-disk
+    flight-recorder dump that is merged into the telemetry when the
+    worker is lost.  Like the recorder, the plane never alters the
+    physics.
     """
     if options is None:
         options = PoolOptions(nworkers=1)
     rec = NULL_RECORDER if recorder is None else recorder
     t0 = time.perf_counter()
+    if live is not None:
+        live.update_run(
+            problem=getattr(config, "name", "") or "",
+            nparticles=int(config.nparticles),
+            ntimesteps=int(config.ntimesteps),
+            scheme=_result_scheme(scheme).value,
+            nworkers=int(options.nworkers),
+            mode="pool",
+        )
 
     # Build the cross-section backend once.  Multigroup ships the resolved
     # tables with the config (workers would otherwise rebuild them per
@@ -1113,20 +1279,25 @@ def run_pool(
             out = _run_ranges(
                 run_config, scheme, population, shards,
                 recorder=rec if rec.enabled else None,
+                probe=live.probe(0) if live is not None else None,
             )
         out.update(worker_id=0, total_s=time.perf_counter() - t_shard)
         with rec.span("reduce", nshards=1):
-            return _reduce(
+            result = _reduce(
                 config, scheme, options, [(0, config.nparticles)], {0: out},
                 None, t0, "inline", recorder=rec,
             )
+        if live is not None:
+            live.mark_done()
+        return result
 
     # Re-home the population into shared memory: workers attach zero-copy
     # shard views by (name, n_total, lo, hi) instead of unpickling it.
     shared_pop = population.to_shared()
     ctx = _pick_context(options)
     dispatcher = _Dispatcher(
-        run_config, scheme, shared_pop, shards, options, ctx, recorder=rec
+        run_config, scheme, shared_pop, shards, options, ctx, recorder=rec,
+        live=live,
     )
     try:
         with rec.span(
@@ -1134,10 +1305,13 @@ def run_pool(
         ):
             results = dispatcher.run()
         with rec.span("reduce", nshards=len(shards)):
-            return _reduce(
+            result = _reduce(
                 config, scheme, options, shards, results, dispatcher, t0,
                 ctx.get_start_method(), recorder=rec,
             )
+        if live is not None:
+            live.mark_done()
+        return result
     finally:
         # Belt and braces for the reduction path: no worker may outlive
         # this call, even if _reduce (or anything above) raised.

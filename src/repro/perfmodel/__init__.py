@@ -37,12 +37,22 @@ from repro.perfmodel.recalibrate import (
     recalibrate_constants,
     recalibrate_from_artifact,
 )
+from repro.perfmodel.capacity import (
+    CapacityPlan,
+    CapacityScenario,
+    plan_capacity,
+    scenario_from_artifact,
+)
 
 __all__ = [
     "CalibrationReport",
     "KernelFit",
     "recalibrate_constants",
     "recalibrate_from_artifact",
+    "CapacityPlan",
+    "CapacityScenario",
+    "plan_capacity",
+    "scenario_from_artifact",
     "Workload",
     "ModelConstants",
     "DEFAULT_CONSTANTS",

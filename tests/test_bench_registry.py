@@ -78,6 +78,17 @@ def test_run_tier_rejects_unknown_names():
         run_tier("quick", names=["no_such_bench"])
 
 
+def test_live_overhead_bench_holds_plane_invariants():
+    (result,) = run_tier(
+        "quick", repeats=1, warmup=0, names=["live_overhead_csp"]
+    )
+    samples = result.metric_samples
+    assert samples["live_parity"] == (1.0,)
+    assert samples["endpoint_ok"] == (1.0,)
+    assert samples["off_s"][0] > 0 and samples["on_s"][0] > 0
+    assert samples["events_total"][0] > 0
+
+
 def test_artifact_roundtrip_and_byte_stability(tmp_path):
     results = run_tier(
         "quick", repeats=2, warmup=0,
@@ -151,16 +162,22 @@ def test_committed_baseline_validates():
     third = load_bench_artifact("results/BENCH_3.json")
     assert third.meta["sequence"] == 3
     assert third.meta["claims"]["adaptive_parity"] == 1.0
+    fourth = load_bench_artifact("results/BENCH_4.json")
+    assert fourth.meta["sequence"] == 4
+    assert fourth.meta["claims"]["ensemble_parity"] == 1.0
+    assert fourth.meta["claims"]["adaptive_efficiency"] >= 0.95
+    assert fourth.meta["claims"]["ce_parity"] == 1.0
     # ...and the current baseline covers the whole quick tier.
-    current = load_bench_artifact("results/BENCH_4.json")
-    assert current.meta["sequence"] == 4
+    current = load_bench_artifact("results/BENCH_5.json")
+    assert current.meta["sequence"] == 5
     assert current.meta["tier"] == "quick"
     assert current.meta["claims"]["ensemble_parity"] == 1.0
     assert current.meta["claims"]["ensemble_speedup_csp_vs_looped"] > 5
     assert current.meta["claims"]["adaptive_parity"] == 1.0
-    assert current.meta["claims"]["adaptive_efficiency"] >= 0.95
     assert current.meta["claims"]["ce_parity"] == 1.0
     assert 0 < current.meta["claims"]["ce_oe_op_ratio"] < 1.0
+    assert current.meta["claims"]["live_parity"] == 1.0
+    assert current.meta["claims"]["live_endpoint_ok"] == 1.0
     quick = {s.name for s in specs_for_tier("quick")}
     assert set(current.benches) == quick
 

@@ -117,3 +117,83 @@ def test_figures_output_file(tmp_path, capsys):
     text = out.read_text()
     assert "Cross-architecture summary" in text
     assert "csp" in text and "p100" in text
+
+
+def test_report_missing_telemetry_is_one_line_error(capsys):
+    rc = main(["report", "definitely_not_there.json"])
+    assert rc == 1
+    captured = capsys.readouterr()
+    assert captured.out == ""
+    err_lines = captured.err.strip().splitlines()
+    assert len(err_lines) == 1
+    assert err_lines[0].startswith("error: no telemetry artifact at")
+
+
+def test_report_corrupt_telemetry_is_one_line_error(tmp_path, capsys):
+    bad = tmp_path / "corrupt.json"
+    bad.write_text("{this is not json")
+    rc = main(["report", str(bad)])
+    assert rc == 1
+    err_lines = capsys.readouterr().err.strip().splitlines()
+    assert len(err_lines) == 1
+    assert "is not valid JSON" in err_lines[0]
+
+
+def test_report_schema_invalid_telemetry_is_one_line_error(tmp_path, capsys):
+    import json as _json
+
+    bad = tmp_path / "wrong.json"
+    bad.write_text(_json.dumps({"schema": {"name": "other", "version": 1}}))
+    rc = main(["report", str(bad)])
+    assert rc == 1
+    err_lines = capsys.readouterr().err.strip().splitlines()
+    assert len(err_lines) == 1
+    assert "is not a valid RunTelemetry artifact" in err_lines[0]
+
+
+def test_run_serve_metrics_serves_while_running(capsys):
+    rc = main([
+        "run", "--problem", "csp", "--nx", "16", "--particles", "24",
+        "--serve-metrics", "0",
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "live metrics: http://127.0.0.1:" in out
+    assert "population accounted: True" in out
+
+
+def test_run_serve_metrics_with_drift_baseline(capsys):
+    rc = main([
+        "run", "--problem", "csp", "--nx", "16", "--particles", "24",
+        "--serve-metrics", "0", "--drift-baseline", "results/BENCH_4.json",
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "drift watchdog: expecting" in out
+
+
+def test_run_serve_metrics_bad_drift_baseline(capsys):
+    rc = main([
+        "run", "--problem", "csp", "--nx", "16", "--particles", "24",
+        "--serve-metrics", "0", "--drift-baseline", "missing.json",
+    ])
+    assert rc == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_ensemble_run_serve_metrics(capsys):
+    rc = main([
+        "ensemble", "run", "--problem", "csp", "--nx", "16",
+        "--particles", "12", "--replicas", "3", "--serve-metrics", "0",
+    ])
+    assert rc == 0
+    assert "live metrics:" in capsys.readouterr().out
+
+
+def test_run3d_serve_metrics(capsys):
+    rc = main([
+        "run3d", "--problem", "csp3", "--n", "8", "--particles", "10",
+        "--serve-metrics", "0",
+    ])
+    assert rc == 0
+    assert "live metrics:" in capsys.readouterr().out

@@ -313,3 +313,93 @@ def test_cli_run3d_telemetry_and_profile(tmp_path, capsys):
     telemetry = load_telemetry(path)
     assert telemetry.meta["scheme"] == "over_events_3d"
     assert any(s["name"] == "event_pass" for s in telemetry.spans)
+
+
+# ---------------------------------------------------------------------------
+# Exporter edge cases: artifacts that never saw a healthy full run
+# ---------------------------------------------------------------------------
+
+def _synthetic_telemetry(**overrides):
+    base = dict(
+        meta={"problem": "csp", "scheme": "over_particles", "nx": 16,
+              "ny": 16, "nparticles": 4, "ntimesteps": 1, "seed": 7,
+              "wallclock_s": 0.0},
+        counters={"collisions": 0, "facets": 0, "census_events": 0,
+                  "total_events": 0, "load_imbalance": 0.0},
+        kernel_profile={},
+        workspace={"allocations": 0, "reuses": 0, "xs_bin_reuses": 0},
+        arena={"nbytes": 0, "nparticles": 0, "bytes_per_particle": 0},
+        pool=None,
+        spans=[],
+        events=[],
+    )
+    base.update(overrides)
+    return RunTelemetry(**base)
+
+
+def test_summary_and_chrome_trace_with_empty_span_tree():
+    telemetry = _synthetic_telemetry()
+    summary = format_summary(telemetry)
+    assert "run: problem=csp" in summary
+    assert "span tree" not in summary  # no fabricated empty section
+    trace = to_chrome_trace(telemetry)
+    assert trace["traceEvents"] == []
+    assert to_jsonl(telemetry).count("\n") == 1  # header only
+
+
+def test_chrome_trace_with_zero_duration_spans():
+    span = {"id": 0, "parent": -1, "name": "instant", "t0": 5.0,
+            "t1": 5.0, "attrs": {}, "source": {}}
+    telemetry = _synthetic_telemetry(spans=[span])
+    trace = to_chrome_trace(telemetry)
+    slices = [r for r in trace["traceEvents"] if r.get("ph") == "X"]
+    assert len(slices) == 1
+    assert slices[0]["dur"] == 0.0
+    assert slices[0]["ts"] == 0.0  # re-based to the earliest instant
+    summary = format_summary(telemetry)
+    assert "instant" in summary and "0.000000 s" in summary
+
+
+def test_summary_with_recovery_events_but_no_kernel_profile():
+    events = [
+        {"t": 1.0, "name": "worker_lost",
+         "attrs": {"reason": "kill"}, "source": {"worker": 1}},
+        {"t": 1.1, "name": "respawn",
+         "attrs": {"incarnation": 1}, "source": {"worker": 1}},
+        {"t": 1.2, "name": "flight_recorder",
+         "attrs": {"worker": 1, "incarnation": 0, "spans": 3,
+                   "events": 2, "reason": "kill"}, "source": {}},
+    ]
+    telemetry = _synthetic_telemetry(events=events)
+    summary = format_summary(telemetry)
+    assert "kernel profile" not in summary
+    assert "recovery event log (2 entries):" in summary
+    assert "worker_lost [worker 1]" in summary
+    assert "flight recorder (1 dump merged" in summary
+    assert "worker 1 incarnation 0: 3 spans, 2 events" in summary
+    # The chrome trace renders the instants without a crash too.
+    trace = to_chrome_trace(telemetry)
+    instants = [r for r in trace["traceEvents"] if r.get("ph") == "i"]
+    assert len(instants) == 3
+
+
+def test_prometheus_export_shard_attempts_and_heartbeats():
+    pool = {
+        "nworkers": 2, "schedule": "dynamic", "chunk": 8,
+        "start_method": "fork", "retries": 1, "rebalances": 2,
+        "respawns": 1, "workers_lost": 1, "degraded": False,
+        "degraded_reason": "", "shards_drained_in_process": 0,
+        "shard_attempts": [0, 2, 0],
+        "workers": [
+            {"worker_id": 0, "histories": 4, "final_histories": 4,
+             "events": 10, "chunks": 1, "busy_s": 0.5,
+             "incarnations": 1, "last_heartbeat_age_s": 0.25},
+        ],
+    }
+    telemetry = _synthetic_telemetry(pool=pool)
+    text = to_prometheus(telemetry)
+    assert 'repro_pool_shard_attempts_total{shard="1"} 2' in text
+    assert 'repro_pool_shard_attempts_total{shard="0"} 0' in text
+    assert ('repro_worker_last_heartbeat_age_seconds{worker="0"} 0.25'
+            in text)
+    assert "repro_pool_rebalances_total 2" in text
